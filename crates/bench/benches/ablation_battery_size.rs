@@ -1,0 +1,45 @@
+//! Ablation: how many Mosalloc layouts does a trustworthy model need?
+//!
+//! The paper settles on 54 samples (one-in-ten rule) and notes that
+//! cross-validating Mosmodel sometimes required up to ~100 (§VI-C). This
+//! bench sweeps the battery size and reports Mosmodel's fit-all and
+//! cross-validation errors at each size.
+
+use bench::measure_battery;
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::Platform;
+use mosmodel::cv::k_fold;
+use mosmodel::metrics::max_err;
+use mosmodel::models::ModelKind;
+
+fn ablation(c: &mut Criterion) {
+    let platform = &Platform::SANDY_BRIDGE;
+    let workload = "spec06/mcf";
+    let accesses = 60_000;
+
+    println!("\nAblation — battery size vs Mosmodel accuracy ({workload} on {}):", platform.name);
+    println!("{:>8} {:>9} {:>14} {:>12}", "layouts", "fit err", "6-fold CV err", "terms");
+    for steps in [2usize, 5, 8, 16] {
+        let ds = measure_battery(platform, workload, steps, accesses);
+        let fitted = ModelKind::Mosmodel.fit(&ds).expect("enough samples");
+        let cv = k_fold(ModelKind::Mosmodel, &ds, 6).expect("cv runs");
+        println!(
+            "{:>8} {:>8.2}% {:>13.2}% {:>12}",
+            ds.len(),
+            100.0 * max_err(&fitted, &ds),
+            100.0 * cv.max_err,
+            fitted.nonzero_terms().unwrap_or(0),
+        );
+    }
+    println!();
+
+    c.bench_function("battery_18_layouts_measure_and_fit", |b| {
+        b.iter(|| {
+            let ds = measure_battery(platform, workload, 2, 20_000);
+            ModelKind::Mosmodel.fit(&ds).unwrap()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = ablation }
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: first fit vs best fit vs worst fit for the anonymous pool.
+//!
+//! The paper chose first fit "because it performs better than the
+//! alternatives of best fit and worst fit in terms of runtime complexity
+//! and memory utilization" (§V). This bench measures both halves of that
+//! claim on a malloc-style churn workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mosalloc::{FirstFit, FitPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POOL: u64 = 256 << 20;
+const OPS: usize = 20_000;
+
+/// Runs a churn workload; returns (peak high-water, final hole bytes).
+fn churn(policy: FitPolicy, seed: u64) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alloc = FirstFit::with_policy(POOL, policy);
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut peak = 0;
+    for _ in 0..OPS {
+        if live.len() < 64 || rng.gen_bool(0.55) {
+            // Mixed sizes: mostly small, occasionally huge (the pattern
+            // that fragments pools).
+            let len = if rng.gen_bool(0.9) {
+                rng.gen_range(1..=64u64) * 4096
+            } else {
+                rng.gen_range(1..=16u64) * (2 << 20)
+            };
+            if let Some(start) = alloc.alloc(len, 4096) {
+                live.push((start, len));
+            }
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let (start, len) = live.swap_remove(idx);
+            alloc.free(start, len).expect("valid free");
+        }
+        peak = peak.max(alloc.high_water());
+    }
+    (peak, alloc.hole_bytes())
+}
+
+fn ablation(c: &mut Criterion) {
+    println!("\nAblation — pool fit policy under malloc-style churn ({OPS} ops):");
+    println!("{:<10} {:>16} {:>18}", "policy", "peak highwater", "final hole bytes");
+    for policy in [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::WorstFit] {
+        let (peak, holes) = churn(policy, 42);
+        println!("{:<10} {:>13} KB {:>15} KB", format!("{policy:?}"), peak >> 10, holes >> 10);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("fit_policy_churn");
+    for policy in [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::WorstFit] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &p| b.iter(|| churn(p, 7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = ablation }
+criterion_main!(benches);

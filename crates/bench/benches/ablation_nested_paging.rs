@@ -1,0 +1,113 @@
+//! Ablation: nested paging (virtualized execution), the context several
+//! surveyed models come from (Gandhi, Pham).
+//!
+//! A 4KB/4KB guest/host configuration turns a 4-reference walk into up
+//! to 24 references; backing the guest with 2MB host pages claws much of
+//! it back. Runtime models must still hold on the virtualized machine —
+//! this bench measures both the C inflation and the model errors on a
+//! virtualized growing-window battery.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::MachineVariant;
+use machine::{Engine, EngineConfig, Platform};
+use mosmodel::dataset::{Dataset, LayoutKind, Sample};
+use mosmodel::metrics::max_err;
+use mosmodel::models::ModelKind;
+use vmcore::{MemoryLayout, PageSize, Region, VirtAddr};
+use workloads::{TraceParams, WorkloadSpec};
+
+const ACCESSES: u64 = 60_000;
+
+fn run(
+    platform: &Platform,
+    workload: &str,
+    virtualized: Option<PageSize>,
+    layout: &MemoryLayout,
+) -> vmcore::PmuCounters {
+    let spec = WorkloadSpec::by_name(workload).unwrap();
+    let arena = layout.pool();
+    let trace = spec.trace(&TraceParams::new(arena, ACCESSES, 0x7e57));
+    let config = EngineConfig { virtualized, ..EngineConfig::default() };
+    Engine::with_config(platform, config).run(trace, |va| layout.page_size_at(va))
+}
+
+fn battery(platform: &Platform, workload: &str, virtualized: Option<PageSize>) -> Dataset {
+    let arena = Region::new(VirtAddr::new(0x1000_0000_0000), 256 << 20);
+    layouts::growing_window(arena, 8)
+        .iter()
+        .enumerate()
+        .map(|(i, layout)| {
+            let kind = match i {
+                0 => LayoutKind::All4K,
+                8 => LayoutKind::All2M,
+                _ => LayoutKind::Mixed,
+            };
+            Sample::from_counters(&run(platform, workload, virtualized, layout), kind)
+        })
+        .collect()
+}
+
+fn ablation(c: &mut Criterion) {
+    let platform = &Platform::SANDY_BRIDGE;
+    let arena = Region::new(VirtAddr::new(0x1000_0000_0000), 256 << 20);
+    let all_4k = MemoryLayout::all_4k(arena);
+
+    println!("\nAblation — nested paging (spec06/mcf, all-4KB guest layout):");
+    println!("{:<26} {:>12} {:>10} {:>10}", "configuration", "C", "C vs native", "R vs native");
+    let native = run(platform, "spec06/mcf", None, &all_4k);
+    for (name, host) in [
+        ("native", None),
+        ("virtualized, 4KB host", Some(PageSize::Base4K)),
+        ("virtualized, 2MB host", Some(PageSize::Huge2M)),
+        ("virtualized, 1GB host", Some(PageSize::Huge1G)),
+    ] {
+        let counters = run(platform, "spec06/mcf", host, &all_4k);
+        println!(
+            "{:<26} {:>12} {:>9.2}x {:>9.2}x",
+            name,
+            counters.walk_cycles,
+            counters.walk_cycles as f64 / native.walk_cycles as f64,
+            counters.runtime_cycles as f64 / native.runtime_cycles as f64,
+        );
+    }
+
+    println!("\nModel accuracy on the virtualized machine (growing-window battery, 4KB host):");
+    let ds = battery(platform, "spec06/mcf", Some(PageSize::Base4K));
+    for model in [ModelKind::Yaniv, ModelKind::Poly1, ModelKind::Mosmodel] {
+        match model.fit(&ds) {
+            Ok(fit) => println!("  {:<10} max err {:>6.2}%", model.name(), 100.0 * max_err(&fit, &ds)),
+            Err(e) => println!("  {:<10} {e}", model.name()),
+        }
+    }
+
+    // The same validation over the full 54-layout battery, using the
+    // grid's first-class machine-variant support.
+    println!("\nFull 54-layout battery on the virtualized variant (all nine models):");
+    let grid = bench_grid();
+    let variant = MachineVariant {
+        name: "SNB-virt-4K".into(),
+        platform: platform.clone(),
+        config: EngineConfig {
+            virtualized: Some(PageSize::Base4K),
+            ..EngineConfig::default()
+        },
+    };
+    let full_ds = grid.entry_variant("spec06/mcf", &variant).dataset();
+    for model in ModelKind::ALL {
+        match model.fit(&full_ds) {
+            Ok(fit) => {
+                println!("  {:<10} max err {:>6.2}%", model.name(), 100.0 * max_err(&fit, &full_ds))
+            }
+            Err(e) => println!("  {:<10} {e}", model.name()),
+        }
+    }
+    println!();
+
+    c.bench_function("virtualized_run_60k", |b| {
+        b.iter(|| run(platform, "spec06/mcf", Some(PageSize::Base4K), &all_4k))
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = ablation }
+criterion_main!(benches);

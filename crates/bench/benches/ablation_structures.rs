@@ -1,0 +1,73 @@
+//! Ablation: hardware structures behind the paper's observations.
+//!
+//! * **Page-walk caches**: §II-B argues partial simulators must model
+//!   PWCs "to accurately calculate the number of walk cycles" — here is
+//!   how wrong `C` gets without them.
+//! * **Second walker**: Broadwell's twin walkers make the `C` counter
+//!   double-count (§VI-D); removing one walker removes the pathology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::{Engine, Platform};
+use memsim::PwcGeometry;
+use vmcore::{PageSize, Region, VirtAddr};
+use workloads::{TraceParams, WorkloadSpec};
+
+fn run(platform: &Platform, workload: &str, accesses: u64) -> vmcore::PmuCounters {
+    let spec = WorkloadSpec::by_name(workload).unwrap();
+    let arena = Region::new(VirtAddr::new(0x1000_0000_0000), 256 << 20);
+    let trace = spec.trace(&TraceParams::new(arena, accesses, 0xdead));
+    Engine::new(platform).run(trace, |_| PageSize::Base4K)
+}
+
+fn ablation(c: &mut Criterion) {
+    let accesses = 80_000;
+
+    // --- PWC on/off ---
+    println!("\nAblation — page-walk caches (spec06/mcf, all-4KB):");
+    println!("{:<14} {:>12} {:>12} {:>10}", "platform", "C with PWC", "C w/o PWC", "C ratio");
+    for base in Platform::ALL {
+        let no_pwc = Platform {
+            pwc: PwcGeometry { pml4e: 0, pdpte: 0, pde: 0 },
+            ..base.clone()
+        };
+        let with = run(base, "spec06/mcf", accesses);
+        let without = run(&no_pwc, "spec06/mcf", accesses);
+        println!(
+            "{:<14} {:>12} {:>12} {:>9.2}x",
+            base.name,
+            with.walk_cycles,
+            without.walk_cycles,
+            without.walk_cycles as f64 / with.walk_cycles.max(1) as f64
+        );
+    }
+
+    // --- 1 vs 2 walkers on Broadwell ---
+    println!("\nAblation — walker count (gups/32GB on Broadwell, all-4KB):");
+    for walkers in [1u32, 2] {
+        let platform = Platform { walkers, ..Platform::BROADWELL.clone() };
+        let counters = run(&platform, "gups/32GB", accesses);
+        println!(
+            "  {walkers} walker(s): R = {:>10}, C = {:>10}, C/R = {:.2} {}",
+            counters.runtime_cycles,
+            counters.walk_cycles,
+            counters.walk_cycles as f64 / counters.runtime_cycles as f64,
+            if counters.walk_cycles > counters.runtime_cycles {
+                "→ Basu's β goes negative"
+            } else {
+                ""
+            }
+        );
+    }
+    println!();
+
+    c.bench_function("engine_run_80k_no_pwc", |b| {
+        let no_pwc = Platform {
+            pwc: PwcGeometry { pml4e: 0, pdpte: 0, pde: 0 },
+            ..Platform::SANDY_BRIDGE.clone()
+        };
+        b.iter(|| run(&no_pwc, "spec06/mcf", 20_000))
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = ablation }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Figure 10: gups/16GB on SandyBridge — poly1 cannot follow the convex
+//! R(C) curve, poly2 can.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig10(c: &mut Criterion) {
+    let grid = bench_grid();
+    println!("\nFigure 10 — {}\n", figures::fig10(&grid).expect("anchors"));
+    c.bench_function("fig10/gups_poly_fit", |b| b.iter(|| figures::fig10(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig10 }
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 11 / §VII-D: predicting the all-1GB layout from 4KB/2MB
+//! training data — Yaniv vs Mosmodel, plus the full per-workload sweep.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{casestudy, figures};
+
+fn fig11(c: &mut Criterion) {
+    let grid = bench_grid();
+    println!("\nFigure 11 — {}\n", figures::fig11(&grid).expect("anchors"));
+    let pairs = figures::sensitive_pairs(&grid);
+    println!("§VII-D sweep (all TLB-sensitive pairs):");
+    for v in casestudy::one_gb_sweep(&grid, &pairs) {
+        println!("{v}");
+    }
+    c.bench_function("fig11/one_gb_prediction", |b| b.iter(|| figures::fig11(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig11 }
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 2: aggregated maximal errors of old (2a) and new (2b) models
+//! over every TLB-sensitive (workload, platform) pair.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig2(c: &mut Criterion) {
+    let grid = bench_grid();
+    let pairs = figures::sensitive_pairs(&grid);
+    println!("\n{}\n", figures::fig2(&grid, &pairs));
+    // Timing the full figure would refit every model on every pair per
+    // iteration; time the per-pair kernel instead.
+    let one_pair = &pairs[..1.min(pairs.len())];
+    c.bench_function("fig2/fit_and_score_one_pair", |b| {
+        b.iter(|| figures::fig2(&grid, one_pair))
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig2 }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Figure 3: R(C) for spec06/mcf on SandyBridge — the linear model misses
+//! the curvature Mosmodel captures.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig3(c: &mut Criterion) {
+    let grid = bench_grid();
+    println!("\nFigure 3 — {}\n", figures::fig3(&grid).expect("anchors"));
+    c.bench_function("fig3/mcf_curve", |b| b.iter(|| figures::fig3(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig3 }
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 5: per-benchmark maximal prediction errors of all nine models
+//! on all three platforms.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig5(c: &mut Criterion) {
+    let grid = bench_grid();
+    let per_platform = figures::sensitive_by_platform(&grid);
+    for matrix in figures::fig5(&grid, &per_platform) {
+        println!("\nFigure 5 — {matrix}");
+    }
+    let (p, names) = per_platform[0].clone();
+    let one = names[..1.min(names.len())].to_vec();
+    c.bench_function("fig5/one_workload_row", |b| {
+        b.iter(|| figures::error_matrix(&grid, p, &one, figures::ErrorStat::Max))
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig5 }
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 6: per-benchmark geometric-mean prediction errors.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig6(c: &mut Criterion) {
+    let grid = bench_grid();
+    let per_platform = figures::sensitive_by_platform(&grid);
+    for matrix in figures::fig6(&grid, &per_platform) {
+        println!("\nFigure 6 — {matrix}");
+    }
+    let (p, names) = per_platform[0].clone();
+    let one = names[..1.min(names.len())].to_vec();
+    c.bench_function("fig6/one_workload_row", |b| {
+        b.iter(|| figures::error_matrix(&grid, p, &one, figures::ErrorStat::GeoMean))
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig6 }
+criterion_main!(benches);

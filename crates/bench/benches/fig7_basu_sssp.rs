@@ -1,0 +1,15 @@
+//! Figure 7: the Basu model's optimistic predictions for
+//! gapbs/sssp-twitter on SandyBridge.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig7(c: &mut Criterion) {
+    let grid = bench_grid();
+    println!("\n{}\n", figures::fig7(&grid).expect("anchors"));
+    c.bench_function("fig7/basu_optimism", |b| b.iter(|| figures::fig7(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig7 }
+criterion_main!(benches);

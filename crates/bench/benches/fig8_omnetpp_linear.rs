@@ -1,0 +1,14 @@
+//! Figure 8: linear regression describes spec06/omnetpp well.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig8(c: &mut Criterion) {
+    let grid = bench_grid();
+    println!("\nFigure 8 — {}\n", figures::fig8(&grid).expect("anchors"));
+    c.bench_function("fig8/omnetpp_poly1", |b| b.iter(|| figures::fig8(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig8 }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Figure 9: the poly1 slope for spec17/xalancbmk_s on Broadwell exceeds
+//! 1 (cache pollution makes walks cost more than their cycles).
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures;
+
+fn fig9(c: &mut Criterion) {
+    let grid = bench_grid();
+    println!("\n{}\n", figures::fig9(&grid).expect("anchors"));
+    c.bench_function("fig9/xalancbmk_slope", |b| b.iter(|| figures::fig9(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = fig9 }
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! The Figure-1 methodology, end to end: runtime models + partial
+//! simulation predicting hypothetical designs, checked against full
+//! simulation; plus §IV's cross-processor transfer experiment.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::methodology::{explore_design, transfer_error};
+use machine::Platform;
+use memsim::StlbGeometry;
+use mosmodel::models::ModelKind;
+use vmcore::PageSize;
+
+fn methodology(c: &mut Criterion) {
+    let grid = bench_grid();
+    let base = &Platform::SANDY_BRIDGE;
+
+    println!("\nFigure-1 loop — predict hypothetical designs (4KB runs, model: per row):");
+    println!(
+        "{:<18} {:<10} {:>12} {:>12} {:>8}",
+        "design", "model", "predicted R", "full-sim R", "err"
+    );
+    let big_stlb = Platform {
+        stlb: StlbGeometry { entries: 2048, ways: 8, holds_2m: true, entries_1g: 0 },
+        ..base.clone()
+    };
+    let two_walkers = Platform { walkers: 2, ..base.clone() };
+    for workload in ["xsbench/8GB", "gups/16GB"] {
+        for (name, design) in [("big-stlb", &big_stlb), ("2-walkers", &two_walkers)] {
+            for model in [ModelKind::Yaniv, ModelKind::Mosmodel] {
+                let p = explore_design(
+                    &grid,
+                    workload,
+                    base,
+                    design,
+                    name,
+                    model,
+                    PageSize::Base4K,
+                )
+                .expect("anchors");
+                println!(
+                    "{:<18} {:<10} {:>12.0} {:>12.0} {:>7.1}%  ({workload})",
+                    name,
+                    model.name(),
+                    p.predicted_r,
+                    p.simulated_r,
+                    100.0 * p.error()
+                );
+            }
+        }
+    }
+
+    println!("\n§IV transfer — model fitted on P, evaluated on P̄'s data (gups/16GB, mosmodel):");
+    for from in Platform::ALL {
+        for to in Platform::ALL {
+            let e = transfer_error(&grid, "gups/16GB", from, to, ModelKind::Mosmodel)
+                .expect("anchors");
+            print!("  {}→{}: {:>6.1}%", &from.name[..3], &to.name[..3], 100.0 * e);
+        }
+        println!();
+    }
+    println!();
+
+    c.bench_function("figure1_loop_one_design", |b| {
+        b.iter(|| {
+            explore_design(
+                &grid,
+                "gups/16GB",
+                base,
+                &two_walkers,
+                "2-walkers",
+                ModelKind::Mosmodel,
+                PageSize::Base4K,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = methodology }
+criterion_main!(benches);

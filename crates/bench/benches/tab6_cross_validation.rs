@@ -1,0 +1,18 @@
+//! Table 6: maximal K-fold cross-validation errors of the new models.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, tables};
+
+fn tab6(c: &mut Criterion) {
+    let grid = bench_grid();
+    let pairs = figures::sensitive_pairs(&grid);
+    println!("\n{}\n", tables::tab6(&grid, &pairs, 6));
+    let one_pair = &pairs[..1.min(pairs.len())];
+    c.bench_function("tab6/kfold_one_pair", |b| {
+        b.iter(|| tables::tab6(&grid, one_pair, 6))
+    });
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = tab6 }
+criterion_main!(benches);

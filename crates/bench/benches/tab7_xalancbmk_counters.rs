@@ -1,0 +1,20 @@
+//! Table 7: spec17/xalancbmk_s counters under 4KB vs 2MB pages on
+//! Broadwell, split between program and walker references.
+
+use bench::bench_grid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::tables;
+
+fn tab7(c: &mut Criterion) {
+    let grid = bench_grid();
+    let table = tables::tab7(&grid).expect("anchors");
+    println!("\n{table}");
+    let (l3_4k, l3_2m) = table.l3_pollution();
+    println!(
+        "\nwalker-induced L3 pollution: {l3_4k} total L3 loads with 4KB pages vs {l3_2m} with 2MB\n"
+    );
+    c.bench_function("tab7/counter_extraction", |b| b.iter(|| tables::tab7(&grid).unwrap()));
+}
+
+criterion_group! { name = benches; config = bench::criterion(); targets = tab7 }
+criterion_main!(benches);

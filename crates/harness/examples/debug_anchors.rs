@@ -1,0 +1,29 @@
+//! Inspection tool: print the 4KB / 2MB / 1GB anchor measurements and the
+//! hand-computed Yaniv extrapolation to the 1GB point.
+//!
+//! ```text
+//! MOSAIC_FAST=1 cargo run --release -p harness --example debug_anchors [workload] [platform]
+//! ```
+use harness::{Grid, Speed};
+use machine::Platform;
+use mosmodel::LayoutKind;
+fn main() {
+    let w = std::env::args().nth(1).unwrap_or("gapbs/pr-twitter".into());
+    let pname = std::env::args().nth(2).unwrap_or("SandyBridge".into());
+    let p = Platform::by_name(&pname).unwrap();
+    let grid = Grid::in_memory(Speed::from_env());
+    let entry = grid.entry(&w, p);
+    for kind in [LayoutKind::All4K, LayoutKind::All2M, LayoutKind::All1G] {
+        let c = entry.record(kind).unwrap().counters;
+        println!("{kind:?}: R={} H={} M={} C={} avgwalk={:.1}",
+            c.runtime_cycles, c.stlb_hits, c.stlb_misses, c.walk_cycles, c.avg_walk_latency());
+    }
+    // yaniv extrapolation by hand
+    let ds = entry.dataset();
+    let a4 = ds.anchor_4k().unwrap(); let a2 = ds.anchor_2m().unwrap();
+    let alpha = (a4.r - a2.r) / (a4.c - a2.c);
+    let beta = a2.r - alpha * a2.c;
+    let t = entry.record(LayoutKind::All1G).unwrap().sample();
+    println!("yaniv alpha={alpha:.3} beta={beta:.0} pred1G={:.0} real1G={:.0} err={:.2}%",
+        alpha * t.c + beta, t.r, 100.0*((alpha*t.c+beta)-t.r).abs()/t.r);
+}

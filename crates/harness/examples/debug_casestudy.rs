@@ -1,0 +1,18 @@
+//! Inspection tool: the 1GB-prediction case study over a few hard pairs.
+//!
+//! ```text
+//! MOSAIC_FAST=1 cargo run --release -p harness --example debug_casestudy
+//! ```
+use harness::{casestudy, Grid, Speed};
+use machine::Platform;
+fn main() {
+    let grid = Grid::in_memory(Speed::from_env());
+    for w in ["gapbs/pr-twitter", "gups/32GB", "spec06/mcf"] {
+        for p in Platform::ALL {
+            match casestudy::one_gb(&grid, w, p) {
+                Ok(v) => println!("{w} {}: yaniv {:.2}% mosmodel {:.2}%", p.name, 100.0*v.yaniv.1, 100.0*v.mosmodel.1),
+                Err(e) => println!("{w} {}: {e}", p.name),
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Inspection tool: print the Growing Window (C, R) series for one
+//! (workload, platform) pair with local slopes — handy when judging how
+//! linear the runtime response is.
+//!
+//! ```text
+//! MOSAIC_FAST=1 cargo run --release -p harness --example debug_curve [workload] [platform]
+//! ```
+use harness::{Grid, Speed};
+use machine::Platform;
+fn main() {
+    let w = std::env::args().nth(1).unwrap_or("gups/16GB".into());
+    let pname = std::env::args().nth(2).unwrap_or("SandyBridge".into());
+    let p = Platform::by_name(&pname).unwrap();
+    let grid = Grid::in_memory(Speed::from_env());
+    let entry = grid.entry(&w, p);
+    // first 9 records are the growing window battery
+    let mut prev: Option<(f64, f64)> = None;
+    for r in entry.records.iter().take(9) {
+        let c = r.counters.walk_cycles as f64;
+        let rt = r.counters.runtime_cycles as f64;
+        let slope = prev.map(|(pc, pr)| (rt - pr) / (c - pc + 1e-9)).unwrap_or(0.0);
+        println!("C={:>12.0} R={:>12.0} H={:>9} M={:>9} slope={:>7.3}", c, rt,
+            r.counters.stlb_hits, r.counters.stlb_misses, slope);
+        prev = Some((c, rt));
+    }
+}

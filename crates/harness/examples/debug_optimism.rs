@@ -1,0 +1,21 @@
+//! Inspection tool: rank pairs by Basu-model optimism (under-prediction).
+use harness::{Grid, Speed};
+use machine::Platform;
+use mosmodel::models::{ModelKind, RuntimeModel};
+fn main() {
+    let grid = Grid::new(Speed::from_env());
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for p in Platform::ALL {
+        for w in grid.tlb_sensitive_workloads(p) {
+            let ds = grid.dataset(&w, p);
+            let Ok(basu) = ModelKind::Basu.fit(&ds) else { continue };
+            let optimism = ds.iter().map(|s| (s.r - basu.predict(s)) / s.r)
+                .fold(f64::NEG_INFINITY, f64::max);
+            rows.push((optimism, format!("{w} on {}", p.name)));
+        }
+    }
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (o, name) in rows.iter().take(8) {
+        println!("{:>6.1}% optimistic  {}", o * 100.0, name);
+    }
+}

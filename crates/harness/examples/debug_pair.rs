@@ -1,0 +1,46 @@
+//! Inspection tool: Mosmodel residual analysis for one pair — worst
+//! sample and a subsampled view of predictions vs measurements.
+//!
+//! ```text
+//! MOSAIC_FAST=1 cargo run --release -p harness --example debug_pair <workload> <platform>
+//! ```
+use harness::{Grid, Speed};
+use machine::Platform;
+use mosmodel::models::{ModelKind, RuntimeModel};
+use mosmodel::metrics::max_err;
+fn main() {
+    let w = std::env::args().nth(1).unwrap();
+    let pname = std::env::args().nth(2).unwrap();
+    let p = Platform::by_name(&pname).unwrap();
+    let grid = Grid::new(Speed::from_env());
+    let ds = grid.dataset(&w, p);
+    let m = ModelKind::Mosmodel.fit(&ds).unwrap();
+    println!("mosmodel max err {:.2}% terms {}", 100.0*max_err(&m, &ds), m.nonzero_terms().unwrap());
+    // worst sample
+    let mut worst = (0.0, 0usize);
+    for (i, s) in ds.iter().enumerate() {
+        let e = ((s.r - m.predict(s))/s.r).abs();
+        if e > worst.0 { worst = (e, i); }
+    }
+    let s = &ds.samples()[worst.1];
+    println!("worst sample #{}: R={:.0} H={:.0} M={:.0} C={:.0} err={:.2}%", worst.1, s.r, s.h, s.m, s.c, 100.0*worst.0);
+    for (i,s) in ds.iter().enumerate() {
+        if i % 6 == 0 { println!("#{i:>2} R={:>12.0} H={:>9.0} M={:>9.0} C={:>12.0} pred={:>12.0}", s.r, s.h, s.m, s.c, m.predict(s)); }
+    }
+    // print the fitted terms
+    if let (Some(_n),) = (m.nonzero_terms(),) {
+        // FittedModel doesn't expose weights; refit via lasso directly
+        let fit = mosmodel::lasso::fit_lasso(mosmodel::poly::PolyFeatures::mosmodel(), &ds, 5).unwrap();
+        let names = fit.features().names();
+        println!("terms:");
+        for (i, w) in fit.weights().iter().enumerate() {
+            if *w != 0.0 { println!("  {:>8}: {:+.4e}", names[i], w); }
+        }
+        // 1GB-corner prediction
+        let entry = grid.entry(&w, p);
+        if let Some(rec) = entry.record(mosmodel::LayoutKind::All1G) {
+            let s = rec.sample();
+            println!("1G corner: real {:.4e} pred {:.4e}", s.r, fit.predict(&s));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The §VII-D validation case study: predicting the 1GB-page layout.
+//!
+//! The paper validates Mosmodel against real hardware by (1) training on
+//! the 54 layouts that mix only 4KB and 2MB pages, (2) measuring the
+//! all-1GB layout, which the model never saw, (3) feeding the measured
+//! `(H, M, C)` of that run — "a perfectly accurate partial simulation" —
+//! to the model, and (4) comparing the predicted and measured runtimes.
+
+use std::fmt;
+
+use machine::Platform;
+use mosmodel::models::{ModelKind, RuntimeModel};
+use mosmodel::FitError;
+
+use crate::report::{cycles, pct};
+use crate::Grid;
+
+/// Result of the 1GB-prediction procedure for one pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OneGbValidation {
+    /// Workload name.
+    pub workload: String,
+    /// Platform name.
+    pub platform: &'static str,
+    /// Measured runtime of the all-1GB layout.
+    pub measured_r: f64,
+    /// Yaniv's prediction and relative error.
+    pub yaniv: (f64, f64),
+    /// Mosmodel's prediction and relative error.
+    pub mosmodel: (f64, f64),
+}
+
+impl fmt::Display for OneGbValidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "1GB-page prediction for {} on {} (measured R = {} cycles):",
+            self.workload,
+            self.platform,
+            cycles(self.measured_r)
+        )?;
+        writeln!(
+            f,
+            "  yaniv:    predicted {}, error {}",
+            cycles(self.yaniv.0),
+            pct(self.yaniv.1)
+        )?;
+        write!(
+            f,
+            "  mosmodel: predicted {}, error {}",
+            cycles(self.mosmodel.0),
+            pct(self.mosmodel.1)
+        )
+    }
+}
+
+/// Runs the §VII-D procedure for one (workload, platform) pair.
+///
+/// # Errors
+///
+/// Propagates fitting failures and a missing all-1GB measurement.
+pub fn one_gb(
+    grid: &Grid,
+    workload: &str,
+    platform: &'static Platform,
+) -> Result<OneGbValidation, FitError> {
+    let entry = grid.entry(workload, platform);
+    // Step 1-2: train on the 54 mixed 4KB/2MB layouts only.
+    let train = entry.dataset();
+    let yaniv = ModelKind::Yaniv.fit(&train)?;
+    let mosmodel = ModelKind::Mosmodel.fit(&train)?;
+    // Step 3: the held-out 1GB measurement plays the partial simulator.
+    let test = entry
+        .record(mosmodel::LayoutKind::All1G)
+        .ok_or(FitError::MissingAnchor("all-1GB"))?
+        .sample();
+    // Steps 4-6: predict and compare.
+    let err = |pred: f64| ((test.r - pred) / test.r).abs();
+    let y_pred = yaniv.predict(&test);
+    let m_pred = mosmodel.predict(&test);
+    Ok(OneGbValidation {
+        workload: workload.to_string(),
+        platform: platform.name,
+        measured_r: test.r,
+        yaniv: (y_pred, err(y_pred)),
+        mosmodel: (m_pred, err(m_pred)),
+    })
+}
+
+/// Runs the case study over many pairs, returning all validations.
+pub fn one_gb_sweep(
+    grid: &Grid,
+    pairs: &[(String, &'static Platform)],
+) -> Vec<OneGbValidation> {
+    pairs
+        .iter()
+        .filter_map(|(w, p)| one_gb(grid, w, p).ok())
+        .collect()
+}

@@ -1,0 +1,571 @@
+//! The measurement grid: workload × platform × layout → PMU counters.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use machine::{profile_tlb_misses, Engine, EngineConfig, Platform};
+use mosalloc::{Mosalloc, MosallocConfig, PoolSpec};
+use mosmodel::dataset::{Dataset, LayoutKind, Sample};
+use parking_lot::Mutex;
+use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
+use workloads::{TraceParams, WorkloadSpec};
+
+use crate::Speed;
+
+/// One measured run: a layout and its counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Human-readable layout description.
+    pub description: String,
+    /// Anchor classification of the layout.
+    pub kind: LayoutKind,
+    /// The PMU readout of the run (mean over repetitions when the speed
+    /// preset repeats runs).
+    pub counters: PmuCounters,
+    /// Coefficient of variation of the runtime across repetitions (the
+    /// paper's §VI-A stopping criterion keeps this below 5%). Zero for
+    /// single-repetition presets.
+    pub cv_r: f64,
+}
+
+impl RunRecord {
+    /// Converts the record into a model-fitting sample.
+    pub fn sample(&self) -> Sample {
+        Sample::from_counters(&self.counters, self.kind)
+    }
+}
+
+/// All measurements for one (workload, platform) pair: the 54-layout
+/// battery plus the held-out all-1GB run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridEntry {
+    /// Workload name (paper spelling, e.g. `"gups/16GB"`).
+    pub workload: String,
+    /// Platform or machine-variant name.
+    pub platform: String,
+    /// All runs, battery order first, the all-1GB run last.
+    pub records: Vec<RunRecord>,
+}
+
+impl GridEntry {
+    /// The model-fitting dataset: every run **except** the all-1GB one
+    /// (which the paper holds out for the §VII-D case study).
+    pub fn dataset(&self) -> Dataset {
+        self.records
+            .iter()
+            .filter(|r| r.kind != LayoutKind::All1G)
+            .map(RunRecord::sample)
+            .collect()
+    }
+
+    /// Every run including the all-1GB measurement.
+    pub fn full_dataset(&self) -> Dataset {
+        self.records.iter().map(RunRecord::sample).collect()
+    }
+
+    /// The first record of the given layout kind.
+    pub fn record(&self, kind: LayoutKind) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.kind == kind)
+    }
+
+    /// The paper's TLB-sensitivity test (§VI-A): does the best hugepage
+    /// layout improve runtime by at least 5% over all-4KB?
+    pub fn is_tlb_sensitive(&self) -> bool {
+        self.full_dataset().tlb_sensitivity().is_some_and(|s| s >= 0.05)
+    }
+
+    /// The worst runtime variation across all layouts (§VI-A demands
+    /// this stays below 5%).
+    pub fn max_cv(&self) -> f64 {
+        self.records.iter().map(|r| r.cv_r).fold(0.0, f64::max)
+    }
+}
+
+/// A named machine variant: a platform (possibly hypothetical) plus an
+/// engine configuration, measurable as a first-class grid column.
+///
+/// # Example
+///
+/// ```no_run
+/// use harness::{Grid, MachineVariant, SPEED_FAST};
+/// use machine::{EngineConfig, Platform};
+/// use vmcore::PageSize;
+///
+/// let grid = Grid::new(SPEED_FAST);
+/// let virtualized = MachineVariant {
+///     name: "SNB-virt-4K".into(),
+///     platform: Platform::SANDY_BRIDGE,
+///     config: EngineConfig {
+///         virtualized: Some(PageSize::Base4K),
+///         ..EngineConfig::default()
+///     },
+/// };
+/// let entry = grid.entry_variant("spec06/mcf", &virtualized);
+/// assert_eq!(entry.records.len(), 55);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineVariant {
+    /// Unique name (used as the cache key; keep it filesystem-safe).
+    pub name: String,
+    /// The (possibly hypothetical) platform.
+    pub platform: Platform,
+    /// Engine configuration (virtualization, lookahead overrides...).
+    pub config: EngineConfig,
+}
+
+impl MachineVariant {
+    /// Wraps a real platform with the default engine configuration.
+    pub fn real(platform: &'static Platform) -> Self {
+        MachineVariant {
+            name: platform.name.to_string(),
+            platform: platform.clone(),
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Lazily evaluated, memoized (in memory and on disk) measurement grid.
+///
+/// # Example
+///
+/// ```no_run
+/// use harness::{Grid, SPEED_FAST};
+/// use machine::Platform;
+///
+/// let grid = Grid::new(SPEED_FAST);
+/// let entry = grid.entry("spec06/mcf", &Platform::SANDY_BRIDGE);
+/// assert_eq!(entry.records.len(), 55); // 54-layout battery + all-1GB
+/// ```
+#[derive(Debug)]
+pub struct Grid {
+    speed: Speed,
+    memo: Mutex<HashMap<(String, String), Arc<GridEntry>>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl Grid {
+    /// Creates a grid with the default on-disk cache
+    /// (`target/mosaic-cache`, disable with `MOSAIC_NO_DISK_CACHE=1`).
+    pub fn new(speed: Speed) -> Self {
+        let disk = match std::env::var("MOSAIC_NO_DISK_CACHE") {
+            Ok(v) if v == "1" => None,
+            _ => Some(
+                std::env::var("MOSAIC_CACHE_DIR")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|_| PathBuf::from("target/mosaic-cache")),
+            ),
+        };
+        Grid { speed, memo: Mutex::new(HashMap::new()), disk_dir: disk }
+    }
+
+    /// Creates a grid without the on-disk cache (hermetic tests).
+    pub fn in_memory(speed: Speed) -> Self {
+        Grid { speed, memo: Mutex::new(HashMap::new()), disk_dir: None }
+    }
+
+    /// The active speed preset.
+    pub fn speed(&self) -> Speed {
+        self.speed
+    }
+
+    /// Returns (computing if needed) the grid entry for a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown.
+    pub fn entry(&self, workload: &str, platform: &'static Platform) -> Arc<GridEntry> {
+        self.entry_variant(workload, &MachineVariant::real(platform))
+    }
+
+    /// Returns the grid entry for a workload on an arbitrary
+    /// [`MachineVariant`] — hypothetical designs and virtualized machines
+    /// get the same 54-layout battery treatment as the paper platforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown.
+    pub fn entry_variant(&self, workload: &str, variant: &MachineVariant) -> Arc<GridEntry> {
+        let key = (workload.to_string(), variant.name.clone());
+        if let Some(hit) = self.memo.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        if let Some(entry) = self.load_disk(workload, &variant.name) {
+            let entry = Arc::new(entry);
+            self.memo.lock().insert(key, Arc::clone(&entry));
+            return entry;
+        }
+        let entry = Arc::new(compute_entry(self.speed, workload, variant));
+        self.store_disk(&entry);
+        self.memo.lock().insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// Convenience: the 54-sample model-fitting dataset for a pair.
+    pub fn dataset(&self, workload: &str, platform: &'static Platform) -> Dataset {
+        self.entry(workload, platform).dataset()
+    }
+
+    /// The workloads that are TLB-sensitive on `platform` (the paper
+    /// excludes insensitive pairs, e.g. gapbs/bfs-road on Broadwell).
+    pub fn tlb_sensitive_workloads(&self, platform: &'static Platform) -> Vec<String> {
+        workloads::registry()
+            .into_iter()
+            .map(|w| w.name.to_string())
+            .filter(|name| self.entry(name, platform).is_tlb_sensitive())
+            .collect()
+    }
+
+    fn cache_path(&self, workload: &str, platform: &str) -> Option<PathBuf> {
+        let dir = self.disk_dir.as_ref()?;
+        let safe = workload.replace(['/', ' '], "_");
+        Some(dir.join(format!("{}_{}_{}.tsv", self.speed.name, safe, platform)))
+    }
+
+    fn load_disk(&self, workload: &str, variant: &str) -> Option<GridEntry> {
+        let path = self.cache_path(workload, variant)?;
+        let text = fs::read_to_string(path).ok()?;
+        parse_entry(workload, variant, &text)
+    }
+
+    fn store_disk(&self, entry: &GridEntry) {
+        let Some(path) = self.cache_path(&entry.workload, &entry.platform) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let _ = fs::write(path, render_entry(entry));
+    }
+}
+
+/// Serializes an entry as a TSV document (stable, human-inspectable).
+fn render_entry(entry: &GridEntry) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "kind\tR\tH\tM\tC\tinst\tpl1d\tpl2\tpl3\twl1d\twl2\twl3\tcvR\tdescription\n",
+    );
+    for r in &entry.records {
+        let c = &r.counters;
+        out.push_str(&format!(
+            "{:?}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            r.kind,
+            c.runtime_cycles,
+            c.stlb_hits,
+            c.stlb_misses,
+            c.walk_cycles,
+            c.instructions,
+            c.program_l1d_loads,
+            c.program_l2_loads,
+            c.program_l3_loads,
+            c.walker_l1d_loads,
+            c.walker_l2_loads,
+            c.walker_l3_loads,
+            r.cv_r,
+            r.description.replace(['\t', '\n'], " "),
+        ));
+    }
+    out
+}
+
+fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> {
+    let mut records = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 14 {
+            return None;
+        }
+        let kind = match cols[0] {
+            "All4K" => LayoutKind::All4K,
+            "All2M" => LayoutKind::All2M,
+            "All1G" => LayoutKind::All1G,
+            "Mixed" => LayoutKind::Mixed,
+            _ => return None,
+        };
+        let num = |i: usize| cols[i].parse::<u64>().ok();
+        records.push(RunRecord {
+            kind,
+            counters: PmuCounters {
+                runtime_cycles: num(1)?,
+                stlb_hits: num(2)?,
+                stlb_misses: num(3)?,
+                walk_cycles: num(4)?,
+                instructions: num(5)?,
+                program_l1d_loads: num(6)?,
+                program_l2_loads: num(7)?,
+                program_l3_loads: num(8)?,
+                walker_l1d_loads: num(9)?,
+                walker_l2_loads: num(10)?,
+                walker_l3_loads: num(11)?,
+            },
+            cv_r: cols[12].parse::<f64>().ok()?,
+            description: cols[13].to_string(),
+        });
+    }
+    if records.is_empty() {
+        return None;
+    }
+    Some(GridEntry { workload: workload.to_string(), platform: platform.to_string(), records })
+}
+
+/// Classifies a layout into its anchor kind.
+fn classify(layout: &MemoryLayout) -> LayoutKind {
+    if layout.windows().is_empty() {
+        return LayoutKind::All4K;
+    }
+    if layout.bytes_backed_by(PageSize::Base4K) == 0 {
+        let all_2m = layout.windows().iter().all(|w| w.size == PageSize::Huge2M);
+        let all_1g = layout.windows().iter().all(|w| w.size == PageSize::Huge1G);
+        if all_2m {
+            return LayoutKind::All2M;
+        }
+        if all_1g {
+            return LayoutKind::All1G;
+        }
+    }
+    LayoutKind::Mixed
+}
+
+/// Builds the Mosalloc configuration whose heap pool realizes `layout`.
+fn config_for_layout(pool: Region, layout: &MemoryLayout) -> MosallocConfig {
+    let mut brk = PoolSpec::plain(pool.len());
+    for w in layout.windows() {
+        let start = w.region.start().raw().saturating_sub(pool.start().raw());
+        let end = w.region.end() - pool.start();
+        brk = brk.with_window(start, end, w.size);
+    }
+    MosallocConfig {
+        brk,
+        anon: PoolSpec::plain(64 << 20),
+        file: PoolSpec::plain(64 << 20),
+    }
+}
+
+/// Runs the whole battery for one (workload, machine-variant) pair.
+fn compute_entry(speed: Speed, workload: &str, variant: &MachineVariant) -> GridEntry {
+    let platform = &variant.platform;
+    let spec = WorkloadSpec::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let footprint = speed.footprint(spec.nominal_footprint);
+    let accesses = speed.trace_len(spec.access_factor);
+    let seed = fnv(workload.as_bytes());
+
+    // Claim the arena from a plain Mosalloc to fix the pool geometry.
+    let probe_alloc = Mosalloc::new(MosallocConfig {
+        brk: PoolSpec::plain(footprint),
+        anon: PoolSpec::plain(64 << 20),
+        file: PoolSpec::plain(64 << 20),
+    })
+    .expect("plain config is valid");
+    let pool = probe_alloc.heap().region();
+    let arena = pool;
+    let params = TraceParams::new(arena, accesses, seed);
+
+    // PEBS-like profiling run for the Sliding Window heuristic.
+    let profile =
+        profile_tlb_misses(platform, spec.trace(&params), arena, 2 << 20);
+
+    // The 54-layout battery plus the all-1GB hold-out.
+    let mut layouts: Vec<MemoryLayout> = layouts::standard_battery(pool, |x| {
+        profile.hot_region(x)
+    })
+    .into_iter()
+    .map(|p| p.layout)
+    .collect();
+    layouts.push(MemoryLayout::uniform(pool, PageSize::Huge1G));
+
+    // Measure every layout; independent runs execute in parallel.
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunRecord>>> =
+        layouts.iter().map(|_| Mutex::new(None)).collect();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(layouts.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(layout) = layouts.get(i) else { break };
+                let mosalloc = Mosalloc::new(config_for_layout(pool, layout))
+                    .expect("battery layouts are valid pool specs");
+                // §VI-A: repeat until the runtime variation is below 5%
+                // (or the repetition budget runs out). Repetitions vary
+                // the physical page placement via the engine salt.
+                let mut runs: Vec<PmuCounters> = Vec::new();
+                for rep in 0..speed.max_reps.max(1) {
+                    let config = EngineConfig {
+                        salt: variant.config.salt ^ (u64::from(rep) << 56),
+                        ..variant.config
+                    };
+                    let mut engine = Engine::with_config(platform, config);
+                    runs.push(
+                        engine.run(spec.trace(&params), |va| mosalloc.page_size_at(va)),
+                    );
+                    if runs.len() >= 2 && runtime_cv(&runs) < 0.05 {
+                        break;
+                    }
+                }
+                *results[i].lock() = Some(RunRecord {
+                    description: layout.describe(),
+                    kind: classify(layout),
+                    counters: mean_counters(&runs),
+                    cv_r: runtime_cv(&runs),
+                });
+            });
+        }
+    });
+
+    let records: Vec<RunRecord> =
+        results.into_iter().map(|m| m.into_inner().expect("all runs completed")).collect();
+    GridEntry { workload: workload.to_string(), platform: variant.name.clone(), records }
+}
+
+/// Coefficient of variation (stddev/mean) of the runtimes of `runs`;
+/// zero for fewer than two runs.
+fn runtime_cv(runs: &[PmuCounters]) -> f64 {
+    if runs.len() < 2 {
+        return 0.0;
+    }
+    let rs: Vec<f64> = runs.iter().map(|c| c.runtime_cycles as f64).collect();
+    let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = rs.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rs.len() as f64;
+    var.sqrt() / mean
+}
+
+/// Field-wise arithmetic mean of several PMU readouts.
+fn mean_counters(runs: &[PmuCounters]) -> PmuCounters {
+    assert!(!runs.is_empty(), "at least one run");
+    let n = runs.len() as u64;
+    let avg = |f: fn(&PmuCounters) -> u64| runs.iter().map(f).sum::<u64>() / n;
+    PmuCounters {
+        runtime_cycles: avg(|c| c.runtime_cycles),
+        stlb_hits: avg(|c| c.stlb_hits),
+        stlb_misses: avg(|c| c.stlb_misses),
+        walk_cycles: avg(|c| c.walk_cycles),
+        instructions: avg(|c| c.instructions),
+        program_l1d_loads: avg(|c| c.program_l1d_loads),
+        program_l2_loads: avg(|c| c.program_l2_loads),
+        program_l3_loads: avg(|c| c.program_l3_loads),
+        walker_l1d_loads: avg(|c| c.walker_l1d_loads),
+        walker_l2_loads: avg(|c| c.walker_l2_loads),
+        walker_l3_loads: avg(|c| c.walker_l3_loads),
+    }
+}
+
+/// FNV-1a, for stable workload seeds.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_speed() -> Speed {
+        Speed { name: "tiny", footprint_div: 1024, min_footprint: 48 << 20, accesses: 12_000, max_reps: 1 }
+    }
+
+    #[test]
+    fn entry_has_55_records_with_anchors() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        assert_eq!(entry.records.len(), 55);
+        assert!(entry.record(LayoutKind::All4K).is_some());
+        assert!(entry.record(LayoutKind::All2M).is_some());
+        assert!(entry.record(LayoutKind::All1G).is_some());
+        // The model dataset excludes the 1GB run.
+        assert_eq!(entry.dataset().len(), 54);
+        assert_eq!(entry.full_dataset().len(), 55);
+    }
+
+    #[test]
+    fn gups_is_tlb_sensitive_and_anchors_are_ordered() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        assert!(entry.is_tlb_sensitive());
+        let r4k = entry.record(LayoutKind::All4K).unwrap().counters.runtime_cycles;
+        let r2m = entry.record(LayoutKind::All2M).unwrap().counters.runtime_cycles;
+        let r1g = entry.record(LayoutKind::All1G).unwrap().counters.runtime_cycles;
+        assert!(r4k > r2m, "2MB must beat 4KB for gups: {r4k} vs {r2m}");
+        assert!(r2m >= r1g, "1GB at least as good as 2MB: {r2m} vs {r1g}");
+    }
+
+    #[test]
+    fn memoization_returns_same_arc() {
+        let grid = Grid::in_memory(tiny_speed());
+        let a = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        let b = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn battery_spreads_walk_cycles() {
+        let grid = Grid::in_memory(tiny_speed());
+        let ds = grid.dataset("gups/8GB", &Platform::SANDY_BRIDGE);
+        let c4k = ds.anchor_4k().unwrap().c;
+        let c2m = ds.anchor_2m().unwrap().c;
+        assert!(c4k > c2m);
+        // At least a dozen distinct intermediate C values.
+        let mut cs: Vec<u64> = ds.iter().map(|s| s.c as u64).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        assert!(cs.len() >= 12, "only {} distinct C values", cs.len());
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        let text = render_entry(&entry);
+        let parsed = parse_entry("gups/8GB", "SandyBridge", &text).unwrap();
+        assert_eq!(*entry, parsed);
+    }
+
+    #[test]
+    fn repetitions_satisfy_the_5_percent_variation_bound() {
+        // §VI-A: each layout is rerun until runtime variation < 5%. The
+        // simulator's only noise source is physical placement, which is
+        // far quieter than real machines — the bound must hold easily.
+        let speed = Speed { max_reps: 3, ..tiny_speed() };
+        let grid = Grid::in_memory(speed);
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        assert!(
+            entry.max_cv() < 0.05,
+            "runtime variation {} exceeds the paper's bound",
+            entry.max_cv()
+        );
+        assert!(entry.max_cv() > 0.0, "repetitions actually vary the placement");
+        // TSV round-trip preserves the variation column.
+        let text = render_entry(&entry);
+        let parsed = parse_entry("gups/8GB", "SandyBridge", &text).unwrap();
+        assert_eq!(*entry, parsed);
+    }
+
+    #[test]
+    fn classify_kinds() {
+        let pool = Region::new(vmcore::VirtAddr::new(0x1000_0000_0000), 64 << 20);
+        assert_eq!(classify(&MemoryLayout::all_4k(pool)), LayoutKind::All4K);
+        assert_eq!(classify(&MemoryLayout::uniform(pool, PageSize::Huge2M)), LayoutKind::All2M);
+        assert_eq!(classify(&MemoryLayout::uniform(pool, PageSize::Huge1G)), LayoutKind::All1G);
+        let mixed = MemoryLayout::builder(pool)
+            .window(Region::new(vmcore::VirtAddr::new(0x1000_0000_0000), 2 << 20), PageSize::Huge2M)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(classify(&mixed), LayoutKind::Mixed);
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv(b"gups/8GB"), fnv(b"gups/16GB"));
+        assert_eq!(fnv(b"x"), fnv(b"x"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Fidelity presets.
+
+/// How much of the full experiment to run.
+///
+/// Footprints scale down uniformly (`nominal / footprint_div`, floored at
+/// `min_footprint`). TLB pressure survives the scaling because every
+/// scaled working set still exceeds TLB reach by orders of magnitude;
+/// what changes is wall-clock time and the absolute counter magnitudes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Speed {
+    /// Preset name used in cache paths and reports.
+    pub name: &'static str,
+    /// Uniform footprint divisor applied to each workload's nominal
+    /// footprint.
+    pub footprint_div: u64,
+    /// Minimum footprint after scaling (keeps small workloads above TLB
+    /// reach).
+    pub min_footprint: u64,
+    /// Baseline number of memory accesses per run (scaled by each
+    /// workload's `access_factor`).
+    pub accesses: u64,
+    /// Maximum repetitions per layout. The paper reruns each workload
+    /// "until the variation in runtime ... is less than 5%" (§VI-A);
+    /// repetitions vary the physical page placement (the simulator's
+    /// only noise source) and stop early once the variation bound holds.
+    pub max_reps: u32,
+}
+
+impl Speed {
+    /// Test preset: ~1s per (workload, platform) grid entry.
+    pub const FAST: Speed = Speed {
+        name: "fast",
+        footprint_div: 128,
+        min_footprint: 128 << 20,
+        accesses: 80_000,
+        max_reps: 1,
+    };
+
+    /// Benchmark preset: higher-resolution counters, minutes per full
+    /// grid.
+    pub const FULL: Speed = Speed {
+        name: "full",
+        footprint_div: 16,
+        min_footprint: 256 << 20,
+        accesses: 400_000,
+        max_reps: 3,
+    };
+
+    /// Reads the preset from the `MOSAIC_FAST` environment variable
+    /// (`1`/`true` → [`Speed::FAST`]), defaulting to [`Speed::FULL`].
+    pub fn from_env() -> Speed {
+        match std::env::var("MOSAIC_FAST") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Speed::FAST,
+            _ => Speed::FULL,
+        }
+    }
+
+    /// The scaled footprint for a nominal (paper-scale) footprint.
+    pub fn footprint(&self, nominal: u64) -> u64 {
+        let scaled = (nominal / self.footprint_div).max(self.min_footprint);
+        // Round to 2MB so pools align with hugepage windows.
+        scaled.div_ceil(2 << 20) * (2 << 20)
+    }
+
+    /// The trace length for a workload's access factor.
+    pub fn trace_len(&self, access_factor: f64) -> u64 {
+        ((self.accesses as f64) * access_factor) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::GIB;
+
+    #[test]
+    fn footprint_scales_and_floors() {
+        let s = Speed::FAST;
+        assert_eq!(s.footprint(32 * GIB), 32 * GIB / 128);
+        // Small nominal footprints hit the floor.
+        assert_eq!(s.footprint(100 << 20), s.min_footprint);
+        // Always 2MB-aligned.
+        assert_eq!(s.footprint(33 * GIB) % (2 << 20), 0);
+    }
+
+    #[test]
+    fn trace_len_uses_factor() {
+        assert_eq!(Speed::FAST.trace_len(1.0), Speed::FAST.accesses);
+        assert_eq!(Speed::FAST.trace_len(1.5), Speed::FAST.accesses * 3 / 2);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn presets_differ() {
+        assert!(Speed::FULL.accesses > Speed::FAST.accesses);
+        assert!(Speed::FULL.footprint_div < Speed::FAST.footprint_div);
+    }
+}

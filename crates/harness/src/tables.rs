@@ -1,0 +1,222 @@
+//! Regenerators for the paper's tables (6, 7 and 8).
+
+use std::fmt;
+
+use machine::Platform;
+use mosmodel::cv::k_fold;
+use mosmodel::models::ModelKind;
+use mosmodel::poly::Var;
+use mosmodel::{metrics, FitError};
+use vmcore::PmuCounters;
+
+use crate::report::{pct, TextTable};
+use crate::Grid;
+
+/// Table 6: maximal K-fold cross-validation errors of the new models over
+/// all (workload, platform) pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tab6 {
+    /// Folds used.
+    pub k: usize,
+    /// `(model, maximal CV error over all pairs)` in paper column order.
+    pub rows: Vec<(ModelKind, f64)>,
+}
+
+impl Tab6 {
+    /// The CV error of one model.
+    pub fn of(&self, model: ModelKind) -> Option<f64> {
+        self.rows.iter().find(|(m, _)| *m == model).map(|(_, e)| *e)
+    }
+}
+
+impl fmt::Display for Tab6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 6 — maximal {}-fold cross-validation errors:", self.k)?;
+        let mut t = TextTable::new(vec!["model".into(), "maximal CV error".into()]);
+        for (m, e) in &self.rows {
+            t.row(vec![m.name().into(), pct(*e)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Computes Table 6 with `k` folds over the given pairs.
+pub fn tab6(grid: &Grid, pairs: &[(String, &'static Platform)], k: usize) -> Tab6 {
+    let rows = ModelKind::NEW
+        .iter()
+        .map(|&model| {
+            let mut worst = 0.0f64;
+            for (workload, platform) in pairs {
+                let ds = grid.dataset(workload, platform);
+                if let Ok(report) = k_fold(model, &ds, k) {
+                    worst = worst.max(report.max_err);
+                }
+            }
+            (model, worst)
+        })
+        .collect();
+    Tab6 { k, rows }
+}
+
+/// Table 7: performance counters of spec17/xalancbmk_s under all-4KB vs
+/// all-2MB layouts on Broadwell, split between program and walker
+/// references.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tab7 {
+    /// Counters of the all-4KB run.
+    pub run_4k: PmuCounters,
+    /// Counters of the all-2MB run.
+    pub run_2m: PmuCounters,
+}
+
+impl Tab7 {
+    /// The paper's headline observation: total L3 references are higher
+    /// under 4KB pages than 2MB pages (walker-induced pollution).
+    pub fn l3_pollution(&self) -> (u64, u64) {
+        (self.run_4k.total_l3_loads(), self.run_2m.total_l3_loads())
+    }
+}
+
+impl fmt::Display for Tab7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Adaptive unit: paper-scale runs report billions, the scaled
+        // simulations millions.
+        let big = self.run_4k.runtime_cycles >= 1_000_000_000;
+        let (div, unit) = if big { (1e9, "billions") } else { (1e6, "millions") };
+        writeln!(f, "Table 7 — spec17/xalancbmk_s on Broadwell (values in {unit} of events):")?;
+        let mut t = TextTable::new(vec![
+            "counter".into(),
+            "program 4KB".into(),
+            "program 2MB".into(),
+            "walker 4KB".into(),
+            "walker 2MB".into(),
+        ]);
+        let a = &self.run_4k;
+        let b = &self.run_2m;
+        let fmt_v = move |v: f64| format!("{:.3}", v / div);
+        let row = |name: &str, p4: f64, p2: f64, w4: Option<f64>, w2: Option<f64>| {
+            vec![
+                name.to_string(),
+                fmt_v(p4),
+                fmt_v(p2),
+                w4.map_or("-".into(), fmt_v),
+                w2.map_or("-".into(), fmt_v),
+            ]
+        };
+        t.row(row("runtime cycles", a.runtime_cycles as f64, b.runtime_cycles as f64, None, None));
+        t.row(row("walk cycles", a.walk_cycles as f64, b.walk_cycles as f64, None, None));
+        t.row(row("TLB misses", a.stlb_misses as f64, b.stlb_misses as f64, None, None));
+        t.row(row(
+            "L1d loads",
+            a.program_l1d_loads as f64,
+            b.program_l1d_loads as f64,
+            Some(a.walker_l1d_loads as f64),
+            Some(b.walker_l1d_loads as f64),
+        ));
+        t.row(row(
+            "L2 loads",
+            a.program_l2_loads as f64,
+            b.program_l2_loads as f64,
+            Some(a.walker_l2_loads as f64),
+            Some(b.walker_l2_loads as f64),
+        ));
+        t.row(row(
+            "L3 loads",
+            a.program_l3_loads as f64,
+            b.program_l3_loads as f64,
+            Some(a.walker_l3_loads as f64),
+            Some(b.walker_l3_loads as f64),
+        ));
+        write!(f, "{t}")
+    }
+}
+
+/// Computes Table 7 (xalancbmk on Broadwell).
+///
+/// # Errors
+///
+/// Returns [`FitError::MissingAnchor`] if an anchor run is missing.
+pub fn tab7(grid: &Grid) -> Result<Tab7, FitError> {
+    tab7_for(grid, "spec17/xalancbmk_s", &Platform::BROADWELL)
+}
+
+/// Table 7 machinery for any pair.
+///
+/// # Errors
+///
+/// Returns [`FitError::MissingAnchor`] if an anchor run is missing.
+pub fn tab7_for(
+    grid: &Grid,
+    workload: &str,
+    platform: &'static Platform,
+) -> Result<Tab7, FitError> {
+    let entry = grid.entry(workload, platform);
+    let run_4k = entry
+        .record(mosmodel::LayoutKind::All4K)
+        .ok_or(FitError::MissingAnchor("all-4KB"))?
+        .counters;
+    let run_2m = entry
+        .record(mosmodel::LayoutKind::All2M)
+        .ok_or(FitError::MissingAnchor("all-2MB"))?
+        .counters;
+    Ok(Tab7 { run_4k, run_2m })
+}
+
+/// Table 8: R² of the single-variable linear regressors in `C`, `M`, `H`
+/// per workload and platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tab8 {
+    /// `(workload, platform, R²_C, R²_M, R²_H)` rows.
+    pub rows: Vec<(String, &'static str, f64, f64, f64)>,
+}
+
+impl Tab8 {
+    /// The row for a pair.
+    pub fn row(&self, workload: &str, platform: &str) -> Option<(f64, f64, f64)> {
+        self.rows
+            .iter()
+            .find(|(w, p, ..)| w == workload && *p == platform)
+            .map(|&(_, _, c, m, h)| (c, m, h))
+    }
+}
+
+impl fmt::Display for Tab8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 8 — R² of single-variable linear regressors:")?;
+        let mut t = TextTable::new(vec![
+            "workload".into(),
+            "platform".into(),
+            "C".into(),
+            "M".into(),
+            "H".into(),
+        ]);
+        for (w, p, c, m, h) in &self.rows {
+            t.row(vec![
+                w.clone(),
+                (*p).to_string(),
+                format!("{c:.2}"),
+                format!("{m:.2}"),
+                format!("{h:.2}"),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Computes Table 8 over the given pairs.
+pub fn tab8(grid: &Grid, pairs: &[(String, &'static Platform)]) -> Tab8 {
+    let rows = pairs
+        .iter()
+        .map(|(workload, platform)| {
+            let ds = grid.dataset(workload, platform);
+            (
+                workload.clone(),
+                platform.name,
+                metrics::r_squared(&ds, Var::C),
+                metrics::r_squared(&ds, Var::M),
+                metrics::r_squared(&ds, Var::H),
+            )
+        })
+        .collect();
+    Tab8 { rows }
+}

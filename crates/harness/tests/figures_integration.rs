@@ -1,0 +1,132 @@
+//! Integration tests of the figure/table machinery over a miniature grid.
+
+use std::sync::OnceLock;
+
+use harness::figures::{error_matrix, fig2, model_curve, ErrorStat};
+use harness::tables::{tab6, tab8};
+use harness::{Grid, Speed};
+use machine::Platform;
+use mosmodel::models::ModelKind;
+
+fn tiny() -> Speed {
+    Speed { name: "tiny", footprint_div: 1024, min_footprint: 48 << 20, accesses: 15_000, max_reps: 1 }
+}
+
+fn grid() -> &'static Grid {
+    static GRID: OnceLock<Grid> = OnceLock::new();
+    GRID.get_or_init(|| Grid::in_memory(tiny()))
+}
+
+fn pairs() -> Vec<(String, &'static Platform)> {
+    vec![
+        ("gups/8GB".to_string(), &Platform::SANDY_BRIDGE),
+        ("spec06/mcf".to_string(), &Platform::SANDY_BRIDGE),
+    ]
+}
+
+#[test]
+fn fig2_summarizes_all_models() {
+    let f = fig2(grid(), &pairs());
+    assert_eq!(f.old.len(), 5);
+    assert_eq!(f.new.len(), 4);
+    for kind in ModelKind::ALL {
+        let summary = f.of(kind).unwrap_or_else(|| panic!("{kind} missing"));
+        assert!(summary.max_err.is_finite());
+        assert!(summary.max_err >= 0.0);
+        assert_ne!(summary.worst_pair.0, "-", "{kind} found no pair");
+    }
+    // Rendering mentions every model.
+    let text = f.to_string();
+    for kind in ModelKind::ALL {
+        assert!(text.contains(kind.name()), "display missing {}", kind.name());
+    }
+}
+
+#[test]
+fn error_matrix_is_dense_and_displayable() {
+    let names: Vec<String> = pairs().iter().map(|(w, _)| w.clone()).collect();
+    let m = error_matrix(grid(), &Platform::SANDY_BRIDGE, &names, ErrorStat::Max);
+    assert_eq!(m.rows.len(), 2);
+    assert_eq!(m.models.len(), 9);
+    for (w, errs) in &m.rows {
+        for (kind, e) in m.models.iter().zip(errs) {
+            assert!(e.is_some(), "{kind} missing for {w}");
+        }
+    }
+    // Geomean variant is bounded by the max variant, cell by cell.
+    let g = error_matrix(grid(), &Platform::SANDY_BRIDGE, &names, ErrorStat::GeoMean);
+    for (w, _) in &m.rows {
+        for kind in &m.models {
+            let worst = m.error_of(w, *kind).unwrap();
+            let geo = g.error_of(w, *kind).unwrap();
+            assert!(geo <= worst + 1e-12, "{w}/{kind}: {geo} > {worst}");
+        }
+    }
+    assert!(m.worst_of(ModelKind::Mosmodel).unwrap() <= m.worst_of(ModelKind::Basu).unwrap());
+    assert!(m.to_string().contains("gups/8GB"));
+}
+
+#[test]
+fn model_curve_is_sorted_and_aligned() {
+    let curve = model_curve(
+        grid(),
+        "gups/8GB",
+        &Platform::SANDY_BRIDGE,
+        ModelKind::Yaniv,
+        ModelKind::Mosmodel,
+    )
+    .unwrap();
+    assert_eq!(curve.empirical.len(), 54);
+    assert_eq!(curve.model_a.1.len(), 54);
+    assert_eq!(curve.model_b.1.len(), 54);
+    for w in curve.empirical.windows(2) {
+        assert!(w[0].0 <= w[1].0, "empirical points sorted by C");
+    }
+    for (e, p) in curve.empirical.iter().zip(&curve.model_a.1) {
+        assert_eq!(e.0, p.0, "prediction C aligned with empirical C");
+    }
+    assert!(curve.err_b <= curve.err_a + 1e-12, "mosmodel no worse than yaniv here");
+}
+
+#[test]
+fn tab6_covers_the_new_models() {
+    let t = tab6(grid(), &pairs(), 6);
+    assert_eq!(t.rows.len(), 4);
+    for kind in ModelKind::NEW {
+        let e = t.of(kind).unwrap();
+        assert!(e.is_finite() && e >= 0.0, "{kind}");
+    }
+    assert!(t.of(ModelKind::Basu).is_none(), "preexisting models are not cross-validated");
+    assert!(t.to_string().contains("mosmodel"));
+}
+
+#[test]
+fn tab8_r2_values_are_probabilities() {
+    let t = tab8(grid(), &pairs());
+    assert_eq!(t.rows.len(), 2);
+    for (w, p, c, m, h) in &t.rows {
+        for (name, v) in [("C", c), ("M", m), ("H", h)] {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(v),
+                "{w}/{p} R²({name}) = {v} out of range"
+            );
+        }
+    }
+    let (c, _, _) = t.row("gups/8GB", "SandyBridge").unwrap();
+    assert!(c > 0.5, "walk cycles must explain gups runtime");
+}
+
+#[test]
+fn sensitive_pair_helpers_agree() {
+    // On the tiny grid just check the per-platform split partitions the
+    // flat pair list.
+    let by_platform = harness::figures::sensitive_by_platform(grid());
+    let flat = harness::figures::sensitive_pairs(grid());
+    let total: usize = by_platform.iter().map(|(_, names)| names.len()).sum();
+    assert_eq!(total, flat.len());
+    for (platform, names) in &by_platform {
+        for name in names {
+            assert!(flat.iter().any(|(w, p)| w == name && p.name == platform.name));
+        }
+    }
+}

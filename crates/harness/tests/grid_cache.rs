@@ -1,0 +1,65 @@
+//! Disk-cache behaviour of the measurement grid: round-trips, corruption
+//! tolerance, and speed-preset isolation.
+
+use harness::{Grid, Speed};
+use machine::Platform;
+
+fn tiny() -> Speed {
+    Speed { name: "tiny", footprint_div: 2048, min_footprint: 48 << 20, accesses: 8_000, max_reps: 1 }
+}
+
+/// A scratch cache directory per test, cleaned up on drop.
+struct ScratchCache {
+    dir: std::path::PathBuf,
+}
+
+impl ScratchCache {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("mosaic-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("MOSAIC_CACHE_DIR", &dir);
+        std::env::remove_var("MOSAIC_NO_DISK_CACHE");
+        ScratchCache { dir }
+    }
+}
+
+impl Drop for ScratchCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+        std::env::remove_var("MOSAIC_CACHE_DIR");
+    }
+}
+
+#[test]
+fn disk_cache_roundtrip_and_corruption_recovery() {
+    // One test exercises the whole lifecycle (env vars are process-global,
+    // so the scenarios must not run in parallel test threads).
+    let scratch = ScratchCache::new("lifecycle");
+
+    // 1. Cold computation writes the cache.
+    let grid = Grid::new(tiny());
+    let original = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+    let files: Vec<_> = std::fs::read_dir(&scratch.dir).unwrap().collect();
+    assert_eq!(files.len(), 1, "one cache file per pair");
+
+    // 2. A fresh grid loads the identical entry from disk.
+    let grid2 = Grid::new(tiny());
+    let reloaded = grid2.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+    assert_eq!(*original, *reloaded, "disk round-trip must be lossless");
+
+    // 3. Corrupt the file: the next grid must detect it and recompute,
+    //    ending up with the same (deterministic) data.
+    let path = files[0].as_ref().unwrap().path();
+    std::fs::write(&path, "kind\tR\nAll4K\tnot-a-number\n").unwrap();
+    let grid3 = Grid::new(tiny());
+    let recomputed = grid3.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+    assert_eq!(*original, *recomputed, "corruption must trigger recomputation");
+
+    // 4. A different speed preset must not collide with the cached file.
+    let other = Speed { name: "tiny2", ..tiny() };
+    let grid4 = Grid::new(other);
+    let _ = grid4.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+    let count = std::fs::read_dir(&scratch.dir).unwrap().count();
+    assert_eq!(count, 2, "presets get distinct cache files");
+}

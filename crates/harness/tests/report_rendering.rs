@@ -1,0 +1,84 @@
+//! Rendering tests for the figure outputs (ASCII plots, CSV export)
+//! using hand-built data — no simulation required.
+
+use harness::figures::{CurveFig, ErrorMatrix, ErrorStat};
+use mosmodel::models::ModelKind;
+
+fn curve() -> CurveFig {
+    let empirical: Vec<(f64, f64)> =
+        (0..10).map(|i| (i as f64 * 1e6, 5e6 + i as f64 * 4e5)).collect();
+    let line_a: Vec<(f64, f64)> = empirical.iter().map(|&(c, r)| (c, r * 1.02)).collect();
+    let line_b: Vec<(f64, f64)> = empirical.iter().map(|&(c, r)| (c, r * 0.999)).collect();
+    CurveFig {
+        workload: "test/workload".into(),
+        platform: "SandyBridge",
+        empirical,
+        model_a: (ModelKind::Yaniv, line_a),
+        model_b: (ModelKind::Mosmodel, line_b),
+        err_a: 0.02,
+        err_b: 0.001,
+    }
+}
+
+#[test]
+fn ascii_plot_has_requested_dimensions_and_glyphs() {
+    let plot = curve().ascii_plot(48, 12);
+    let lines: Vec<&str> = plot.lines().collect();
+    // Header + 12 rows + x-axis.
+    assert_eq!(lines.len(), 14);
+    for row in &lines[1..13] {
+        assert!(row.starts_with('|'));
+        assert!(row.len() <= 49);
+    }
+    assert!(lines[13].starts_with('+'));
+    assert!(plot.contains('o'), "empirical glyphs present");
+    assert!(plot.contains("yaniv"));
+    assert!(plot.contains("mosmodel"));
+}
+
+#[test]
+fn ascii_plot_clamps_tiny_dimensions() {
+    // Degenerate sizes are raised to the minimum instead of panicking.
+    let plot = curve().ascii_plot(1, 1);
+    assert!(plot.lines().count() >= 8);
+}
+
+#[test]
+fn curve_display_embeds_plot_and_table() {
+    let text = curve().to_string();
+    assert!(text.contains("R vs C"));
+    assert!(text.contains('|'), "plot body");
+    assert!(text.contains("R measured"), "table header");
+    assert!(text.contains("max err 2.0%"));
+}
+
+#[test]
+fn curve_csv_roundtrips_values() {
+    let c = curve();
+    let csv = c.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "c,measured,yaniv,mosmodel");
+    let first: Vec<&str> = lines.next().unwrap().split(',').collect();
+    assert_eq!(first.len(), 4);
+    assert_eq!(first[0].parse::<f64>().unwrap(), c.empirical[0].0);
+    assert_eq!(first[1].parse::<f64>().unwrap(), c.empirical[0].1);
+    assert_eq!(csv.lines().count(), 11);
+}
+
+#[test]
+fn error_matrix_csv_handles_missing_cells() {
+    let m = ErrorMatrix {
+        platform: "Haswell",
+        stat: ErrorStat::Max,
+        models: vec![ModelKind::Basu, ModelKind::Mosmodel],
+        rows: vec![
+            ("w1".into(), vec![Some(0.5), Some(0.01)]),
+            ("w2".into(), vec![None, Some(0.02)]),
+        ],
+    };
+    let csv = m.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], "workload,basu,mosmodel");
+    assert_eq!(lines[1], "w1,0.5,0.01");
+    assert_eq!(lines[2], "w2,,0.02", "missing cell stays empty");
+}

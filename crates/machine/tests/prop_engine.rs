@@ -1,0 +1,133 @@
+//! Property tests for the execution engine's accounting invariants.
+
+use machine::{Engine, Platform};
+use proptest::prelude::*;
+use vmcore::{PageSize, Region, VirtAddr};
+use workloads::{Access, TraceParams, WorkloadSpec};
+
+fn arena() -> Region {
+    Region::new(VirtAddr::new(0x1000_0000_0000), 256 << 20)
+}
+
+/// An arbitrary synthetic trace within the arena.
+fn trace_strategy() -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec(
+        (0u64..(256 << 20), 0u32..20, any::<bool>(), any::<bool>()),
+        1..400,
+    )
+    .prop_map(|ops| {
+        ops.into_iter()
+            .map(|(off, gap, write, dep)| Access {
+                addr: arena().start() + (off & !7),
+                write,
+                inst_gap: gap,
+                dep,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fundamental accounting: instructions equal the trace's own count,
+    /// H + M never exceeds the number of accesses, and runtime covers at
+    /// least the issue cycles.
+    #[test]
+    fn counter_accounting(trace in trace_strategy()) {
+        let expect_insts: u64 = trace.iter().map(|a| 1 + u64::from(a.inst_gap)).sum();
+        let n = trace.len() as u64;
+        for platform in Platform::ALL {
+            let c = Engine::new(platform).run(trace.clone(), |_| PageSize::Base4K);
+            prop_assert_eq!(c.instructions, expect_insts);
+            prop_assert!(c.stlb_hits + c.stlb_misses <= n);
+            let min_cycles = (expect_insts as f64 / platform.issue_width) as u64;
+            prop_assert!(
+                c.runtime_cycles >= min_cycles.saturating_sub(1),
+                "R {} below issue floor {min_cycles}",
+                c.runtime_cycles
+            );
+        }
+    }
+
+    /// Walk cycles appear if and only if misses occurred, and average walk
+    /// latency stays within the hierarchy's physical bounds.
+    #[test]
+    fn walk_cycles_iff_misses(trace in trace_strategy()) {
+        let platform = &Platform::SANDY_BRIDGE;
+        let c = Engine::new(platform).run(trace, |_| PageSize::Base4K);
+        prop_assert_eq!(c.stlb_misses == 0, c.walk_cycles == 0);
+        if c.stlb_misses > 0 {
+            let avg = c.avg_walk_latency();
+            prop_assert!(avg >= f64::from(platform.lat.l1d));
+            prop_assert!(avg <= 4.0 * f64::from(platform.lat.dram));
+        }
+    }
+
+    /// The engine is a pure function of (platform, trace, layout).
+    #[test]
+    fn engine_determinism(trace in trace_strategy()) {
+        let a = Engine::new(&Platform::BROADWELL).run(trace.clone(), |_| PageSize::Base4K);
+        let b = Engine::new(&Platform::BROADWELL).run(trace, |_| PageSize::Base4K);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Growing the hugepage window monotonically reduces walk cycles for
+    /// a uniform random workload (more coverage -> fewer, cheaper walks).
+    #[test]
+    fn coverage_monotonically_reduces_walks(split_idx in 0usize..5) {
+        let spec = WorkloadSpec::by_name("gups/8GB").unwrap();
+        let params = TraceParams::new(arena(), 20_000, 5);
+        let splits = [0u64, 64 << 20, 128 << 20, 192 << 20, 256 << 20];
+        let lo = splits[split_idx];
+        let hi = (lo + (64 << 20)).min(256 << 20);
+        let run_with_cut = |cut: u64| {
+            let boundary = arena().start() + cut;
+            Engine::new(&Platform::HASWELL).run(spec.trace(&params), move |va| {
+                if va < boundary {
+                    PageSize::Huge2M
+                } else {
+                    PageSize::Base4K
+                }
+            })
+        };
+        let less = run_with_cut(lo);
+        let more = run_with_cut(hi);
+        prop_assert!(
+            more.walk_cycles <= less.walk_cycles,
+            "2MB coverage {hi} should walk no more than {lo}: {} vs {}",
+            more.walk_cycles,
+            less.walk_cycles
+        );
+    }
+
+    /// Program cache-load counters are consistent: the deeper the level,
+    /// the fewer the loads, and L1d loads equal the number of accesses.
+    #[test]
+    fn cache_load_counters_nest(trace in trace_strategy()) {
+        let n = trace.len() as u64;
+        let c = Engine::new(&Platform::HASWELL).run(trace, |_| PageSize::Base4K);
+        prop_assert_eq!(c.program_l1d_loads, n);
+        prop_assert!(c.program_l2_loads <= c.program_l1d_loads);
+        prop_assert!(c.program_l3_loads <= c.program_l2_loads);
+        prop_assert!(c.walker_l2_loads <= c.walker_l1d_loads);
+        prop_assert!(c.walker_l3_loads <= c.walker_l2_loads);
+    }
+
+    /// Hugepages never *increase* TLB misses for any trace (fewer,
+    /// larger translations always cover at least as much as 4KB ones on
+    /// the shared-STLB Haswell).
+    #[test]
+    fn hugepages_do_not_increase_misses(trace in trace_strategy()) {
+        let m4k = Engine::new(&Platform::HASWELL)
+            .run(trace.clone(), |_| PageSize::Base4K)
+            .stlb_misses;
+        let m1g = Engine::new(&Platform::HASWELL)
+            .run(trace, |_| PageSize::Huge1G)
+            .stlb_misses;
+        // The arena fits one 1GB page; after the first cold walk there
+        // can be no further misses.
+        prop_assert!(m1g <= m4k.max(1), "1GB misses {m1g} vs 4KB {m4k}");
+        prop_assert!(m1g <= 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Generic set-associative LRU cache of 64-bit tags.
+//!
+//! One implementation serves every lookup structure in the simulator:
+//! data caches (tag = physical line address), TLBs (tag = virtual page
+//! number) and page-walk caches (tag = VA prefix).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a set-associative cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total entries (must be `sets * ways`).
+    pub entries: u32,
+    /// Associativity. `ways == entries` makes the cache fully associative.
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, validating divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or `entries` is not a multiple of `ways`.
+    /// The number of sets need not be a power of two; indexing is modulo
+    /// (Intel L3 slices are likewise not power-of-two sized).
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(ways > 0, "zero ways");
+        assert!(entries.is_multiple_of(ways), "entries {entries} not a multiple of ways {ways}");
+        CacheGeometry { entries, ways }
+    }
+
+    /// Fully associative geometry with `entries` entries.
+    pub fn full(entries: u32) -> Self {
+        CacheGeometry::new(entries, entries)
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Stores only tags; payloads are reconstructed by callers (the simulator
+/// never needs cached *data*, only hit/miss behaviour).
+///
+/// # Example
+///
+/// ```
+/// use memsim::{CacheGeometry, SetAssocCache};
+///
+/// let mut cache = SetAssocCache::new(CacheGeometry::new(4, 2));
+/// assert!(!cache.access(7)); // cold miss (inserted)
+/// assert!(cache.access(7));  // hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    /// `sets × ways` tags; `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let n = geometry.entries as usize;
+        SetAssocCache {
+            geometry,
+            tags: vec![INVALID; n],
+            stamps: vec![0; n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Looks up `tag`; on miss, inserts it (evicting the set's LRU way).
+    /// Returns whether the lookup hit.
+    pub fn access(&mut self, tag: u64) -> bool {
+        let hit = self.touch(tag, true);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Looks up `tag` without inserting on miss. Does not update stats.
+    pub fn probe(&self, tag: u64) -> bool {
+        debug_assert_ne!(tag, INVALID, "tag collides with the invalid marker");
+        let (start, ways) = self.set_bounds(tag);
+        self.tags[start..start + ways].contains(&tag)
+    }
+
+    /// Inserts `tag` unconditionally (used for fills from outer levels).
+    pub fn insert(&mut self, tag: u64) {
+        self.touch(tag, true);
+    }
+
+    /// Invalidates every entry but keeps statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.stamps.fill(0);
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    fn set_bounds(&self, tag: u64) -> (usize, usize) {
+        let sets = self.geometry.sets() as u64;
+        let ways = self.geometry.ways as usize;
+        let set = (tag % sets) as usize;
+        (set * ways, ways)
+    }
+
+    /// Core lookup; optionally inserts on miss. Returns hit status.
+    fn touch(&mut self, tag: u64, insert_on_miss: bool) -> bool {
+        debug_assert_ne!(tag, INVALID, "tag collides with the invalid marker");
+        self.clock += 1;
+        let (start, ways) = self.set_bounds(tag);
+        let set_tags = &mut self.tags[start..start + ways];
+        if let Some(i) = set_tags.iter().position(|&t| t == tag) {
+            self.stamps[start + i] = self.clock;
+            return true;
+        }
+        if insert_on_miss {
+            // Choose an invalid way, else the LRU way.
+            let victim = match set_tags.iter().position(|&t| t == INVALID) {
+                Some(i) => i,
+                None => {
+                    let mut lru = 0;
+                    for i in 1..ways {
+                        if self.stamps[start + i] < self.stamps[start + lru] {
+                            lru = i;
+                        }
+                    }
+                    lru
+                }
+            };
+            self.tags[start + victim] = tag;
+            self.stamps[start + victim] = self.clock;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        let g = CacheGeometry::new(64, 4);
+        assert_eq!(g.sets(), 16);
+        let f = CacheGeometry::full(5);
+        assert_eq!(f.sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn geometry_rejects_bad_ways() {
+        CacheGeometry::new(64, 5);
+    }
+
+    #[test]
+    fn geometry_allows_non_pow2_sets() {
+        let g = CacheGeometry::new(12, 2);
+        assert_eq!(g.sets(), 6);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SetAssocCache::new(CacheGeometry::new(8, 2));
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Fully associative, 2 entries.
+        let mut c = SetAssocCache::new(CacheGeometry::full(2));
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.probe(1));
+        assert!(!c.probe(2));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn sets_isolate_conflicts() {
+        // 2 sets x 1 way: even and odd tags do not evict each other.
+        let mut c = SetAssocCache::new(CacheGeometry::new(2, 1));
+        c.access(2);
+        c.access(3);
+        assert!(c.probe(2));
+        assert!(c.probe(3));
+        c.access(4); // same set as 2
+        assert!(!c.probe(2));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn probe_does_not_insert() {
+        let c = SetAssocCache::new(CacheGeometry::new(4, 4));
+        assert!(!c.probe(9));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn flush_clears_entries_keeps_stats() {
+        let mut c = SetAssocCache::new(CacheGeometry::new(4, 4));
+        c.access(1);
+        c.access(1);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.hits(), 1);
+        assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_once_warm() {
+        let mut c = SetAssocCache::new(CacheGeometry::new(64, 4));
+        for round in 0..3 {
+            for tag in 0..64u64 {
+                let hit = c.access(tag);
+                if round > 0 {
+                    assert!(hit, "warm round {round} tag {tag} missed");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the memory-subsystem simulator.
+
+use std::collections::HashMap;
+
+use memsim::{CacheGeometry, MemorySubsystem, Platform, SetAssocCache, Translation};
+use proptest::prelude::*;
+use vmcore::{PageSize, VirtAddr};
+
+/// A reference (obviously correct) model of a set-associative LRU cache.
+struct RefCacheModel {
+    sets: u64,
+    ways: usize,
+    /// Per set: tags in LRU order (most recent last).
+    state: HashMap<u64, Vec<u64>>,
+}
+
+impl RefCacheModel {
+    fn new(geometry: CacheGeometry) -> Self {
+        RefCacheModel {
+            sets: geometry.sets() as u64,
+            ways: geometry.ways as usize,
+            state: HashMap::new(),
+        }
+    }
+
+    fn access(&mut self, tag: u64) -> bool {
+        let set = self.state.entry(tag % self.sets).or_default();
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The production cache agrees with the reference LRU model on every
+    /// access of arbitrary tag sequences, across geometries.
+    #[test]
+    fn cache_matches_reference_lru(
+        entries_log in 2u32..7,
+        ways_sel in 0usize..3,
+        tags in prop::collection::vec(0u64..200, 1..300),
+    ) {
+        let entries = 1u32 << entries_log;
+        let ways = [1u32, 2, entries][ways_sel].min(entries);
+        let geometry = CacheGeometry::new(entries - entries % ways, ways);
+        if geometry.entries == 0 { return Ok(()); }
+        let mut real = SetAssocCache::new(geometry);
+        let mut reference = RefCacheModel::new(geometry);
+        for (i, &tag) in tags.iter().enumerate() {
+            let a = real.access(tag);
+            let b = reference.access(tag);
+            prop_assert_eq!(a, b, "divergence at access {} (tag {})", i, tag);
+        }
+    }
+
+    /// Translation outcomes are deterministic and warm correctly: after
+    /// translating an address, an immediate re-translation is an L1 hit.
+    #[test]
+    fn translate_then_hit(
+        addrs in prop::collection::vec(0u64..(1 << 30), 1..100),
+        size_sel in 0usize..3,
+    ) {
+        let size = PageSize::ALL[size_sel];
+        let mut vm = MemorySubsystem::new(&Platform::HASWELL);
+        for &raw in &addrs {
+            let va = VirtAddr::new(raw);
+            vm.translate(va, size);
+            let again = vm.translate(va, size);
+            prop_assert!(
+                matches!(again.translation, Translation::L1Hit),
+                "address {raw:#x} not warm after touch"
+            );
+        }
+    }
+
+    /// Walk reference counts are always within [1, levels(size)] and the
+    /// walk latency is consistent with them.
+    #[test]
+    fn walk_refs_bounded(
+        addrs in prop::collection::vec(0u64..(1u64 << 40), 1..200),
+        size_sel in 0usize..3,
+    ) {
+        let size = PageSize::ALL[size_sel];
+        let platform = &Platform::SANDY_BRIDGE;
+        let mut vm = MemorySubsystem::new(platform);
+        for &raw in &addrs {
+            let va = VirtAddr::new(raw);
+            if let Translation::Walk { info } = vm.translate(va, size).translation {
+                prop_assert!(info.refs >= 1 && info.refs <= size.walk_levels());
+                let served = info.refs_l1d + info.refs_l2 + info.refs_l3 + info.refs_dram;
+                prop_assert_eq!(served, info.refs);
+                let min = info.refs * platform.lat.l1d;
+                let max = info.refs * platform.lat.dram;
+                prop_assert!(info.cycles >= min && info.cycles <= max);
+            }
+        }
+    }
+
+    /// The page table is a function: the same VA always maps to the same
+    /// physical address, and distinct pages never share a frame start.
+    #[test]
+    fn page_table_is_functional(pages in prop::collection::vec(0u64..(1 << 20), 2..64)) {
+        let vm = MemorySubsystem::new(&Platform::BROADWELL);
+        let pt = vm.page_table();
+        for &p in &pages {
+            let va = VirtAddr::new(p << 12);
+            let a = pt.translate(va, PageSize::Base4K);
+            let b = pt.translate(va, PageSize::Base4K);
+            prop_assert_eq!(a, b);
+            // In-page offsets preserved.
+            let c = pt.translate(VirtAddr::new((p << 12) | 0x123), PageSize::Base4K);
+            prop_assert_eq!(c.raw() - a.raw(), 0x123);
+        }
+    }
+
+    /// Two subsystems fed the same access sequence stay in lockstep
+    /// (full determinism, including cache contents).
+    #[test]
+    fn subsystem_determinism(
+        ops in prop::collection::vec((0u64..(1 << 32), 0usize..3), 1..150),
+    ) {
+        let mut a = MemorySubsystem::new(&Platform::BROADWELL);
+        let mut b = MemorySubsystem::new(&Platform::BROADWELL);
+        for &(raw, size_sel) in &ops {
+            let va = VirtAddr::new(raw);
+            let size = PageSize::ALL[size_sel];
+            prop_assert_eq!(a.access(va, size), b.access(va, size));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! `LD_PRELOAD` interposer backing process memory with Mosalloc pools.
+//!
+//! This is the real-world counterpart of the simulated allocator: a
+//! `cdylib` that, loaded before glibc resolves its syscall wrappers,
+//! interposes the POSIX memory-management entry points and serves them
+//! from hugepage-backed pools (paper §V):
+//!
+//! * `mmap(MAP_ANONYMOUS)` → the anonymous pool (first fit),
+//! * `munmap` of pool memory → pool release (top-trimmed),
+//! * `brk` / `sbrk` → the heap pool (program-break emulation),
+//! * everything else falls through to the raw syscalls.
+//!
+//! Pools are reserved up front with the real `mmap`; windows the user
+//! configured as 2MB/1GB-backed are re-mapped with `MAP_HUGETLB` +
+//! `MAP_HUGE_2MB`/`MAP_HUGE_1GB`. When the system lacks reserved
+//! hugepages the window silently falls back to base pages unless
+//! `MOSALLOC_STRICT=1` is set (matching how researchers run first on
+//! unconfigured machines).
+//!
+//! Configuration comes from the same environment variables as the
+//! simulator ([`mosalloc::config`]), e.g.:
+//!
+//! ```text
+//! MOSALLOC_CONFIG='brk:size=1G,2MB=0..512M;anon:size=1G' \
+//!     LD_PRELOAD=target/release/libmosalloc_preload.so ./app
+//! ```
+//!
+//! A constructor also calls `mallopt(M_MMAP_MAX, 0)` and
+//! `mallopt(M_ARENA_MAX, 1)` so glibc malloc cannot bypass the
+//! interposed `brk` path (paper §V-C, including the libhugetlbfs arena
+//! bug Mosalloc fixes).
+//!
+//! The allocation *logic* is the same [`mosalloc`] crate the simulator
+//! uses; this crate only adds the syscall plumbing. The plumbing is
+//! exercised in-process by the test suite (no actual `LD_PRELOAD` or
+//! root hugepage reservation needed).
+
+#![warn(missing_docs)]
+
+pub mod runtime;
+
+use std::ffi::c_void;
+
+use runtime::{with_runtime, RealMem};
+
+/// Interposed `mmap(2)`.
+///
+/// Anonymous, non-fixed mappings are served from the Mosalloc anonymous
+/// pool; everything else (file mappings, `MAP_FIXED` requests, and pool
+/// exhaustion) falls through to the kernel.
+///
+/// # Safety
+///
+/// Same contract as the libc function it replaces.
+#[no_mangle]
+pub unsafe extern "C" fn mmap(
+    addr: *mut c_void,
+    length: libc::size_t,
+    prot: libc::c_int,
+    flags: libc::c_int,
+    fd: libc::c_int,
+    offset: libc::off_t,
+) -> *mut c_void {
+    let anonymous = flags & libc::MAP_ANONYMOUS != 0;
+    let fixed = flags & libc::MAP_FIXED != 0;
+    if anonymous && !fixed && addr.is_null() && length > 0 {
+        if let Some(Some(ptr)) = with_runtime(|rt| rt.pool_mmap_anon(length as u64)) {
+            return ptr as *mut c_void;
+        }
+    }
+    RealMem::mmap(addr, length, prot, flags, fd, offset)
+}
+
+/// Interposed `munmap(2)`.
+///
+/// Pool mappings are released back to their pool; foreign ranges go to
+/// the kernel.
+///
+/// # Safety
+///
+/// Same contract as the libc function it replaces.
+#[no_mangle]
+pub unsafe extern "C" fn munmap(addr: *mut c_void, length: libc::size_t) -> libc::c_int {
+    match with_runtime(|rt| rt.pool_munmap(addr as u64, length as u64)).flatten() {
+        Some(true) => 0,
+        Some(false) => {
+            // Inside a pool but not a live mapping: POSIX says EINVAL.
+            set_errno(libc::EINVAL);
+            -1
+        }
+        None => RealMem::munmap(addr, length),
+    }
+}
+
+/// Interposed `brk(2)` wrapper.
+///
+/// # Safety
+///
+/// Same contract as the libc function it replaces.
+#[no_mangle]
+pub unsafe extern "C" fn brk(addr: *mut c_void) -> libc::c_int {
+    match with_runtime(|rt| rt.brk(addr as u64)) {
+        Some(Ok(())) => 0,
+        Some(Err(())) => {
+            set_errno(libc::ENOMEM);
+            -1
+        }
+        None => {
+            set_errno(libc::ENOMEM);
+            -1
+        }
+    }
+}
+
+/// Interposed `sbrk(3)`.
+///
+/// glibc calls `sbrk(0)` during startup to locate the heap; answering
+/// with the pool base redirects all subsequent heap growth into the
+/// hugepage-backed pool (paper §V "The Heap Pool").
+///
+/// # Safety
+///
+/// Same contract as the libc function it replaces.
+#[no_mangle]
+pub unsafe extern "C" fn sbrk(increment: libc::intptr_t) -> *mut c_void {
+    match with_runtime(|rt| rt.sbrk(increment as i64)) {
+        Some(Ok(old)) => old as *mut c_void,
+        _ => {
+            set_errno(libc::ENOMEM);
+            usize::MAX as *mut c_void // (void*)-1
+        }
+    }
+}
+
+unsafe fn set_errno(value: libc::c_int) {
+    *libc::__errno_location() = value;
+}
+
+/// Library constructor: configure glibc malloc so it cannot bypass the
+/// interposed entry points (M_MMAP_MAX=0 disables direct mmap from
+/// malloc; M_ARENA_MAX=1 prevents per-thread arenas allocated behind our
+/// back — the libhugetlbfs bug the paper fixes).
+extern "C" fn mosalloc_ctor() {
+    unsafe {
+        libc::mallopt(libc::M_MMAP_MAX, 0);
+        libc::mallopt(libc::M_ARENA_MAX, 1);
+    }
+}
+
+#[used]
+#[link_section = ".init_array"]
+static MOSALLOC_CTOR: extern "C" fn() = mosalloc_ctor;

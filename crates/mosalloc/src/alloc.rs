@@ -1,0 +1,311 @@
+//! The Mosalloc façade: routes memory requests to the three pools and
+//! answers page-size queries for the simulator.
+
+use vmcore::{PageSize, Region, VirtAddr};
+
+use crate::{
+    AllocError, AllocStats, AnonPool, FilePool, HeapPool, MosallocConfig, ANON_POOL_BASE,
+    FILE_POOL_BASE, HEAP_POOL_BASE,
+};
+
+/// The Mosaic Memory Allocator.
+///
+/// Dispatches the three kinds of Linux memory requests to their pools
+/// (paper Figure 4) and exposes the resulting page-size mosaic to the
+/// memory-subsystem simulator through [`page_size_at`](Self::page_size_at).
+///
+/// # Example
+///
+/// ```
+/// use mosalloc::{Mosalloc, MosallocConfig};
+/// use vmcore::{PageSize, MIB};
+///
+/// # fn main() -> Result<(), mosalloc::AllocError> {
+/// let cfg: MosallocConfig = "brk:size=64M,2MB=0..64M;anon:size=64M"
+///     .parse().map_err(mosalloc::AllocError::from)?;
+/// let mut m = Mosalloc::new(cfg)?;
+/// let heap_block = m.sbrk(MIB as i64)?;
+/// assert_eq!(m.page_size_at(heap_block), PageSize::Huge2M);
+/// // Code/stack addresses outside any pool are 4KB-backed.
+/// assert_eq!(m.page_size_at(vmcore::VirtAddr::new(0x40_0000)), PageSize::Base4K);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mosalloc {
+    heap: HeapPool,
+    anon: AnonPool,
+    file: FilePool,
+    stats: AllocStats,
+}
+
+impl Mosalloc {
+    /// Creates an allocator from a configuration, placing pools at the
+    /// crate's default bases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-layout validation failures.
+    pub fn new(config: MosallocConfig) -> Result<Self, AllocError> {
+        Self::with_bases(
+            config,
+            VirtAddr::new(HEAP_POOL_BASE),
+            VirtAddr::new(ANON_POOL_BASE),
+            VirtAddr::new(FILE_POOL_BASE),
+        )
+    }
+
+    /// Creates an allocator with explicit pool base addresses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-layout validation failures. The bases must be far
+    /// enough apart that pools cannot overlap; this is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pools would overlap.
+    pub fn with_bases(
+        config: MosallocConfig,
+        heap_base: VirtAddr,
+        anon_base: VirtAddr,
+        file_base: VirtAddr,
+    ) -> Result<Self, AllocError> {
+        config.validate()?;
+        let heap = HeapPool::new(&config.brk, heap_base)?;
+        let anon = AnonPool::new(&config.anon, anon_base)?;
+        let file = FilePool::new(&config.file, file_base)?;
+        let regions = [heap.region(), anon.region(), file.region()];
+        for i in 0..regions.len() {
+            for j in (i + 1)..regions.len() {
+                assert!(!regions[i].overlaps(&regions[j]), "pool regions overlap");
+            }
+        }
+        Ok(Mosalloc { heap, anon, file, stats: AllocStats::default() })
+    }
+
+    /// The heap (brk) pool.
+    pub fn heap(&self) -> &HeapPool {
+        &self.heap
+    }
+
+    /// The anonymous-mapping pool.
+    pub fn anon(&self) -> &AnonPool {
+        &self.anon
+    }
+
+    /// The file-mapping pool.
+    pub fn file(&self) -> &FilePool {
+        &self.file
+    }
+
+    /// Activity statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// `sbrk(2)`: moves the program break, returning its previous value.
+    /// This is also the `morecore` path glibc malloc takes.
+    ///
+    /// # Errors
+    ///
+    /// See [`HeapPool::sbrk`].
+    pub fn sbrk(&mut self, delta: i64) -> Result<VirtAddr, AllocError> {
+        let old = self.heap.sbrk(delta)?;
+        self.stats.brk_calls += 1;
+        if delta > 0 {
+            self.stats.record(delta as u64, delta as u64);
+        }
+        self.observe_live();
+        Ok(old)
+    }
+
+    /// glibc's `morecore` hook: extends the heap by `increment` bytes
+    /// and returns the start of the new block — the path malloc takes
+    /// when it needs more memory (paper §V: "Mosalloc intercepts malloc
+    /// requests by hooking the morecore function").
+    ///
+    /// # Errors
+    ///
+    /// See [`HeapPool::sbrk`].
+    pub fn morecore(&mut self, increment: u64) -> Result<VirtAddr, AllocError> {
+        self.sbrk(increment as i64)
+    }
+
+    /// `brk(2)`: sets the program break.
+    ///
+    /// # Errors
+    ///
+    /// See [`HeapPool::brk`].
+    pub fn brk(&mut self, target: VirtAddr) -> Result<(), AllocError> {
+        let before = self.heap.used();
+        self.heap.brk(target)?;
+        self.stats.brk_calls += 1;
+        let after = self.heap.used();
+        if after > before {
+            self.stats.record(after - before, after - before);
+        }
+        self.observe_live();
+        Ok(())
+    }
+
+    /// Anonymous `mmap(2)`: maps `len` bytes from the anonymous pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnonPool::mmap`].
+    pub fn mmap_anon(&mut self, len: u64) -> Result<Region, AllocError> {
+        let mapping = self.anon.mmap(len)?;
+        self.stats.anon_mmap_calls += 1;
+        self.stats.record(len, mapping.len());
+        self.observe_live();
+        Ok(mapping)
+    }
+
+    /// File-backed `mmap(2)`: maps `len` bytes from the file pool
+    /// (4KB pages only).
+    ///
+    /// # Errors
+    ///
+    /// See [`FilePool::mmap`].
+    pub fn mmap_file(&mut self, len: u64) -> Result<Region, AllocError> {
+        let mapping = self.file.mmap(len)?;
+        self.stats.file_mmap_calls += 1;
+        self.stats.record(len, mapping.len());
+        self.observe_live();
+        Ok(mapping)
+    }
+
+    /// `munmap(2)`: releases a mapping from whichever pool owns it.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadFree`] if no pool owns the mapping.
+    pub fn munmap(&mut self, mapping: Region) -> Result<(), AllocError> {
+        let result = if self.anon.region().contains_region(&mapping) {
+            self.anon.munmap(mapping)
+        } else if self.file.region().contains_region(&mapping) {
+            self.file.munmap(mapping)
+        } else {
+            Err(AllocError::BadFree(mapping))
+        };
+        if result.is_ok() {
+            self.stats.munmap_calls += 1;
+        }
+        result
+    }
+
+    /// The page size backing `addr` under the current configuration.
+    ///
+    /// This is the single question the memory-subsystem simulator asks
+    /// Mosalloc for every translation. Addresses outside all pools (code,
+    /// stack, file mappings) are 4KB-backed.
+    pub fn page_size_at(&self, addr: VirtAddr) -> PageSize {
+        if self.heap.region().contains(addr) {
+            self.heap.layout().page_size_at(addr)
+        } else if self.anon.region().contains(addr) {
+            self.anon.layout().page_size_at(addr)
+        } else {
+            PageSize::Base4K
+        }
+    }
+
+    fn observe_live(&mut self) {
+        let live = self.heap.used() + self.anon.used();
+        self.stats.observe_live(live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::MIB;
+
+    fn config(s: &str) -> MosallocConfig {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn dispatch_across_pools() {
+        let mut m = Mosalloc::new(config("brk:size=64M;anon:size=64M;file:size=64M")).unwrap();
+        let heap = m.sbrk(MIB as i64).unwrap();
+        let anon = m.mmap_anon(MIB).unwrap();
+        let file = m.mmap_file(MIB).unwrap();
+        assert!(m.heap().region().contains(heap));
+        assert!(m.anon().region().contains(anon.start()));
+        assert!(m.file().region().contains(file.start()));
+        m.munmap(anon).unwrap();
+        m.munmap(file).unwrap();
+        let s = m.stats();
+        assert_eq!(s.brk_calls, 1);
+        assert_eq!(s.anon_mmap_calls, 1);
+        assert_eq!(s.file_mmap_calls, 1);
+        assert_eq!(s.munmap_calls, 2);
+    }
+
+    #[test]
+    fn morecore_is_the_malloc_growth_path() {
+        let mut m = Mosalloc::new(config("brk:size=16M;anon:size=16M")).unwrap();
+        let block1 = m.morecore(4096).unwrap();
+        let block2 = m.morecore(8192).unwrap();
+        assert_eq!(block2 - block1, 4096, "blocks are contiguous heap growth");
+        assert_eq!(m.heap().used(), 12288);
+    }
+
+    #[test]
+    fn page_size_mosaic_spans_pools() {
+        let mut m = Mosalloc::new(config(
+            "brk:size=64M,2MB=0..4M;anon:size=64M,2MB=2M..6M;file:size=16M",
+        ))
+        .unwrap();
+        let heap_start = m.sbrk(8 * MIB as i64).unwrap();
+        assert_eq!(m.page_size_at(heap_start), PageSize::Huge2M);
+        assert_eq!(m.page_size_at(heap_start + 5 * MIB), PageSize::Base4K);
+
+        let anon_base = m.anon().region().start();
+        assert_eq!(m.page_size_at(anon_base), PageSize::Base4K);
+        assert_eq!(m.page_size_at(anon_base + 3 * MIB), PageSize::Huge2M);
+
+        // File mappings and foreign addresses are always 4KB.
+        let file = m.mmap_file(MIB).unwrap();
+        assert_eq!(m.page_size_at(file.start()), PageSize::Base4K);
+        assert_eq!(m.page_size_at(VirtAddr::new(0x1234)), PageSize::Base4K);
+    }
+
+    #[test]
+    fn munmap_of_unknown_region_fails() {
+        let mut m = Mosalloc::new(config("brk:size=16M;anon:size=16M")).unwrap();
+        let err = m.munmap(Region::new(VirtAddr::new(0x9999_0000), 4096)).unwrap_err();
+        assert!(matches!(err, AllocError::BadFree(_)));
+        assert_eq!(m.stats().munmap_calls, 0, "failed unmaps are not counted");
+    }
+
+    #[test]
+    fn peak_live_bytes_tracked() {
+        let mut m = Mosalloc::new(config("brk:size=16M;anon:size=16M")).unwrap();
+        let a = m.mmap_anon(8 * MIB).unwrap();
+        m.munmap(a).unwrap();
+        let _b = m.mmap_anon(MIB).unwrap();
+        assert_eq!(m.stats().peak_live_bytes, 8 * MIB);
+    }
+
+    #[test]
+    fn overhead_stays_tiny_for_page_multiple_requests() {
+        let mut m = Mosalloc::new(config("brk:size=64M;anon:size=64M")).unwrap();
+        for _ in 0..32 {
+            m.mmap_anon(MIB).unwrap();
+        }
+        assert!(m.stats().overhead_ratio() < 0.01, "paper reports <1% overhead");
+    }
+
+    #[test]
+    #[should_panic(expected = "pool regions overlap")]
+    fn overlapping_bases_panic() {
+        let _ = Mosalloc::with_bases(
+            config("brk:size=64M;anon:size=64M"),
+            VirtAddr::new(0x1000_0000),
+            VirtAddr::new(0x1000_0000),
+            VirtAddr::new(0x9000_0000),
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Allocator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use vmcore::{LayoutError, Region, VirtAddr};
+
+/// Errors returned by Mosalloc pool operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The pool has no room left for the request.
+    OutOfPool {
+        /// Which pool failed ("heap", "anon", "file").
+        pool: &'static str,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A free/unmap of a range that was never handed out (or was already
+    /// released).
+    BadFree(Region),
+    /// A `brk` target outside the heap pool.
+    BrkOutOfRange {
+        /// The requested program break.
+        target: VirtAddr,
+        /// The valid heap pool.
+        pool: Region,
+    },
+    /// An `sbrk` decrement below the initial program break.
+    SbrkUnderflow,
+    /// A zero-length request, which POSIX `mmap` rejects.
+    ZeroLength,
+    /// The pool layout was invalid.
+    Layout(LayoutError),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfPool { pool, requested, available } => write!(
+                f,
+                "{pool} pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            AllocError::BadFree(region) => {
+                write!(f, "free of range {region} that is not currently allocated")
+            }
+            AllocError::BrkOutOfRange { target, pool } => {
+                write!(f, "brk target {target} outside heap pool {pool}")
+            }
+            AllocError::SbrkUnderflow => {
+                write!(f, "sbrk decrement below the initial program break")
+            }
+            AllocError::ZeroLength => write!(f, "zero-length mapping request"),
+            AllocError::Layout(e) => write!(f, "invalid pool layout: {e}"),
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LayoutError> for AllocError {
+    fn from(e: LayoutError) -> Self {
+        AllocError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_trait_and_source() {
+        let e = AllocError::Layout(LayoutError::BadPageSize("9K".into()));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = AllocError::ZeroLength;
+        assert!(std::error::Error::source(&e).is_none());
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AllocError>();
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AllocError::OutOfPool { pool: "anon", requested: 10, available: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains("anon") && msg.contains("10") && msg.contains('5'));
+    }
+}

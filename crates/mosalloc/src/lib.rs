@@ -1,0 +1,75 @@
+//! Mosalloc — the **Mosaic Memory Allocator** (paper §V).
+//!
+//! Mosalloc backs the virtual memory of an application with an arbitrary,
+//! user-controlled mixture of 4KB, 2MB and 1GB pages — a *mosaic* of pages.
+//! It manages three pools, mirroring the three kinds of memory requests a
+//! Linux process makes:
+//!
+//! * the **heap pool** serves `brk`/`sbrk` (and glibc `morecore`) requests,
+//! * the **anonymous pool** serves `MAP_ANONYMOUS` `mmap` requests with a
+//!   first-fit policy,
+//! * the **file pool** serves file-backed `mmap` requests and is always
+//!   backed by 4KB pages (Linux's page cache does not use hugepages).
+//!
+//! The heap and anonymous pools each carry a [`vmcore::MemoryLayout`]
+//! describing which sub-ranges are hugepage-backed; the user supplies these
+//! through the environment-variable style specification implemented in
+//! [`config`].
+//!
+//! In this workspace Mosalloc plays the same role it plays in the paper: it
+//! decides, for every virtual address a workload touches, *which page size
+//! backs it*. The decision feeds the memory-subsystem simulator
+//! (`memsim`/`machine`), which stands in for the real Intel machines. A
+//! separate crate, `mosalloc-preload`, wires the same pool logic into a real
+//! `LD_PRELOAD` shared object.
+//!
+//! # Example
+//!
+//! ```
+//! use mosalloc::{Mosalloc, MosallocConfig};
+//! use vmcore::{PageSize, MIB};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config: MosallocConfig =
+//!     "brk:size=64M,2MB=0M..8M;anon:size=64M;file:size=16M".parse()?;
+//! let mut mosalloc = Mosalloc::new(config)?;
+//!
+//! // A malloc-style heap extension lands in the 2MB window.
+//! let block = mosalloc.sbrk(4 * MIB as i64)?;
+//! assert_eq!(mosalloc.page_size_at(block), PageSize::Huge2M);
+//!
+//! // An anonymous mapping comes from the (4KB-backed) anonymous pool.
+//! let mapping = mosalloc.mmap_anon(MIB)?;
+//! assert_eq!(mosalloc.page_size_at(mapping.start()), PageSize::Base4K);
+//! mosalloc.munmap(mapping)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+pub mod config;
+mod error;
+mod freelist;
+mod pool;
+mod stats;
+pub mod thp;
+
+pub use alloc::Mosalloc;
+pub use config::{MosallocConfig, PoolSpec};
+pub use error::AllocError;
+pub use freelist::{FirstFit, FitPolicy};
+pub use pool::{AnonPool, FilePool, HeapPool};
+pub use stats::AllocStats;
+
+/// Default base virtual address of the heap (brk) pool.
+///
+/// The bases are 1GB-aligned so that any hugepage window the user requests
+/// is satisfiable, and far apart so pools can grow without colliding.
+pub const HEAP_POOL_BASE: u64 = 0x1000_0000_0000;
+/// Default base virtual address of the anonymous-mapping pool.
+pub const ANON_POOL_BASE: u64 = 0x2000_0000_0000;
+/// Default base virtual address of the file-mapping pool.
+pub const FILE_POOL_BASE: u64 = 0x3000_0000_0000;

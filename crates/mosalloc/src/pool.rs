@@ -1,0 +1,354 @@
+//! The three Mosalloc memory pools (paper §V, Figure 4).
+
+use vmcore::{MemoryLayout, PageSize, Region, VirtAddr};
+
+use crate::{AllocError, FirstFit, PoolSpec};
+
+/// The heap pool: replaces the OS heap, serving `brk`/`sbrk`/`morecore`.
+///
+/// glibc discovers the heap location by calling `sbrk(0)` at load time;
+/// Mosalloc answers with the pool base, after which all program-break
+/// motion happens inside the pool (paper §V "The Heap Pool").
+///
+/// # Example
+///
+/// ```
+/// use mosalloc::{HeapPool, PoolSpec};
+/// use vmcore::VirtAddr;
+///
+/// let mut heap = HeapPool::new(&PoolSpec::plain(1 << 20), VirtAddr::new(0x1000_0000))?;
+/// let old = heap.sbrk(4096)?;           // extend by one page
+/// assert_eq!(old, VirtAddr::new(0x1000_0000));
+/// assert_eq!(heap.brk_now(), VirtAddr::new(0x1000_1000));
+/// heap.sbrk(-4096)?;                    // shrink back
+/// assert_eq!(heap.brk_now(), old);
+/// # Ok::<(), mosalloc::AllocError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct HeapPool {
+    region: Region,
+    layout: MemoryLayout,
+    brk: VirtAddr,
+}
+
+impl HeapPool {
+    /// Creates the pool from its spec at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation failures.
+    pub fn new(spec: &PoolSpec, base: VirtAddr) -> Result<Self, AllocError> {
+        let layout = spec.to_layout(base)?;
+        let region = Region::new(base, spec.size);
+        Ok(HeapPool { region, layout, brk: base })
+    }
+
+    /// The pool's virtual address range.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The page-size mosaic backing the pool.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Current program break (`sbrk(0)`).
+    pub fn brk_now(&self) -> VirtAddr {
+        self.brk
+    }
+
+    /// Bytes currently claimed by the program.
+    pub fn used(&self) -> u64 {
+        self.brk - self.region.start()
+    }
+
+    /// Sets the program break to `target` (the `brk(2)` system call).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BrkOutOfRange`] if `target` leaves the pool.
+    pub fn brk(&mut self, target: VirtAddr) -> Result<(), AllocError> {
+        if target < self.region.start() || target > self.region.end() {
+            return Err(AllocError::BrkOutOfRange { target, pool: self.region });
+        }
+        self.brk = target;
+        Ok(())
+    }
+
+    /// Moves the break by `delta` bytes, returning the *previous* break
+    /// (the `sbrk(2)` convention; `sbrk(0)` queries).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfPool`] when growing past the pool,
+    /// [`AllocError::SbrkUnderflow`] when shrinking below the pool base.
+    pub fn sbrk(&mut self, delta: i64) -> Result<VirtAddr, AllocError> {
+        let old = self.brk;
+        if delta >= 0 {
+            let grow = delta as u64;
+            let avail = self.region.end() - self.brk;
+            if grow > avail {
+                return Err(AllocError::OutOfPool {
+                    pool: "heap",
+                    requested: grow,
+                    available: avail,
+                });
+            }
+            self.brk += grow;
+        } else {
+            let shrink = delta.unsigned_abs();
+            if shrink > self.used() {
+                return Err(AllocError::SbrkUnderflow);
+            }
+            self.brk = VirtAddr::new(self.brk.raw() - shrink);
+        }
+        Ok(old)
+    }
+}
+
+/// The anonymous-mapping pool: serves `MAP_ANONYMOUS` `mmap`s first-fit.
+#[derive(Clone, Debug)]
+pub struct AnonPool {
+    region: Region,
+    layout: MemoryLayout,
+    alloc: FirstFit,
+}
+
+impl AnonPool {
+    /// Allocation granularity: POSIX mmap returns page-aligned mappings.
+    pub const GRANULARITY: u64 = PageSize::Base4K.bytes();
+
+    /// Creates the pool from its spec at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation failures.
+    pub fn new(spec: &PoolSpec, base: VirtAddr) -> Result<Self, AllocError> {
+        let layout = spec.to_layout(base)?;
+        let region = Region::new(base, spec.size);
+        Ok(AnonPool { region, layout, alloc: FirstFit::new(spec.size) })
+    }
+
+    /// The pool's virtual address range.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The page-size mosaic backing the pool.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Bytes currently mapped.
+    pub fn used(&self) -> u64 {
+        self.alloc.live_bytes()
+    }
+
+    /// Bytes unusable due to the top-only release policy.
+    pub fn fragmented(&self) -> u64 {
+        self.alloc.hole_bytes()
+    }
+
+    /// Maps `len` bytes (rounded up to 4KB), returning the mapped region.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroLength`] for empty requests,
+    /// [`AllocError::OutOfPool`] when the pool is exhausted.
+    pub fn mmap(&mut self, len: u64) -> Result<Region, AllocError> {
+        if len == 0 {
+            return Err(AllocError::ZeroLength);
+        }
+        let len = round_up(len, Self::GRANULARITY);
+        let offset =
+            self.alloc.alloc(len, Self::GRANULARITY).ok_or(AllocError::OutOfPool {
+                pool: "anon",
+                requested: len,
+                available: self.region.len() - self.alloc.high_water(),
+            })?;
+        Ok(Region::new(self.region.start() + offset, len))
+    }
+
+    /// Unmaps a previously returned region.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadFree`] when the region was not returned by
+    /// [`mmap`](Self::mmap) (or was already unmapped).
+    pub fn munmap(&mut self, mapping: Region) -> Result<(), AllocError> {
+        if !self.region.contains_region(&mapping) || mapping.is_empty() {
+            return Err(AllocError::BadFree(mapping));
+        }
+        let offset = mapping.start() - self.region.start();
+        self.alloc.free(offset, mapping.len()).map_err(|()| AllocError::BadFree(mapping))
+    }
+}
+
+/// The file-mapping pool: 4KB pages only, bump-allocated.
+///
+/// Linux serves file-backed mappings from the page cache, which manages
+/// only base pages, so this pool never carries hugepage windows.
+#[derive(Clone, Debug)]
+pub struct FilePool {
+    region: Region,
+    alloc: FirstFit,
+}
+
+impl FilePool {
+    /// Creates the pool from its spec at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation failures (a file spec with windows is
+    /// rejected by [`crate::MosallocConfig::validate`]).
+    pub fn new(spec: &PoolSpec, base: VirtAddr) -> Result<Self, AllocError> {
+        if !spec.windows.is_empty() {
+            return Err(AllocError::Layout(vmcore::LayoutError::BadSpec(
+                "file pool supports only 4KB pages".into(),
+            )));
+        }
+        Ok(FilePool { region: Region::new(base, spec.size), alloc: FirstFit::new(spec.size) })
+    }
+
+    /// The pool's virtual address range.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Maps `len` bytes of a file (rounded up to 4KB).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnonPool::mmap`].
+    pub fn mmap(&mut self, len: u64) -> Result<Region, AllocError> {
+        if len == 0 {
+            return Err(AllocError::ZeroLength);
+        }
+        let len = round_up(len, AnonPool::GRANULARITY);
+        let offset =
+            self.alloc.alloc(len, AnonPool::GRANULARITY).ok_or(AllocError::OutOfPool {
+                pool: "file",
+                requested: len,
+                available: self.region.len() - self.alloc.high_water(),
+            })?;
+        Ok(Region::new(self.region.start() + offset, len))
+    }
+
+    /// Unmaps a previously returned region.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadFree`] when the region is unknown.
+    pub fn munmap(&mut self, mapping: Region) -> Result<(), AllocError> {
+        if !self.region.contains_region(&mapping) || mapping.is_empty() {
+            return Err(AllocError::BadFree(mapping));
+        }
+        let offset = mapping.start() - self.region.start();
+        self.alloc.free(offset, mapping.len()).map_err(|()| AllocError::BadFree(mapping))
+    }
+}
+
+fn round_up(v: u64, to: u64) -> u64 {
+    v.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::MIB;
+
+    fn base() -> VirtAddr {
+        VirtAddr::new(0x4000_0000)
+    }
+
+    #[test]
+    fn heap_brk_and_sbrk_semantics() {
+        let mut heap = HeapPool::new(&PoolSpec::plain(MIB), base()).unwrap();
+        assert_eq!(heap.sbrk(0).unwrap(), base(), "sbrk(0) queries");
+        let old = heap.sbrk(4096).unwrap();
+        assert_eq!(old, base());
+        assert_eq!(heap.used(), 4096);
+        heap.brk(base() + 8192).unwrap();
+        assert_eq!(heap.used(), 8192);
+        heap.sbrk(-8192).unwrap();
+        assert_eq!(heap.used(), 0);
+    }
+
+    #[test]
+    fn heap_bounds_enforced() {
+        let mut heap = HeapPool::new(&PoolSpec::plain(MIB), base()).unwrap();
+        assert!(matches!(heap.sbrk(MIB as i64 + 1), Err(AllocError::OutOfPool { .. })));
+        assert!(matches!(heap.sbrk(-1), Err(AllocError::SbrkUnderflow)));
+        assert!(matches!(
+            heap.brk(VirtAddr::new(base().raw() - 1)),
+            Err(AllocError::BrkOutOfRange { .. })
+        ));
+        assert!(heap.brk(heap.region().end()).is_ok(), "brk to pool end is legal");
+    }
+
+    #[test]
+    fn heap_layout_reflects_spec() {
+        let spec = PoolSpec::plain(8 * MIB).with_window(0, 2 * MIB, PageSize::Huge2M);
+        let heap = HeapPool::new(&spec, base()).unwrap();
+        assert_eq!(heap.layout().page_size_at(base()), PageSize::Huge2M);
+        assert_eq!(heap.layout().page_size_at(base() + 2 * MIB), PageSize::Base4K);
+    }
+
+    #[test]
+    fn anon_mmap_rounds_and_aligns() {
+        let mut anon = AnonPool::new(&PoolSpec::plain(MIB), base()).unwrap();
+        let m = anon.mmap(100).unwrap();
+        assert_eq!(m.len(), 4096, "rounded to page granularity");
+        assert!(m.start().is_aligned(PageSize::Base4K));
+        assert_eq!(anon.used(), 4096);
+    }
+
+    #[test]
+    fn anon_reuses_freed_space_first_fit() {
+        let mut anon = AnonPool::new(&PoolSpec::plain(MIB), base()).unwrap();
+        let a = anon.mmap(64 * 1024).unwrap();
+        let _b = anon.mmap(64 * 1024).unwrap();
+        anon.munmap(a).unwrap();
+        assert_eq!(anon.fragmented(), 64 * 1024);
+        let c = anon.mmap(32 * 1024).unwrap();
+        assert_eq!(c.start(), a.start(), "first fit reuses the lowest hole");
+    }
+
+    #[test]
+    fn anon_rejects_bad_unmaps() {
+        let mut anon = AnonPool::new(&PoolSpec::plain(MIB), base()).unwrap();
+        let a = anon.mmap(8192).unwrap();
+        assert!(anon.munmap(Region::new(a.start(), 4096)).is_err(), "partial unmap");
+        anon.munmap(a).unwrap();
+        assert!(anon.munmap(a).is_err(), "double unmap");
+        assert!(anon.munmap(Region::new(VirtAddr::new(1), 4096)).is_err(), "foreign range");
+        assert!(matches!(anon.mmap(0), Err(AllocError::ZeroLength)));
+    }
+
+    #[test]
+    fn file_pool_is_plain_only() {
+        assert!(FilePool::new(
+            &PoolSpec::plain(MIB).with_window(0, 2 * MIB, PageSize::Huge2M),
+            base()
+        )
+        .is_err());
+        let mut file = FilePool::new(&PoolSpec::plain(MIB), base()).unwrap();
+        let m = file.mmap(5000).unwrap();
+        assert_eq!(m.len(), 8192);
+        file.munmap(m).unwrap();
+    }
+
+    #[test]
+    fn pool_exhaustion_reports_availability() {
+        let mut anon = AnonPool::new(&PoolSpec::plain(16 * 1024), base()).unwrap();
+        let _a = anon.mmap(16 * 1024).unwrap();
+        match anon.mmap(4096) {
+            Err(AllocError::OutOfPool { pool, available, .. }) => {
+                assert_eq!(pool, "anon");
+                assert_eq!(available, 0);
+            }
+            other => panic!("expected OutOfPool, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for Mosalloc's allocation invariants.
+
+use mosalloc::{FirstFit, Mosalloc, MosallocConfig, PoolSpec};
+use proptest::prelude::*;
+use vmcore::{PageSize, Region, VirtAddr, MIB};
+
+/// A random sequence of allocator operations.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..128 * 1024).prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::FreeNth),
+    ]
+}
+
+proptest! {
+    /// Live allocations never overlap, are always in-bounds, and byte
+    /// accounting (live + holes <= high water <= capacity) holds after
+    /// every operation.
+    #[test]
+    fn first_fit_invariants(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let capacity = 4 * MIB;
+        let mut ff = FirstFit::new(capacity);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Some(start) = ff.alloc(len, 8) {
+                        prop_assert_eq!(start % 8, 0);
+                        prop_assert!(start + len <= capacity);
+                        for &(s, l) in &live {
+                            prop_assert!(start + len <= s || s + l <= start,
+                                "allocation [{},{}) overlaps [{},{})", start, start+len, s, s+l);
+                        }
+                        live.push((start, len));
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (s, l) = live.remove(n % live.len());
+                        prop_assert!(ff.free(s, l).is_ok());
+                    }
+                }
+            }
+            let live_bytes: u64 = live.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(ff.live_bytes(), live_bytes);
+            prop_assert!(ff.live_bytes() + ff.hole_bytes() <= ff.high_water());
+            prop_assert!(ff.high_water() <= capacity);
+        }
+
+        // Draining everything retracts the top completely.
+        for (s, l) in live.drain(..) {
+            prop_assert!(ff.free(s, l).is_ok());
+        }
+        prop_assert_eq!(ff.high_water(), 0);
+        prop_assert_eq!(ff.hole_bytes(), 0);
+    }
+
+    /// The page-size resolver is total and consistent with the configured
+    /// windows: 2MB addresses fall inside some window, 4KB addresses in none.
+    #[test]
+    fn resolver_matches_windows(
+        win_start_mb in 0u64..30,
+        win_len_mb in 1u64..16,
+        probe in 0u64..(64 << 20),
+    ) {
+        let start = win_start_mb * 2 * MIB;
+        let end = (win_start_mb + win_len_mb).min(32) * 2 * MIB;
+        let spec = PoolSpec::plain(64 * MIB).with_window(start, end, PageSize::Huge2M);
+        let cfg = MosallocConfig { brk: spec, anon: PoolSpec::plain(MIB), file: PoolSpec::plain(MIB) };
+        let m = Mosalloc::new(cfg).unwrap();
+        let base = m.heap().region().start();
+        let addr = base + probe;
+        let size = m.page_size_at(addr);
+        let in_window = probe >= start && probe < end;
+        prop_assert_eq!(size == PageSize::Huge2M, in_window,
+            "probe {:#x} window [{:#x},{:#x}) got {:?}", probe, start, end, size);
+    }
+
+    /// Config specs round-trip through their textual form.
+    #[test]
+    fn config_spec_roundtrip(
+        brk_mb in 1u64..64,
+        windows in prop::collection::vec((0u64..16, 1u64..8), 0..3),
+    ) {
+        let mut spec = PoolSpec::plain(brk_mb.max(40) * MIB);
+        let mut cursor = 0;
+        for (gap, len) in windows {
+            let start = cursor + gap * 2 * MIB;
+            let end = start + len * 2 * MIB;
+            if end > spec.size { break; }
+            spec = spec.with_window(start, end, PageSize::Huge2M);
+            cursor = end;
+        }
+        let text = spec.to_string();
+        let parsed: PoolSpec = text.parse().unwrap();
+        prop_assert_eq!(spec, parsed);
+    }
+
+    /// mmap/munmap in any interleaving keeps the anonymous pool consistent:
+    /// mapped regions are disjoint, page-aligned, inside the pool.
+    #[test]
+    fn mosalloc_anon_consistency(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let cfg: MosallocConfig = "brk:size=4M;anon:size=8M;file:size=1M".parse().unwrap();
+        let mut m = Mosalloc::new(cfg).unwrap();
+        let mut mappings: Vec<Region> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Ok(r) = m.mmap_anon(len) {
+                        prop_assert!(r.start().is_aligned(PageSize::Base4K));
+                        prop_assert!(m.anon().region().contains_region(&r));
+                        for other in &mappings {
+                            prop_assert!(!r.overlaps(other));
+                        }
+                        mappings.push(r);
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !mappings.is_empty() {
+                        let r = mappings.remove(n % mappings.len());
+                        prop_assert!(m.munmap(r).is_ok());
+                    }
+                }
+            }
+        }
+        // Every live mapping resolves to the pool's backing size (4KB here).
+        for r in &mappings {
+            prop_assert_eq!(m.page_size_at(r.start()), PageSize::Base4K);
+        }
+    }
+
+    /// sbrk grow/shrink sequences keep the break inside the pool and
+    /// return values consistent with the break trajectory.
+    #[test]
+    fn heap_brk_trajectory(deltas in prop::collection::vec(-512i64..512, 1..100)) {
+        let cfg: MosallocConfig = "brk:size=1M;anon:size=1M;file:size=1M".parse().unwrap();
+        let mut m = Mosalloc::new(cfg).unwrap();
+        let base = m.heap().region().start();
+        let end = m.heap().region().end();
+        let mut expected = base;
+        for d in deltas {
+            let before = expected;
+            match m.sbrk(d * 64) {
+                Ok(old) => {
+                    let raw = before.raw() as i64 + d * 64;
+                    prop_assert_eq!(old, before);
+                    prop_assert_eq!(m.heap().brk_now(), VirtAddr::new(raw as u64));
+                }
+                Err(_) => {
+                    // Failed calls must not move the break.
+                    prop_assert_eq!(m.heap().brk_now(), before);
+                }
+            }
+            expected = m.heap().brk_now();
+            prop_assert!(expected >= base && expected <= end);
+        }
+    }
+}

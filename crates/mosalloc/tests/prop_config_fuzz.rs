@@ -1,0 +1,68 @@
+//! Fuzz-style robustness tests for the configuration parser: arbitrary
+//! input must never panic, and valid input must round-trip.
+
+use mosalloc::config::{MosallocConfig, PoolSpec};
+use proptest::prelude::*;
+use vmcore::PageSize;
+
+proptest! {
+    /// The parser is total: any string yields Ok or Err, never a panic.
+    #[test]
+    fn pool_spec_parser_never_panics(s in ".{0,120}") {
+        let _ = s.parse::<PoolSpec>();
+    }
+
+    /// Same for the full config grammar.
+    #[test]
+    fn config_parser_never_panics(s in ".{0,200}") {
+        let _ = s.parse::<MosallocConfig>();
+    }
+
+    /// Near-miss grammar (structured garbage) never panics either and
+    /// is usually rejected.
+    #[test]
+    fn structured_garbage_never_panics(
+        pool in "(brk|anon|file|heap|stack|)",
+        size in "(size=|sz=|)",
+        num in "[0-9]{0,12}",
+        suffix in "(K|M|G|KB|MB|GB|T|)",
+        win in "(,2MB=0..4M|,1GB=1G..2G|,4KB=0..1M|,2MB=4M..0|,|)",
+    ) {
+        let spec = format!("{pool}:{size}{num}{suffix}{win}");
+        let _ = spec.parse::<MosallocConfig>();
+    }
+
+    /// Every syntactically valid generated spec round-trips through its
+    /// textual form exactly.
+    #[test]
+    fn valid_specs_roundtrip(
+        size_mb in 1u64..2048,
+        windows in prop::collection::vec((0u64..32, 1u64..8, any::<bool>()), 0..4),
+    ) {
+        let mut spec = PoolSpec::plain(size_mb.max(512) << 20);
+        let mut cursor = 0u64;
+        for (gap, len, huge1g) in windows {
+            let page = if huge1g { PageSize::Huge1G } else { PageSize::Huge2M };
+            let align = page.bytes();
+            let start = (cursor + gap * (2 << 20)).next_multiple_of(align);
+            let end = start + len * align;
+            if end > spec.size {
+                break;
+            }
+            spec = spec.with_window(start, end, page);
+            cursor = end;
+        }
+        let text = spec.to_string();
+        let parsed: PoolSpec = text.parse().expect("own rendering parses");
+        prop_assert_eq!(&spec, &parsed);
+
+        // And through the full-config grammar too.
+        let cfg = MosallocConfig {
+            brk: spec,
+            anon: PoolSpec::plain(64 << 20),
+            file: PoolSpec::plain(64 << 20),
+        };
+        let parsed: MosallocConfig = cfg.to_string().parse().expect("config parses");
+        prop_assert_eq!(cfg, parsed);
+    }
+}

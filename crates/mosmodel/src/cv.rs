@@ -1,0 +1,153 @@
+//! K-fold cross-validation (paper §VI-C, Table 6).
+//!
+//! The data is split into K disjoint folds; each fold serves once as the
+//! test set while the model is fitted on the remaining K−1 folds. The
+//! reported statistic is the **maximal** relative error across all test
+//! folds, matching Table 6's "maximal cross validation errors".
+
+use crate::metrics::max_err;
+use crate::models::ModelKind;
+use crate::{Dataset, FitError};
+
+/// Result of one cross-validation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CvReport {
+    /// Maximal relative error across all K test folds.
+    pub max_err: f64,
+    /// Number of folds actually evaluated (folds whose training set could
+    /// not fit the model are skipped and counted here).
+    pub folds_evaluated: usize,
+    /// Folds skipped because fitting failed (e.g. anchors landed in the
+    /// test fold for an anchor-determined model).
+    pub folds_skipped: usize,
+}
+
+/// Runs deterministic K-fold cross-validation of `model` over `data`.
+///
+/// Fold assignment is round-robin by sample index (sample `i` belongs to
+/// fold `i % k`), making reports reproducible without an RNG. This also
+/// interleaves the layout battery's structure across folds, so every
+/// training set spans the full range of walk-cycle values.
+///
+/// # Errors
+///
+/// Returns the underlying [`FitError`] if *every* fold fails to fit.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > data.len()`.
+pub fn k_fold(model: ModelKind, data: &Dataset, k: usize) -> Result<CvReport, FitError> {
+    assert!(k >= 2, "cross-validation needs at least 2 folds");
+    assert!(k <= data.len(), "more folds than samples");
+    let mut worst = 0.0f64;
+    let mut evaluated = 0;
+    let mut skipped = 0;
+    let mut last_err = None;
+    for fold in 0..k {
+        let train_idx: Vec<usize> =
+            (0..data.len()).filter(|i| i % k != fold).collect();
+        let test_idx: Vec<usize> = (0..data.len()).filter(|i| i % k == fold).collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        match model.fit(&train) {
+            Ok(fitted) => {
+                worst = worst.max(max_err(&fitted, &test));
+                evaluated += 1;
+            }
+            Err(e) => {
+                skipped += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    if evaluated == 0 {
+        return Err(last_err.expect("k >= 2 folds attempted"));
+    }
+    Ok(CvReport { max_err: worst, folds_evaluated: evaluated, folds_skipped: skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{LayoutKind, Sample};
+
+    fn linear_data(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                let c = 1e6 * i as f64;
+                let kind = match i {
+                    0 => LayoutKind::All2M,
+                    x if x == n - 1 => LayoutKind::All4K,
+                    _ => LayoutKind::Mixed,
+                };
+                Sample { r: 1e9 + 0.7 * c, h: 1.0, m: i as f64, c, kind }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_model_has_zero_cv_error() {
+        let data = linear_data(54);
+        let report = k_fold(ModelKind::Poly1, &data, 6).unwrap();
+        assert!(report.max_err < 1e-9, "cv error {}", report.max_err);
+        assert_eq!(report.folds_evaluated, 6);
+        assert_eq!(report.folds_skipped, 0);
+    }
+
+    #[test]
+    fn cv_error_at_least_training_error_for_curved_data() {
+        // Quadratic data, linear model: CV error should be nonzero and at
+        // least as large as some in-fold errors.
+        let data: Dataset = (0..54)
+            .map(|i| {
+                let c = 1e6 * i as f64;
+                Sample {
+                    r: 1e9 + 0.5 * c + 3e-8 * c * c,
+                    h: 0.0,
+                    m: 0.0,
+                    c,
+                    kind: LayoutKind::Mixed,
+                }
+            })
+            .collect();
+        let cv1 = k_fold(ModelKind::Poly1, &data, 6).unwrap();
+        let cv2 = k_fold(ModelKind::Poly2, &data, 6).unwrap();
+        assert!(cv1.max_err > cv2.max_err, "poly2 should generalize better on a parabola");
+        assert!(cv2.max_err < 1e-6);
+    }
+
+    #[test]
+    fn anchor_models_skip_folds_containing_their_anchors() {
+        let data = linear_data(10);
+        // The 4KB anchor is sample 9, the 2MB anchor sample 0. With k=5,
+        // fold 0 holds sample 0 and fold 4 holds sample 9: Yaniv cannot be
+        // fitted when either anchor is held out.
+        let report = k_fold(ModelKind::Yaniv, &data, 5).unwrap();
+        assert_eq!(report.folds_skipped, 2);
+        assert_eq!(report.folds_evaluated, 3);
+    }
+
+    #[test]
+    fn all_folds_failing_returns_error() {
+        // No anchors at all: every Basu fold fails.
+        let data: Dataset = (0..8)
+            .map(|i| Sample {
+                r: i as f64 + 1.0,
+                h: 0.0,
+                m: 1.0,
+                c: 1.0,
+                kind: LayoutKind::Mixed,
+            })
+            .collect();
+        assert!(matches!(
+            k_fold(ModelKind::Basu, &data, 4),
+            Err(FitError::MissingAnchor(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k_one_panics() {
+        k_fold(ModelKind::Poly1, &linear_data(10), 1).unwrap();
+    }
+}

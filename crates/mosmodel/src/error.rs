@@ -1,0 +1,58 @@
+//! Model-fitting errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a model could not be fitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// The dataset lacks the anchor layout a preexisting model needs
+    /// (all-4KB or all-2MB run).
+    MissingAnchor(&'static str),
+    /// Too few samples for the requested regression.
+    TooFewSamples {
+        /// Samples required.
+        needed: usize,
+        /// Samples present.
+        got: usize,
+    },
+    /// The design matrix was numerically singular even after
+    /// regularization.
+    Singular,
+    /// An anchor measurement makes the model's parameters undefined
+    /// (e.g. zero TLB misses in the 4KB run for Basu's slope).
+    DegenerateAnchor(&'static str),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::MissingAnchor(which) => {
+                write!(f, "dataset lacks the required {which} anchor layout")
+            }
+            FitError::TooFewSamples { needed, got } => {
+                write!(f, "regression needs at least {needed} samples, got {got}")
+            }
+            FitError::Singular => write!(f, "design matrix is singular"),
+            FitError::DegenerateAnchor(what) => {
+                write!(f, "anchor measurement degenerate: {what}")
+            }
+        }
+    }
+}
+
+impl Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(FitError::MissingAnchor("4KB").to_string().contains("4KB"));
+        assert!(FitError::TooFewSamples { needed: 4, got: 1 }.to_string().contains('4'));
+        fn is_err<E: Error + Send + Sync>() {}
+        is_err::<FitError>();
+    }
+}

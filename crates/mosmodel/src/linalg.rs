@@ -1,0 +1,359 @@
+//! Dense linear algebra: just enough for least squares.
+//!
+//! Implements row-major matrices, Cholesky factorization of symmetric
+//! positive-definite systems, and a ridge-stabilized normal-equations
+//! least-squares solver. No external numerics crates are used anywhere in
+//! the workspace.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use mosmodel::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a.get(1, 0), 3.0);
+/// let at = a.transpose();
+/// assert_eq!(at.get(0, 1), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or the matrix is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "empty matrix");
+        let cols = rows[0].len();
+        assert!(cols > 0, "empty rows");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Solves the symmetric positive-definite system `A x = b` by Cholesky
+/// factorization. Returns `None` when `A` is not positive definite.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b` has the wrong length.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    let n = a.rows();
+    // Cholesky: A = L Lᵀ, stored in `l` (lower triangle).
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// Ridge regression `min ||X w - y||² + λ||w||²` via normal equations.
+///
+/// With λ near the Gram diagonal's scale this is substantial shrinkage;
+/// tiny λ recovers ordinary least squares. Returns `None` when the
+/// system is numerically singular even after the ridge.
+///
+/// # Panics
+///
+/// Panics if `X` and `y` have different row counts or `lambda` is
+/// negative.
+pub fn lstsq_ridge(x: &Matrix, y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(x.rows(), y.len(), "row mismatch");
+    assert!(lambda >= 0.0, "negative ridge");
+    let xt = x.transpose();
+    let gram = xt.matmul(x);
+    let rhs = xt.matvec(y);
+    let n = gram.rows();
+    let scale = (0..n).map(|i| gram.get(i, i)).fold(0.0f64, f64::max).max(1.0);
+    let mut ridge = lambda.max(1e-10 * scale);
+    for _ in 0..8 {
+        let mut reg = gram.clone();
+        for i in 0..n {
+            reg.set(i, i, reg.get(i, i) + ridge);
+        }
+        if let Some(w) = solve_spd(&reg, &rhs) {
+            return Some(w);
+        }
+        ridge *= 100.0;
+    }
+    None
+}
+
+/// Least squares `min ||X w - y||²` via ridge-stabilized normal equations.
+///
+/// A tiny ridge (`1e-10` relative to the Gram diagonal) is added and grown
+/// by factors of 100 until the system is positive definite, so collinear
+/// feature sets degrade gracefully instead of failing.
+///
+/// Returns `None` only if the system stays singular at extreme ridge.
+///
+/// # Panics
+///
+/// Panics if `X` and `y` have different row counts.
+pub fn lstsq(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(x.rows(), y.len(), "row mismatch");
+    let xt = x.transpose();
+    let mut gram = xt.matmul(x);
+    let rhs = xt.matvec(y);
+    let n = gram.rows();
+    let scale = (0..n).map(|i| gram.get(i, i)).fold(0.0f64, f64::max).max(1.0);
+    let mut ridge = 1e-10 * scale;
+    for _ in 0..8 {
+        let mut reg = gram.clone();
+        for i in 0..n {
+            reg.set(i, i, reg.get(i, i) + ridge);
+        }
+        if let Some(w) = solve_spd(&reg, &rhs) {
+            return Some(w);
+        }
+        ridge *= 100.0;
+    }
+    // Give the caller a deterministic answer even for wild inputs.
+    for i in 0..n {
+        let v = gram.get(i, i);
+        gram.set(i, i, v + scale);
+    }
+    solve_spd(&gram, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x = solve_spd(&a, &[10.0, 9.0]).unwrap();
+        assert_close(&x, &[1.5, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_line() {
+        // y = 3 + 2x on 5 points, X = [1, x].
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = xs.iter().map(|&v| 3.0 + 2.0 * v).collect();
+        let w = lstsq(&x, &y).unwrap();
+        assert_close(&w, &[3.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_minimizes_residual() {
+        // Noisy data; residual of solution must not exceed residual of a
+        // perturbed candidate.
+        let pts = [(0.0, 1.1), (1.0, 2.9), (2.0, 5.2), (3.0, 6.8), (4.0, 9.1)];
+        let rows: Vec<Vec<f64>> = pts.iter().map(|&(x, _)| vec![1.0, x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let xm = Matrix::from_rows(&refs);
+        let y: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
+        let w = lstsq(&xm, &y).unwrap();
+        let res = |w: &[f64]| -> f64 {
+            pts.iter().map(|&(x, v)| (w[0] + w[1] * x - v).powi(2)).sum()
+        };
+        let base = res(&w);
+        for d in [[0.01, 0.0], [0.0, 0.01], [-0.01, 0.01]] {
+            let cand = [w[0] + d[0], w[1] + d[1]];
+            assert!(res(&cand) >= base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lstsq_survives_collinear_features() {
+        // Second and third columns identical: ridge fallback must cope.
+        let rows: Vec<Vec<f64>> =
+            (0..6).map(|i| vec![1.0, i as f64, i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = (0..6).map(|i| 1.0 + 4.0 * i as f64).collect();
+        let w = lstsq(&x, &y).unwrap();
+        // Predictions must still be right even if the split between the
+        // duplicate columns is arbitrary.
+        for i in 0..6 {
+            let pred = w[0] + (w[1] + w[2]) * i as f64;
+            assert!((pred - (1.0 + 4.0 * i as f64)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Input-variable selection (paper §VII-C, Table 8).
+//!
+//! "There is no reason to expect that one specific metric would
+//! consistently outperform the rest as a runtime predictor across all
+//! workloads" — the paper quantifies each input's explanatory power with
+//! the R² of its single-variable linear regressor, and lets Lasso pick
+//! the inputs per workload. This module exposes that ranking directly.
+
+use crate::metrics::r_squared;
+use crate::poly::Var;
+use crate::Dataset;
+
+/// R² of each input's single-variable linear regressor, best first.
+///
+/// # Example
+///
+/// ```
+/// use mosmodel::dataset::{Dataset, LayoutKind, Sample};
+/// use mosmodel::poly::Var;
+/// use mosmodel::select::rank_inputs;
+///
+/// // Runtime driven purely by walk cycles.
+/// let ds: Dataset = (0..20)
+///     .map(|i| {
+///         let c = 1e6 * i as f64;
+///         Sample { r: 1e9 + c, h: ((i * 7) % 20) as f64, m: 3.0, c, kind: LayoutKind::Mixed }
+///     })
+///     .collect();
+/// let ranked = rank_inputs(&ds);
+/// assert_eq!(ranked[0].0, Var::C);
+/// assert!(ranked[0].1 > 0.99);
+/// ```
+pub fn rank_inputs(data: &Dataset) -> Vec<(Var, f64)> {
+    let mut scores: Vec<(Var, f64)> = [Var::C, Var::M, Var::H]
+        .into_iter()
+        .map(|v| (v, r_squared(data, v)))
+        .collect();
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scores
+}
+
+/// The single most explanatory input for this dataset.
+///
+/// Returns `Var::C` for an empty or constant dataset (the paper's
+/// default: walk cycles are the conventional choice).
+pub fn best_single_input(data: &Dataset) -> Var {
+    rank_inputs(data)
+        .into_iter()
+        .next()
+        .filter(|(_, r2)| *r2 > 0.0)
+        .map_or(Var::C, |(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{LayoutKind, Sample};
+
+    fn driven_by(f: impl Fn(usize) -> (f64, f64, f64, f64)) -> Dataset {
+        (0..30)
+            .map(|i| {
+                let (h, m, c, r) = f(i);
+                Sample { r, h, m, c, kind: LayoutKind::Mixed }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_c_when_c_drives_runtime() {
+        let ds = driven_by(|i| {
+            let c = 1e5 * i as f64;
+            (((i * 13) % 30) as f64, ((i * 7) % 30) as f64, c, 1e8 + 2.0 * c)
+        });
+        assert_eq!(best_single_input(&ds), Var::C);
+    }
+
+    #[test]
+    fn picks_h_when_h_drives_runtime() {
+        let ds = driven_by(|i| {
+            let h = 1e4 * i as f64;
+            (h, ((i * 13) % 30) as f64, ((i * 7) % 30) as f64, 1e8 + 7.0 * h)
+        });
+        assert_eq!(best_single_input(&ds), Var::H);
+    }
+
+    #[test]
+    fn ranking_is_sorted_descending() {
+        let ds = driven_by(|i| {
+            let c = 1e5 * i as f64;
+            (0.0, c / 10.0 + (i % 3) as f64 * 1e3, c, 1e8 + c)
+        });
+        let ranked = rank_inputs(&ds);
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn degenerate_dataset_defaults_to_c() {
+        let flat = driven_by(|_| (1.0, 2.0, 3.0, 4.0));
+        assert_eq!(best_single_input(&flat), Var::C);
+        assert_eq!(best_single_input(&Dataset::new()), Var::C);
+    }
+}

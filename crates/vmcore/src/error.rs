@@ -1,0 +1,89 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Region;
+
+/// Errors raised while constructing or parsing a [`crate::MemoryLayout`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A window is not contained in the pool region.
+    WindowOutsidePool {
+        /// The offending window.
+        window: Region,
+        /// The pool it must fit in.
+        pool: Region,
+    },
+    /// Two windows overlap.
+    OverlappingWindows(Region, Region),
+    /// A window's bounds are not aligned to its page size.
+    Misaligned {
+        /// The offending window.
+        window: Region,
+        /// Required alignment.
+        required: crate::PageSize,
+    },
+    /// A page-size string could not be parsed.
+    BadPageSize(String),
+    /// A layout specification string could not be parsed.
+    BadSpec(String),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::WindowOutsidePool { window, pool } => {
+                write!(f, "window {window} not contained in pool {pool}")
+            }
+            LayoutError::OverlappingWindows(a, b) => {
+                write!(f, "layout windows {a} and {b} overlap")
+            }
+            LayoutError::Misaligned { window, required } => {
+                write!(f, "window {window} not aligned to its {required} page size")
+            }
+            LayoutError::BadPageSize(s) => write!(f, "unrecognized page size {s:?}"),
+            LayoutError::BadSpec(s) => write!(f, "malformed layout spec: {s}"),
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PageSize, VirtAddr};
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<LayoutError> = vec![
+            LayoutError::WindowOutsidePool {
+                window: Region::new(VirtAddr::new(0), 1),
+                pool: Region::new(VirtAddr::new(0), 1),
+            },
+            LayoutError::OverlappingWindows(
+                Region::new(VirtAddr::new(0), 1),
+                Region::new(VirtAddr::new(0), 1),
+            ),
+            LayoutError::Misaligned {
+                window: Region::new(VirtAddr::new(0), 1),
+                required: PageSize::Huge2M,
+            },
+            LayoutError::BadPageSize("7MB".into()),
+            LayoutError::BadSpec("oops".into()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<LayoutError>();
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the core domain types.
+
+use proptest::prelude::*;
+use vmcore::{MemoryLayout, PageSize, Region, VirtAddr};
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    (0u64..(1 << 40), 0u64..(1 << 32))
+        .prop_map(|(start, len)| Region::new(VirtAddr::new(start), len))
+}
+
+fn size_strategy() -> impl Strategy<Value = PageSize> {
+    (0usize..3).prop_map(|i| PageSize::ALL[i])
+}
+
+proptest! {
+    /// Intersection is commutative, contained in both operands, and
+    /// agrees with `overlaps`.
+    #[test]
+    fn intersection_properties(a in region_strategy(), b in region_strategy()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.is_some(), a.overlaps(&b));
+        if let Some(i) = ab {
+            prop_assert!(a.contains_region(&i));
+            prop_assert!(b.contains_region(&i));
+            prop_assert!(!i.is_empty());
+        }
+    }
+
+    /// Outward alignment contains the region; inward alignment is
+    /// contained by it; both are aligned.
+    #[test]
+    fn alignment_sandwich(r in region_strategy(), size in size_strategy()) {
+        let out = r.align_outward(size);
+        prop_assert!(out.is_aligned(size));
+        prop_assert!(out.contains_region(&r));
+        // Outward alignment adds less than one page on each side.
+        prop_assert!(out.len() < r.len() + 2 * size.bytes());
+        let inw = r.align_inward(size);
+        prop_assert!(r.contains_region(&inw));
+        if !inw.is_empty() {
+            prop_assert!(inw.is_aligned(size));
+        }
+    }
+
+    /// `pages()` tiles exactly the outward-aligned region, in order,
+    /// without gaps.
+    #[test]
+    fn pages_tile_the_region(start_page in 0u64..(1 << 20), len in 1u64..(1 << 24), size in size_strategy()) {
+        let r = Region::new(VirtAddr::new(start_page << 12), len);
+        let pages: Vec<VirtAddr> = r.pages(size).collect();
+        prop_assert!(!pages.is_empty());
+        prop_assert_eq!(pages[0], r.start().align_down(size));
+        for w in pages.windows(2) {
+            prop_assert_eq!(w[1] - w[0], size.bytes());
+        }
+        let last = *pages.last().unwrap();
+        prop_assert!(last < r.end());
+        prop_assert!(last + size.bytes() >= r.end().raw().into());
+    }
+
+    /// A layout's byte accounting always partitions the pool exactly,
+    /// and the resolver agrees with the accounting.
+    #[test]
+    fn layout_accounting_partitions(
+        pool_len_mb in 8u64..256,
+        w1 in (0u64..64, 1u64..32),
+        w2 in (64u64..128, 1u64..32),
+    ) {
+        let pool = Region::new(VirtAddr::new(0x100_0000_0000), pool_len_mb << 20);
+        let mk = |(start_mb, len_mb): (u64, u64)| {
+            Region::new(pool.start() + (start_mb << 21), len_mb << 21)
+        };
+        let builder = MemoryLayout::builder(pool);
+        let Ok(builder) = builder.window(mk(w1), PageSize::Huge2M) else { return Ok(()) };
+        let Ok(builder) = builder.window(mk(w2), PageSize::Huge2M) else { return Ok(()) };
+        let Ok(layout) = builder.build() else { return Ok(()) };
+
+        let total: u64 = PageSize::ALL.iter().map(|&s| layout.bytes_backed_by(s)).sum();
+        prop_assert_eq!(total, pool.len());
+
+        // Sample the resolver against the accounting: count 2MB-resolved
+        // probes over an even grid and compare to the byte fraction.
+        let probes = 256u64;
+        let step = pool.len() / probes;
+        let huge_probes = (0..probes)
+            .filter(|i| {
+                layout.page_size_at(pool.start() + i * step + step / 2) == PageSize::Huge2M
+            })
+            .count() as f64;
+        let frac_resolved = huge_probes / probes as f64;
+        let frac_accounted = layout.bytes_backed_by(PageSize::Huge2M) as f64 / pool.len() as f64;
+        prop_assert!(
+            (frac_resolved - frac_accounted).abs() < 0.1,
+            "resolver {frac_resolved} vs accounting {frac_accounted}"
+        );
+    }
+
+    /// Page-number/align identities hold for all addresses and sizes.
+    #[test]
+    fn address_identities(raw in 0u64..(1 << 47), size in size_strategy()) {
+        let va = VirtAddr::new(raw);
+        prop_assert_eq!(
+            va.page_number(size) * size.bytes() + va.offset_in(size),
+            raw
+        );
+        prop_assert_eq!(va.align_down(size).raw() % size.bytes(), 0);
+        prop_assert!(va.align_down(size) <= va);
+        prop_assert!(va.align_up(size) >= va);
+        prop_assert!(va.align_up(size) - va.align_down(size) <= size.bytes());
+    }
+}

@@ -1,0 +1,126 @@
+//! Graph500-like BFS over an implicit RMAT graph.
+//!
+//! Graph500 builds a compressed Kronecker (RMAT) graph and runs BFS from
+//! random roots. Its memory behaviour alternates between sequential
+//! frontier scans and heavily skewed random vertex lookups — hub vertices
+//! are touched constantly. The paper observes that for graph500, 80% of
+//! TLB misses originate from the heap's highest 80MB (§VI-B); the trace
+//! reproduces this by placing the hot (hub) end of the vertex array at the
+//! **top** of the arena.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmcore::Region;
+
+use crate::sampler::{jitter_gap, PowerLaw};
+use crate::{Access, TraceParams};
+
+/// Ratio of sequential (edge-scan) accesses to random (vertex-lookup)
+/// accesses in one BFS step.
+const SCAN_RUN: u32 = 6;
+
+/// Streaming graph500 BFS trace.
+#[derive(Debug)]
+pub struct Graph500Trace {
+    rng: StdRng,
+    /// Edge array: lower ~3/4 of the arena, scanned sequentially.
+    edges: Region,
+    /// Vertex array: top ~1/4 of the arena, sampled with power-law skew
+    /// toward the highest addresses (hub vertices).
+    vertices: Region,
+    law: PowerLaw,
+    remaining: u64,
+    cursor: u64,
+    run: u32,
+}
+
+impl Graph500Trace {
+    /// Creates the trace.
+    pub fn new(params: &TraceParams) -> Self {
+        let arena = params.arena;
+        let vertex_len = arena.len() / 4;
+        let edges = Region::new(arena.start(), arena.len() - vertex_len);
+        let vertices = Region::new(arena.start() + edges.len(), vertex_len);
+        let vertex_count = (vertices.len() / 8).max(1);
+        Graph500Trace {
+            rng: StdRng::seed_from_u64(params.seed ^ 0x67_7235_3030),
+            edges,
+            vertices,
+            law: PowerLaw::new(vertex_count, 3.0),
+            remaining: params.accesses,
+            cursor: 0,
+            run: 0,
+        }
+    }
+}
+
+impl Iterator for Graph500Trace {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+
+        if self.run < SCAN_RUN {
+            // Sequential edge scan (the CSR adjacency walk).
+            self.run += 1;
+            let addr = self.edges.start() + (self.cursor % (self.edges.len() / 8)) * 8;
+            self.cursor += 1;
+            Some(Access::read(addr, jitter_gap(&mut self.rng, 3)))
+        } else {
+            // Random neighbour visit: power-law skewed; index 0 = hottest
+            // hub, mapped to the TOP of the vertex array so the hot region
+            // sits at the heap's highest addresses as in the paper.
+            self.run = 0;
+            let idx = self.law.sample(&mut self.rng);
+            let top_idx = self.law.n() - 1 - idx;
+            let addr = self.vertices.start() + top_idx * 8;
+            Some(Access::write(addr, jitter_gap(&mut self.rng, 8)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::{VirtAddr, MIB};
+
+    fn params() -> TraceParams {
+        TraceParams::new(Region::new(VirtAddr::new(0x3_0000_0000), 128 * MIB), 50_000, 3)
+    }
+
+    #[test]
+    fn in_arena_and_counted() {
+        let p = params();
+        let v: Vec<_> = Graph500Trace::new(&p).collect();
+        assert_eq!(v.len(), 50_000);
+        assert!(v.iter().all(|a| p.arena.contains(a.addr)));
+    }
+
+    #[test]
+    fn hot_region_at_top_of_heap() {
+        // Random vertex accesses should concentrate in the arena's top
+        // slice, mirroring the paper's graph500 observation.
+        let p = params();
+        let vertex_start = p.arena.start() + p.arena.len() * 3 / 4;
+        let top_slice = p.arena.start() + (p.arena.len() - p.arena.len() / 16);
+        let vertex_accesses: Vec<_> = Graph500Trace::new(&p)
+            .filter(|a| a.addr >= vertex_start)
+            .collect();
+        let in_top = vertex_accesses.iter().filter(|a| a.addr >= top_slice).count();
+        let frac = in_top as f64 / vertex_accesses.len() as f64;
+        assert!(frac > 0.5, "only {:.0}% of vertex accesses in the top slice", frac * 100.0);
+    }
+
+    #[test]
+    fn mixes_sequential_and_random() {
+        let p = params();
+        let v: Vec<_> = Graph500Trace::new(&p).take(700).collect();
+        let seq = v.iter().filter(|a| !a.write).count();
+        let rand = v.iter().filter(|a| a.write).count();
+        assert!(seq > 4 * rand, "scan-to-visit ratio should be ~{SCAN_RUN}:1 ({seq}/{rand})");
+        assert!(rand > 50);
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthetic benchmark workloads mirroring the paper's Table 5.
+//!
+//! The paper measures real binaries (SPEC CPU2006/2017, GUPS, XSBench,
+//! Graph500, GAPBS). Those binaries and their inputs are not available
+//! here, so this crate generates *memory-access traces with the same
+//! character*: footprints, locality structure, pointer-dependency, and the
+//! distribution of TLB misses over the address space follow each
+//! benchmark's published behaviour. Runtime models are per-workload curve
+//! fits, so what the study needs from a workload is exactly this response
+//! surface — not its arithmetic.
+//!
+//! Every generator is a deterministic, seeded, **streaming** iterator: a
+//! multi-gigabyte footprint costs no memory to trace.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{registry, TraceParams};
+//! use vmcore::{Region, VirtAddr};
+//!
+//! let spec = registry().into_iter().find(|s| s.name == "gups/8GB").unwrap();
+//! let arena = Region::new(VirtAddr::new(0x1000_0000_0000), spec.nominal_footprint / 64);
+//! let params = TraceParams { arena, accesses: 1000, seed: 42 };
+//! let trace: Vec<_> = spec.trace(&params).collect();
+//! assert_eq!(trace.len(), 1000);
+//! assert!(trace.iter().all(|a| arena.contains(a.addr)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gapbs;
+pub mod graph500;
+pub mod gups;
+mod registry;
+mod sampler;
+pub mod sampling;
+pub mod spec;
+mod trace;
+pub mod xsbench;
+
+pub use gapbs::{GapbsTrace, GraphKind, Kernel};
+pub use graph500::Graph500Trace;
+pub use gups::GupsTrace;
+pub use registry::{registry, Suite, WorkloadSpec};
+pub use sampler::PowerLaw;
+pub use spec::{McfTrace, OmnetppTrace, XalancbmkTrace};
+pub use trace::{Access, TraceParams};
+pub use xsbench::XsBenchTrace;

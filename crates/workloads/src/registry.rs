@@ -1,0 +1,178 @@
+//! The workload registry: all 19 TLB-sensitive benchmarks of paper
+//! Table 5, with their nominal footprints and trace constructors.
+
+use vmcore::GIB;
+
+use crate::gapbs::{GapbsTrace, GraphKind, Kernel};
+use crate::graph500::Graph500Trace;
+use crate::gups::GupsTrace;
+use crate::spec::{McfTrace, OmnetppTrace, XalancbmkTrace};
+use crate::xsbench::XsBenchTrace;
+use crate::{Access, TraceParams};
+
+/// Benchmark suite, for grouping in reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006.
+    Spec06,
+    /// SPEC CPU2017.
+    Spec17,
+    /// Graph500 reference BFS.
+    Graph500,
+    /// HPCC RandomAccess.
+    Gups,
+    /// XSBench Monte Carlo kernel.
+    XsBench,
+    /// GAP benchmark suite.
+    Gapbs,
+}
+
+/// What kind of generator backs a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Generator {
+    Gups,
+    XsBench,
+    Graph500,
+    Gapbs(Kernel, GraphKind),
+    Mcf,
+    Omnetpp,
+    Xalancbmk,
+}
+
+/// One registered workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Identifier as printed in the paper's figures, e.g. `"gups/16GB"`.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The footprint the real benchmark uses (bytes). Experiments may
+    /// scale this down uniformly; TLB pressure survives scaling because
+    /// working sets stay far above TLB reach.
+    pub nominal_footprint: u64,
+    /// Relative trace length (1.0 = the standard access budget).
+    pub access_factor: f64,
+    generator: Generator,
+}
+
+impl WorkloadSpec {
+    /// Builds the streaming trace for this workload.
+    pub fn trace(&self, params: &TraceParams) -> Box<dyn Iterator<Item = Access>> {
+        match self.generator {
+            Generator::Gups => Box::new(GupsTrace::new(params)),
+            Generator::XsBench => Box::new(XsBenchTrace::new(params)),
+            Generator::Graph500 => Box::new(Graph500Trace::new(params)),
+            Generator::Gapbs(kernel, graph) => Box::new(GapbsTrace::new(kernel, graph, params)),
+            Generator::Mcf => Box::new(McfTrace::new(params)),
+            Generator::Omnetpp => Box::new(OmnetppTrace::new(params)),
+            Generator::Xalancbmk => Box::new(XalancbmkTrace::new(params)),
+        }
+    }
+
+    /// Looks up a workload by its name.
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        registry().into_iter().find(|w| w.name == name)
+    }
+}
+
+/// All 19 workloads of paper Table 5 / Figure 5.
+pub fn registry() -> Vec<WorkloadSpec> {
+    use Generator as G;
+    use Suite as S;
+    let spec = |name, suite, footprint, access_factor, generator| WorkloadSpec {
+        name,
+        suite,
+        nominal_footprint: footprint,
+        access_factor,
+        generator,
+    };
+    vec![
+        spec("gups/8GB", S::Gups, 8 * GIB, 1.0, G::Gups),
+        spec("gups/16GB", S::Gups, 16 * GIB, 1.0, G::Gups),
+        spec("gups/32GB", S::Gups, 32 * GIB, 1.0, G::Gups),
+        spec("graph500/2GB", S::Graph500, 2 * GIB, 1.2, G::Graph500),
+        spec("graph500/4GB", S::Graph500, 4 * GIB, 1.2, G::Graph500),
+        spec("graph500/8GB", S::Graph500, 8 * GIB, 1.2, G::Graph500),
+        spec("spec06/mcf", S::Spec06, 1700 * (GIB / 1024), 1.0, G::Mcf),
+        spec("spec06/omnetpp", S::Spec06, 160 * (GIB / 1024), 1.0, G::Omnetpp),
+        spec("spec17/omnetpp_s", S::Spec17, 250 * (GIB / 1024), 1.0, G::Omnetpp),
+        spec("spec17/xalancbmk_s", S::Spec17, 475 * (GIB / 1024), 1.0, G::Xalancbmk),
+        spec("xsbench/4GB", S::XsBench, 4 * GIB, 1.0, G::XsBench),
+        spec("xsbench/8GB", S::XsBench, 8 * GIB, 1.0, G::XsBench),
+        spec("xsbench/16GB", S::XsBench, 16 * GIB, 1.0, G::XsBench),
+        spec("gapbs/bc-twitter", S::Gapbs, 12 * GIB, 1.0, G::Gapbs(Kernel::Bc, GraphKind::Twitter)),
+        spec("gapbs/bfs-road", S::Gapbs, 15 * GIB / 10, 1.0, G::Gapbs(Kernel::Bfs, GraphKind::Road)),
+        spec("gapbs/bfs-twitter", S::Gapbs, 12 * GIB, 1.0, G::Gapbs(Kernel::Bfs, GraphKind::Twitter)),
+        spec("gapbs/pr-twitter", S::Gapbs, 12 * GIB, 1.0, G::Gapbs(Kernel::Pr, GraphKind::Twitter)),
+        spec("gapbs/sssp-twitter", S::Gapbs, 14 * GIB, 1.0, G::Gapbs(Kernel::Sssp, GraphKind::Twitter)),
+        spec("gapbs/sssp-web", S::Gapbs, 8 * GIB, 1.0, G::Gapbs(Kernel::Sssp, GraphKind::Web)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::{Region, VirtAddr, MIB};
+
+    #[test]
+    fn registry_has_all_19_paper_workloads() {
+        let names: Vec<&str> = registry().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 19);
+        for expected in [
+            "gups/8GB",
+            "gups/16GB",
+            "gups/32GB",
+            "graph500/2GB",
+            "graph500/4GB",
+            "graph500/8GB",
+            "spec06/mcf",
+            "spec06/omnetpp",
+            "spec17/omnetpp_s",
+            "spec17/xalancbmk_s",
+            "xsbench/4GB",
+            "xsbench/8GB",
+            "xsbench/16GB",
+            "gapbs/bc-twitter",
+            "gapbs/bfs-road",
+            "gapbs/bfs-twitter",
+            "gapbs/pr-twitter",
+            "gapbs/sssp-twitter",
+            "gapbs/sssp-web",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = registry().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+    }
+
+    #[test]
+    fn every_workload_produces_a_valid_trace() {
+        let arena = Region::new(VirtAddr::new(0x10_0000_0000), 64 * MIB);
+        let params = TraceParams::new(arena, 2000, 1);
+        for w in registry() {
+            let v: Vec<Access> = w.trace(&params).collect();
+            assert_eq!(v.len(), 2000, "{}", w.name);
+            assert!(v.iter().all(|a| arena.contains(a.addr)), "{} escaped", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(WorkloadSpec::by_name("spec06/mcf").is_some());
+        assert!(WorkloadSpec::by_name("spec06/bzip2").is_none());
+    }
+
+    #[test]
+    fn footprints_match_paper_scale() {
+        let fp = |n| WorkloadSpec::by_name(n).unwrap().nominal_footprint;
+        assert_eq!(fp("gups/32GB"), 32 * GIB);
+        assert!(fp("spec17/xalancbmk_s") < GIB, "xalancbmk is 475MB");
+        assert!(fp("gapbs/bfs-road") < 2 * GIB);
+    }
+}

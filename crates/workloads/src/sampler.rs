@@ -1,0 +1,123 @@
+//! Index samplers shared by the trace generators.
+
+use rand::Rng;
+
+/// A cheap power-law (Zipf-like) sampler over `0..n`.
+///
+/// Drawing `u ~ U(0,1)` and returning `floor(n * u^theta)` concentrates
+/// mass near index 0: a fraction `f^(1/theta)` of draws lands in the first
+/// `f` of the range (with `theta = 3`, ~46% of draws hit the first 10%).
+/// Graph workloads use this to model hub vertices,
+/// which is also what produces the paper's observation that TLB misses
+/// concentrate in a small "hot region" of the heap (§VI-B).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workloads::PowerLaw;
+///
+/// let law = PowerLaw::new(1000, 3.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let hits_head = (0..1000).filter(|_| law.sample(&mut rng) < 100).count();
+/// // ~46% expected in the first 10% of the range; uniform would give ~10%.
+/// assert!(hits_head > 300, "power law concentrates near zero: {hits_head}");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLaw {
+    n: u64,
+    theta: f64,
+}
+
+impl PowerLaw {
+    /// Creates a sampler over `0..n` with skew exponent `theta >= 1`
+    /// (`theta = 1` is uniform; larger is more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 1.0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty range");
+        assert!(theta >= 1.0, "theta must be >= 1");
+        PowerLaw { n, theta }
+    }
+
+    /// The range size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one index in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen::<f64>();
+        let idx = (self.n as f64 * u.powf(self.theta)) as u64;
+        idx.min(self.n - 1)
+    }
+}
+
+/// Bounded jitter around a base instruction gap, giving traces a natural
+/// variance without changing the mean much.
+pub(crate) fn jitter_gap<R: Rng>(rng: &mut R, base: u32) -> u32 {
+    if base == 0 {
+        return 0;
+    }
+    let spread = (base / 2).max(1);
+    base - spread / 2 + rng.gen_range(0..=spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_stays_in_range() {
+        let law = PowerLaw::new(100, 2.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(law.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn theta_one_is_roughly_uniform() {
+        let law = PowerLaw::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[law.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8000..12000).contains(&c), "bucket count {c} not near uniform");
+        }
+    }
+
+    #[test]
+    fn larger_theta_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let head = |theta: f64, rng: &mut StdRng| {
+            let law = PowerLaw::new(1000, theta);
+            (0..20_000).filter(|_| law.sample(rng) < 50).count()
+        };
+        let h2 = head(2.0, &mut rng);
+        let h5 = head(5.0, &mut rng);
+        assert!(h5 > h2, "theta=5 head {h5} should exceed theta=2 head {h2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_range_panics() {
+        PowerLaw::new(0, 2.0);
+    }
+
+    #[test]
+    fn jitter_brackets_base() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let g = jitter_gap(&mut rng, 10);
+            assert!((8..=15).contains(&g), "gap {g}");
+        }
+        assert_eq!(jitter_gap(&mut rng, 0), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace sampling (paper §II-C).
+//!
+//! Full simulations of real workloads are too slow, so studies sample the
+//! instruction stream. The common practice the paper critiques is
+//! **blind sampling**: "fast-forward a few billions of instructions of
+//! the workload and then simulate another few billions" — which "might
+//! be nonrepresentative, because it ignores the time varying behavior of
+//! real workloads" (SimPoint measured 80% average error for it).
+//!
+//! This module implements blind sampling and a simple **multi-window**
+//! variant (periodic windows across the whole trace, a cheap phase-aware
+//! improvement), so the claim can be measured against our workloads —
+//! see the `ablation_sampling` bench.
+
+use crate::Access;
+
+/// Blind sampling: skip the first `skip` accesses, keep the next `take`.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{sampling, TraceParams, WorkloadSpec};
+/// use vmcore::{Region, VirtAddr};
+///
+/// let spec = WorkloadSpec::by_name("gups/8GB").unwrap();
+/// let arena = Region::new(VirtAddr::new(0), 64 << 20);
+/// let full = spec.trace(&TraceParams::new(arena, 10_000, 1));
+/// let sampled: Vec<_> = sampling::blind(full, 2_000, 1_000).collect();
+/// assert_eq!(sampled.len(), 1_000);
+/// ```
+pub fn blind<T>(trace: T, skip: usize, take: usize) -> impl Iterator<Item = Access>
+where
+    T: IntoIterator<Item = Access>,
+{
+    trace.into_iter().skip(skip).take(take)
+}
+
+/// Periodic multi-window sampling: out of every `period` accesses, keep
+/// the first `window`. Keeps the same sampled fraction as blind sampling
+/// with `take = windows x window`, but spread across the whole
+/// execution so phase changes are represented.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `window > period`.
+pub fn windows<T>(trace: T, window: usize, period: usize) -> impl Iterator<Item = Access>
+where
+    T: IntoIterator<Item = Access>,
+{
+    assert!(window > 0, "empty window");
+    assert!(window <= period, "window larger than its period");
+    trace
+        .into_iter()
+        .enumerate()
+        .filter(move |(i, _)| i % period < window)
+        .map(|(_, a)| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceParams, WorkloadSpec};
+    use vmcore::{Region, VirtAddr};
+
+    fn trace(n: u64) -> impl Iterator<Item = Access> {
+        let spec = WorkloadSpec::by_name("spec06/mcf").unwrap();
+        let arena = Region::new(VirtAddr::new(0x100_0000_0000), 64 << 20);
+        spec.trace(&TraceParams::new(arena, n, 3))
+    }
+
+    #[test]
+    fn blind_skips_and_takes() {
+        let full: Vec<Access> = trace(1000).collect();
+        let sampled: Vec<Access> = blind(trace(1000), 300, 200).collect();
+        assert_eq!(sampled.len(), 200);
+        assert_eq!(sampled[0], full[300]);
+        assert_eq!(sampled[199], full[499]);
+    }
+
+    #[test]
+    fn blind_truncates_at_trace_end() {
+        let sampled: Vec<Access> = blind(trace(100), 90, 50).collect();
+        assert_eq!(sampled.len(), 10);
+    }
+
+    #[test]
+    fn windows_cover_all_phases() {
+        let full: Vec<Access> = trace(1000).collect();
+        let sampled: Vec<Access> = windows(trace(1000), 10, 100).collect();
+        assert_eq!(sampled.len(), 100, "10%% of 1000");
+        // First window matches the trace head; a later window matches the
+        // corresponding region of the full trace.
+        assert_eq!(&sampled[..10], &full[..10]);
+        assert_eq!(&sampled[10..20], &full[100..110]);
+    }
+
+    #[test]
+    fn same_fraction_different_coverage() {
+        // Both keep 10% of the trace, but blind sees one region while
+        // windows sees ten.
+        let blind_set: std::collections::HashSet<u64> =
+            blind(trace(10_000), 0, 1_000).map(|a| a.addr.raw()).collect();
+        let window_set: std::collections::HashSet<u64> =
+            windows(trace(10_000), 100, 1_000).map(|a| a.addr.raw()).collect();
+        // mcf relocates its working block over time: periodic windows see
+        // more distinct addresses than one contiguous chunk.
+        assert!(
+            window_set.len() > blind_set.len(),
+            "windows {} vs blind {}",
+            window_set.len(),
+            blind_set.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn oversized_window_rejected() {
+        let _ = windows(trace(10), 20, 10).count();
+    }
+}

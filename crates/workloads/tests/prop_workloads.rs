@@ -1,0 +1,74 @@
+//! Property tests over the whole workload registry: containment,
+//! determinism, length, and scale-invariance of the generators.
+
+use proptest::prelude::*;
+use vmcore::{Region, VirtAddr};
+use workloads::{registry, TraceParams};
+
+fn arena_strategy() -> impl Strategy<Value = Region> {
+    // Arena bases are page-aligned; sizes from 8MB to 512MB.
+    (0u64..(1 << 28), 23u32..30).prop_map(|(base_page, len_log)| {
+        Region::new(VirtAddr::new(base_page << 12), 1 << len_log)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every registered workload stays inside any arena it is given and
+    /// produces exactly the requested number of accesses.
+    #[test]
+    fn all_workloads_contained_any_arena(arena in arena_strategy(), seed in 0u64..1000) {
+        let params = TraceParams::new(arena, 800, seed);
+        for spec in registry() {
+            let mut count = 0u64;
+            for access in spec.trace(&params) {
+                prop_assert!(
+                    arena.contains(access.addr),
+                    "{} escaped arena {} with {:x}",
+                    spec.name,
+                    arena,
+                    access.addr.raw()
+                );
+                count += 1;
+            }
+            prop_assert_eq!(count, 800, "{}", spec.name);
+        }
+    }
+
+    /// Traces are pure functions of (arena, accesses, seed).
+    #[test]
+    fn traces_deterministic(arena in arena_strategy(), seed in 0u64..1000) {
+        let params = TraceParams::new(arena, 300, seed);
+        for spec in registry() {
+            let a: Vec<_> = spec.trace(&params).collect();
+            let b: Vec<_> = spec.trace(&params).collect();
+            prop_assert_eq!(&a, &b, "{} not deterministic", spec.name);
+        }
+    }
+
+    /// Different seeds produce different traces (no accidental seed
+    /// swallowing) for the stochastic generators.
+    #[test]
+    fn seeds_matter(arena in arena_strategy(), seed in 0u64..1000) {
+        let p1 = TraceParams::new(arena, 300, seed);
+        let p2 = TraceParams::new(arena, 300, seed + 1);
+        for spec in registry() {
+            let a: Vec<_> = spec.trace(&p1).collect();
+            let b: Vec<_> = spec.trace(&p2).collect();
+            prop_assert_ne!(&a, &b, "{} ignores its seed", spec.name);
+        }
+    }
+
+    /// Instruction gaps are bounded (the engine divides by issue width;
+    /// a wild gap would be a generator bug).
+    #[test]
+    fn inst_gaps_bounded(arena in arena_strategy()) {
+        let params = TraceParams::new(arena, 1000, 7);
+        for spec in registry() {
+            for access in spec.trace(&params) {
+                prop_assert!(access.inst_gap <= 64, "{} gap {}", spec.name, access.inst_gap);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Explore the layout heuristics: show a workload's TLB-miss profile,
+//! its hot regions, and how the three heuristics spread measurement
+//! points over the walk-cycle axis.
+//!
+//! ```text
+//! cargo run --release --example layout_explorer [workload]
+//! ```
+
+use harness::{Grid, Speed};
+use machine::{profile_tlb_misses, Platform};
+use mosalloc::{Mosalloc, MosallocConfig, PoolSpec};
+use vmcore::Region;
+use workloads::{TraceParams, WorkloadSpec};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "graph500/4GB".to_string());
+    let spec = WorkloadSpec::by_name(&workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let speed = Speed::from_env();
+    let platform = &Platform::SANDY_BRIDGE;
+
+    // Claim an arena through Mosalloc, as the harness does.
+    let footprint = speed.footprint(spec.nominal_footprint);
+    let mosalloc = Mosalloc::new(MosallocConfig {
+        brk: PoolSpec::plain(footprint),
+        anon: PoolSpec::plain(64 << 20),
+        file: PoolSpec::plain(64 << 20),
+    })
+    .expect("plain config");
+    let arena: Region = mosalloc.heap().region();
+    let params = TraceParams::new(arena, speed.trace_len(spec.access_factor), 0xfeed);
+
+    println!("{} on {}: footprint {} MiB, {} accesses", workload, platform.name,
+        footprint >> 20, params.accesses);
+
+    // 1. PEBS-like miss profile.
+    let profile = profile_tlb_misses(platform, spec.trace(&params), arena, 2 << 20);
+    println!("\nTLB-miss histogram over the heap (one char per 2MB chunk, '#' = hottest):");
+    let max = profile.counts().iter().copied().max().unwrap_or(1).max(1);
+    let glyphs: String = profile
+        .counts()
+        .iter()
+        .map(|&c| match (c * 8 / max).min(7) {
+            0 if c == 0 => '.',
+            0 => ':',
+            1..=2 => '-',
+            3..=5 => '=',
+            _ => '#',
+        })
+        .collect();
+    for (i, line) in glyphs.as_bytes().chunks(64).enumerate() {
+        println!("  {:>6} MiB | {}", i * 64 * 2, String::from_utf8_lossy(line));
+    }
+    for x in layouts::SLIDING_FRACTIONS {
+        let hot = profile.hot_region(x);
+        println!(
+            "hot region for {:>3.0}% of misses: {:>6} MiB at offset {} MiB",
+            x * 100.0,
+            hot.len() >> 20,
+            (hot.start() - arena.start()) >> 20
+        );
+    }
+
+    // 2. The 54-layout battery and the spread of C it produces.
+    let grid = Grid::new(speed);
+    let entry = grid.entry(&workload, platform);
+    let mut cs: Vec<f64> =
+        entry.records.iter().map(|r| r.counters.walk_cycles as f64).collect();
+    cs.sort_by(f64::total_cmp);
+    let c_max = cs.last().copied().unwrap_or(1.0).max(1.0);
+    println!("\nwalk-cycle operating points covered by the battery (normalized):");
+    let mut strip = vec!['.'; 64];
+    for &c in &cs {
+        let idx = ((c / c_max) * 63.0) as usize;
+        strip[idx] = '*';
+    }
+    println!("  0 |{}| C_max = {:.2}e6 cycles", strip.iter().collect::<String>(), c_max / 1e6);
+    println!(
+        "  {} distinct operating points from {} runs",
+        cs.iter().map(|&c| c as u64).collect::<std::collections::HashSet<_>>().len(),
+        cs.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! The §VII-D case study: predict 1GB-page performance from 4KB/2MB data.
+//!
+//! Trains Yaniv and Mosmodel on the 54 mixed-4KB/2MB layouts of each
+//! workload, then predicts the runtime of the (held-out) all-1GB layout
+//! from its measured `(H, M, C)` counters — exactly the procedure a
+//! computer architect would use to evaluate a hypothetical translation
+//! design with a partial simulator.
+//!
+//! ```text
+//! cargo run --release --example onegb_prediction [platform]
+//! ```
+
+use harness::report::{pct, TextTable};
+use harness::{casestudy, Grid, Speed};
+use machine::Platform;
+
+fn main() {
+    let platform_name =
+        std::env::args().nth(1).unwrap_or_else(|| "SandyBridge".to_string());
+    let platform = Platform::by_name(&platform_name)
+        .unwrap_or_else(|| panic!("unknown platform {platform_name:?}"));
+    let grid = Grid::new(Speed::from_env());
+
+    println!("Predicting all-1GB layouts on {} ...\n", platform.name);
+    let mut table = TextTable::new(vec![
+        "workload".into(),
+        "measured R [e6]".into(),
+        "yaniv err".into(),
+        "mosmodel err".into(),
+    ]);
+    let mut yaniv_worst: f64 = 0.0;
+    let mut mos_worst: f64 = 0.0;
+    for name in grid.tlb_sensitive_workloads(platform) {
+        match casestudy::one_gb(&grid, &name, platform) {
+            Ok(v) => {
+                yaniv_worst = yaniv_worst.max(v.yaniv.1);
+                mos_worst = mos_worst.max(v.mosmodel.1);
+                table.row(vec![
+                    name,
+                    format!("{:.2}", v.measured_r / 1e6),
+                    pct(v.yaniv.1),
+                    pct(v.mosmodel.1),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![name, "-".into(), "-".into(), e.to_string()]);
+            }
+        }
+    }
+    println!("{table}");
+    println!(
+        "\nworst 1GB prediction error: yaniv {}, mosmodel {}",
+        pct(yaniv_worst),
+        pct(mos_worst)
+    );
+}

@@ -1,0 +1,76 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release --example paper_figures [fig2|fig3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|tab6|tab7|tab8|all]
+//! ```
+//!
+//! With no argument, prints the headline Figure 2 comparison. `all` runs
+//! the entire evaluation (every table and figure), which evaluates the
+//! full workload × platform × layout grid — use `MOSAIC_FAST=1` for a
+//! quick pass.
+
+use harness::{casestudy, figures, tables, Grid, Speed};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "fig2".to_string());
+    let grid = Grid::new(Speed::from_env());
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("fig2") {
+        println!("Evaluating the grid for Figure 2 (this is the full study)...\n");
+        let pairs = figures::sensitive_pairs(&grid);
+        println!("{}\n", figures::fig2(&grid, &pairs));
+    }
+    if run("fig3") {
+        println!("{}\n", figures::fig3(&grid).expect("mcf anchors present"));
+    }
+    if run("fig5") {
+        for matrix in figures::fig5(&grid, &figures::sensitive_by_platform(&grid)) {
+            println!("Figure 5 — {matrix}\n");
+        }
+    }
+    if run("fig6") {
+        for matrix in figures::fig6(&grid, &figures::sensitive_by_platform(&grid)) {
+            println!("Figure 6 — {matrix}\n");
+        }
+    }
+    if run("fig7") {
+        println!("{}\n", figures::fig7(&grid).expect("sssp anchors present"));
+    }
+    if run("fig8") {
+        println!("Figure 8 — {}\n", figures::fig8(&grid).expect("omnetpp anchors present"));
+    }
+    if run("fig9") {
+        println!("{}\n", figures::fig9(&grid).expect("xalancbmk anchors present"));
+    }
+    if run("fig10") {
+        println!("Figure 10 — {}\n", figures::fig10(&grid).expect("gups anchors present"));
+    }
+    if run("fig11") {
+        println!("Figure 11 — {}\n", figures::fig11(&grid).expect("pr-twitter anchors present"));
+    }
+    if run("tab6") {
+        let pairs = figures::sensitive_pairs(&grid);
+        println!("{}\n", tables::tab6(&grid, &pairs, 6));
+    }
+    if run("tab7") {
+        println!("{}\n", tables::tab7(&grid).expect("xalancbmk anchors present"));
+    }
+    if run("tab8") {
+        let pairs = figures::sensitive_pairs(&grid);
+        println!("{}\n", tables::tab8(&grid, &pairs));
+    }
+    if run("casestudy") {
+        let pairs = figures::sensitive_pairs(&grid);
+        for v in casestudy::one_gb_sweep(&grid, &pairs) {
+            println!("{v}\n");
+        }
+    }
+    if !["fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab6",
+        "tab7", "tab8", "casestudy", "all"]
+    .contains(&what.as_str())
+    {
+        eprintln!("unknown figure {what:?}; try fig2..fig11, tab6..tab8, casestudy, or all");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: validate runtime models for one workload on one platform.
+//!
+//! Runs the 54-layout Mosalloc battery for `spec06/mcf` on the simulated
+//! SandyBridge machine, fits all nine runtime models, and prints each
+//! model's maximal and geometric-mean prediction error — a one-pair
+//! version of the paper's Figures 5/6.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [platform]
+//! ```
+
+use harness::report::{pct, TextTable};
+use harness::{Grid, Speed};
+use machine::Platform;
+use mosmodel::metrics::{geo_mean_err, max_err};
+use mosmodel::models::ModelKind;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "spec06/mcf".to_string());
+    let platform_name = args.next().unwrap_or_else(|| "SandyBridge".to_string());
+    let platform = Platform::by_name(&platform_name)
+        .unwrap_or_else(|| panic!("unknown platform {platform_name:?}"));
+
+    let grid = Grid::new(Speed::from_env());
+    println!(
+        "Measuring {workload} on {} under 54 Mosalloc layouts + all-1GB (speed: {}) ...",
+        platform.name,
+        grid.speed().name
+    );
+    let entry = grid.entry(&workload, platform);
+    let dataset = entry.dataset();
+
+    let a4k = dataset.anchor_4k().expect("battery includes the all-4KB anchor");
+    let a2m = dataset.anchor_2m().expect("battery includes the all-2MB anchor");
+    println!(
+        "\nAnchors: 4KB run R={:.3}e9 C={:.3}e9 | 2MB run R={:.3}e9 C={:.3}e9",
+        a4k.r / 1e9,
+        a4k.c / 1e9,
+        a2m.r / 1e9,
+        a2m.c / 1e9
+    );
+    if let Some(s) = entry.full_dataset().tlb_sensitivity() {
+        println!("TLB sensitivity (4KB vs best hugepage layout): {}", pct(s));
+    }
+
+    let mut table = TextTable::new(vec![
+        "model".into(),
+        "max error".into(),
+        "geomean error".into(),
+        "note".into(),
+    ]);
+    for kind in ModelKind::ALL {
+        match kind.fit(&dataset) {
+            Ok(fitted) => {
+                let note = match (kind, fitted.nonzero_terms()) {
+                    (ModelKind::Mosmodel, Some(n)) => format!("{n} Lasso terms"),
+                    _ if kind.is_preexisting() => "anchor-determined".to_string(),
+                    _ => "least squares".to_string(),
+                };
+                table.row(vec![
+                    kind.name().into(),
+                    pct(max_err(&fitted, &dataset)),
+                    pct(geo_mean_err(&fitted, &dataset)),
+                    note,
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![kind.name().into(), "-".into(), "-".into(), e.to_string()]);
+            }
+        }
+    }
+    println!("\n{table}");
+    if let Ok(mos) = ModelKind::Mosmodel.fit(&dataset) {
+        println!("\n{mos}");
+    }
+}

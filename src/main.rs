@@ -1,0 +1,309 @@
+//! `mosaic` — command-line driver for the reproduction study.
+//!
+//! ```text
+//! mosaic list                          # workloads and platforms
+//! mosaic run <workload> <platform>     # fit all nine models on one pair
+//! mosaic figure <fig2..fig11|tab6..tab8|casestudy|all>
+//! mosaic sensitivity <platform>        # TLB sensitivity of every workload
+//! ```
+//!
+//! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere.
+
+use harness::report::{pct, TextTable};
+use harness::{casestudy, figures, tables, Grid, Speed};
+use machine::Platform;
+use mosmodel::metrics::{geo_mean_err, max_err};
+use mosmodel::models::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(args.get(1), args.get(2)),
+        Some("figure") => cmd_figure(args.get(1)),
+        Some("sensitivity") => cmd_sensitivity(args.get(1)),
+        Some("export") => cmd_export(args.get(1), args.get(2)),
+        Some("describe") => cmd_describe(args.get(1), args.get(2), args.get(3)),
+        _ => {
+            eprintln!(
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model]>"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_list() -> i32 {
+    println!("workloads (paper Table 5):");
+    for w in workloads::registry() {
+        println!("  {:<22} {:>6} MiB nominal", w.name, w.nominal_footprint >> 20);
+    }
+    println!("\nplatforms (paper Tables 3-4; * = measured in the paper):");
+    for p in Platform::ALL_EXTENDED {
+        let starred = Platform::ALL.contains(&p);
+        println!(
+            "  {}{:<12} STLB {:>4} entries{}, {} walker(s), L3 {} MiB",
+            if starred { "*" } else { " " },
+            p.name,
+            p.stlb.entries,
+            if p.stlb.holds_2m { " (shared 4K/2M)" } else { " (4K only)" },
+            p.walkers,
+            p.l3_bytes >> 20,
+        );
+    }
+    0
+}
+
+fn cmd_run(workload: Option<&String>, platform: Option<&String>) -> i32 {
+    let Some(workload) = workload else {
+        eprintln!("usage: mosaic run <workload> <platform>");
+        return 2;
+    };
+    let default_platform = "SandyBridge".to_string();
+    let platform_name = platform.unwrap_or(&default_platform);
+    let Some(platform) = Platform::by_name(platform_name) else {
+        eprintln!("unknown platform {platform_name:?}; see `mosaic list`");
+        return 2;
+    };
+    if workloads::WorkloadSpec::by_name(workload).is_none() {
+        eprintln!("unknown workload {workload:?}; see `mosaic list`");
+        return 2;
+    }
+    let grid = Grid::new(Speed::from_env());
+    let entry = grid.entry(workload, platform);
+    let ds = entry.dataset();
+    println!(
+        "{workload} on {}: {} layouts measured, TLB sensitivity {}",
+        platform.name,
+        entry.records.len(),
+        entry
+            .full_dataset()
+            .tlb_sensitivity()
+            .map_or("n/a".to_string(), pct)
+    );
+    let mut t = TextTable::new(vec!["model".into(), "max err".into(), "geomean err".into()]);
+    for kind in ModelKind::ALL {
+        match kind.fit(&ds) {
+            Ok(m) => t.row(vec![
+                kind.name().into(),
+                pct(max_err(&m, &ds)),
+                pct(geo_mean_err(&m, &ds)),
+            ]),
+            Err(e) => t.row(vec![kind.name().into(), e.to_string(), String::new()]),
+        };
+    }
+    println!("\n{t}");
+    match casestudy::one_gb(&grid, workload, platform) {
+        Ok(v) => println!("\n{v}"),
+        Err(e) => println!("\n1GB case study unavailable: {e}"),
+    }
+    0
+}
+
+fn cmd_figure(which: Option<&String>) -> i32 {
+    let default = "fig2".to_string();
+    let what = which.unwrap_or(&default).clone();
+    let csv = std::env::args().any(|a| a == "--csv");
+    let grid = Grid::new(Speed::from_env());
+    let run = |name: &str| what == "all" || what == name;
+    let mut matched = false;
+
+    // CSV export is supported for the series figures.
+    if csv {
+        let curve = match what.as_str() {
+            "fig3" => Some(figures::fig3(&grid).expect("anchors")),
+            "fig8" => Some(figures::fig8(&grid).expect("anchors")),
+            "fig10" => Some(figures::fig10(&grid).expect("anchors")),
+            _ => None,
+        };
+        if let Some(c) = curve {
+            print!("{}", c.to_csv());
+            return 0;
+        }
+        if what == "fig5" || what == "fig6" {
+            let stat = if what == "fig5" {
+                figures::ErrorStat::Max
+            } else {
+                figures::ErrorStat::GeoMean
+            };
+            for (p, names) in figures::sensitive_by_platform(&grid) {
+                println!("# {}", p.name);
+                print!("{}", figures::error_matrix(&grid, p, &names, stat).to_csv());
+            }
+            return 0;
+        }
+        eprintln!("--csv supports fig3, fig5, fig6, fig8, fig10");
+        return 2;
+    }
+
+    if run("fig2") {
+        matched = true;
+        let pairs = figures::sensitive_pairs(&grid);
+        println!("{}\n", figures::fig2(&grid, &pairs));
+    }
+    if run("fig3") {
+        matched = true;
+        println!("Figure 3 — {}\n", figures::fig3(&grid).expect("anchors"));
+    }
+    if run("fig5") {
+        matched = true;
+        for m in figures::fig5(&grid, &figures::sensitive_by_platform(&grid)) {
+            println!("Figure 5 — {m}\n");
+        }
+    }
+    if run("fig6") {
+        matched = true;
+        for m in figures::fig6(&grid, &figures::sensitive_by_platform(&grid)) {
+            println!("Figure 6 — {m}\n");
+        }
+    }
+    if run("fig7") {
+        matched = true;
+        println!("{}\n", figures::fig7(&grid).expect("anchors"));
+    }
+    if run("fig8") {
+        matched = true;
+        println!("Figure 8 — {}\n", figures::fig8(&grid).expect("anchors"));
+    }
+    if run("fig9") {
+        matched = true;
+        println!("{}\n", figures::fig9(&grid).expect("anchors"));
+    }
+    if run("fig10") {
+        matched = true;
+        println!("Figure 10 — {}\n", figures::fig10(&grid).expect("anchors"));
+    }
+    if run("fig11") {
+        matched = true;
+        println!("Figure 11 — {}\n", figures::fig11(&grid).expect("anchors"));
+    }
+    if run("tab6") {
+        matched = true;
+        let pairs = figures::sensitive_pairs(&grid);
+        println!("{}\n", tables::tab6(&grid, &pairs, 6));
+    }
+    if run("tab7") {
+        matched = true;
+        println!("{}\n", tables::tab7(&grid).expect("anchors"));
+    }
+    if run("tab8") {
+        matched = true;
+        let pairs = figures::sensitive_pairs(&grid);
+        println!("{}\n", tables::tab8(&grid, &pairs));
+    }
+    if run("casestudy") {
+        matched = true;
+        let pairs = figures::sensitive_pairs(&grid);
+        for v in casestudy::one_gb_sweep(&grid, &pairs) {
+            println!("{v}\n");
+        }
+    }
+    if !matched {
+        eprintln!("unknown figure {what:?}; try fig2..fig11, tab6..tab8, casestudy, all");
+        return 2;
+    }
+    0
+}
+
+/// Dumps one pair's full battery as CSV (layout description, kind, and
+/// every counter) for external analysis.
+fn cmd_export(workload: Option<&String>, platform: Option<&String>) -> i32 {
+    let (Some(workload), Some(platform_name)) = (workload, platform) else {
+        eprintln!("usage: mosaic export <workload> <platform>");
+        return 2;
+    };
+    let Some(platform) = Platform::by_name(platform_name) else {
+        eprintln!("unknown platform {platform_name:?}");
+        return 2;
+    };
+    if workloads::WorkloadSpec::by_name(workload).is_none() {
+        eprintln!("unknown workload {workload:?}");
+        return 2;
+    }
+    let grid = Grid::new(Speed::from_env());
+    let entry = grid.entry(workload, platform);
+    println!("kind,R,H,M,C,instructions,program_l1d,program_l2,program_l3,walker_l1d,walker_l2,walker_l3,layout");
+    for r in &entry.records {
+        let c = &r.counters;
+        println!(
+            "{:?},{},{},{},{},{},{},{},{},{},{},{},\"{}\"",
+            r.kind,
+            c.runtime_cycles,
+            c.stlb_hits,
+            c.stlb_misses,
+            c.walk_cycles,
+            c.instructions,
+            c.program_l1d_loads,
+            c.program_l2_loads,
+            c.program_l3_loads,
+            c.walker_l1d_loads,
+            c.walker_l2_loads,
+            c.walker_l3_loads,
+            r.description.replace('"', "'"),
+        );
+    }
+    0
+}
+
+/// Prints the fitted formula of one (or every) model for a pair.
+fn cmd_describe(
+    workload: Option<&String>,
+    platform: Option<&String>,
+    model: Option<&String>,
+) -> i32 {
+    let (Some(workload), Some(platform_name)) = (workload, platform) else {
+        eprintln!("usage: mosaic describe <workload> <platform> [model]");
+        return 2;
+    };
+    let Some(platform) = Platform::by_name(platform_name) else {
+        eprintln!("unknown platform {platform_name:?}");
+        return 2;
+    };
+    let grid = Grid::new(Speed::from_env());
+    let ds = grid.dataset(workload, platform);
+    let kinds: Vec<ModelKind> = match model {
+        Some(m) => match m.parse() {
+            Ok(kind) => vec![kind],
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => ModelKind::ALL.to_vec(),
+    };
+    println!("fitted models for {workload} on {}:", platform.name);
+    for kind in kinds {
+        match kind.fit(&ds) {
+            Ok(fitted) => println!("  {fitted}"),
+            Err(e) => println!("  {}: {e}", kind.name()),
+        }
+    }
+    0
+}
+
+fn cmd_sensitivity(platform: Option<&String>) -> i32 {
+    let default_platform = "Broadwell".to_string();
+    let platform_name = platform.unwrap_or(&default_platform);
+    let Some(platform) = Platform::by_name(platform_name) else {
+        eprintln!("unknown platform {platform_name:?}");
+        return 2;
+    };
+    let grid = Grid::new(Speed::from_env());
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "sensitivity".into(),
+        "included".into(),
+    ]);
+    for w in workloads::registry() {
+        let entry = grid.entry(w.name, platform);
+        let sens = entry.full_dataset().tlb_sensitivity().unwrap_or(0.0);
+        t.row(vec![
+            w.name.into(),
+            pct(sens),
+            if entry.is_tlb_sensitive() { "yes".into() } else { "no (< 5%)".into() },
+        ]);
+    }
+    println!("TLB sensitivity on {} (paper §VI-A threshold: 5%):\n\n{t}", platform.name);
+    0
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration of the allocator path: workload traces →
+//! Mosalloc pools → layout resolution, without the timing engine.
+
+use layouts::{standard_battery, Heuristic};
+use machine::{profile_tlb_misses, Platform};
+use mosalloc::{Mosalloc, MosallocConfig, PoolSpec};
+use vmcore::{MemoryLayout, PageSize, Region, VirtAddr, MIB};
+use workloads::{TraceParams, WorkloadSpec};
+
+fn arena_alloc(footprint: u64) -> (Mosalloc, Region) {
+    let mut m = Mosalloc::new(MosallocConfig {
+        brk: PoolSpec::plain(footprint),
+        anon: PoolSpec::plain(16 << 20),
+        file: PoolSpec::plain(16 << 20),
+    })
+    .unwrap();
+    m.sbrk(footprint as i64).unwrap();
+    let arena = m.heap().region();
+    (m, arena)
+}
+
+#[test]
+fn every_workload_runs_entirely_inside_its_heap_allocation() {
+    let (_, arena) = arena_alloc(96 * MIB);
+    for spec in workloads::registry() {
+        let params = TraceParams::new(arena, 3_000, 11);
+        for access in spec.trace(&params) {
+            assert!(arena.contains(access.addr), "{} escaped its allocation", spec.name);
+        }
+    }
+}
+
+#[test]
+fn battery_layouts_translate_to_valid_mosalloc_configs() {
+    let (_, arena) = arena_alloc(128 * MIB);
+    let spec = WorkloadSpec::by_name("graph500/4GB").unwrap();
+    let params = TraceParams::new(arena, 20_000, 5);
+    let profile =
+        profile_tlb_misses(&Platform::SANDY_BRIDGE, spec.trace(&params), arena, 2 * MIB);
+    let battery = standard_battery(arena, |x| profile.hot_region(x));
+    assert_eq!(battery.len(), 54);
+
+    for planned in &battery {
+        // Convert each layout into a Mosalloc configuration, as the
+        // harness does, and check the allocator resolves page sizes
+        // identically to the layout itself.
+        let mut brk = PoolSpec::plain(arena.len());
+        for w in planned.layout.windows() {
+            let start = w.region.start().raw().saturating_sub(arena.start().raw());
+            brk = brk.with_window(start, w.region.end() - arena.start(), w.size);
+        }
+        let config = MosallocConfig {
+            brk,
+            anon: PoolSpec::plain(16 << 20),
+            file: PoolSpec::plain(16 << 20),
+        };
+        let mosalloc = Mosalloc::with_bases(
+            config,
+            arena.start(),
+            VirtAddr::new(0x7000_0000_0000),
+            VirtAddr::new(0x7800_0000_0000),
+        )
+        .unwrap_or_else(|e| panic!("layout {} rejected: {e}", planned.layout.describe()));
+        // Probe a grid of addresses.
+        for i in 0..64 {
+            let addr = arena.start() + i * (arena.len() / 64) + 4096;
+            assert_eq!(
+                mosalloc.page_size_at(addr),
+                planned.layout.page_size_at(addr),
+                "mismatch at {addr} for {}",
+                planned.layout.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn sliding_battery_follows_the_hot_region() {
+    // graph500's hot region sits at the heap top; the first sliding
+    // layout of each fraction must back it with 2MB pages.
+    let (_, arena) = arena_alloc(128 * MIB);
+    let spec = WorkloadSpec::by_name("graph500/4GB").unwrap();
+    let params = TraceParams::new(arena, 30_000, 5);
+    let profile =
+        profile_tlb_misses(&Platform::SANDY_BRIDGE, spec.trace(&params), arena, 2 * MIB);
+    let battery = standard_battery(arena, |x| profile.hot_region(x));
+
+    for fraction in [20u8, 40, 60, 80] {
+        let first = battery
+            .iter()
+            .find(|p| p.origin == Heuristic::Sliding(fraction))
+            .expect("sliding battery present");
+        let hot = profile.hot_region(f64::from(fraction) / 100.0);
+        let mid = hot.start() + hot.len() / 2;
+        assert_eq!(
+            first.layout.page_size_at(mid),
+            PageSize::Huge2M,
+            "first sliding layout (X={fraction}%) must back the hot region"
+        );
+    }
+}
+
+#[test]
+fn uniform_layouts_match_uniform_configs() {
+    let (_, arena) = arena_alloc(64 * MIB);
+    for size in [PageSize::Huge2M, PageSize::Huge1G] {
+        let layout = MemoryLayout::uniform(arena, size);
+        assert_eq!(layout.page_size_at(arena.start() + 12345), size);
+        assert_eq!(layout.page_size_at(arena.start() + (arena.len() - 1)), size);
+    }
+}
+
+#[test]
+fn workload_reallocation_is_deterministic() {
+    // Allocating the same footprint twice yields the same arena, so grid
+    // measurements are reproducible run to run.
+    let (_, a1) = arena_alloc(64 * MIB);
+    let (_, a2) = arena_alloc(64 * MIB);
+    assert_eq!(a1, a2);
+}

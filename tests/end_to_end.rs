@@ -1,0 +1,167 @@
+//! End-to-end reproduction checks: the paper's headline claims must hold
+//! on the simulated platforms at FAST fidelity.
+
+use std::sync::OnceLock;
+
+use harness::{casestudy, figures, tables, Grid, Speed};
+use machine::Platform;
+use mosmodel::metrics::{geo_mean_err, max_err};
+use mosmodel::models::ModelKind;
+use mosmodel::LayoutKind;
+
+fn grid() -> &'static Grid {
+    static GRID: OnceLock<Grid> = OnceLock::new();
+    GRID.get_or_init(|| Grid::in_memory(Speed::FAST))
+}
+
+#[test]
+fn mosmodel_beats_every_preexisting_model() {
+    // The paper's core claim, checked on one TLB-sensitive pair per
+    // platform.
+    let pairs: [(&str, &'static Platform); 3] = [
+        ("spec06/mcf", &Platform::SANDY_BRIDGE),
+        ("xsbench/8GB", &Platform::HASWELL),
+        ("gups/32GB", &Platform::BROADWELL),
+    ];
+    for (workload, platform) in pairs {
+        let ds = grid().dataset(workload, platform);
+        let mos = ModelKind::Mosmodel.fit(&ds).expect("mosmodel fits");
+        let mos_err = max_err(&mos, &ds);
+        // The paper bounds mosmodel below 3%; at FAST fidelity our
+        // substrate leaves a little more dep-composition residual that
+        // (H, M, C) cannot see — 7% is the FAST-scale bound.
+        assert!(
+            mos_err < 0.07,
+            "mosmodel must stay below 7% on {workload}/{}: {mos_err}",
+            platform.name
+        );
+        for kind in ModelKind::PREEXISTING {
+            let fitted = kind.fit(&ds).expect("anchors present");
+            let err = max_err(&fitted, &ds);
+            assert!(
+                mos_err <= err + 1e-12,
+                "{kind} ({err:.4}) must not beat mosmodel ({mos_err:.4}) on {workload}/{}",
+                platform.name
+            );
+        }
+    }
+}
+
+#[test]
+fn preexisting_models_err_wildly_somewhere() {
+    // Figure 2a: old models reach tens-of-percent errors. Use the
+    // worst-case pair (gups on Broadwell, where the two-walker C counter
+    // breaks Basu's β).
+    let ds = grid().dataset("gups/32GB", &Platform::BROADWELL);
+    let basu = ModelKind::Basu.fit(&ds).unwrap();
+    assert!(
+        basu.beta() < 0.0,
+        "two walkers double-count C: C4K > R4K should make Basu's β negative, got {}",
+        basu.beta()
+    );
+    assert!(
+        max_err(&basu, &ds) > 0.30,
+        "basu should blow up on Broadwell gups: {}",
+        max_err(&basu, &ds)
+    );
+}
+
+#[test]
+fn geomean_errors_are_bounded_by_max_errors() {
+    let ds = grid().dataset("spec06/mcf", &Platform::SANDY_BRIDGE);
+    for kind in ModelKind::ALL {
+        let fitted = kind.fit(&ds).unwrap();
+        assert!(geo_mean_err(&fitted, &ds) <= max_err(&fitted, &ds) + 1e-12, "{kind}");
+    }
+}
+
+#[test]
+fn broadwell_walk_cycles_exceed_runtime_for_gups() {
+    // Paper §VI-D: on Broadwell the C counter sums both walkers and can
+    // exceed R; on single-walker SandyBridge it cannot.
+    let bdw = grid().entry("gups/32GB", &Platform::BROADWELL);
+    let c4k = bdw.record(LayoutKind::All4K).unwrap().counters;
+    assert!(
+        c4k.walk_cycles > c4k.runtime_cycles,
+        "C ({}) should exceed R ({}) for gups on Broadwell",
+        c4k.walk_cycles,
+        c4k.runtime_cycles
+    );
+    let snb = grid().entry("gups/32GB", &Platform::SANDY_BRIDGE);
+    let s4k = snb.record(LayoutKind::All4K).unwrap().counters;
+    assert!(s4k.walk_cycles < s4k.runtime_cycles, "one walker cannot double-count");
+}
+
+#[test]
+fn one_gb_casestudy_mosmodel_is_accurate() {
+    // §VII-D: trained only on 4KB/2MB mixes, Mosmodel predicts the
+    // held-out 1GB run within a few percent.
+    let v = casestudy::one_gb(grid(), "gups/32GB", &Platform::BROADWELL).unwrap();
+    assert!(v.mosmodel.1 < 0.08, "mosmodel 1GB error {}", v.mosmodel.1);
+}
+
+#[test]
+fn tab7_shows_walker_induced_l3_pollution() {
+    let t = tables::tab7_for(grid(), "spec17/xalancbmk_s", &Platform::BROADWELL).unwrap();
+    let (l3_4k, l3_2m) = t.l3_pollution();
+    assert!(
+        l3_4k > l3_2m,
+        "4KB pages must cause more total L3 traffic ({l3_4k} vs {l3_2m})"
+    );
+    assert!(t.run_4k.stlb_misses > 100 * t.run_2m.stlb_misses.max(1) / 10, "2MB kills misses");
+    assert!(t.run_4k.runtime_cycles > t.run_2m.runtime_cycles);
+}
+
+#[test]
+fn tab8_c_and_m_explain_runtime_better_than_h() {
+    let rows = tables::tab8(
+        grid(),
+        &[("gups/16GB".to_string(), &Platform::SANDY_BRIDGE)],
+    );
+    let (c, m, h) = rows.row("gups/16GB", "SandyBridge").unwrap();
+    assert!(c > 0.9, "walk cycles explain gups runtime: R²={c}");
+    assert!(m > 0.8, "misses explain gups runtime: R²={m}");
+    assert!(c > h && m > h, "H is the weakest predictor ({c} {m} {h})");
+}
+
+#[test]
+fn fig9_slope_exceeds_one_on_broadwell_xalancbmk() {
+    let f = figures::fig9(grid()).unwrap();
+    assert!(
+        f.slope > 1.0,
+        "walk cycles must cost more than a cycle each (pollution): α = {}",
+        f.slope
+    );
+}
+
+#[test]
+fn fig10_poly2_fixes_what_poly1_misses() {
+    let f = figures::fig10(grid()).unwrap();
+    assert!(
+        f.err_a > 2.0 * f.err_b,
+        "gups curvature: poly1 ({}) should err far more than poly2 ({})",
+        f.err_a,
+        f.err_b
+    );
+}
+
+#[test]
+fn road_graph_is_not_tlb_sensitive() {
+    // Paper: gapbs/bfs-road is excluded from the Broadwell chart because
+    // its runtime improves by less than 5% with hugepages.
+    let entry = grid().entry("gapbs/bfs-road", &Platform::BROADWELL);
+    assert!(!entry.is_tlb_sensitive(), "bfs-road should be TLB-insensitive");
+    let gups = grid().entry("gups/32GB", &Platform::BROADWELL);
+    assert!(gups.is_tlb_sensitive());
+}
+
+#[test]
+fn cross_validation_keeps_mosmodel_usable() {
+    // Table 6: CV errors are worse than fit-all errors but mosmodel stays
+    // practical.
+    let ds = grid().dataset("spec06/mcf", &Platform::SANDY_BRIDGE);
+    let report = mosmodel::cv::k_fold(ModelKind::Mosmodel, &ds, 6).unwrap();
+    let fitted = ModelKind::Mosmodel.fit(&ds).unwrap();
+    assert!(report.max_err >= max_err(&fitted, &ds) - 1e-9, "CV cannot beat training fit");
+    assert!(report.max_err < 0.15, "CV error stays practical: {}", report.max_err);
+}

@@ -1,0 +1,175 @@
+//! Cross-crate validation of the model zoo against analytically known
+//! response surfaces (no simulator in the loop).
+
+use mosmodel::cv::k_fold;
+use mosmodel::dataset::{Dataset, LayoutKind, Sample};
+use mosmodel::metrics::{geo_mean_err, max_err, r_squared};
+use mosmodel::models::{ModelKind, RuntimeModel};
+use mosmodel::poly::Var;
+use proptest::prelude::*;
+
+/// A synthetic (H, M, C) battery shaped like a real Mosalloc sweep:
+/// C descends from `c4k` to near zero over 54 layouts, M proportional,
+/// H small. Runtime is `shape(c)`.
+fn battery(c4k: f64, shape: impl Fn(f64) -> f64) -> Dataset {
+    (0..54)
+        .map(|i| {
+            let c = c4k * (53 - i) as f64 / 53.0;
+            let kind = match i {
+                0 => LayoutKind::All4K,
+                53 => LayoutKind::All2M,
+                _ => LayoutKind::Mixed,
+            };
+            Sample { r: shape(c), h: c / 500.0, m: c / 40.0, c, kind }
+        })
+        .collect()
+}
+
+#[test]
+fn all_models_are_exact_on_their_own_assumptions() {
+    // A world where runtime really is `β + 1.0·C`: Alam's assumption.
+    let ds = battery(1e9, |c| 5e9 + c);
+    for kind in [ModelKind::Alam, ModelKind::Yaniv, ModelKind::Poly1, ModelKind::Poly3] {
+        let m = kind.fit(&ds).unwrap();
+        assert!(max_err(&m, &ds) < 1e-6, "{kind}: {}", max_err(&m, &ds));
+    }
+}
+
+#[test]
+fn linear_models_fail_on_convex_worlds_polynomials_do_not() {
+    // The paper's Figure 10 in miniature: quadratic latency hiding.
+    let ds = battery(1e9, |c| 5e9 + 0.2 * c + 0.8e-9 * c * c);
+    let poly1 = ModelKind::Poly1.fit(&ds).unwrap();
+    let poly2 = ModelKind::Poly2.fit(&ds).unwrap();
+    let yaniv = ModelKind::Yaniv.fit(&ds).unwrap();
+    assert!(max_err(&poly1, &ds) > 0.01, "poly1 must miss the curvature");
+    assert!(max_err(&poly2, &ds) < 1e-6, "poly2 captures a parabola exactly");
+    assert!(
+        max_err(&yaniv, &ds) > max_err(&poly2, &ds),
+        "anchored line cannot beat the parabola"
+    );
+}
+
+#[test]
+fn basu_overestimates_when_walks_are_partially_hidden() {
+    // Real runtime only pays 40% of walk cycles (deep OoO hiding):
+    // Basu's β = R4K − C4K then *underestimates* the ideal runtime and
+    // the model is pessimistic in the low-C region — unless, as the
+    // paper found, other effects flip it.
+    let ds = battery(1e9, |c| 5e9 + 0.4 * c);
+    let basu = ModelKind::Basu.fit(&ds).unwrap();
+    let low_c = &ds.samples()[40]; // near-zero C
+    assert!(
+        basu.predict(low_c) < low_c.r,
+        "hidden walks make β too small: prediction {} vs real {}",
+        basu.predict(low_c),
+        low_c.r
+    );
+}
+
+#[test]
+fn pham_is_optimistic_when_stlb_hits_are_cheap() {
+    // Pham charges 7 cycles per L2-TLB hit; if the machine hides them
+    // entirely, predictions near the 4KB point are exact (anchored) but
+    // β compensates, surfacing as error elsewhere.
+    let ds = battery(1e9, |c| 5e9 + c); // R ignores H entirely
+    let pham = ModelKind::Pham.fit(&ds).unwrap();
+    let a4k = ds.anchor_4k().unwrap();
+    assert!((pham.predict(a4k) - a4k.r).abs() < 1.0, "pham passes through its anchor");
+    // At low C the 7H term has vanished along with C, and β's
+    // over-subtraction surfaces.
+    let low = &ds.samples()[50];
+    let err = (pham.predict(low) - low.r) / low.r;
+    assert!(err < 0.0, "pham under-predicts off-anchor: {err}");
+}
+
+#[test]
+fn mosmodel_uses_h_when_h_is_the_signal() {
+    // Runtime driven by H alone: single-variable models in C can only do
+    // so well; Mosmodel selects H monomials via Lasso.
+    let ds: Dataset = (0..54)
+        .map(|i| {
+            let h = 1e6 * i as f64;
+            let c = 1e5 * ((i * 17) % 54) as f64; // decorrelated C
+            let kind = match i {
+                0 => LayoutKind::All4K,
+                53 => LayoutKind::All2M,
+                _ => LayoutKind::Mixed,
+            };
+            Sample { r: 1e9 + 7.0 * h, h, m: h / 30.0, c, kind }
+        })
+        .collect();
+    let mos = ModelKind::Mosmodel.fit(&ds).unwrap();
+    let poly3 = ModelKind::Poly3.fit(&ds).unwrap();
+    assert!(max_err(&mos, &ds) < 0.01, "mosmodel: {}", max_err(&mos, &ds));
+    assert!(
+        max_err(&poly3, &ds) > 10.0 * max_err(&mos, &ds),
+        "C-only poly3 ({}) cannot compete with multi-input mosmodel ({})",
+        max_err(&poly3, &ds),
+        max_err(&mos, &ds)
+    );
+    assert!(r_squared(&ds, Var::H) > 0.99);
+    assert!(r_squared(&ds, Var::C) < 0.2);
+}
+
+#[test]
+fn cross_validation_ranks_models_by_generalization() {
+    let ds = battery(1e9, |c| 5e9 + 0.3 * c + 0.7e-9 * c * c);
+    let cv1 = k_fold(ModelKind::Poly1, &ds, 6).unwrap().max_err;
+    let cv2 = k_fold(ModelKind::Poly2, &ds, 6).unwrap().max_err;
+    let cvm = k_fold(ModelKind::Mosmodel, &ds, 6).unwrap().max_err;
+    assert!(cv2 < cv1, "poly2 ({cv2}) generalizes better than poly1 ({cv1})");
+    assert!(cvm < cv1, "mosmodel ({cvm}) generalizes better than poly1 ({cv1})");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On any affine world R = β + αC (α ∈ [0.1, 2], β > 0), every
+    /// C-capable model with both anchors is essentially exact.
+    #[test]
+    fn affine_worlds_are_easy(alpha in 0.1f64..2.0, beta in 1e8f64..1e10) {
+        let ds = battery(1e9, |c| beta + alpha * c);
+        for kind in [ModelKind::Yaniv, ModelKind::Poly1, ModelKind::Poly2, ModelKind::Poly3] {
+            let m = kind.fit(&ds).unwrap();
+            prop_assert!(max_err(&m, &ds) < 1e-5, "{} err {}", kind, max_err(&m, &ds));
+        }
+    }
+
+    /// The geometric-mean error never exceeds the maximal error, for any
+    /// model on any polynomial world.
+    #[test]
+    fn geomean_below_max(quad in 0.0f64..2e-9, lin in 0.0f64..1.5) {
+        let ds = battery(1e9, |c| 1e9 + lin * c + quad * c * c);
+        for kind in ModelKind::ALL {
+            if let Ok(m) = kind.fit(&ds) {
+                prop_assert!(geo_mean_err(&m, &ds) <= max_err(&m, &ds) + 1e-12, "{kind}");
+            }
+        }
+    }
+
+    /// Mosmodel's Lasso keeps the one-in-ten rule: never more than 5
+    /// non-zero terms, on any smooth world.
+    #[test]
+    fn mosmodel_respects_one_in_ten(quad in 0.0f64..2e-9, lin in 0.0f64..1.5) {
+        let ds = battery(1e9, |c| 1e9 + lin * c + quad * c * c);
+        let m = ModelKind::Mosmodel.fit(&ds).unwrap();
+        prop_assert!(m.nonzero_terms().unwrap() <= 5);
+    }
+
+    /// Scaling all counters by a constant leaves relative errors
+    /// invariant (models must be numerically robust across magnitudes).
+    #[test]
+    fn scale_invariance(scale in 1.0f64..1e4) {
+        let base = battery(1e6, |c| 2e6 + 0.5 * c + 1e-7 * c * c);
+        let scaled: Dataset = base
+            .iter()
+            .map(|s| Sample { r: s.r * scale, h: s.h * scale, m: s.m * scale, c: s.c * scale, kind: s.kind })
+            .collect();
+        for kind in [ModelKind::Yaniv, ModelKind::Poly2] {
+            let e1 = max_err(&kind.fit(&base).unwrap(), &base);
+            let e2 = max_err(&kind.fit(&scaled).unwrap(), &scaled);
+            prop_assert!((e1 - e2).abs() < 1e-3, "{kind}: {e1} vs {e2}");
+        }
+    }
+}
