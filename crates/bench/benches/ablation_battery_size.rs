@@ -17,8 +17,14 @@ fn ablation(c: &mut Criterion) {
     let workload = "spec06/mcf";
     let accesses = 60_000;
 
-    println!("\nAblation — battery size vs Mosmodel accuracy ({workload} on {}):", platform.name);
-    println!("{:>8} {:>9} {:>14} {:>12}", "layouts", "fit err", "6-fold CV err", "terms");
+    println!(
+        "\nAblation — battery size vs Mosmodel accuracy ({workload} on {}):",
+        platform.name
+    );
+    println!(
+        "{:>8} {:>9} {:>14} {:>12}",
+        "layouts", "fit err", "6-fold CV err", "terms"
+    );
     for steps in [2usize, 5, 8, 16] {
         let ds = measure_battery(platform, workload, steps, accesses);
         let fitted = ModelKind::Mosmodel.fit(&ds).expect("enough samples");

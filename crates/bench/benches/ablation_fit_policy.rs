@@ -43,10 +43,18 @@ fn churn(policy: FitPolicy, seed: u64) -> (u64, u64) {
 
 fn ablation(c: &mut Criterion) {
     println!("\nAblation — pool fit policy under malloc-style churn ({OPS} ops):");
-    println!("{:<10} {:>16} {:>18}", "policy", "peak highwater", "final hole bytes");
+    println!(
+        "{:<10} {:>16} {:>18}",
+        "policy", "peak highwater", "final hole bytes"
+    );
     for policy in [FitPolicy::FirstFit, FitPolicy::BestFit, FitPolicy::WorstFit] {
         let (peak, holes) = churn(policy, 42);
-        println!("{:<10} {:>13} KB {:>15} KB", format!("{policy:?}"), peak >> 10, holes >> 10);
+        println!(
+            "{:<10} {:>13} KB {:>15} KB",
+            format!("{policy:?}"),
+            peak >> 10,
+            holes >> 10
+        );
     }
     println!();
 

@@ -34,7 +34,10 @@ fn ablation(c: &mut Criterion) {
         ("xsbench/8GB", &Platform::HASWELL),
     ];
     println!("\nAblation — Lasso term budget (paper uses ≤ 5):");
-    println!("{:>7} {:>28} {:>28}", "budget", "worst fit err (3 pairs)", "worst 6-fold CV err");
+    println!(
+        "{:>7} {:>28} {:>28}",
+        "budget", "worst fit err (3 pairs)", "worst 6-fold CV err"
+    );
     for budget in [1usize, 2, 3, 5, 8, 10] {
         let mut fit_worst = 0.0f64;
         let mut cv_worst = 0.0f64;
@@ -44,7 +47,12 @@ fn ablation(c: &mut Criterion) {
             fit_worst = fit_worst.max(max_err(&fit, &ds));
             cv_worst = cv_worst.max(cv_lasso(&ds, budget, 6));
         }
-        println!("{:>7} {:>27.2}% {:>27.2}%", budget, 100.0 * fit_worst, 100.0 * cv_worst);
+        println!(
+            "{:>7} {:>27.2}% {:>27.2}%",
+            budget,
+            100.0 * fit_worst,
+            100.0 * cv_worst
+        );
     }
     println!();
 

@@ -28,7 +28,10 @@ fn run(
     let spec = WorkloadSpec::by_name(workload).unwrap();
     let arena = layout.pool();
     let trace = spec.trace(&TraceParams::new(arena, ACCESSES, 0x7e57));
-    let config = EngineConfig { virtualized, ..EngineConfig::default() };
+    let config = EngineConfig {
+        virtualized,
+        ..EngineConfig::default()
+    };
     Engine::with_config(platform, config).run(trace, |va| layout.page_size_at(va))
 }
 
@@ -54,7 +57,10 @@ fn ablation(c: &mut Criterion) {
     let all_4k = MemoryLayout::all_4k(arena);
 
     println!("\nAblation — nested paging (spec06/mcf, all-4KB guest layout):");
-    println!("{:<26} {:>12} {:>10} {:>10}", "configuration", "C", "C vs native", "R vs native");
+    println!(
+        "{:<26} {:>12} {:>10} {:>10}",
+        "configuration", "C", "C vs native", "R vs native"
+    );
     let native = run(platform, "spec06/mcf", None, &all_4k);
     for (name, host) in [
         ("native", None),
@@ -76,7 +82,11 @@ fn ablation(c: &mut Criterion) {
     let ds = battery(platform, "spec06/mcf", Some(PageSize::Base4K));
     for model in [ModelKind::Yaniv, ModelKind::Poly1, ModelKind::Mosmodel] {
         match model.fit(&ds) {
-            Ok(fit) => println!("  {:<10} max err {:>6.2}%", model.name(), 100.0 * max_err(&fit, &ds)),
+            Ok(fit) => println!(
+                "  {:<10} max err {:>6.2}%",
+                model.name(),
+                100.0 * max_err(&fit, &ds)
+            ),
             Err(e) => println!("  {:<10} {e}", model.name()),
         }
     }
@@ -97,7 +107,11 @@ fn ablation(c: &mut Criterion) {
     for model in ModelKind::ALL {
         match model.fit(&full_ds) {
             Ok(fit) => {
-                println!("  {:<10} max err {:>6.2}%", model.name(), 100.0 * max_err(&fit, &full_ds))
+                println!(
+                    "  {:<10} max err {:>6.2}%",
+                    model.name(),
+                    100.0 * max_err(&fit, &full_ds)
+                )
             }
             Err(e) => println!("  {:<10} {e}", model.name()),
         }

@@ -14,10 +14,7 @@ use workloads::{sampling, Access, TraceParams, WorkloadSpec};
 const FULL: u64 = 200_000;
 const FRACTION: usize = 10; // keep 1/10th
 
-fn counters(
-    platform: &Platform,
-    trace: impl Iterator<Item = Access>,
-) -> (f64, f64, f64) {
+fn counters(platform: &Platform, trace: impl Iterator<Item = Access>) -> (f64, f64, f64) {
     counters_with_warmup(platform, trace, 0)
 }
 
@@ -67,7 +64,11 @@ fn ablation(c: &mut Criterion) {
         let truth = counters(platform, spec.trace(&params));
         let blind = counters(
             platform,
-            sampling::blind(spec.trace(&params), FULL as usize / 2, FULL as usize / FRACTION),
+            sampling::blind(
+                spec.trace(&params),
+                FULL as usize / 2,
+                FULL as usize / FRACTION,
+            ),
         );
         let windowed = counters(
             platform,

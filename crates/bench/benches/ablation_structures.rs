@@ -24,10 +24,17 @@ fn ablation(c: &mut Criterion) {
 
     // --- PWC on/off ---
     println!("\nAblation — page-walk caches (spec06/mcf, all-4KB):");
-    println!("{:<14} {:>12} {:>12} {:>10}", "platform", "C with PWC", "C w/o PWC", "C ratio");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "platform", "C with PWC", "C w/o PWC", "C ratio"
+    );
     for base in Platform::ALL {
         let no_pwc = Platform {
-            pwc: PwcGeometry { pml4e: 0, pdpte: 0, pde: 0 },
+            pwc: PwcGeometry {
+                pml4e: 0,
+                pdpte: 0,
+                pde: 0,
+            },
             ..base.clone()
         };
         let with = run(base, "spec06/mcf", accesses);
@@ -44,7 +51,10 @@ fn ablation(c: &mut Criterion) {
     // --- 1 vs 2 walkers on Broadwell ---
     println!("\nAblation — walker count (gups/32GB on Broadwell, all-4KB):");
     for walkers in [1u32, 2] {
-        let platform = Platform { walkers, ..Platform::BROADWELL.clone() };
+        let platform = Platform {
+            walkers,
+            ..Platform::BROADWELL.clone()
+        };
         let counters = run(&platform, "gups/32GB", accesses);
         println!(
             "  {walkers} walker(s): R = {:>10}, C = {:>10}, C/R = {:.2} {}",
@@ -62,7 +72,11 @@ fn ablation(c: &mut Criterion) {
 
     c.bench_function("engine_run_80k_no_pwc", |b| {
         let no_pwc = Platform {
-            pwc: PwcGeometry { pml4e: 0, pdpte: 0, pde: 0 },
+            pwc: PwcGeometry {
+                pml4e: 0,
+                pdpte: 0,
+                pde: 0,
+            },
             ..Platform::SANDY_BRIDGE.clone()
         };
         b.iter(|| run(&no_pwc, "spec06/mcf", 20_000))

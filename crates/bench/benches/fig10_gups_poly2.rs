@@ -7,8 +7,13 @@ use harness::figures;
 
 fn fig10(c: &mut Criterion) {
     let grid = bench_grid();
-    println!("\nFigure 10 — {}\n", figures::fig10(&grid).expect("anchors"));
-    c.bench_function("fig10/gups_poly_fit", |b| b.iter(|| figures::fig10(&grid).unwrap()));
+    println!(
+        "\nFigure 10 — {}\n",
+        figures::fig10(&grid).expect("anchors")
+    );
+    c.bench_function("fig10/gups_poly_fit", |b| {
+        b.iter(|| figures::fig10(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = fig10 }

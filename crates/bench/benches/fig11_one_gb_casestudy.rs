@@ -7,13 +7,18 @@ use harness::{casestudy, figures};
 
 fn fig11(c: &mut Criterion) {
     let grid = bench_grid();
-    println!("\nFigure 11 — {}\n", figures::fig11(&grid).expect("anchors"));
+    println!(
+        "\nFigure 11 — {}\n",
+        figures::fig11(&grid).expect("anchors")
+    );
     let pairs = figures::sensitive_pairs(&grid);
     println!("§VII-D sweep (all TLB-sensitive pairs):");
     for v in casestudy::one_gb_sweep(&grid, &pairs) {
         println!("{v}");
     }
-    c.bench_function("fig11/one_gb_prediction", |b| b.iter(|| figures::fig11(&grid).unwrap()));
+    c.bench_function("fig11/one_gb_prediction", |b| {
+        b.iter(|| figures::fig11(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = fig11 }

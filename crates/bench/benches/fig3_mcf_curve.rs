@@ -8,7 +8,9 @@ use harness::figures;
 fn fig3(c: &mut Criterion) {
     let grid = bench_grid();
     println!("\nFigure 3 — {}\n", figures::fig3(&grid).expect("anchors"));
-    c.bench_function("fig3/mcf_curve", |b| b.iter(|| figures::fig3(&grid).unwrap()));
+    c.bench_function("fig3/mcf_curve", |b| {
+        b.iter(|| figures::fig3(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = fig3 }

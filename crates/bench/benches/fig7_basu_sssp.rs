@@ -8,7 +8,9 @@ use harness::figures;
 fn fig7(c: &mut Criterion) {
     let grid = bench_grid();
     println!("\n{}\n", figures::fig7(&grid).expect("anchors"));
-    c.bench_function("fig7/basu_optimism", |b| b.iter(|| figures::fig7(&grid).unwrap()));
+    c.bench_function("fig7/basu_optimism", |b| {
+        b.iter(|| figures::fig7(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = fig7 }

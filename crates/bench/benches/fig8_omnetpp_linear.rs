@@ -7,7 +7,9 @@ use harness::figures;
 fn fig8(c: &mut Criterion) {
     let grid = bench_grid();
     println!("\nFigure 8 — {}\n", figures::fig8(&grid).expect("anchors"));
-    c.bench_function("fig8/omnetpp_poly1", |b| b.iter(|| figures::fig8(&grid).unwrap()));
+    c.bench_function("fig8/omnetpp_poly1", |b| {
+        b.iter(|| figures::fig8(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = fig8 }

@@ -8,7 +8,9 @@ use harness::figures;
 fn fig9(c: &mut Criterion) {
     let grid = bench_grid();
     println!("\n{}\n", figures::fig9(&grid).expect("anchors"));
-    c.bench_function("fig9/xalancbmk_slope", |b| b.iter(|| figures::fig9(&grid).unwrap()));
+    c.bench_function("fig9/xalancbmk_slope", |b| {
+        b.iter(|| figures::fig9(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = fig9 }

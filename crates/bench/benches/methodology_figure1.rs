@@ -20,23 +20,24 @@ fn methodology(c: &mut Criterion) {
         "design", "model", "predicted R", "full-sim R", "err"
     );
     let big_stlb = Platform {
-        stlb: StlbGeometry { entries: 2048, ways: 8, holds_2m: true, entries_1g: 0 },
+        stlb: StlbGeometry {
+            entries: 2048,
+            ways: 8,
+            holds_2m: true,
+            entries_1g: 0,
+        },
         ..base.clone()
     };
-    let two_walkers = Platform { walkers: 2, ..base.clone() };
+    let two_walkers = Platform {
+        walkers: 2,
+        ..base.clone()
+    };
     for workload in ["xsbench/8GB", "gups/16GB"] {
         for (name, design) in [("big-stlb", &big_stlb), ("2-walkers", &two_walkers)] {
             for model in [ModelKind::Yaniv, ModelKind::Mosmodel] {
-                let p = explore_design(
-                    &grid,
-                    workload,
-                    base,
-                    design,
-                    name,
-                    model,
-                    PageSize::Base4K,
-                )
-                .expect("anchors");
+                let p =
+                    explore_design(&grid, workload, base, design, name, model, PageSize::Base4K)
+                        .expect("anchors");
                 println!(
                     "{:<18} {:<10} {:>12.0} {:>12.0} {:>7.1}%  ({workload})",
                     name,
@@ -52,9 +53,14 @@ fn methodology(c: &mut Criterion) {
     println!("\n§IV transfer — model fitted on P, evaluated on P̄'s data (gups/16GB, mosmodel):");
     for from in Platform::ALL {
         for to in Platform::ALL {
-            let e = transfer_error(&grid, "gups/16GB", from, to, ModelKind::Mosmodel)
-                .expect("anchors");
-            print!("  {}→{}: {:>6.1}%", &from.name[..3], &to.name[..3], 100.0 * e);
+            let e =
+                transfer_error(&grid, "gups/16GB", from, to, ModelKind::Mosmodel).expect("anchors");
+            print!(
+                "  {}→{}: {:>6.1}%",
+                &from.name[..3],
+                &to.name[..3],
+                100.0 * e
+            );
         }
         println!();
     }

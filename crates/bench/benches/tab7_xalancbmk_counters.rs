@@ -13,7 +13,9 @@ fn tab7(c: &mut Criterion) {
     println!(
         "\nwalker-induced L3 pollution: {l3_4k} total L3 loads with 4KB pages vs {l3_2m} with 2MB\n"
     );
-    c.bench_function("tab7/counter_extraction", |b| b.iter(|| tables::tab7(&grid).unwrap()));
+    c.bench_function("tab7/counter_extraction", |b| {
+        b.iter(|| tables::tab7(&grid).unwrap())
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = tab7 }

@@ -8,7 +8,9 @@ fn tab8(c: &mut Criterion) {
     let grid = bench_grid();
     let pairs = figures::sensitive_pairs(&grid);
     println!("\n{}\n", tables::tab8(&grid, &pairs));
-    c.bench_function("tab8/r_squared_all_pairs", |b| b.iter(|| tables::tab8(&grid, &pairs)));
+    c.bench_function("tab8/r_squared_all_pairs", |b| {
+        b.iter(|| tables::tab8(&grid, &pairs))
+    });
 }
 
 criterion_group! { name = benches; config = bench::criterion(); targets = tab8 }

@@ -49,8 +49,8 @@ pub fn measure_battery(
         .into_iter()
         .map(|planned| {
             let layout = planned.layout;
-            let counters = Engine::new(platform)
-                .run(spec.trace(&params), |va| layout.page_size_at(va));
+            let counters =
+                Engine::new(platform).run(spec.trace(&params), |va| layout.page_size_at(va));
             let kind = classify(&layout);
             Sample::from_counters(&counters, kind)
         })

@@ -22,7 +22,16 @@ fn main() {
     let grid = Grid::new(Speed::from_env());
     println!(
         "{:<22} {:<12} {:>8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7}",
-        "workload", "platform", "R4K[e6]", "R2M[e6]", "sens%", "C/R4K%", "C/R2M%", "missrate", "avgwalk", "H/M4K"
+        "workload",
+        "platform",
+        "R4K[e6]",
+        "R2M[e6]",
+        "sens%",
+        "C/R4K%",
+        "C/R2M%",
+        "missrate",
+        "avgwalk",
+        "H/M4K"
     );
     for spec in workloads::registry() {
         if !spec.name.contains(&filter) {
@@ -35,8 +44,8 @@ fn main() {
             let r4k = entry.record(LayoutKind::All4K).unwrap().counters;
             let r2m = entry.record(LayoutKind::All2M).unwrap().counters;
             let r1g = entry.record(LayoutKind::All1G).unwrap().counters;
-            let sens = (r4k.runtime_cycles as f64 - r1g.runtime_cycles as f64)
-                / r4k.runtime_cycles as f64;
+            let sens =
+                (r4k.runtime_cycles as f64 - r1g.runtime_cycles as f64) / r4k.runtime_cycles as f64;
             let miss_rate = r4k.stlb_misses as f64 / (r4k.instructions as f64 / 6.0);
             println!(
                 "{:<22} {:<12} {:>8.2} {:>8.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>8.3} {:>8.1} {:>7.2}  ({:.1}s)",

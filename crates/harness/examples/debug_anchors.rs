@@ -15,15 +15,26 @@ fn main() {
     let entry = grid.entry(&w, p);
     for kind in [LayoutKind::All4K, LayoutKind::All2M, LayoutKind::All1G] {
         let c = entry.record(kind).unwrap().counters;
-        println!("{kind:?}: R={} H={} M={} C={} avgwalk={:.1}",
-            c.runtime_cycles, c.stlb_hits, c.stlb_misses, c.walk_cycles, c.avg_walk_latency());
+        println!(
+            "{kind:?}: R={} H={} M={} C={} avgwalk={:.1}",
+            c.runtime_cycles,
+            c.stlb_hits,
+            c.stlb_misses,
+            c.walk_cycles,
+            c.avg_walk_latency()
+        );
     }
     // yaniv extrapolation by hand
     let ds = entry.dataset();
-    let a4 = ds.anchor_4k().unwrap(); let a2 = ds.anchor_2m().unwrap();
+    let a4 = ds.anchor_4k().unwrap();
+    let a2 = ds.anchor_2m().unwrap();
     let alpha = (a4.r - a2.r) / (a4.c - a2.c);
     let beta = a2.r - alpha * a2.c;
     let t = entry.record(LayoutKind::All1G).unwrap().sample();
-    println!("yaniv alpha={alpha:.3} beta={beta:.0} pred1G={:.0} real1G={:.0} err={:.2}%",
-        alpha * t.c + beta, t.r, 100.0*((alpha*t.c+beta)-t.r).abs()/t.r);
+    println!(
+        "yaniv alpha={alpha:.3} beta={beta:.0} pred1G={:.0} real1G={:.0} err={:.2}%",
+        alpha * t.c + beta,
+        t.r,
+        100.0 * ((alpha * t.c + beta) - t.r).abs() / t.r
+    );
 }

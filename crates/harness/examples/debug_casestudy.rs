@@ -10,7 +10,12 @@ fn main() {
     for w in ["gapbs/pr-twitter", "gups/32GB", "spec06/mcf"] {
         for p in Platform::ALL {
             match casestudy::one_gb(&grid, w, p) {
-                Ok(v) => println!("{w} {}: yaniv {:.2}% mosmodel {:.2}%", p.name, 100.0*v.yaniv.1, 100.0*v.mosmodel.1),
+                Ok(v) => println!(
+                    "{w} {}: yaniv {:.2}% mosmodel {:.2}%",
+                    p.name,
+                    100.0 * v.yaniv.1,
+                    100.0 * v.mosmodel.1
+                ),
                 Err(e) => println!("{w} {}: {e}", p.name),
             }
         }

@@ -18,9 +18,13 @@ fn main() {
     for r in entry.records.iter().take(9) {
         let c = r.counters.walk_cycles as f64;
         let rt = r.counters.runtime_cycles as f64;
-        let slope = prev.map(|(pc, pr)| (rt - pr) / (c - pc + 1e-9)).unwrap_or(0.0);
-        println!("C={:>12.0} R={:>12.0} H={:>9} M={:>9} slope={:>7.3}", c, rt,
-            r.counters.stlb_hits, r.counters.stlb_misses, slope);
+        let slope = prev
+            .map(|(pc, pr)| (rt - pr) / (c - pc + 1e-9))
+            .unwrap_or(0.0);
+        println!(
+            "C={:>12.0} R={:>12.0} H={:>9} M={:>9} slope={:>7.3}",
+            c, rt, r.counters.stlb_hits, r.counters.stlb_misses, slope
+        );
         prev = Some((c, rt));
     }
 }

@@ -8,8 +8,12 @@ fn main() {
     for p in Platform::ALL {
         for w in grid.tlb_sensitive_workloads(p) {
             let ds = grid.dataset(&w, p);
-            let Ok(basu) = ModelKind::Basu.fit(&ds) else { continue };
-            let optimism = ds.iter().map(|s| (s.r - basu.predict(s)) / s.r)
+            let Ok(basu) = ModelKind::Basu.fit(&ds) else {
+                continue;
+            };
+            let optimism = ds
+                .iter()
+                .map(|s| (s.r - basu.predict(s)) / s.r)
                 .fold(f64::NEG_INFINITY, f64::max);
             rows.push((optimism, format!("{w} on {}", p.name)));
         }

@@ -6,8 +6,8 @@
 //! ```
 use harness::{Grid, Speed};
 use machine::Platform;
-use mosmodel::models::{ModelKind, RuntimeModel};
 use mosmodel::metrics::max_err;
+use mosmodel::models::{ModelKind, RuntimeModel};
 fn main() {
     let w = std::env::args().nth(1).unwrap();
     let pname = std::env::args().nth(2).unwrap();
@@ -15,26 +15,52 @@ fn main() {
     let grid = Grid::new(Speed::from_env());
     let ds = grid.dataset(&w, p);
     let m = ModelKind::Mosmodel.fit(&ds).unwrap();
-    println!("mosmodel max err {:.2}% terms {}", 100.0*max_err(&m, &ds), m.nonzero_terms().unwrap());
+    println!(
+        "mosmodel max err {:.2}% terms {}",
+        100.0 * max_err(&m, &ds),
+        m.nonzero_terms().unwrap()
+    );
     // worst sample
     let mut worst = (0.0, 0usize);
     for (i, s) in ds.iter().enumerate() {
-        let e = ((s.r - m.predict(s))/s.r).abs();
-        if e > worst.0 { worst = (e, i); }
+        let e = ((s.r - m.predict(s)) / s.r).abs();
+        if e > worst.0 {
+            worst = (e, i);
+        }
     }
     let s = &ds.samples()[worst.1];
-    println!("worst sample #{}: R={:.0} H={:.0} M={:.0} C={:.0} err={:.2}%", worst.1, s.r, s.h, s.m, s.c, 100.0*worst.0);
-    for (i,s) in ds.iter().enumerate() {
-        if i % 6 == 0 { println!("#{i:>2} R={:>12.0} H={:>9.0} M={:>9.0} C={:>12.0} pred={:>12.0}", s.r, s.h, s.m, s.c, m.predict(s)); }
+    println!(
+        "worst sample #{}: R={:.0} H={:.0} M={:.0} C={:.0} err={:.2}%",
+        worst.1,
+        s.r,
+        s.h,
+        s.m,
+        s.c,
+        100.0 * worst.0
+    );
+    for (i, s) in ds.iter().enumerate() {
+        if i % 6 == 0 {
+            println!(
+                "#{i:>2} R={:>12.0} H={:>9.0} M={:>9.0} C={:>12.0} pred={:>12.0}",
+                s.r,
+                s.h,
+                s.m,
+                s.c,
+                m.predict(s)
+            );
+        }
     }
     // print the fitted terms
     if let (Some(_n),) = (m.nonzero_terms(),) {
         // FittedModel doesn't expose weights; refit via lasso directly
-        let fit = mosmodel::lasso::fit_lasso(mosmodel::poly::PolyFeatures::mosmodel(), &ds, 5).unwrap();
+        let fit =
+            mosmodel::lasso::fit_lasso(mosmodel::poly::PolyFeatures::mosmodel(), &ds, 5).unwrap();
         let names = fit.features().names();
         println!("terms:");
         for (i, w) in fit.weights().iter().enumerate() {
-            if *w != 0.0 { println!("  {:>8}: {:+.4e}", names[i], w); }
+            if *w != 0.0 {
+                println!("  {:>8}: {:+.4e}", names[i], w);
+            }
         }
         // 1GB-corner prediction
         let entry = grid.entry(&w, p);

@@ -2,10 +2,20 @@
 use harness::{Grid, Speed};
 use machine::Platform;
 fn main() {
-    let speed = Speed { name: "repcheck", footprint_div: 256, min_footprint: 96 << 20, accesses: 40_000, max_reps: 3 };
+    let speed = Speed {
+        name: "repcheck",
+        footprint_div: 256,
+        min_footprint: 96 << 20,
+        accesses: 40_000,
+        max_reps: 3,
+    };
     let grid = Grid::in_memory(speed);
     let entry = grid.entry("spec06/mcf", &Platform::SANDY_BRIDGE);
     println!("max cv over battery: {:.3}%", 100.0 * entry.max_cv());
     let a = entry.record(mosmodel::LayoutKind::All4K).unwrap();
-    println!("4KB anchor cv: {:.3}%  R: {}", 100.0 * a.cv_r, a.counters.runtime_cycles);
+    println!(
+        "4KB anchor cv: {:.3}%  R: {}",
+        100.0 * a.cv_r,
+        a.counters.runtime_cycles
+    );
 }

@@ -88,10 +88,7 @@ pub fn one_gb(
 }
 
 /// Runs the case study over many pairs, returning all validations.
-pub fn one_gb_sweep(
-    grid: &Grid,
-    pairs: &[(String, &'static Platform)],
-) -> Vec<OneGbValidation> {
+pub fn one_gb_sweep(grid: &Grid, pairs: &[(String, &'static Platform)]) -> Vec<OneGbValidation> {
     pairs
         .iter()
         .filter_map(|(w, p)| one_gb(grid, w, p).ok())

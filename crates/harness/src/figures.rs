@@ -44,7 +44,10 @@ impl Fig2 {
 
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2a — preexisting models, maximal error over all W x P:")?;
+        writeln!(
+            f,
+            "Figure 2a — preexisting models, maximal error over all W x P:"
+        )?;
         let mut t = TextTable::new(vec!["model".into(), "max err".into(), "worst at".into()]);
         for s in &self.old {
             t.row(vec![
@@ -82,10 +85,17 @@ pub fn fig2(grid: &Grid, pairs: &[(String, &'static Platform)]) -> Fig2 {
                 worst_pair = (workload.clone(), platform.name);
             }
         }
-        ModelErrorSummary { model, max_err: worst, worst_pair }
+        ModelErrorSummary {
+            model,
+            max_err: worst,
+            worst_pair,
+        }
     };
     Fig2 {
-        old: ModelKind::PREEXISTING.iter().map(|&m| summarize(m)).collect(),
+        old: ModelKind::PREEXISTING
+            .iter()
+            .map(|&m| summarize(m))
+            .collect(),
         new: ModelKind::NEW.iter().map(|&m| summarize(m)).collect(),
     }
 }
@@ -124,9 +134,10 @@ impl ErrorMatrix {
     /// The largest error of `model` across all workloads.
     pub fn worst_of(&self, model: ModelKind) -> Option<f64> {
         let col = self.models.iter().position(|&m| m == model)?;
-        self.rows.iter().filter_map(|(_, errs)| errs[col]).fold(None, |acc, e| {
-            Some(acc.map_or(e, |a: f64| a.max(e)))
-        })
+        self.rows
+            .iter()
+            .filter_map(|(_, errs)| errs[col])
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
     }
 }
 
@@ -198,7 +209,12 @@ pub fn error_matrix(
             (name.clone(), errs)
         })
         .collect();
-    ErrorMatrix { platform: platform.name, stat, models, rows }
+    ErrorMatrix {
+        platform: platform.name,
+        stat,
+        models,
+        rows,
+    }
 }
 
 /// A runtime-vs-walk-cycles curve figure (Figures 3, 7, 8, 10, 11 share
@@ -239,7 +255,12 @@ impl CurveFig {
             r_min = r_min.min(r);
             r_max = r_max.max(r);
         }
-        let c_max = self.empirical.iter().map(|&(c, _)| c).fold(0.0, f64::max).max(1.0);
+        let c_max = self
+            .empirical
+            .iter()
+            .map(|&(c, _)| c)
+            .fold(0.0, f64::max)
+            .max(1.0);
         let r_span = (r_max - r_min).max(1.0);
         let mut grid = vec![vec![' '; width]; height];
         let mut put = |c: f64, r: f64, glyph: char| {
@@ -314,7 +335,11 @@ impl fmt::Display for CurveFig {
         // Pick the unit from the data's magnitude: paper-scale runs are
         // billions of cycles, the scaled simulations are millions.
         let max_r = self.empirical.iter().map(|&(_, r)| r).fold(0.0, f64::max);
-        let (div, unit) = if max_r >= 1e9 { (1e9, "e9") } else { (1e6, "e6") };
+        let (div, unit) = if max_r >= 1e9 {
+            (1e9, "e9")
+        } else {
+            (1e6, "e6")
+        };
         f.write_str(&self.ascii_plot(64, 16))?;
         let mut t = TextTable::new(vec![
             format!("C [{unit}]"),
@@ -352,8 +377,12 @@ pub fn model_curve(
     let mut samples: Vec<&Sample> = ds.iter().collect();
     samples.sort_by(|a, b| a.c.total_cmp(&b.c));
     let empirical: Vec<(f64, f64)> = samples.iter().map(|s| (s.c, s.r)).collect();
-    let preds =
-        |m: &dyn RuntimeModel| samples.iter().map(|s| (s.c, m.predict(s))).collect::<Vec<_>>();
+    let preds = |m: &dyn RuntimeModel| {
+        samples
+            .iter()
+            .map(|s| (s.c, m.predict(s)))
+            .collect::<Vec<_>>()
+    };
     Ok(CurveFig {
         workload: workload.to_string(),
         platform: platform.name,
@@ -368,7 +397,13 @@ pub fn model_curve(
 /// Figure 3: spec06/mcf on SandyBridge — the linear (Yaniv) model misses
 /// the curvature that Mosmodel captures.
 pub fn fig3(grid: &Grid) -> Result<CurveFig, FitError> {
-    model_curve(grid, "spec06/mcf", &Platform::SANDY_BRIDGE, ModelKind::Yaniv, ModelKind::Mosmodel)
+    model_curve(
+        grid,
+        "spec06/mcf",
+        &Platform::SANDY_BRIDGE,
+        ModelKind::Yaniv,
+        ModelKind::Mosmodel,
+    )
 }
 
 /// Figure 5: per-benchmark maximal errors for every platform.
@@ -423,20 +458,35 @@ impl fmt::Display for Fig7 {
 pub fn fig7(grid: &Grid) -> Result<Fig7, FitError> {
     let workload = "gapbs/sssp-twitter";
     let platform = &Platform::BROADWELL;
-    let curve = model_curve(grid, workload, platform, ModelKind::Basu, ModelKind::Mosmodel)?;
+    let curve = model_curve(
+        grid,
+        workload,
+        platform,
+        ModelKind::Basu,
+        ModelKind::Mosmodel,
+    )?;
     let ds = grid.dataset(workload, platform);
     let basu = ModelKind::Basu.fit(&ds)?;
     let optimism = ds
         .iter()
         .map(|s| (s.r - basu.predict(s)) / s.r)
         .fold(f64::NEG_INFINITY, f64::max);
-    Ok(Fig7 { curve, basu_max_optimism: optimism })
+    Ok(Fig7 {
+        curve,
+        basu_max_optimism: optimism,
+    })
 }
 
 /// Figure 8: linear regression describes spec06/omnetpp well on
 /// SandyBridge.
 pub fn fig8(grid: &Grid) -> Result<CurveFig, FitError> {
-    model_curve(grid, "spec06/omnetpp", &Platform::SANDY_BRIDGE, ModelKind::Poly1, ModelKind::Mosmodel)
+    model_curve(
+        grid,
+        "spec06/omnetpp",
+        &Platform::SANDY_BRIDGE,
+        ModelKind::Poly1,
+        ModelKind::Mosmodel,
+    )
 }
 
 /// Figure 9: the poly1 slope for spec17/xalancbmk_s on Broadwell exceeds
@@ -473,7 +523,13 @@ pub fn fig9(grid: &Grid) -> Result<Fig9, FitError> {
     let platform = &Platform::BROADWELL;
     let ds = grid.dataset(workload, platform);
     let poly1 = ModelKind::Poly1.fit(&ds)?;
-    let curve = model_curve(grid, workload, platform, ModelKind::Poly1, ModelKind::Mosmodel)?;
+    let curve = model_curve(
+        grid,
+        workload,
+        platform,
+        ModelKind::Poly1,
+        ModelKind::Mosmodel,
+    )?;
     Ok(Fig9 {
         slope: poly1.slope_c().unwrap_or(f64::NAN),
         poly1_max_err: max_err(&poly1, &ds),
@@ -484,7 +540,13 @@ pub fn fig9(grid: &Grid) -> Result<Fig9, FitError> {
 /// Figure 10: gups/16GB on SandyBridge — poly1 cannot follow the convex
 /// R(C) curve; poly2 can.
 pub fn fig10(grid: &Grid) -> Result<CurveFig, FitError> {
-    model_curve(grid, "gups/16GB", &Platform::SANDY_BRIDGE, ModelKind::Poly1, ModelKind::Poly2)
+    model_curve(
+        grid,
+        "gups/16GB",
+        &Platform::SANDY_BRIDGE,
+        ModelKind::Poly1,
+        ModelKind::Poly2,
+    )
 }
 
 /// Figure 11: predicting the all-1GB layout of gapbs/pr-twitter on

@@ -99,8 +99,8 @@ pub fn explore_design(
     let fitted = model.fit(&grid.dataset(workload, base))?;
 
     // Steps 2-4 share the workload setup the grid uses.
-    let spec = WorkloadSpec::by_name(workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let spec =
+        WorkloadSpec::by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload:?}"));
     let speed: Speed = grid.speed();
     let footprint = speed.footprint(spec.nominal_footprint);
     let alloc = Mosalloc::new(MosallocConfig {

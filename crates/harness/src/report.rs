@@ -24,7 +24,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        TextTable { headers, rows: Vec::new() }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).

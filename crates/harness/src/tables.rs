@@ -31,7 +31,11 @@ impl Tab6 {
 
 impl fmt::Display for Tab6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 6 — maximal {}-fold cross-validation errors:", self.k)?;
+        writeln!(
+            f,
+            "Table 6 — maximal {}-fold cross-validation errors:",
+            self.k
+        )?;
         let mut t = TextTable::new(vec!["model".into(), "maximal CV error".into()]);
         for (m, e) in &self.rows {
             t.row(vec![m.name().into(), pct(*e)]);
@@ -82,8 +86,15 @@ impl fmt::Display for Tab7 {
         // Adaptive unit: paper-scale runs report billions, the scaled
         // simulations millions.
         let big = self.run_4k.runtime_cycles >= 1_000_000_000;
-        let (div, unit) = if big { (1e9, "billions") } else { (1e6, "millions") };
-        writeln!(f, "Table 7 — spec17/xalancbmk_s on Broadwell (values in {unit} of events):")?;
+        let (div, unit) = if big {
+            (1e9, "billions")
+        } else {
+            (1e6, "millions")
+        };
+        writeln!(
+            f,
+            "Table 7 — spec17/xalancbmk_s on Broadwell (values in {unit} of events):"
+        )?;
         let mut t = TextTable::new(vec![
             "counter".into(),
             "program 4KB".into(),
@@ -103,9 +114,27 @@ impl fmt::Display for Tab7 {
                 w2.map_or("-".into(), fmt_v),
             ]
         };
-        t.row(row("runtime cycles", a.runtime_cycles as f64, b.runtime_cycles as f64, None, None));
-        t.row(row("walk cycles", a.walk_cycles as f64, b.walk_cycles as f64, None, None));
-        t.row(row("TLB misses", a.stlb_misses as f64, b.stlb_misses as f64, None, None));
+        t.row(row(
+            "runtime cycles",
+            a.runtime_cycles as f64,
+            b.runtime_cycles as f64,
+            None,
+            None,
+        ));
+        t.row(row(
+            "walk cycles",
+            a.walk_cycles as f64,
+            b.walk_cycles as f64,
+            None,
+            None,
+        ));
+        t.row(row(
+            "TLB misses",
+            a.stlb_misses as f64,
+            b.stlb_misses as f64,
+            None,
+            None,
+        ));
         t.row(row(
             "L1d loads",
             a.program_l1d_loads as f64,

@@ -9,7 +9,13 @@ use machine::Platform;
 use mosmodel::models::ModelKind;
 
 fn tiny() -> Speed {
-    Speed { name: "tiny", footprint_div: 1024, min_footprint: 48 << 20, accesses: 15_000, max_reps: 1 }
+    Speed {
+        name: "tiny",
+        footprint_div: 1024,
+        min_footprint: 48 << 20,
+        accesses: 15_000,
+        max_reps: 1,
+    }
 }
 
 fn grid() -> &'static Grid {
@@ -38,7 +44,11 @@ fn fig2_summarizes_all_models() {
     // Rendering mentions every model.
     let text = f.to_string();
     for kind in ModelKind::ALL {
-        assert!(text.contains(kind.name()), "display missing {}", kind.name());
+        assert!(
+            text.contains(kind.name()),
+            "display missing {}",
+            kind.name()
+        );
     }
 }
 
@@ -85,7 +95,10 @@ fn model_curve_is_sorted_and_aligned() {
     for (e, p) in curve.empirical.iter().zip(&curve.model_a.1) {
         assert_eq!(e.0, p.0, "prediction C aligned with empirical C");
     }
-    assert!(curve.err_b <= curve.err_a + 1e-12, "mosmodel no worse than yaniv here");
+    assert!(
+        curve.err_b <= curve.err_a + 1e-12,
+        "mosmodel no worse than yaniv here"
+    );
 }
 
 #[test]
@@ -96,7 +109,10 @@ fn tab6_covers_the_new_models() {
         let e = t.of(kind).unwrap();
         assert!(e.is_finite() && e >= 0.0, "{kind}");
     }
-    assert!(t.of(ModelKind::Basu).is_none(), "preexisting models are not cross-validated");
+    assert!(
+        t.of(ModelKind::Basu).is_none(),
+        "preexisting models are not cross-validated"
+    );
     assert!(t.to_string().contains("mosmodel"));
 }
 
@@ -126,7 +142,9 @@ fn sensitive_pair_helpers_agree() {
     assert_eq!(total, flat.len());
     for (platform, names) in &by_platform {
         for name in names {
-            assert!(flat.iter().any(|(w, p)| w == name && p.name == platform.name));
+            assert!(flat
+                .iter()
+                .any(|(w, p)| w == name && p.name == platform.name));
         }
     }
 }

@@ -5,7 +5,13 @@ use harness::{Grid, Speed};
 use machine::Platform;
 
 fn tiny() -> Speed {
-    Speed { name: "tiny", footprint_div: 2048, min_footprint: 48 << 20, accesses: 8_000, max_reps: 1 }
+    Speed {
+        name: "tiny",
+        footprint_div: 2048,
+        min_footprint: 48 << 20,
+        accesses: 8_000,
+        max_reps: 1,
+    }
 }
 
 /// A scratch cache directory per test, cleaned up on drop.
@@ -15,7 +21,8 @@ struct ScratchCache {
 
 impl ScratchCache {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!("mosaic-cache-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("mosaic-cache-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::env::set_var("MOSAIC_CACHE_DIR", &dir);
@@ -54,10 +61,16 @@ fn disk_cache_roundtrip_and_corruption_recovery() {
     std::fs::write(&path, "kind\tR\nAll4K\tnot-a-number\n").unwrap();
     let grid3 = Grid::new(tiny());
     let recomputed = grid3.entry("gups/8GB", &Platform::SANDY_BRIDGE);
-    assert_eq!(*original, *recomputed, "corruption must trigger recomputation");
+    assert_eq!(
+        *original, *recomputed,
+        "corruption must trigger recomputation"
+    );
 
     // 4. A different speed preset must not collide with the cached file.
-    let other = Speed { name: "tiny2", ..tiny() };
+    let other = Speed {
+        name: "tiny2",
+        ..tiny()
+    };
     let grid4 = Grid::new(other);
     let _ = grid4.entry("gups/8GB", &Platform::SANDY_BRIDGE);
     let count = std::fs::read_dir(&scratch.dir).unwrap().count();

@@ -5,8 +5,9 @@ use harness::figures::{CurveFig, ErrorMatrix, ErrorStat};
 use mosmodel::models::ModelKind;
 
 fn curve() -> CurveFig {
-    let empirical: Vec<(f64, f64)> =
-        (0..10).map(|i| (i as f64 * 1e6, 5e6 + i as f64 * 4e5)).collect();
+    let empirical: Vec<(f64, f64)> = (0..10)
+        .map(|i| (i as f64 * 1e6, 5e6 + i as f64 * 4e5))
+        .collect();
     let line_a: Vec<(f64, f64)> = empirical.iter().map(|&(c, r)| (c, r * 1.02)).collect();
     let line_b: Vec<(f64, f64)> = empirical.iter().map(|&(c, r)| (c, r * 0.999)).collect();
     CurveFig {

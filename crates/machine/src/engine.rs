@@ -43,7 +43,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { walk_lookahead: None, salt: 0x6d6f_7361_6963, virtualized: None }
+        EngineConfig {
+            walk_lookahead: None,
+            salt: 0x6d6f_7361_6963,
+            virtualized: None,
+        }
     }
 }
 
@@ -167,8 +171,7 @@ impl Engine {
         self.instructions += insts;
         let base = insts as f64 / issue_width;
         self.now += base;
-        self.headroom =
-            (self.headroom + base * HEADROOM_SUPPLY).min(self.headroom_cap);
+        self.headroom = (self.headroom + base * HEADROOM_SUPPLY).min(self.headroom_cap);
 
         // Address translation.
         let size = page_size_at(access.addr);
@@ -295,7 +298,13 @@ mod tests {
 
     #[test]
     fn gups_4k_walks_constantly() {
-        let c = run(&Platform::SANDY_BRIDGE, "gups/8GB", 256 * MIB, 60_000, PageSize::Base4K);
+        let c = run(
+            &Platform::SANDY_BRIDGE,
+            "gups/8GB",
+            256 * MIB,
+            60_000,
+            PageSize::Base4K,
+        );
         // Uniform random over 64K pages with 512+64 TLB entries: nearly
         // every read access misses (writes re-hit their read's entry).
         assert!(
@@ -309,9 +318,24 @@ mod tests {
 
     #[test]
     fn hugepages_slash_runtime_for_gups() {
-        let base = run(&Platform::SANDY_BRIDGE, "gups/8GB", 256 * MIB, 60_000, PageSize::Base4K);
-        let huge = run(&Platform::SANDY_BRIDGE, "gups/8GB", 256 * MIB, 60_000, PageSize::Huge1G);
-        assert!(huge.stlb_misses * 50 < base.stlb_misses, "1GB pages kill the misses");
+        let base = run(
+            &Platform::SANDY_BRIDGE,
+            "gups/8GB",
+            256 * MIB,
+            60_000,
+            PageSize::Base4K,
+        );
+        let huge = run(
+            &Platform::SANDY_BRIDGE,
+            "gups/8GB",
+            256 * MIB,
+            60_000,
+            PageSize::Huge1G,
+        );
+        assert!(
+            huge.stlb_misses * 50 < base.stlb_misses,
+            "1GB pages kill the misses"
+        );
         assert!(
             (huge.runtime_cycles as f64) < 0.95 * base.runtime_cycles as f64,
             "TLB-sensitive: {} vs {}",
@@ -322,9 +346,27 @@ mod tests {
 
     #[test]
     fn runtime_monotone_in_page_size_for_tlb_bound_load() {
-        let r4k = run(&Platform::HASWELL, "gups/8GB", 512 * MIB, 60_000, PageSize::Base4K);
-        let r2m = run(&Platform::HASWELL, "gups/8GB", 512 * MIB, 60_000, PageSize::Huge2M);
-        let r1g = run(&Platform::HASWELL, "gups/8GB", 512 * MIB, 60_000, PageSize::Huge1G);
+        let r4k = run(
+            &Platform::HASWELL,
+            "gups/8GB",
+            512 * MIB,
+            60_000,
+            PageSize::Base4K,
+        );
+        let r2m = run(
+            &Platform::HASWELL,
+            "gups/8GB",
+            512 * MIB,
+            60_000,
+            PageSize::Huge2M,
+        );
+        let r1g = run(
+            &Platform::HASWELL,
+            "gups/8GB",
+            512 * MIB,
+            60_000,
+            PageSize::Huge1G,
+        );
         assert!(r2m.runtime_cycles < r4k.runtime_cycles);
         assert!(r1g.runtime_cycles <= r2m.runtime_cycles);
         assert!(r2m.walk_cycles < r4k.walk_cycles);
@@ -334,7 +376,13 @@ mod tests {
     fn broadwell_gups_walk_cycles_can_exceed_runtime() {
         // The two-walker double counting of paper §VI-D: for gups the C
         // counter outruns R on Broadwell.
-        let c = run(&Platform::BROADWELL, "gups/16GB", GIB, 120_000, PageSize::Base4K);
+        let c = run(
+            &Platform::BROADWELL,
+            "gups/16GB",
+            GIB,
+            120_000,
+            PageSize::Base4K,
+        );
         assert!(
             c.walk_cycles as f64 > 0.85 * c.runtime_cycles as f64,
             "C={} should approach/exceed R={}",
@@ -342,15 +390,33 @@ mod tests {
             c.runtime_cycles
         );
         // Same workload on the single-walker SandyBridge: C stays below R.
-        let snb = run(&Platform::SANDY_BRIDGE, "gups/16GB", GIB, 120_000, PageSize::Base4K);
+        let snb = run(
+            &Platform::SANDY_BRIDGE,
+            "gups/16GB",
+            GIB,
+            120_000,
+            PageSize::Base4K,
+        );
         assert!(snb.walk_cycles < snb.runtime_cycles);
     }
 
     #[test]
     fn walker_loads_pollute_and_are_counted() {
-        let c = run(&Platform::SANDY_BRIDGE, "spec06/mcf", 128 * MIB, 80_000, PageSize::Base4K);
+        let c = run(
+            &Platform::SANDY_BRIDGE,
+            "spec06/mcf",
+            128 * MIB,
+            80_000,
+            PageSize::Base4K,
+        );
         assert!(c.walker_l1d_loads > 0);
-        let huge = run(&Platform::SANDY_BRIDGE, "spec06/mcf", 128 * MIB, 80_000, PageSize::Huge1G);
+        let huge = run(
+            &Platform::SANDY_BRIDGE,
+            "spec06/mcf",
+            128 * MIB,
+            80_000,
+            PageSize::Huge1G,
+        );
         assert!(huge.walker_l1d_loads < c.walker_l1d_loads / 10);
         // Table 7 effect: more total L3 traffic under 4KB than hugepages.
         assert!(c.total_l3_loads() >= huge.total_l3_loads());
@@ -358,15 +424,42 @@ mod tests {
 
     #[test]
     fn instructions_independent_of_layout() {
-        let a = run(&Platform::HASWELL, "xsbench/4GB", 256 * MIB, 40_000, PageSize::Base4K);
-        let b = run(&Platform::HASWELL, "xsbench/4GB", 256 * MIB, 40_000, PageSize::Huge2M);
-        assert_eq!(a.instructions, b.instructions, "layout must not change the program");
+        let a = run(
+            &Platform::HASWELL,
+            "xsbench/4GB",
+            256 * MIB,
+            40_000,
+            PageSize::Base4K,
+        );
+        let b = run(
+            &Platform::HASWELL,
+            "xsbench/4GB",
+            256 * MIB,
+            40_000,
+            PageSize::Huge2M,
+        );
+        assert_eq!(
+            a.instructions, b.instructions,
+            "layout must not change the program"
+        );
     }
 
     #[test]
     fn deterministic_runs() {
-        let a = run(&Platform::BROADWELL, "graph500/2GB", 128 * MIB, 30_000, PageSize::Base4K);
-        let b = run(&Platform::BROADWELL, "graph500/2GB", 128 * MIB, 30_000, PageSize::Base4K);
+        let a = run(
+            &Platform::BROADWELL,
+            "graph500/2GB",
+            128 * MIB,
+            30_000,
+            PageSize::Base4K,
+        );
+        let b = run(
+            &Platform::BROADWELL,
+            "graph500/2GB",
+            128 * MIB,
+            30_000,
+            PageSize::Base4K,
+        );
         assert_eq!(a, b);
     }
 
@@ -408,8 +501,13 @@ mod tests {
         let p = &Platform::SANDY_BRIDGE;
         let r2m = Engine::new(p).run(mk(), |_| PageSize::Huge2M);
         let cut = a.start() + a.len() / 2;
-        let rmix =
-            Engine::new(p).run(mk(), |va| if va < cut { PageSize::Huge2M } else { PageSize::Base4K });
+        let rmix = Engine::new(p).run(mk(), |va| {
+            if va < cut {
+                PageSize::Huge2M
+            } else {
+                PageSize::Base4K
+            }
+        });
         let r4k = Engine::new(p).run(mk(), |_| PageSize::Base4K);
         let slope_lo = (rmix.runtime_cycles as f64 - r2m.runtime_cycles as f64)
             / (rmix.walk_cycles as f64 - r2m.walk_cycles as f64);

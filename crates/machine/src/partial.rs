@@ -110,8 +110,7 @@ mod tests {
         // (H, M, C): they drive identical structures; only the timing
         // model differs.
         let partial = partial_sim(&Platform::SANDY_BRIDGE, trace(30_000), |_| PageSize::Base4K);
-        let full =
-            Engine::new(&Platform::SANDY_BRIDGE).run(trace(30_000), |_| PageSize::Base4K);
+        let full = Engine::new(&Platform::SANDY_BRIDGE).run(trace(30_000), |_| PageSize::Base4K);
         assert_eq!(partial.stlb_hits, full.stlb_hits);
         assert_eq!(partial.stlb_misses, full.stlb_misses);
         assert_eq!(partial.walk_cycles, full.walk_cycles);
@@ -131,7 +130,11 @@ mod tests {
 
     #[test]
     fn sample_conversion_carries_counters() {
-        let out = PartialSimOutput { stlb_hits: 1, stlb_misses: 2, walk_cycles: 30 };
+        let out = PartialSimOutput {
+            stlb_hits: 1,
+            stlb_misses: 2,
+            walk_cycles: 30,
+        };
         let s = out.sample();
         assert_eq!((s.h, s.m, s.c), (1.0, 2.0, 30.0));
         assert_eq!(s.r, 0.0, "partial simulations cannot observe runtime");

@@ -99,21 +99,23 @@ where
     let mut counts = vec![0u64; chunks];
     let mut vm = MemorySubsystem::new(platform);
     for access in trace {
-        if let Translation::Walk { .. } =
-            vm.translate(access.addr, PageSize::Base4K).translation
-        {
+        if let Translation::Walk { .. } = vm.translate(access.addr, PageSize::Base4K).translation {
             let off = access.addr.raw().saturating_sub(arena.start().raw());
             let idx = ((off / chunk_bytes) as usize).min(chunks - 1);
             counts[idx] += 1;
         }
     }
-    MissProfile { arena, chunk: chunk_bytes, counts }
+    MissProfile {
+        arena,
+        chunk: chunk_bytes,
+        counts,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vmcore::{MIB, VirtAddr};
+    use vmcore::{VirtAddr, MIB};
     use workloads::{TraceParams, WorkloadSpec};
 
     fn arena() -> Region {
@@ -148,7 +150,10 @@ mod tests {
             hot.len(),
             p.arena().len()
         );
-        assert!(hot.end() > p.arena().start() + p.arena().len() * 3 / 4, "hot at the top");
+        assert!(
+            hot.end() > p.arena().start() + p.arena().len() * 3 / 4,
+            "hot at the top"
+        );
     }
 
     #[test]
@@ -161,7 +166,11 @@ mod tests {
 
     #[test]
     fn empty_profile_returns_arena() {
-        let p = MissProfile { arena: arena(), chunk: 2 * MIB, counts: vec![0; 64] };
+        let p = MissProfile {
+            arena: arena(),
+            chunk: 2 * MIB,
+            counts: vec![0; 64],
+        };
         assert_eq!(p.hot_region(0.8), arena());
     }
 

@@ -11,11 +11,29 @@ use workloads::Access;
 fn tiny_platform() -> Platform {
     Platform {
         name: "Tiny",
-        l1_tlb_4k: TlbGeometry { entries: 1, ways: 1 },
-        l1_tlb_2m: TlbGeometry { entries: 1, ways: 1 },
-        l1_tlb_1g: TlbGeometry { entries: 1, ways: 1 },
-        stlb: StlbGeometry { entries: 2, ways: 2, holds_2m: true, entries_1g: 0 },
-        pwc: PwcGeometry { pml4e: 4, pdpte: 4, pde: 32 },
+        l1_tlb_4k: TlbGeometry {
+            entries: 1,
+            ways: 1,
+        },
+        l1_tlb_2m: TlbGeometry {
+            entries: 1,
+            ways: 1,
+        },
+        l1_tlb_1g: TlbGeometry {
+            entries: 1,
+            ways: 1,
+        },
+        stlb: StlbGeometry {
+            entries: 2,
+            ways: 2,
+            holds_2m: true,
+            entries_1g: 0,
+        },
+        pwc: PwcGeometry {
+            pml4e: 4,
+            pdpte: 4,
+            pde: 32,
+        },
         ..Platform::SANDY_BRIDGE
     }
 }
@@ -74,7 +92,10 @@ fn adjacent_page_walk_uses_pde_cache() {
     let resolver = |_va| PageSize::Base4K;
     engine.step(&read(0), &resolver);
     let after_first = engine.counters();
-    assert_eq!(after_first.walker_l1d_loads, 4, "cold walk references 4 levels");
+    assert_eq!(
+        after_first.walker_l1d_loads, 4,
+        "cold walk references 4 levels"
+    );
     engine.step(&read(1), &resolver);
     let after_second = engine.counters();
     assert_eq!(
@@ -93,7 +114,11 @@ fn runtime_is_at_least_issue_plus_exposed_walks() {
     assert!(c.runtime_cycles >= issue_floor);
     // And bounded above by fully exposed everything.
     let ceiling = issue_floor + c.walk_cycles + 100 * u64::from(platform.lat.dram);
-    assert!(c.runtime_cycles <= ceiling, "{} > {ceiling}", c.runtime_cycles);
+    assert!(
+        c.runtime_cycles <= ceiling,
+        "{} > {ceiling}",
+        c.runtime_cycles
+    );
 }
 
 #[test]
@@ -122,7 +147,10 @@ fn every_extended_platform_runs_end_to_end() {
 fn write_accesses_count_like_reads_in_translation() {
     let mut writes: Vec<Access> = Vec::new();
     for i in 0..6 {
-        writes.push(Access::write(VirtAddr::new(0x4000_0000 + (i % 2) * 4096), 2));
+        writes.push(Access::write(
+            VirtAddr::new(0x4000_0000 + (i % 2) * 4096),
+            2,
+        ));
     }
     let c = Engine::new(&tiny_platform()).run(writes, |_| PageSize::Base4K);
     assert_eq!(c.stlb_misses, 2);

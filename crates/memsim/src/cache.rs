@@ -25,7 +25,10 @@ impl CacheGeometry {
     /// (Intel L3 slices are likewise not power-of-two sized).
     pub fn new(entries: u32, ways: u32) -> Self {
         assert!(ways > 0, "zero ways");
-        assert!(entries.is_multiple_of(ways), "entries {entries} not a multiple of ways {ways}");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries {entries} not a multiple of ways {ways}"
+        );
         CacheGeometry { entries, ways }
     }
 

@@ -40,7 +40,11 @@ mod tests {
         for i in 0..1024u64 {
             seen.insert(splitmix64(i) & 0x3ff);
         }
-        assert!(seen.len() > 600, "only {} distinct low-bit patterns", seen.len());
+        assert!(
+            seen.len() > 600,
+            "only {} distinct low-bit patterns",
+            seen.len()
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl MemoryHierarchy {
     /// Returns the satisfying level and its load-to-use latency in cycles.
     pub fn access(&mut self, addr: PhysAddr, is_walker: bool) -> (HitLevel, u32) {
         let line = addr.cache_line();
-        let counts = if is_walker { &mut self.walker } else { &mut self.program };
+        let counts = if is_walker {
+            &mut self.walker
+        } else {
+            &mut self.program
+        };
         counts.l1d += 1;
         if self.l1d.access(line) {
             return (HitLevel::L1d, self.lat.l1d);

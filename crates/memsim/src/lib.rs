@@ -54,9 +54,7 @@ pub use hash::splitmix64;
 pub use hierarchy::{HitLevel, LoadCounts, MemoryHierarchy};
 pub use nested::{NestedWalkInfo, NestedWalker};
 pub use pagetable::{Level, PageTable};
-pub use platform::{
-    CacheLatencies, Microarch, Platform, PwcGeometry, StlbGeometry, TlbGeometry,
-};
+pub use platform::{CacheLatencies, Microarch, Platform, PwcGeometry, StlbGeometry, TlbGeometry};
 pub use pwc::{PwcLevel, WalkCaches};
 pub use subsystem::{AccessOutcome, MemorySubsystem, Translation, TranslationOutcome, WalkInfo};
 pub use tlb::{Stlb, Tlb};

@@ -63,7 +63,11 @@ impl NestedWalker {
             host: PageTable::new(0x686f_7374),
             guest_pwc: WalkCaches::new(platform.pwc),
             // The nested TLB is small on real parts; reuse the PWC sizes.
-            host_pwc: WalkCaches::new(PwcGeometry { pml4e: 4, pdpte: 4, pde: 32 }),
+            host_pwc: WalkCaches::new(PwcGeometry {
+                pml4e: 4,
+                pdpte: 4,
+                pde: 32,
+            }),
             host_backing,
         }
     }
@@ -78,7 +82,8 @@ impl NestedWalker {
     /// virtualization).
     pub fn compose_translate(&self, va: VirtAddr, guest_size: PageSize) -> PhysAddr {
         let gpa = self.guest.translate(va, guest_size);
-        self.host.translate(VirtAddr::new(gpa.raw()), self.host_backing)
+        self.host
+            .translate(VirtAddr::new(gpa.raw()), self.host_backing)
     }
 
     /// Performs one full 2D walk for guest virtual address `va` mapped
@@ -158,7 +163,11 @@ mod tests {
         // Host dimension: 5 translations (4 guest nodes + final gPA), up
         // to 4 refs each; with a cold nTLB, substantially more than the
         // guest dimension alone.
-        assert!(info.host_refs > info.guest_refs, "host refs {}", info.host_refs);
+        assert!(
+            info.host_refs > info.guest_refs,
+            "host refs {}",
+            info.host_refs
+        );
         assert!(info.total_refs() <= 24, "bounded by the 2D worst case");
         assert!(info.cycles > 0);
     }
@@ -183,10 +192,8 @@ mod tests {
         let (mut walker_4k, mut mem_4k) = setup();
         let mut walker_2m = NestedWalker::new(&Platform::SANDY_BRIDGE, PageSize::Huge2M);
         let mut mem_2m = MemoryHierarchy::new(&Platform::SANDY_BRIDGE);
-        let cold_4k =
-            walker_4k.walk(VirtAddr::new(0x9000_0000), PageSize::Base4K, &mut mem_4k);
-        let cold_2m =
-            walker_2m.walk(VirtAddr::new(0x9000_0000), PageSize::Base4K, &mut mem_2m);
+        let cold_4k = walker_4k.walk(VirtAddr::new(0x9000_0000), PageSize::Base4K, &mut mem_4k);
+        let cold_2m = walker_2m.walk(VirtAddr::new(0x9000_0000), PageSize::Base4K, &mut mem_2m);
         assert!(
             cold_2m.host_refs < cold_4k.host_refs,
             "2MB host backing: {} vs {}",

@@ -68,7 +68,10 @@ const DATA_PHYS_BYTES: u64 = 96 << 30;
 impl PageTable {
     /// Creates a page table with a placement salt.
     pub fn new(salt: u64) -> Self {
-        PageTable { salt, frame_mask: (DATA_PHYS_BYTES >> 12) - 1 }
+        PageTable {
+            salt,
+            frame_mask: (DATA_PHYS_BYTES >> 12) - 1,
+        }
     }
 
     /// Physical address of the page-table *entry* consulted at `level`
@@ -165,7 +168,10 @@ mod tests {
             let p0 = pt.translate(base, size);
             let p1 = pt.translate(base + 100, size);
             assert_eq!(p1.raw() - p0.raw(), 100, "{size}");
-            assert!(p0.raw() < DATA_PHYS_BYTES, "data frames stay below table range");
+            assert!(
+                p0.raw() < DATA_PHYS_BYTES,
+                "data frames stay below table range"
+            );
         }
     }
 
@@ -174,7 +180,11 @@ mod tests {
         let pt = PageTable::new(3);
         let va = VirtAddr::new(5 << 21);
         let p = pt.translate(va, PageSize::Huge2M);
-        assert_eq!(p.raw() & (PageSize::Huge2M.bytes() - 1), 0, "frame aligned to page size");
+        assert_eq!(
+            p.raw() & (PageSize::Huge2M.bytes() - 1),
+            0,
+            "frame aligned to page size"
+        );
         assert_eq!(p, pt.translate(va, PageSize::Huge2M), "pure function");
     }
 
@@ -183,7 +193,10 @@ mod tests {
         let a = PageTable::new(1);
         let b = PageTable::new(2);
         let va = VirtAddr::new(0x1234_5000);
-        assert_ne!(a.translate(va, PageSize::Base4K), b.translate(va, PageSize::Base4K));
+        assert_ne!(
+            a.translate(va, PageSize::Base4K),
+            b.translate(va, PageSize::Base4K)
+        );
     }
 
     #[test]

@@ -180,19 +180,42 @@ impl Platform {
     pub const SANDY_BRIDGE: Platform = Platform {
         name: "SandyBridge",
         arch: Microarch::SandyBridge,
-        l1_tlb_4k: TlbGeometry { entries: 64, ways: 4 },
-        l1_tlb_2m: TlbGeometry { entries: 32, ways: 4 },
-        l1_tlb_1g: TlbGeometry { entries: 4, ways: 4 },
-        stlb: StlbGeometry { entries: 512, ways: 4, holds_2m: false, entries_1g: 0 },
+        l1_tlb_4k: TlbGeometry {
+            entries: 64,
+            ways: 4,
+        },
+        l1_tlb_2m: TlbGeometry {
+            entries: 32,
+            ways: 4,
+        },
+        l1_tlb_1g: TlbGeometry {
+            entries: 4,
+            ways: 4,
+        },
+        stlb: StlbGeometry {
+            entries: 512,
+            ways: 4,
+            holds_2m: false,
+            entries_1g: 0,
+        },
         stlb_latency: 7,
-        pwc: PwcGeometry { pml4e: 4, pdpte: 4, pde: 32 },
+        pwc: PwcGeometry {
+            pml4e: 4,
+            pdpte: 4,
+            pde: 32,
+        },
         l1d_bytes: 32 << 10,
         l1d_ways: 8,
         l2_bytes: 256 << 10,
         l2_ways: 8,
         l3_bytes: 15 << 20,
         l3_ways: 20,
-        lat: CacheLatencies { l1d: 4, l2: 12, l3: 38, dram: 220 },
+        lat: CacheLatencies {
+            l1d: 4,
+            l2: 12,
+            l3: 38,
+            dram: 220,
+        },
         walkers: 1,
         issue_width: 3.0,
         walk_hide_cap: 0.78,
@@ -207,19 +230,42 @@ impl Platform {
     pub const HASWELL: Platform = Platform {
         name: "Haswell",
         arch: Microarch::Haswell,
-        l1_tlb_4k: TlbGeometry { entries: 64, ways: 4 },
-        l1_tlb_2m: TlbGeometry { entries: 32, ways: 4 },
-        l1_tlb_1g: TlbGeometry { entries: 4, ways: 4 },
-        stlb: StlbGeometry { entries: 1024, ways: 8, holds_2m: true, entries_1g: 0 },
+        l1_tlb_4k: TlbGeometry {
+            entries: 64,
+            ways: 4,
+        },
+        l1_tlb_2m: TlbGeometry {
+            entries: 32,
+            ways: 4,
+        },
+        l1_tlb_1g: TlbGeometry {
+            entries: 4,
+            ways: 4,
+        },
+        stlb: StlbGeometry {
+            entries: 1024,
+            ways: 8,
+            holds_2m: true,
+            entries_1g: 0,
+        },
         stlb_latency: 7,
-        pwc: PwcGeometry { pml4e: 4, pdpte: 4, pde: 32 },
+        pwc: PwcGeometry {
+            pml4e: 4,
+            pdpte: 4,
+            pde: 32,
+        },
         l1d_bytes: 32 << 10,
         l1d_ways: 8,
         l2_bytes: 256 << 10,
         l2_ways: 8,
         l3_bytes: 30 << 20,
         l3_ways: 20,
-        lat: CacheLatencies { l1d: 4, l2: 12, l3: 42, dram: 205 },
+        lat: CacheLatencies {
+            l1d: 4,
+            l2: 12,
+            l3: 42,
+            dram: 205,
+        },
         walkers: 1,
         issue_width: 3.4,
         walk_hide_cap: 0.82,
@@ -234,19 +280,42 @@ impl Platform {
     pub const BROADWELL: Platform = Platform {
         name: "Broadwell",
         arch: Microarch::Broadwell,
-        l1_tlb_4k: TlbGeometry { entries: 64, ways: 4 },
-        l1_tlb_2m: TlbGeometry { entries: 32, ways: 4 },
-        l1_tlb_1g: TlbGeometry { entries: 4, ways: 4 },
-        stlb: StlbGeometry { entries: 1536, ways: 6, holds_2m: true, entries_1g: 16 },
+        l1_tlb_4k: TlbGeometry {
+            entries: 64,
+            ways: 4,
+        },
+        l1_tlb_2m: TlbGeometry {
+            entries: 32,
+            ways: 4,
+        },
+        l1_tlb_1g: TlbGeometry {
+            entries: 4,
+            ways: 4,
+        },
+        stlb: StlbGeometry {
+            entries: 1536,
+            ways: 6,
+            holds_2m: true,
+            entries_1g: 16,
+        },
         stlb_latency: 7,
-        pwc: PwcGeometry { pml4e: 4, pdpte: 4, pde: 32 },
+        pwc: PwcGeometry {
+            pml4e: 4,
+            pdpte: 4,
+            pde: 32,
+        },
         l1d_bytes: 32 << 10,
         l1d_ways: 8,
         l2_bytes: 256 << 10,
         l2_ways: 8,
         l3_bytes: 60 << 20,
         l3_ways: 20,
-        lat: CacheLatencies { l1d: 4, l2: 12, l3: 48, dram: 190 },
+        lat: CacheLatencies {
+            l1d: 4,
+            l2: 12,
+            l3: 48,
+            dram: 190,
+        },
         walkers: 2,
         issue_width: 3.6,
         walk_hide_cap: 0.85,
@@ -262,7 +331,12 @@ impl Platform {
     pub const IVY_BRIDGE: Platform = Platform {
         name: "IvyBridge",
         arch: Microarch::IvyBridge,
-        lat: CacheLatencies { l1d: 4, l2: 12, l3: 36, dram: 215 },
+        lat: CacheLatencies {
+            l1d: 4,
+            l2: 12,
+            l3: 36,
+            dram: 215,
+        },
         issue_width: 3.1,
         walk_hide_cap: 0.79,
         data_mlp: 4.7,
@@ -275,10 +349,20 @@ impl Platform {
     pub const SKYLAKE: Platform = Platform {
         name: "Skylake",
         arch: Microarch::Skylake,
-        stlb: StlbGeometry { entries: 1536, ways: 12, holds_2m: true, entries_1g: 16 },
+        stlb: StlbGeometry {
+            entries: 1536,
+            ways: 12,
+            holds_2m: true,
+            entries_1g: 16,
+        },
         l3_bytes: 32 << 20,
         l3_ways: 16,
-        lat: CacheLatencies { l1d: 4, l2: 12, l3: 44, dram: 180 },
+        lat: CacheLatencies {
+            l1d: 4,
+            l2: 12,
+            l3: 44,
+            dram: 180,
+        },
         walkers: 2,
         issue_width: 3.8,
         walk_hide_cap: 0.86,
@@ -292,8 +376,11 @@ impl Platform {
     const SANDY_BRIDGE_BASE: Platform = Platform::SANDY_BRIDGE;
 
     /// The three platforms the paper measures on, oldest first.
-    pub const ALL: [&'static Platform; 3] =
-        [&Platform::SANDY_BRIDGE, &Platform::HASWELL, &Platform::BROADWELL];
+    pub const ALL: [&'static Platform; 3] = [
+        &Platform::SANDY_BRIDGE,
+        &Platform::HASWELL,
+        &Platform::BROADWELL,
+    ];
 
     /// All five modelled generations of paper Table 4, oldest first.
     pub const ALL_EXTENDED: [&'static Platform; 5] = [
@@ -327,7 +414,10 @@ impl Platform {
                 return Err(format!("{name}: zero entries or ways"));
             }
             if !g.entries.is_multiple_of(g.ways) {
-                return Err(format!("{name}: {} entries not divisible by {} ways", g.entries, g.ways));
+                return Err(format!(
+                    "{name}: {} entries not divisible by {} ways",
+                    g.entries, g.ways
+                ));
             }
             Ok(())
         };
@@ -344,7 +434,9 @@ impl Platform {
         ] {
             let lines = bytes / 64;
             if ways == 0 || lines == 0 || !lines.is_multiple_of(u64::from(ways)) {
-                return Err(format!("{name}: {lines} lines not divisible by {ways} ways"));
+                return Err(format!(
+                    "{name}: {lines} lines not divisible by {ways} ways"
+                ));
             }
         }
         if !(self.lat.l1d < self.lat.l2 && self.lat.l2 < self.lat.l3 && self.lat.l3 < self.lat.dram)
@@ -432,7 +524,16 @@ mod tests {
     #[test]
     fn extended_list_is_ordered_and_unique() {
         let names: Vec<&str> = Platform::ALL_EXTENDED.iter().map(|p| p.name).collect();
-        assert_eq!(names, ["SandyBridge", "IvyBridge", "Haswell", "Broadwell", "Skylake"]);
+        assert_eq!(
+            names,
+            [
+                "SandyBridge",
+                "IvyBridge",
+                "Haswell",
+                "Broadwell",
+                "Skylake"
+            ]
+        );
     }
 
     #[test]
@@ -445,21 +546,40 @@ mod tests {
     #[test]
     fn validate_catches_bad_geometries() {
         let bad_tlb = Platform {
-            l1_tlb_4k: TlbGeometry { entries: 5, ways: 2 },
+            l1_tlb_4k: TlbGeometry {
+                entries: 5,
+                ways: 2,
+            },
             ..Platform::SANDY_BRIDGE
         };
         assert!(bad_tlb.validate().is_err());
         let bad_lat = Platform {
-            lat: CacheLatencies { l1d: 10, l2: 5, l3: 40, dram: 200 },
+            lat: CacheLatencies {
+                l1d: 10,
+                l2: 5,
+                l3: 40,
+                dram: 200,
+            },
             ..Platform::SANDY_BRIDGE
         };
         assert!(bad_lat.validate().is_err());
-        let no_walker = Platform { walkers: 0, ..Platform::SANDY_BRIDGE };
+        let no_walker = Platform {
+            walkers: 0,
+            ..Platform::SANDY_BRIDGE
+        };
         assert!(no_walker.validate().is_err());
-        let bad_mlp = Platform { data_mlp: 0.5, ..Platform::SANDY_BRIDGE };
+        let bad_mlp = Platform {
+            data_mlp: 0.5,
+            ..Platform::SANDY_BRIDGE
+        };
         assert!(bad_mlp.validate().is_err());
         let bad_stlb = Platform {
-            stlb: StlbGeometry { entries: 7, ways: 2, holds_2m: true, entries_1g: 0 },
+            stlb: StlbGeometry {
+                entries: 7,
+                ways: 2,
+                holds_2m: true,
+                entries_1g: 0,
+            },
             ..Platform::SANDY_BRIDGE
         };
         assert!(bad_stlb.validate().is_err());

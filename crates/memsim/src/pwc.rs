@@ -140,14 +140,24 @@ mod tests {
     use super::*;
 
     fn caches() -> WalkCaches {
-        WalkCaches::new(PwcGeometry { pml4e: 4, pdpte: 4, pde: 32 })
+        WalkCaches::new(PwcGeometry {
+            pml4e: 4,
+            pdpte: 4,
+            pde: 32,
+        })
     }
 
     #[test]
     fn cold_walk_issues_all_references() {
         let mut pwc = caches();
-        assert_eq!(pwc.lookup_and_fill(VirtAddr::new(0x1234_5000), PageSize::Base4K), 4);
-        assert_eq!(pwc.lookup_and_fill(VirtAddr::new(0x8000_0000_0000 - 4096), PageSize::Base4K), 4);
+        assert_eq!(
+            pwc.lookup_and_fill(VirtAddr::new(0x1234_5000), PageSize::Base4K),
+            4
+        );
+        assert_eq!(
+            pwc.lookup_and_fill(VirtAddr::new(0x8000_0000_0000 - 4096), PageSize::Base4K),
+            4
+        );
     }
 
     #[test]
@@ -174,18 +184,30 @@ mod tests {
         let mut pwc = caches();
         let va = VirtAddr::new(0x8000_0000);
         assert_eq!(pwc.lookup_and_fill(va, PageSize::Huge2M), 3);
-        assert_eq!(pwc.lookup_and_fill(va + (2 << 20), PageSize::Huge2M), 1, "PDPTE cached");
+        assert_eq!(
+            pwc.lookup_and_fill(va + (2 << 20), PageSize::Huge2M),
+            1,
+            "PDPTE cached"
+        );
         // The 2MB walks warmed the PML4E cache for this VA region, so a 1GB
         // walk needs only its leaf reference; in a distant region it needs 2.
         assert_eq!(pwc.lookup_and_fill(va, PageSize::Huge1G), 1, "PML4E cached");
         let far = VirtAddr::new(0x7000_0000_0000);
         assert_eq!(pwc.lookup_and_fill(far, PageSize::Huge1G), 2);
-        assert_eq!(pwc.lookup_and_fill(far, PageSize::Huge1G), 1, "PML4E now cached");
+        assert_eq!(
+            pwc.lookup_and_fill(far, PageSize::Huge1G),
+            1,
+            "PML4E now cached"
+        );
     }
 
     #[test]
     fn disabled_caches_always_walk_fully() {
-        let mut pwc = WalkCaches::new(PwcGeometry { pml4e: 0, pdpte: 0, pde: 0 });
+        let mut pwc = WalkCaches::new(PwcGeometry {
+            pml4e: 0,
+            pdpte: 0,
+            pde: 0,
+        });
         let va = VirtAddr::new(0x1234_5000);
         assert_eq!(pwc.lookup_and_fill(va, PageSize::Base4K), 4);
         assert_eq!(pwc.lookup_and_fill(va, PageSize::Base4K), 4, "never warms");

@@ -3,9 +3,7 @@
 
 use vmcore::{PageSize, VirtAddr};
 
-use crate::{
-    HitLevel, MemoryHierarchy, NestedWalker, PageTable, Platform, Stlb, Tlb, WalkCaches,
-};
+use crate::{HitLevel, MemoryHierarchy, NestedWalker, PageTable, Platform, Stlb, Tlb, WalkCaches};
 
 /// How one translation was resolved.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -142,7 +140,9 @@ impl MemorySubsystem {
             PageSize::Huge1G => &mut self.l1_1g,
         };
         if l1.access(va) {
-            return TranslationOutcome { translation: Translation::L1Hit };
+            return TranslationOutcome {
+                translation: Translation::L1Hit,
+            };
         }
         // An L1 miss: the hypothetical next-page prefetcher walks the
         // *next* page's translation in the background and installs it in
@@ -164,7 +164,9 @@ impl MemorySubsystem {
         }
         if self.stlb.access(va, size) {
             return TranslationOutcome {
-                translation: Translation::StlbHit { latency: self.stlb_latency },
+                translation: Translation::StlbHit {
+                    latency: self.stlb_latency,
+                },
             };
         }
         // Full miss: walk. Under virtualization the nested walker takes
@@ -178,7 +180,9 @@ impl MemorySubsystem {
                 // walks; Table 7 experiments run native.
                 ..WalkInfo::default()
             };
-            return TranslationOutcome { translation: Translation::Walk { info } };
+            return TranslationOutcome {
+                translation: Translation::Walk { info },
+            };
         }
         // The walk caches decide how many references the
         // walker issues; each reference goes through the hierarchy and the
@@ -186,7 +190,10 @@ impl MemorySubsystem {
         let refs_needed = self.pwc.lookup_and_fill(va, size);
         let path = self.page_table.walk_path(va, size);
         let skip = path.len() - refs_needed as usize;
-        let mut info = WalkInfo { refs: refs_needed, ..WalkInfo::default() };
+        let mut info = WalkInfo {
+            refs: refs_needed,
+            ..WalkInfo::default()
+        };
         for addr in &path[skip..] {
             let (level, lat) = self.memory.access(*addr, true);
             info.cycles += lat;
@@ -197,7 +204,9 @@ impl MemorySubsystem {
                 HitLevel::Dram => info.refs_dram += 1,
             }
         }
-        TranslationOutcome { translation: Translation::Walk { info } }
+        TranslationOutcome {
+            translation: Translation::Walk { info },
+        }
     }
 
     /// Performs the program's data reference for `va` (already
@@ -214,7 +223,11 @@ impl MemorySubsystem {
     pub fn access(&mut self, va: VirtAddr, size: PageSize) -> AccessOutcome {
         let t = self.translate(va, size);
         let (data_level, data_latency) = self.data_access(va, size);
-        AccessOutcome { translation: t.translation, data_level, data_latency }
+        AccessOutcome {
+            translation: t.translation,
+            data_level,
+            data_latency,
+        }
     }
 
     /// The memory hierarchy (for counter readout).
@@ -343,7 +356,10 @@ mod tests {
         let va = VirtAddr::new(0x2000_0000);
         let out = vm.access(va, PageSize::Base4K);
         assert_eq!(out.data_level, HitLevel::Dram, "cold data access");
-        assert!(vm.memory().walker_loads().l1d >= 1, "walk touched the hierarchy");
+        assert!(
+            vm.memory().walker_loads().l1d >= 1,
+            "walk touched the hierarchy"
+        );
         let warm = vm.access(va, PageSize::Base4K);
         assert_eq!(warm.data_level, HitLevel::L1d);
         assert!(matches!(warm.translation, Translation::L1Hit));
@@ -351,28 +367,38 @@ mod tests {
 
     #[test]
     fn prefetcher_turns_sequential_misses_into_stlb_hits() {
-        let platform = Platform { tlb_prefetch: true, ..Platform::SANDY_BRIDGE };
+        let platform = Platform {
+            tlb_prefetch: true,
+            ..Platform::SANDY_BRIDGE
+        };
         let mut vm = MemorySubsystem::new(&platform);
         // Sequential page stream: after the first miss, every next page
         // was prefetched — L1 misses become STLB hits, not walks.
         let mut walks = 0;
         let mut hits = 0;
         for i in 0..64u64 {
-            match vm.translate(VirtAddr::new(0x4000_0000 + i * 4096), PageSize::Base4K).translation {
+            match vm
+                .translate(VirtAddr::new(0x4000_0000 + i * 4096), PageSize::Base4K)
+                .translation
+            {
                 Translation::Walk { .. } => walks += 1,
                 Translation::StlbHit { .. } => hits += 1,
                 Translation::L1Hit => {}
             }
         }
         assert!(vm.prefetches() > 0);
-        assert!(hits > 50, "sequential stream should ride the prefetcher: {hits} hits");
+        assert!(
+            hits > 50,
+            "sequential stream should ride the prefetcher: {hits} hits"
+        );
         assert!(walks <= 2, "only the stream head walks: {walks}");
         // The baseline without prefetching walks every page.
         let mut base = MemorySubsystem::new(&Platform::SANDY_BRIDGE);
         let mut base_walks = 0;
         for i in 0..64u64 {
-            if let Translation::Walk { .. } =
-                base.translate(VirtAddr::new(0x4000_0000 + i * 4096), PageSize::Base4K).translation
+            if let Translation::Walk { .. } = base
+                .translate(VirtAddr::new(0x4000_0000 + i * 4096), PageSize::Base4K)
+                .translation
             {
                 base_walks += 1;
             }
@@ -383,8 +409,7 @@ mod tests {
     #[test]
     fn virtualized_walks_cost_more() {
         let mut native = MemorySubsystem::new(&Platform::SANDY_BRIDGE);
-        let mut virt =
-            MemorySubsystem::virtualized(&Platform::SANDY_BRIDGE, PageSize::Base4K);
+        let mut virt = MemorySubsystem::virtualized(&Platform::SANDY_BRIDGE, PageSize::Base4K);
         assert!(virt.is_virtualized() && !native.is_virtualized());
         let va = VirtAddr::new(0x5000_0000);
         let n = match native.translate(va, PageSize::Base4K).translation {
@@ -407,7 +432,10 @@ mod tests {
         let mut b = MemorySubsystem::new(&Platform::BROADWELL);
         for i in 0..1000u64 {
             let va = VirtAddr::new((i * 7919) << 12);
-            assert_eq!(a.access(va, PageSize::Base4K), b.access(va, PageSize::Base4K));
+            assert_eq!(
+                a.access(va, PageSize::Base4K),
+                b.access(va, PageSize::Base4K)
+            );
         }
     }
 }

@@ -26,7 +26,10 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with `entries`/`ways` for translations of `size`.
     pub fn new(entries: u32, ways: u32, size: PageSize) -> Self {
-        Tlb { cache: SetAssocCache::new(CacheGeometry::new(entries, ways)), size }
+        Tlb {
+            cache: SetAssocCache::new(CacheGeometry::new(entries, ways)),
+            size,
+        }
     }
 
     /// The page size this TLB translates.
@@ -78,9 +81,16 @@ impl Stlb {
     pub fn new(platform: &Platform) -> Self {
         let g = platform.stlb;
         let main = SetAssocCache::new(CacheGeometry::new(g.entries, g.ways));
-        let huge1g = (g.entries_1g > 0)
-            .then(|| SetAssocCache::new(CacheGeometry::full(g.entries_1g)));
-        Stlb { geometry: g, main, huge1g, hits: 0, misses: 0, uncovered: 0 }
+        let huge1g =
+            (g.entries_1g > 0).then(|| SetAssocCache::new(CacheGeometry::full(g.entries_1g)));
+        Stlb {
+            geometry: g,
+            main,
+            huge1g,
+            hits: 0,
+            misses: 0,
+            uncovered: 0,
+        }
     }
 
     /// The configured geometry.

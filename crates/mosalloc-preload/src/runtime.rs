@@ -156,7 +156,11 @@ impl PreloadRuntime {
         config.validate().ok()?;
         let heap = ReservedPool::reserve(&config.brk, strict)?;
         let anon = ReservedPool::reserve(&config.anon, strict)?;
-        Some(PreloadRuntime { heap, anon, brk_offset: 0 })
+        Some(PreloadRuntime {
+            heap,
+            anon,
+            brk_offset: 0,
+        })
     }
 
     /// Builds the runtime from the process environment.
@@ -292,7 +296,10 @@ mod tests {
     #[test]
     fn pool_exhaustion_falls_back() {
         let mut rt = PreloadRuntime::from_config(&small_config(), false).unwrap();
-        assert!(rt.pool_mmap_anon(64 << 20).is_none(), "larger than the pool");
+        assert!(
+            rt.pool_mmap_anon(64 << 20).is_none(),
+            "larger than the pool"
+        );
     }
 
     #[test]

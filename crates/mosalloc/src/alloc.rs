@@ -81,7 +81,12 @@ impl Mosalloc {
                 assert!(!regions[i].overlaps(&regions[j]), "pool regions overlap");
             }
         }
-        Ok(Mosalloc { heap, anon, file, stats: AllocStats::default() })
+        Ok(Mosalloc {
+            heap,
+            anon,
+            file,
+            stats: AllocStats::default(),
+        })
     }
 
     /// The heap (brk) pool.
@@ -275,7 +280,9 @@ mod tests {
     #[test]
     fn munmap_of_unknown_region_fails() {
         let mut m = Mosalloc::new(config("brk:size=16M;anon:size=16M")).unwrap();
-        let err = m.munmap(Region::new(VirtAddr::new(0x9999_0000), 4096)).unwrap_err();
+        let err = m
+            .munmap(Region::new(VirtAddr::new(0x9999_0000), 4096))
+            .unwrap_err();
         assert!(matches!(err, AllocError::BadFree(_)));
         assert_eq!(m.stats().munmap_calls, 0, "failed unmaps are not counted");
     }
@@ -295,7 +302,10 @@ mod tests {
         for _ in 0..32 {
             m.mmap_anon(MIB).unwrap();
         }
-        assert!(m.stats().overhead_ratio() < 0.01, "paper reports <1% overhead");
+        assert!(
+            m.stats().overhead_ratio() < 0.01,
+            "paper reports <1% overhead"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub struct PoolSpec {
 impl PoolSpec {
     /// A pool of `size` bytes backed entirely by 4KB pages.
     pub fn plain(size: u64) -> Self {
-        PoolSpec { size, windows: Vec::new() }
+        PoolSpec {
+            size,
+            windows: Vec::new(),
+        }
     }
 
     /// A pool of `size` bytes backed entirely by `page` pages.
@@ -69,7 +72,14 @@ impl PoolSpec {
         if page == PageSize::Base4K {
             return PoolSpec::plain(size);
         }
-        PoolSpec { size, windows: vec![WindowSpec { start: 0, end: size, size: page }] }
+        PoolSpec {
+            size,
+            windows: vec![WindowSpec {
+                start: 0,
+                end: size,
+                size: page,
+            }],
+        }
     }
 
     /// Adds a window; builder style.
@@ -121,7 +131,9 @@ impl FromStr for PoolSpec {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut items = s.split(',').map(str::trim).filter(|p| !p.is_empty());
-        let first = items.next().ok_or_else(|| LayoutError::BadSpec(s.to_string()))?;
+        let first = items
+            .next()
+            .ok_or_else(|| LayoutError::BadSpec(s.to_string()))?;
         let size = first
             .strip_prefix("size=")
             .ok_or_else(|| LayoutError::BadSpec(format!("pool spec must start with size=: {s}")))
@@ -145,7 +157,11 @@ impl FromStr for PoolSpec {
             if end <= start {
                 return Err(LayoutError::BadSpec(format!("empty window {item:?}")));
             }
-            windows.push(WindowSpec { start, end, size: page });
+            windows.push(WindowSpec {
+                start,
+                end,
+                size: page,
+            });
         }
         Ok(PoolSpec { size, windows })
     }
@@ -267,15 +283,16 @@ fn parse_bytes(s: &str) -> Result<u64, LayoutError> {
         return u64::from_str_radix(hex, 16).map_err(|_| err());
     }
     let upper = s.to_ascii_uppercase();
-    let (digits, mult) = if let Some(d) = upper.strip_suffix("KB").or_else(|| upper.strip_suffix('K')) {
-        (d.to_string(), 1u64 << 10)
-    } else if let Some(d) = upper.strip_suffix("MB").or_else(|| upper.strip_suffix('M')) {
-        (d.to_string(), 1 << 20)
-    } else if let Some(d) = upper.strip_suffix("GB").or_else(|| upper.strip_suffix('G')) {
-        (d.to_string(), 1 << 30)
-    } else {
-        (upper, 1)
-    };
+    let (digits, mult) =
+        if let Some(d) = upper.strip_suffix("KB").or_else(|| upper.strip_suffix('K')) {
+            (d.to_string(), 1u64 << 10)
+        } else if let Some(d) = upper.strip_suffix("MB").or_else(|| upper.strip_suffix('M')) {
+            (d.to_string(), 1 << 20)
+        } else if let Some(d) = upper.strip_suffix("GB").or_else(|| upper.strip_suffix('G')) {
+            (d.to_string(), 1 << 30)
+        } else {
+            (upper, 1)
+        };
     let value: u64 = digits.trim().parse().map_err(|_| err())?;
     value.checked_mul(mult).ok_or_else(err)
 }
@@ -337,9 +354,18 @@ mod tests {
     fn pool_spec_rejects_malformed() {
         assert!("".parse::<PoolSpec>().is_err());
         assert!("2MB=0..4M".parse::<PoolSpec>().is_err(), "missing size=");
-        assert!("size=1G,4KB=0..4M".parse::<PoolSpec>().is_err(), "4KB window");
-        assert!("size=1G,2MB=4M..4M".parse::<PoolSpec>().is_err(), "empty window");
-        assert!("size=1G,2MB=8M..4M".parse::<PoolSpec>().is_err(), "inverted window");
+        assert!(
+            "size=1G,4KB=0..4M".parse::<PoolSpec>().is_err(),
+            "4KB window"
+        );
+        assert!(
+            "size=1G,2MB=4M..4M".parse::<PoolSpec>().is_err(),
+            "empty window"
+        );
+        assert!(
+            "size=1G,2MB=8M..4M".parse::<PoolSpec>().is_err(),
+            "inverted window"
+        );
         assert!("size=1G,2MB".parse::<PoolSpec>().is_err(), "no range");
     }
 
@@ -357,7 +383,10 @@ mod tests {
     fn config_rejects_file_hugepages_and_unknown_pools() {
         assert!("file:size=1G,2MB=0..4M".parse::<MosallocConfig>().is_err());
         assert!("stack:size=1G".parse::<MosallocConfig>().is_err());
-        assert!("size=1G".parse::<MosallocConfig>().is_err(), "missing pool name");
+        assert!(
+            "size=1G".parse::<MosallocConfig>().is_err(),
+            "missing pool name"
+        );
     }
 
     #[test]
@@ -366,8 +395,14 @@ mod tests {
         let layout = spec.to_layout(VirtAddr::new(0)).unwrap();
         // 3M window rounds out to 4M of 2MB pages.
         assert_eq!(layout.bytes_backed_by(PageSize::Huge2M), 4 * MIB);
-        assert_eq!(layout.page_size_at(VirtAddr::new(3 * MIB + 1)), PageSize::Huge2M);
-        assert_eq!(layout.page_size_at(VirtAddr::new(4 * MIB)), PageSize::Base4K);
+        assert_eq!(
+            layout.page_size_at(VirtAddr::new(3 * MIB + 1)),
+            PageSize::Huge2M
+        );
+        assert_eq!(
+            layout.page_size_at(VirtAddr::new(4 * MIB)),
+            PageSize::Base4K
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub enum AllocError {
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocError::OutOfPool { pool, requested, available } => write!(
+            AllocError::OutOfPool {
+                pool,
+                requested,
+                available,
+            } => write!(
                 f,
                 "{pool} pool exhausted: requested {requested} bytes, {available} available"
             ),
@@ -89,7 +93,11 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = AllocError::OutOfPool { pool: "anon", requested: 10, available: 5 };
+        let e = AllocError::OutOfPool {
+            pool: "anon",
+            requested: 10,
+            available: 5,
+        };
         let msg = e.to_string();
         assert!(msg.contains("anon") && msg.contains("10") && msg.contains('5'));
     }

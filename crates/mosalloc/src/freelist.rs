@@ -71,7 +71,13 @@ impl FirstFit {
 
     /// Creates an allocator with an explicit hole-selection policy.
     pub fn with_policy(capacity: u64, policy: FitPolicy) -> Self {
-        FirstFit { policy, capacity, top: 0, holes: BTreeMap::new(), live: BTreeMap::new() }
+        FirstFit {
+            policy,
+            capacity,
+            top: 0,
+            holes: BTreeMap::new(),
+            live: BTreeMap::new(),
+        }
     }
 
     /// The active hole-selection policy.
@@ -379,7 +385,11 @@ mod tests {
     #[test]
     fn worst_fit_takes_the_largest_hole() {
         let mut ff = two_holes(FitPolicy::WorstFit);
-        assert_eq!(ff.alloc(80, 1), Some(200), "worst fit picks the 300-byte hole");
+        assert_eq!(
+            ff.alloc(80, 1),
+            Some(200),
+            "worst fit picks the 300-byte hole"
+        );
     }
 
     #[test]

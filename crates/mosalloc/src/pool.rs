@@ -40,7 +40,11 @@ impl HeapPool {
     pub fn new(spec: &PoolSpec, base: VirtAddr) -> Result<Self, AllocError> {
         let layout = spec.to_layout(base)?;
         let region = Region::new(base, spec.size);
-        Ok(HeapPool { region, layout, brk: base })
+        Ok(HeapPool {
+            region,
+            layout,
+            brk: base,
+        })
     }
 
     /// The pool's virtual address range.
@@ -70,7 +74,10 @@ impl HeapPool {
     /// [`AllocError::BrkOutOfRange`] if `target` leaves the pool.
     pub fn brk(&mut self, target: VirtAddr) -> Result<(), AllocError> {
         if target < self.region.start() || target > self.region.end() {
-            return Err(AllocError::BrkOutOfRange { target, pool: self.region });
+            return Err(AllocError::BrkOutOfRange {
+                target,
+                pool: self.region,
+            });
         }
         self.brk = target;
         Ok(())
@@ -127,7 +134,11 @@ impl AnonPool {
     pub fn new(spec: &PoolSpec, base: VirtAddr) -> Result<Self, AllocError> {
         let layout = spec.to_layout(base)?;
         let region = Region::new(base, spec.size);
-        Ok(AnonPool { region, layout, alloc: FirstFit::new(spec.size) })
+        Ok(AnonPool {
+            region,
+            layout,
+            alloc: FirstFit::new(spec.size),
+        })
     }
 
     /// The pool's virtual address range.
@@ -161,8 +172,10 @@ impl AnonPool {
             return Err(AllocError::ZeroLength);
         }
         let len = round_up(len, Self::GRANULARITY);
-        let offset =
-            self.alloc.alloc(len, Self::GRANULARITY).ok_or(AllocError::OutOfPool {
+        let offset = self
+            .alloc
+            .alloc(len, Self::GRANULARITY)
+            .ok_or(AllocError::OutOfPool {
                 pool: "anon",
                 requested: len,
                 available: self.region.len() - self.alloc.high_water(),
@@ -181,7 +194,9 @@ impl AnonPool {
             return Err(AllocError::BadFree(mapping));
         }
         let offset = mapping.start() - self.region.start();
-        self.alloc.free(offset, mapping.len()).map_err(|()| AllocError::BadFree(mapping))
+        self.alloc
+            .free(offset, mapping.len())
+            .map_err(|()| AllocError::BadFree(mapping))
     }
 }
 
@@ -208,7 +223,10 @@ impl FilePool {
                 "file pool supports only 4KB pages".into(),
             )));
         }
-        Ok(FilePool { region: Region::new(base, spec.size), alloc: FirstFit::new(spec.size) })
+        Ok(FilePool {
+            region: Region::new(base, spec.size),
+            alloc: FirstFit::new(spec.size),
+        })
     }
 
     /// The pool's virtual address range.
@@ -226,8 +244,10 @@ impl FilePool {
             return Err(AllocError::ZeroLength);
         }
         let len = round_up(len, AnonPool::GRANULARITY);
-        let offset =
-            self.alloc.alloc(len, AnonPool::GRANULARITY).ok_or(AllocError::OutOfPool {
+        let offset = self
+            .alloc
+            .alloc(len, AnonPool::GRANULARITY)
+            .ok_or(AllocError::OutOfPool {
                 pool: "file",
                 requested: len,
                 available: self.region.len() - self.alloc.high_water(),
@@ -245,7 +265,9 @@ impl FilePool {
             return Err(AllocError::BadFree(mapping));
         }
         let offset = mapping.start() - self.region.start();
-        self.alloc.free(offset, mapping.len()).map_err(|()| AllocError::BadFree(mapping))
+        self.alloc
+            .free(offset, mapping.len())
+            .map_err(|()| AllocError::BadFree(mapping))
     }
 }
 
@@ -278,13 +300,19 @@ mod tests {
     #[test]
     fn heap_bounds_enforced() {
         let mut heap = HeapPool::new(&PoolSpec::plain(MIB), base()).unwrap();
-        assert!(matches!(heap.sbrk(MIB as i64 + 1), Err(AllocError::OutOfPool { .. })));
+        assert!(matches!(
+            heap.sbrk(MIB as i64 + 1),
+            Err(AllocError::OutOfPool { .. })
+        ));
         assert!(matches!(heap.sbrk(-1), Err(AllocError::SbrkUnderflow)));
         assert!(matches!(
             heap.brk(VirtAddr::new(base().raw() - 1)),
             Err(AllocError::BrkOutOfRange { .. })
         ));
-        assert!(heap.brk(heap.region().end()).is_ok(), "brk to pool end is legal");
+        assert!(
+            heap.brk(heap.region().end()).is_ok(),
+            "brk to pool end is legal"
+        );
     }
 
     #[test]
@@ -292,7 +320,10 @@ mod tests {
         let spec = PoolSpec::plain(8 * MIB).with_window(0, 2 * MIB, PageSize::Huge2M);
         let heap = HeapPool::new(&spec, base()).unwrap();
         assert_eq!(heap.layout().page_size_at(base()), PageSize::Huge2M);
-        assert_eq!(heap.layout().page_size_at(base() + 2 * MIB), PageSize::Base4K);
+        assert_eq!(
+            heap.layout().page_size_at(base() + 2 * MIB),
+            PageSize::Base4K
+        );
     }
 
     #[test]
@@ -319,10 +350,16 @@ mod tests {
     fn anon_rejects_bad_unmaps() {
         let mut anon = AnonPool::new(&PoolSpec::plain(MIB), base()).unwrap();
         let a = anon.mmap(8192).unwrap();
-        assert!(anon.munmap(Region::new(a.start(), 4096)).is_err(), "partial unmap");
+        assert!(
+            anon.munmap(Region::new(a.start(), 4096)).is_err(),
+            "partial unmap"
+        );
         anon.munmap(a).unwrap();
         assert!(anon.munmap(a).is_err(), "double unmap");
-        assert!(anon.munmap(Region::new(VirtAddr::new(1), 4096)).is_err(), "foreign range");
+        assert!(
+            anon.munmap(Region::new(VirtAddr::new(1), 4096)).is_err(),
+            "foreign range"
+        );
         assert!(matches!(anon.mmap(0), Err(AllocError::ZeroLength)));
     }
 
@@ -344,7 +381,9 @@ mod tests {
         let mut anon = AnonPool::new(&PoolSpec::plain(16 * 1024), base()).unwrap();
         let _a = anon.mmap(16 * 1024).unwrap();
         match anon.mmap(4096) {
-            Err(AllocError::OutOfPool { pool, available, .. }) => {
+            Err(AllocError::OutOfPool {
+                pool, available, ..
+            }) => {
                 assert_eq!(pool, "anon");
                 assert_eq!(available, 0);
             }

@@ -32,8 +32,7 @@ impl AllocStats {
         if self.bytes_requested == 0 {
             0.0
         } else {
-            (self.bytes_reserved as f64 - self.bytes_requested as f64)
-                / self.bytes_requested as f64
+            (self.bytes_reserved as f64 - self.bytes_requested as f64) / self.bytes_requested as f64
         }
     }
 
@@ -94,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_is_complete() {
-        let s = AllocStats { brk_calls: 1, ..Default::default() };
+        let s = AllocStats {
+            brk_calls: 1,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("brk=1"));
     }
 }

@@ -55,7 +55,12 @@ impl Thp {
     /// `threshold = 1`).
     pub fn new(region: Region, threshold: u32) -> Self {
         assert!(threshold > 0, "threshold must be positive");
-        Thp { region, threshold, touches: HashMap::new(), promoted: HashSet::new() }
+        Thp {
+            region,
+            threshold,
+            touches: HashMap::new(),
+            promoted: HashSet::new(),
+        }
     }
 
     /// The eligible region.
@@ -131,7 +136,11 @@ mod tests {
         let base = VirtAddr::new(0x4000_0000);
         thp.observe(base);
         thp.observe(base + 4096);
-        assert_eq!(thp.observe(base + 8192), PageSize::Huge2M, "chunk-level counting");
+        assert_eq!(
+            thp.observe(base + 8192),
+            PageSize::Huge2M,
+            "chunk-level counting"
+        );
     }
 
     #[test]
@@ -164,7 +173,10 @@ mod tests {
         }
         assert_eq!(thp.promotions(), 4);
         assert_eq!(thp.promotion_cost_cycles(), 4 * PROMOTION_CYCLES);
-        assert!((thp.promoted_fraction() - 0.5).abs() < 1e-12, "4 of 8 chunks");
+        assert!(
+            (thp.promoted_fraction() - 0.5).abs() < 1e-12,
+            "4 of 8 chunks"
+        );
     }
 
     #[test]

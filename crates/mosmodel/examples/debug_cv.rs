@@ -1,15 +1,27 @@
 //! Inspection tool: per-fold Mosmodel behaviour on a synthetic battery.
 //! Inspection: mosmodel CV folds on the synthetic quadratic battery.
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
-use mosmodel::models::{ModelKind, RuntimeModel};
 use mosmodel::metrics::max_err;
+use mosmodel::models::{ModelKind, RuntimeModel};
 
 fn battery(c4k: f64, shape: impl Fn(f64) -> f64) -> Dataset {
-    (0..54).map(|i| {
-        let c = c4k * (53 - i) as f64 / 53.0;
-        let kind = match i { 0 => LayoutKind::All4K, 53 => LayoutKind::All2M, _ => LayoutKind::Mixed };
-        Sample { r: shape(c), h: c / 500.0, m: c / 40.0, c, kind }
-    }).collect()
+    (0..54)
+        .map(|i| {
+            let c = c4k * (53 - i) as f64 / 53.0;
+            let kind = match i {
+                0 => LayoutKind::All4K,
+                53 => LayoutKind::All2M,
+                _ => LayoutKind::Mixed,
+            };
+            Sample {
+                r: shape(c),
+                h: c / 500.0,
+                m: c / 40.0,
+                c,
+                kind,
+            }
+        })
+        .collect()
 }
 fn main() {
     let ds = battery(1e9, |c| 5e9 + 0.3 * c + 0.7e-9 * c * c);
@@ -24,12 +36,19 @@ fn main() {
         let mut worst = (0.0f64, 0usize);
         for (j, s) in test.iter().enumerate() {
             let e = ((s.r - fit.predict(s)) / s.r).abs();
-            if e > worst.0 { worst = (e, j); }
+            if e > worst.0 {
+                worst = (e, j);
+            }
         }
         let names = [""; 0];
         let _ = names;
-        println!("fold {fold}: max err {:.4} at test#{} (c={:.3e}) terms={}",
-            err, worst.1, test.samples()[worst.1].c, fit.nonzero_terms().unwrap());
+        println!(
+            "fold {fold}: max err {:.4} at test#{} (c={:.3e}) terms={}",
+            err,
+            worst.1,
+            test.samples()[worst.1].c,
+            fit.nonzero_terms().unwrap()
+        );
         // print chosen terms
         // (weights on raw features)
     }

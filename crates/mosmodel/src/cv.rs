@@ -44,8 +44,7 @@ pub fn k_fold(model: ModelKind, data: &Dataset, k: usize) -> Result<CvReport, Fi
     let mut skipped = 0;
     let mut last_err = None;
     for fold in 0..k {
-        let train_idx: Vec<usize> =
-            (0..data.len()).filter(|i| i % k != fold).collect();
+        let train_idx: Vec<usize> = (0..data.len()).filter(|i| i % k != fold).collect();
         let test_idx: Vec<usize> = (0..data.len()).filter(|i| i % k == fold).collect();
         let train = data.subset(&train_idx);
         let test = data.subset(&test_idx);
@@ -63,7 +62,11 @@ pub fn k_fold(model: ModelKind, data: &Dataset, k: usize) -> Result<CvReport, Fi
     if evaluated == 0 {
         return Err(last_err.expect("k >= 2 folds attempted"));
     }
-    Ok(CvReport { max_err: worst, folds_evaluated: evaluated, folds_skipped: skipped })
+    Ok(CvReport {
+        max_err: worst,
+        folds_evaluated: evaluated,
+        folds_skipped: skipped,
+    })
 }
 
 #[cfg(test)]
@@ -80,7 +83,13 @@ mod tests {
                     x if x == n - 1 => LayoutKind::All4K,
                     _ => LayoutKind::Mixed,
                 };
-                Sample { r: 1e9 + 0.7 * c, h: 1.0, m: i as f64, c, kind }
+                Sample {
+                    r: 1e9 + 0.7 * c,
+                    h: 1.0,
+                    m: i as f64,
+                    c,
+                    kind,
+                }
             })
             .collect()
     }
@@ -112,7 +121,10 @@ mod tests {
             .collect();
         let cv1 = k_fold(ModelKind::Poly1, &data, 6).unwrap();
         let cv2 = k_fold(ModelKind::Poly2, &data, 6).unwrap();
-        assert!(cv1.max_err > cv2.max_err, "poly2 should generalize better on a parabola");
+        assert!(
+            cv1.max_err > cv2.max_err,
+            "poly2 should generalize better on a parabola"
+        );
         assert!(cv2.max_err < 1e-6);
     }
 

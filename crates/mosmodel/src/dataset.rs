@@ -60,12 +60,16 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset.
     pub fn new() -> Self {
-        Dataset { samples: Vec::new() }
+        Dataset {
+            samples: Vec::new(),
+        }
     }
 
     /// Builds a dataset from an iterator of samples.
     pub fn from_samples<I: IntoIterator<Item = Sample>>(samples: I) -> Self {
-        Dataset { samples: samples.into_iter().collect() }
+        Dataset {
+            samples: samples.into_iter().collect(),
+        }
     }
 
     /// Appends a sample.
@@ -128,7 +132,9 @@ impl Dataset {
     ///
     /// Panics if any index is out of range.
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        Dataset { samples: indices.iter().map(|&i| self.samples[i]).collect() }
+        Dataset {
+            samples: indices.iter().map(|&i| self.samples[i]).collect(),
+        }
     }
 
     /// TLB sensitivity as the paper defines it (§VI-A): the relative
@@ -167,7 +173,13 @@ mod tests {
     use super::*;
 
     fn sample(r: f64, kind: LayoutKind) -> Sample {
-        Sample { r, h: 1.0, m: 2.0, c: 3.0, kind }
+        Sample {
+            r,
+            h: 1.0,
+            m: 2.0,
+            c: 3.0,
+            kind,
+        }
     }
 
     #[test]
@@ -211,8 +223,9 @@ mod tests {
 
     #[test]
     fn subset_and_collect() {
-        let ds: Dataset =
-            (0..5).map(|i| sample(i as f64, LayoutKind::Mixed)).collect();
+        let ds: Dataset = (0..5)
+            .map(|i| sample(i as f64, LayoutKind::Mixed))
+            .collect();
         let sub = ds.subset(&[0, 2, 4]);
         assert_eq!(sub.len(), 3);
         assert_eq!(sub.samples()[1].r, 2.0);

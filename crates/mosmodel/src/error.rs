@@ -51,7 +51,9 @@ mod tests {
     #[test]
     fn displays() {
         assert!(FitError::MissingAnchor("4KB").to_string().contains("4KB"));
-        assert!(FitError::TooFewSamples { needed: 4, got: 1 }.to_string().contains('4'));
+        assert!(FitError::TooFewSamples { needed: 4, got: 1 }
+            .to_string()
+            .contains('4'));
         fn is_err<E: Error + Send + Sync>() {}
         is_err::<FitError>();
     }

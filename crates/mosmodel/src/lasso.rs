@@ -56,7 +56,10 @@ pub fn fit_lasso(
     max_nonzero: usize,
 ) -> Result<LinearFit, FitError> {
     if data.len() < 4 {
-        return Err(FitError::TooFewSamples { needed: 4, got: data.len() });
+        return Err(FitError::TooFewSamples {
+            needed: 4,
+            got: data.len(),
+        });
     }
     let n = data.len();
     let rows: Vec<Vec<f64>> = data.iter().map(|s| features.expand(s)).collect();
@@ -87,7 +90,12 @@ pub fn fit_lasso(
     }
     if lambda_max == 0.0 {
         // y is constant: the intercept-only model is exact.
-        return Ok(back_transform(features, &standardizer, &vec![0.0; k], y_mean));
+        return Ok(back_transform(
+            features,
+            &standardizer,
+            &vec![0.0; k],
+            y_mean,
+        ));
     }
 
     let mut w = vec![0.0f64; k];
@@ -291,7 +299,13 @@ mod tests {
     use crate::Sample;
 
     fn sample(h: f64, m: f64, c: f64, r: f64) -> Sample {
-        Sample { r, h, m, c, kind: LayoutKind::Mixed }
+        Sample {
+            r,
+            h,
+            m,
+            c,
+            kind: LayoutKind::Mixed,
+        }
     }
 
     /// 54 samples, runtime driven by C and C² only; H/M carry noise-ish
@@ -342,16 +356,16 @@ mod tests {
         let features = PolyFeatures::in_c(3);
         let ols = fit_ols(features.clone(), &data).unwrap();
         let lasso = fit_lasso(features, &data, 2).unwrap();
-        let sse = |f: &LinearFit| -> f64 {
-            data.iter().map(|s| (f.predict(s) - s.r).powi(2)).sum()
-        };
+        let sse =
+            |f: &LinearFit| -> f64 { data.iter().map(|s| (f.predict(s) - s.r).powi(2)).sum() };
         assert!(sse(&lasso) >= sse(&ols) - 1e-3);
     }
 
     #[test]
     fn constant_response_yields_intercept_only() {
-        let data: Dataset =
-            (0..10).map(|i| sample(1.0, 2.0, 1e6 * i as f64, 7e9)).collect();
+        let data: Dataset = (0..10)
+            .map(|i| sample(1.0, 2.0, 1e6 * i as f64, 7e9))
+            .collect();
         let fit = fit_lasso(PolyFeatures::mosmodel(), &data, 5).unwrap();
         assert_eq!(fit.nonzero_terms(), 0);
         assert!((fit.predict(&data.samples()[3]) - 7e9).abs() < 1.0);
@@ -374,7 +388,9 @@ mod tests {
 
     #[test]
     fn too_few_samples_error() {
-        let data: Dataset = (0..3).map(|i| sample(0.0, 0.0, i as f64, i as f64)).collect();
+        let data: Dataset = (0..3)
+            .map(|i| sample(0.0, 0.0, i as f64, i as f64))
+            .collect();
         assert!(matches!(
             fit_lasso(PolyFeatures::mosmodel(), &data, 5),
             Err(FitError::TooFewSamples { .. })

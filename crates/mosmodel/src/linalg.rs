@@ -29,7 +29,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from row slices.
@@ -46,7 +50,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Row count.
@@ -65,7 +73,10 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -75,7 +86,10 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -209,7 +223,10 @@ pub fn lstsq_ridge(x: &Matrix, y: &[f64], lambda: f64) -> Option<Vec<f64>> {
     let gram = xt.matmul(x);
     let rhs = xt.matvec(y);
     let n = gram.rows();
-    let scale = (0..n).map(|i| gram.get(i, i)).fold(0.0f64, f64::max).max(1.0);
+    let scale = (0..n)
+        .map(|i| gram.get(i, i))
+        .fold(0.0f64, f64::max)
+        .max(1.0);
     let mut ridge = lambda.max(1e-10 * scale);
     for _ in 0..8 {
         let mut reg = gram.clone();
@@ -241,7 +258,10 @@ pub fn lstsq(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
     let mut gram = xt.matmul(x);
     let rhs = xt.matvec(y);
     let n = gram.rows();
-    let scale = (0..n).map(|i| gram.get(i, i)).fold(0.0f64, f64::max).max(1.0);
+    let scale = (0..n)
+        .map(|i| gram.get(i, i))
+        .fold(0.0f64, f64::max)
+        .max(1.0);
     let mut ridge = 1e-10 * scale;
     for _ in 0..8 {
         let mut reg = gram.clone();
@@ -325,7 +345,9 @@ mod tests {
         let y: Vec<f64> = pts.iter().map(|&(_, v)| v).collect();
         let w = lstsq(&xm, &y).unwrap();
         let res = |w: &[f64]| -> f64 {
-            pts.iter().map(|&(x, v)| (w[0] + w[1] * x - v).powi(2)).sum()
+            pts.iter()
+                .map(|&(x, v)| (w[0] + w[1] * x - v).powi(2))
+                .sum()
         };
         let base = res(&w);
         for d in [[0.01, 0.0], [0.0, 0.01], [-0.01, 0.01]] {
@@ -337,8 +359,7 @@ mod tests {
     #[test]
     fn lstsq_survives_collinear_features() {
         // Second and third columns identical: ridge fallback must cope.
-        let rows: Vec<Vec<f64>> =
-            (0..6).map(|i| vec![1.0, i as f64, i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![1.0, i as f64, i as f64]).collect();
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let x = Matrix::from_rows(&refs);
         let y: Vec<f64> = (0..6).map(|i| 1.0 + 4.0 * i as f64).collect();

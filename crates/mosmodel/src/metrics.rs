@@ -85,7 +85,13 @@ mod tests {
     }
 
     fn sample(r: f64, c: f64) -> Sample {
-        Sample { r, h: 0.0, m: 0.0, c, kind: LayoutKind::Mixed }
+        Sample {
+            r,
+            h: 0.0,
+            m: 0.0,
+            c,
+            kind: LayoutKind::Mixed,
+        }
     }
 
     #[test]
@@ -126,7 +132,9 @@ mod tests {
 
     #[test]
     fn r_squared_perfect_line_is_one() {
-        let ds: Dataset = (0..10).map(|i| sample(3.0 + 2.0 * i as f64, i as f64)).collect();
+        let ds: Dataset = (0..10)
+            .map(|i| sample(3.0 + 2.0 * i as f64, i as f64))
+            .collect();
         assert!((r_squared(&ds, Var::C) - 1.0).abs() < 1e-12);
     }
 

@@ -120,7 +120,10 @@ impl crate::models::RuntimeModel for LinearFit {
 pub fn fit_ols(features: PolyFeatures, data: &Dataset) -> Result<LinearFit, FitError> {
     let k = features.len();
     if data.len() < k {
-        return Err(FitError::TooFewSamples { needed: k, got: data.len() });
+        return Err(FitError::TooFewSamples {
+            needed: k,
+            got: data.len(),
+        });
     }
     let rows: Vec<Vec<f64>> = data.iter().map(|s| features.expand(s)).collect();
     let standardizer = Standardizer::fit(&rows);
@@ -161,7 +164,13 @@ mod tests {
     use crate::dataset::LayoutKind;
 
     fn sample(h: f64, m: f64, c: f64, r: f64) -> Sample {
-        Sample { r, h, m, c, kind: LayoutKind::Mixed }
+        Sample {
+            r,
+            h,
+            m,
+            c,
+            kind: LayoutKind::Mixed,
+        }
     }
 
     fn linear_data() -> Dataset {
@@ -223,13 +232,18 @@ mod tests {
             }
         }
         for d in dots {
-            assert!((d / data.len() as f64).abs() < 1.0, "residual correlation {d}");
+            assert!(
+                (d / data.len() as f64).abs() < 1.0,
+                "residual correlation {d}"
+            );
         }
     }
 
     #[test]
     fn too_few_samples_rejected() {
-        let data: Dataset = (0..3).map(|i| sample(0.0, 0.0, i as f64, i as f64)).collect();
+        let data: Dataset = (0..3)
+            .map(|i| sample(0.0, 0.0, i as f64, i as f64))
+            .collect();
         assert!(matches!(
             fit_ols(PolyFeatures::in_c(3), &data),
             Err(FitError::TooFewSamples { needed: 4, got: 3 })

@@ -65,7 +65,11 @@ impl PolyFeatures {
         enumerate(&mut exponents, &mut current, 0, degree);
         // Sort by total degree then lexicographically, intercept first.
         exponents.sort_by_key(|e| (e.iter().sum::<u32>(), e.clone()));
-        PolyFeatures { vars, degree, exponents }
+        PolyFeatures {
+            vars,
+            degree,
+            exponents,
+        }
     }
 
     /// The paper's Mosmodel feature set: all of `(H, M, C)` to degree 3
@@ -164,7 +168,13 @@ mod tests {
     use crate::dataset::LayoutKind;
 
     fn sample(h: f64, m: f64, c: f64) -> Sample {
-        Sample { r: 0.0, h, m, c, kind: LayoutKind::Mixed }
+        Sample {
+            r: 0.0,
+            h,
+            m,
+            c,
+            kind: LayoutKind::Mixed,
+        }
     }
 
     #[test]

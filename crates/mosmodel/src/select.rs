@@ -60,7 +60,13 @@ mod tests {
         (0..30)
             .map(|i| {
                 let (h, m, c, r) = f(i);
-                Sample { r, h, m, c, kind: LayoutKind::Mixed }
+                Sample {
+                    r,
+                    h,
+                    m,
+                    c,
+                    kind: LayoutKind::Mixed,
+                }
             })
             .collect()
     }
@@ -69,7 +75,12 @@ mod tests {
     fn picks_c_when_c_drives_runtime() {
         let ds = driven_by(|i| {
             let c = 1e5 * i as f64;
-            (((i * 13) % 30) as f64, ((i * 7) % 30) as f64, c, 1e8 + 2.0 * c)
+            (
+                ((i * 13) % 30) as f64,
+                ((i * 7) % 30) as f64,
+                c,
+                1e8 + 2.0 * c,
+            )
         });
         assert_eq!(best_single_input(&ds), Var::C);
     }
@@ -78,7 +89,12 @@ mod tests {
     fn picks_h_when_h_drives_runtime() {
         let ds = driven_by(|i| {
             let h = 1e4 * i as f64;
-            (h, ((i * 13) % 30) as f64, ((i * 7) % 30) as f64, 1e8 + 7.0 * h)
+            (
+                h,
+                ((i * 13) % 30) as f64,
+                ((i * 7) % 30) as f64,
+                1e8 + 7.0 * h,
+            )
         });
         assert_eq!(best_single_input(&ds), Var::H);
     }

@@ -54,12 +54,18 @@ pub struct MemoryLayout {
 impl MemoryLayout {
     /// Starts building a layout over `pool`.
     pub fn builder(pool: Region) -> MemoryLayoutBuilder {
-        MemoryLayoutBuilder { pool, windows: Vec::new() }
+        MemoryLayoutBuilder {
+            pool,
+            windows: Vec::new(),
+        }
     }
 
     /// The all-4KB layout for `pool` (no hugepage windows).
     pub fn all_4k(pool: Region) -> Self {
-        MemoryLayout { pool, windows: Vec::new() }
+        MemoryLayout {
+            pool,
+            windows: Vec::new(),
+        }
     }
 
     /// A layout backing the whole pool with a single page size.
@@ -72,7 +78,13 @@ impl MemoryLayout {
             return MemoryLayout::all_4k(pool);
         }
         let window = pool.align_outward(size);
-        MemoryLayout { pool, windows: vec![LayoutWindow { region: window, size }] }
+        MemoryLayout {
+            pool,
+            windows: vec![LayoutWindow {
+                region: window,
+                size,
+            }],
+        }
     }
 
     /// The pool region this layout covers.
@@ -129,8 +141,11 @@ impl MemoryLayout {
         if self.windows.is_empty() {
             return "all-4KB".to_string();
         }
-        let parts: Vec<String> =
-            self.windows.iter().map(|w| format!("{}:{}", w.size, w.region)).collect();
+        let parts: Vec<String> = self
+            .windows
+            .iter()
+            .map(|w| format!("{}:{}", w.size, w.region))
+            .collect();
         format!("{} (else 4KB)", parts.join(" "))
     }
 }
@@ -152,11 +167,17 @@ impl MemoryLayoutBuilder {
     /// window is not contained in the (outward-aligned) pool.
     pub fn window(mut self, region: Region, size: PageSize) -> Result<Self, LayoutError> {
         if !region.is_aligned(size) {
-            return Err(LayoutError::Misaligned { window: region, required: size });
+            return Err(LayoutError::Misaligned {
+                window: region,
+                required: size,
+            });
         }
         let roomy_pool = self.pool.align_outward(size);
         if !roomy_pool.contains_region(&region) {
-            return Err(LayoutError::WindowOutsidePool { window: region, pool: self.pool });
+            return Err(LayoutError::WindowOutsidePool {
+                window: region,
+                pool: self.pool,
+            });
         }
         self.windows.push(LayoutWindow { region, size });
         Ok(self)
@@ -172,11 +193,17 @@ impl MemoryLayoutBuilder {
         self.windows.sort_by_key(|w| w.region.start());
         for pair in self.windows.windows(2) {
             if pair[0].region.overlaps(&pair[1].region) {
-                return Err(LayoutError::OverlappingWindows(pair[0].region, pair[1].region));
+                return Err(LayoutError::OverlappingWindows(
+                    pair[0].region,
+                    pair[1].region,
+                ));
             }
         }
         self.windows.retain(|w| !w.region.is_empty());
-        Ok(MemoryLayout { pool: self.pool, windows: self.windows })
+        Ok(MemoryLayout {
+            pool: self.pool,
+            windows: self.windows,
+        })
     }
 }
 
@@ -230,8 +257,15 @@ mod tests {
         assert_eq!(l.page_size_at(VirtAddr::new(0)), PageSize::Huge1G);
         assert_eq!(l.page_size_at(VirtAddr::new(GIB - 1)), PageSize::Huge1G);
         assert_eq!(l.page_size_at(VirtAddr::new(GIB)), PageSize::Huge2M);
-        assert_eq!(l.page_size_at(VirtAddr::new(GIB + 512 * MIB)), PageSize::Base4K);
-        assert_eq!(l.page_size_at(VirtAddr::new(3 * GIB)), PageSize::Base4K, "outside pool");
+        assert_eq!(
+            l.page_size_at(VirtAddr::new(GIB + 512 * MIB)),
+            PageSize::Base4K
+        );
+        assert_eq!(
+            l.page_size_at(VirtAddr::new(3 * GIB)),
+            PageSize::Base4K,
+            "outside pool"
+        );
     }
 
     #[test]
@@ -245,7 +279,10 @@ mod tests {
     #[test]
     fn window_outside_pool_rejected() {
         let err = MemoryLayout::builder(pool())
-            .window(Region::new(VirtAddr::new(4 * GIB), 2 * MIB), PageSize::Huge2M)
+            .window(
+                Region::new(VirtAddr::new(4 * GIB), 2 * MIB),
+                PageSize::Huge2M,
+            )
             .unwrap_err();
         assert!(matches!(err, LayoutError::WindowOutsidePool { .. }));
     }
@@ -255,7 +292,10 @@ mod tests {
         let err = MemoryLayout::builder(pool())
             .window(Region::new(VirtAddr::new(0), 4 * MIB), PageSize::Huge2M)
             .unwrap()
-            .window(Region::new(VirtAddr::new(2 * MIB), 4 * MIB), PageSize::Huge2M)
+            .window(
+                Region::new(VirtAddr::new(2 * MIB), 4 * MIB),
+                PageSize::Huge2M,
+            )
             .unwrap()
             .build()
             .unwrap_err();
@@ -265,7 +305,10 @@ mod tests {
     #[test]
     fn byte_accounting_partitions_pool() {
         let l = MemoryLayout::builder(pool())
-            .window(Region::new(VirtAddr::new(6 * MIB), 10 * MIB), PageSize::Huge2M)
+            .window(
+                Region::new(VirtAddr::new(6 * MIB), 10 * MIB),
+                PageSize::Huge2M,
+            )
             .unwrap()
             .build()
             .unwrap();

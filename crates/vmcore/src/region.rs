@@ -159,16 +159,25 @@ mod tests {
     #[test]
     fn overlap_cases() {
         assert!(r(0, 0x2000).overlaps(&r(0x1000, 0x2000)));
-        assert!(!r(0, 0x1000).overlaps(&r(0x1000, 0x1000)), "touching is not overlap");
+        assert!(
+            !r(0, 0x1000).overlaps(&r(0x1000, 0x1000)),
+            "touching is not overlap"
+        );
         assert!(!r(0, 0).overlaps(&r(0, 0x1000)), "empty never overlaps");
         assert!(r(0x1000, 0x100).overlaps(&r(0, 0x10000)), "nested overlaps");
     }
 
     #[test]
     fn intersection_cases() {
-        assert_eq!(r(0, 0x2000).intersection(&r(0x1000, 0x2000)), Some(r(0x1000, 0x1000)));
+        assert_eq!(
+            r(0, 0x2000).intersection(&r(0x1000, 0x2000)),
+            Some(r(0x1000, 0x1000))
+        );
         assert_eq!(r(0, 0x1000).intersection(&r(0x1000, 0x1000)), None);
-        assert_eq!(r(0, 0x4000).intersection(&r(0x1000, 0x1000)), Some(r(0x1000, 0x1000)));
+        assert_eq!(
+            r(0, 0x4000).intersection(&r(0x1000, 0x1000)),
+            Some(r(0x1000, 0x1000))
+        );
     }
 
     #[test]
@@ -177,7 +186,10 @@ mod tests {
         assert!(outer.contains_region(&r(0x2000, 0x1000)));
         assert!(outer.contains_region(&outer));
         assert!(!outer.contains_region(&r(0x4000, 0x2000)));
-        assert!(outer.contains_region(&r(0xdead_0000, 0)), "empty region always contained");
+        assert!(
+            outer.contains_region(&r(0xdead_0000, 0)),
+            "empty region always contained"
+        );
     }
 
     #[test]

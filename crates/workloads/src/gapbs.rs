@@ -209,7 +209,11 @@ mod tests {
     use vmcore::MIB;
 
     fn params() -> TraceParams {
-        TraceParams::new(Region::new(VirtAddr::new(0x4_0000_0000), 192 * MIB), 40_000, 11)
+        TraceParams::new(
+            Region::new(VirtAddr::new(0x4_0000_0000), 192 * MIB),
+            40_000,
+            11,
+        )
     }
 
     #[test]

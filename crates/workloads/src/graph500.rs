@@ -88,7 +88,11 @@ mod tests {
     use vmcore::{VirtAddr, MIB};
 
     fn params() -> TraceParams {
-        TraceParams::new(Region::new(VirtAddr::new(0x3_0000_0000), 128 * MIB), 50_000, 3)
+        TraceParams::new(
+            Region::new(VirtAddr::new(0x3_0000_0000), 128 * MIB),
+            50_000,
+            3,
+        )
     }
 
     #[test]
@@ -109,9 +113,16 @@ mod tests {
         let vertex_accesses: Vec<_> = Graph500Trace::new(&p)
             .filter(|a| a.addr >= vertex_start)
             .collect();
-        let in_top = vertex_accesses.iter().filter(|a| a.addr >= top_slice).count();
+        let in_top = vertex_accesses
+            .iter()
+            .filter(|a| a.addr >= top_slice)
+            .count();
         let frac = in_top as f64 / vertex_accesses.len() as f64;
-        assert!(frac > 0.5, "only {:.0}% of vertex accesses in the top slice", frac * 100.0);
+        assert!(
+            frac > 0.5,
+            "only {:.0}% of vertex accesses in the top slice",
+            frac * 100.0
+        );
     }
 
     #[test]
@@ -120,7 +131,10 @@ mod tests {
         let v: Vec<_> = Graph500Trace::new(&p).take(700).collect();
         let seq = v.iter().filter(|a| !a.write).count();
         let rand = v.iter().filter(|a| a.write).count();
-        assert!(seq > 4 * rand, "scan-to-visit ratio should be ~{SCAN_RUN}:1 ({seq}/{rand})");
+        assert!(
+            seq > 4 * rand,
+            "scan-to-visit ratio should be ~{SCAN_RUN}:1 ({seq}/{rand})"
+        );
         assert!(rand > 50);
     }
 }

@@ -61,7 +61,11 @@ mod tests {
     use vmcore::{Region, MIB};
 
     fn params() -> TraceParams {
-        TraceParams::new(Region::new(VirtAddr::new(0x1_0000_0000), 64 * MIB), 10_000, 9)
+        TraceParams::new(
+            Region::new(VirtAddr::new(0x1_0000_0000), 64 * MIB),
+            10_000,
+            9,
+        )
     }
 
     #[test]

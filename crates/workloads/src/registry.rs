@@ -94,18 +94,72 @@ pub fn registry() -> Vec<WorkloadSpec> {
         spec("graph500/4GB", S::Graph500, 4 * GIB, 1.2, G::Graph500),
         spec("graph500/8GB", S::Graph500, 8 * GIB, 1.2, G::Graph500),
         spec("spec06/mcf", S::Spec06, 1700 * (GIB / 1024), 1.0, G::Mcf),
-        spec("spec06/omnetpp", S::Spec06, 160 * (GIB / 1024), 1.0, G::Omnetpp),
-        spec("spec17/omnetpp_s", S::Spec17, 250 * (GIB / 1024), 1.0, G::Omnetpp),
-        spec("spec17/xalancbmk_s", S::Spec17, 475 * (GIB / 1024), 1.0, G::Xalancbmk),
+        spec(
+            "spec06/omnetpp",
+            S::Spec06,
+            160 * (GIB / 1024),
+            1.0,
+            G::Omnetpp,
+        ),
+        spec(
+            "spec17/omnetpp_s",
+            S::Spec17,
+            250 * (GIB / 1024),
+            1.0,
+            G::Omnetpp,
+        ),
+        spec(
+            "spec17/xalancbmk_s",
+            S::Spec17,
+            475 * (GIB / 1024),
+            1.0,
+            G::Xalancbmk,
+        ),
         spec("xsbench/4GB", S::XsBench, 4 * GIB, 1.0, G::XsBench),
         spec("xsbench/8GB", S::XsBench, 8 * GIB, 1.0, G::XsBench),
         spec("xsbench/16GB", S::XsBench, 16 * GIB, 1.0, G::XsBench),
-        spec("gapbs/bc-twitter", S::Gapbs, 12 * GIB, 1.0, G::Gapbs(Kernel::Bc, GraphKind::Twitter)),
-        spec("gapbs/bfs-road", S::Gapbs, 15 * GIB / 10, 1.0, G::Gapbs(Kernel::Bfs, GraphKind::Road)),
-        spec("gapbs/bfs-twitter", S::Gapbs, 12 * GIB, 1.0, G::Gapbs(Kernel::Bfs, GraphKind::Twitter)),
-        spec("gapbs/pr-twitter", S::Gapbs, 12 * GIB, 1.0, G::Gapbs(Kernel::Pr, GraphKind::Twitter)),
-        spec("gapbs/sssp-twitter", S::Gapbs, 14 * GIB, 1.0, G::Gapbs(Kernel::Sssp, GraphKind::Twitter)),
-        spec("gapbs/sssp-web", S::Gapbs, 8 * GIB, 1.0, G::Gapbs(Kernel::Sssp, GraphKind::Web)),
+        spec(
+            "gapbs/bc-twitter",
+            S::Gapbs,
+            12 * GIB,
+            1.0,
+            G::Gapbs(Kernel::Bc, GraphKind::Twitter),
+        ),
+        spec(
+            "gapbs/bfs-road",
+            S::Gapbs,
+            15 * GIB / 10,
+            1.0,
+            G::Gapbs(Kernel::Bfs, GraphKind::Road),
+        ),
+        spec(
+            "gapbs/bfs-twitter",
+            S::Gapbs,
+            12 * GIB,
+            1.0,
+            G::Gapbs(Kernel::Bfs, GraphKind::Twitter),
+        ),
+        spec(
+            "gapbs/pr-twitter",
+            S::Gapbs,
+            12 * GIB,
+            1.0,
+            G::Gapbs(Kernel::Pr, GraphKind::Twitter),
+        ),
+        spec(
+            "gapbs/sssp-twitter",
+            S::Gapbs,
+            14 * GIB,
+            1.0,
+            G::Gapbs(Kernel::Sssp, GraphKind::Twitter),
+        ),
+        spec(
+            "gapbs/sssp-web",
+            S::Gapbs,
+            8 * GIB,
+            1.0,
+            G::Gapbs(Kernel::Sssp, GraphKind::Web),
+        ),
     ]
 }
 
@@ -158,7 +212,11 @@ mod tests {
         for w in registry() {
             let v: Vec<Access> = w.trace(&params).collect();
             assert_eq!(v.len(), 2000, "{}", w.name);
-            assert!(v.iter().all(|a| arena.contains(a.addr)), "{} escaped", w.name);
+            assert!(
+                v.iter().all(|a| arena.contains(a.addr)),
+                "{} escaped",
+                w.name
+            );
         }
     }
 

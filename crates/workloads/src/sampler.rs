@@ -89,7 +89,10 @@ mod tests {
             counts[law.sample(&mut rng) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8000..12000).contains(&c), "bucket count {c} not near uniform");
+            assert!(
+                (8000..12000).contains(&c),
+                "bucket count {c} not near uniform"
+            );
         }
     }
 

@@ -98,10 +98,12 @@ mod tests {
     fn same_fraction_different_coverage() {
         // Both keep 10% of the trace, but blind sees one region while
         // windows sees ten.
-        let blind_set: std::collections::HashSet<u64> =
-            blind(trace(10_000), 0, 1_000).map(|a| a.addr.raw()).collect();
-        let window_set: std::collections::HashSet<u64> =
-            windows(trace(10_000), 100, 1_000).map(|a| a.addr.raw()).collect();
+        let blind_set: std::collections::HashSet<u64> = blind(trace(10_000), 0, 1_000)
+            .map(|a| a.addr.raw())
+            .collect();
+        let window_set: std::collections::HashSet<u64> = windows(trace(10_000), 100, 1_000)
+            .map(|a| a.addr.raw())
+            .collect();
         // mcf relocates its working block over time: periodic windows see
         // more distinct addresses than one contiguous chunk.
         assert!(

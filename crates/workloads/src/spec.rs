@@ -269,16 +269,26 @@ mod tests {
         assert_eq!(v.len(), 30_000);
         assert!(v.iter().all(|a| p.arena.contains(a.addr)));
         // Chases jump far: median jump distance is large.
-        let mut jumps: Vec<u64> = v.windows(2).map(|w| w[1].addr.raw().abs_diff(w[0].addr.raw())).collect();
+        let mut jumps: Vec<u64> = v
+            .windows(2)
+            .map(|w| w[1].addr.raw().abs_diff(w[0].addr.raw()))
+            .collect();
         jumps.sort_unstable();
-        assert!(jumps[jumps.len() / 2] > 4096, "median jump {}", jumps[jumps.len() / 2]);
+        assert!(
+            jumps[jumps.len() / 2] > 4096,
+            "median jump {}",
+            jumps[jumps.len() / 2]
+        );
     }
 
     #[test]
     fn mcf_has_sequential_sweeps() {
         let p = params(128 * MIB);
         let v: Vec<_> = McfTrace::new(&p).collect();
-        let seq = v.windows(2).filter(|w| w[1].addr.raw().wrapping_sub(w[0].addr.raw()) == ARC_BYTES).count();
+        let seq = v
+            .windows(2)
+            .filter(|w| w[1].addr.raw().wrapping_sub(w[0].addr.raw()) == ARC_BYTES)
+            .count();
         assert!(seq > 1000, "sequential steps {seq}");
     }
 
@@ -312,7 +322,11 @@ mod tests {
         let distinct: std::collections::HashSet<u64> =
             v.iter().map(|a| a.addr.raw() / NODE_BYTES).collect();
         // Far fewer distinct nodes than accesses: temporal reuse.
-        assert!(distinct.len() * 2 < v.len(), "{} distinct nodes", distinct.len());
+        assert!(
+            distinct.len() * 2 < v.len(),
+            "{} distinct nodes",
+            distinct.len()
+        );
         assert!(v.iter().all(|a| p.arena.contains(a.addr)));
     }
 

@@ -25,17 +25,32 @@ pub struct Access {
 impl Access {
     /// A read access.
     pub fn read(addr: VirtAddr, inst_gap: u32) -> Self {
-        Access { addr, write: false, inst_gap, dep: false }
+        Access {
+            addr,
+            write: false,
+            inst_gap,
+            dep: false,
+        }
     }
 
     /// A write access.
     pub fn write(addr: VirtAddr, inst_gap: u32) -> Self {
-        Access { addr, write: true, inst_gap, dep: false }
+        Access {
+            addr,
+            write: true,
+            inst_gap,
+            dep: false,
+        }
     }
 
     /// A serially dependent read (pointer chase).
     pub fn read_dep(addr: VirtAddr, inst_gap: u32) -> Self {
-        Access { addr, write: false, inst_gap, dep: true }
+        Access {
+            addr,
+            write: false,
+            inst_gap,
+            dep: true,
+        }
     }
 }
 
@@ -54,7 +69,11 @@ pub struct TraceParams {
 impl TraceParams {
     /// Convenience constructor.
     pub fn new(arena: Region, accesses: u64, seed: u64) -> Self {
-        TraceParams { arena, accesses, seed }
+        TraceParams {
+            arena,
+            accesses,
+            seed,
+        }
     }
 }
 

@@ -126,7 +126,11 @@ mod tests {
     use vmcore::{VirtAddr, MIB};
 
     fn params() -> TraceParams {
-        TraceParams::new(Region::new(VirtAddr::new(0x2_0000_0000), 96 * MIB), 20_000, 5)
+        TraceParams::new(
+            Region::new(VirtAddr::new(0x2_0000_0000), 96 * MIB),
+            20_000,
+            5,
+        )
     }
 
     #[test]

@@ -7,9 +7,8 @@ use workloads::{registry, TraceParams};
 
 fn arena_strategy() -> impl Strategy<Value = Region> {
     // Arena bases are page-aligned; sizes from 8MB to 512MB.
-    (0u64..(1 << 28), 23u32..30).prop_map(|(base_page, len_log)| {
-        Region::new(VirtAddr::new(base_page << 12), 1 << len_log)
-    })
+    (0u64..(1 << 28), 23u32..30)
+        .prop_map(|(base_page, len_log)| Region::new(VirtAddr::new(base_page << 12), 1 << len_log))
 }
 
 proptest! {

@@ -35,15 +35,30 @@ fn main() {
         (
             "big-stlb (4x L2 TLB, holds 2MB)",
             Platform {
-                stlb: StlbGeometry { entries: 2048, ways: 8, holds_2m: true, entries_1g: 0 },
+                stlb: StlbGeometry {
+                    entries: 2048,
+                    ways: 8,
+                    holds_2m: true,
+                    entries_1g: 0,
+                },
                 ..base.clone()
             },
         ),
-        ("2-walkers", Platform { walkers: 2, ..base.clone() }),
+        (
+            "2-walkers",
+            Platform {
+                walkers: 2,
+                ..base.clone()
+            },
+        ),
         (
             "mega-pwc (8x walk caches)",
             Platform {
-                pwc: PwcGeometry { pml4e: 32, pdpte: 32, pde: 256 },
+                pwc: PwcGeometry {
+                    pml4e: 32,
+                    pdpte: 32,
+                    pde: 256,
+                },
                 ..base.clone()
             },
         ),
@@ -58,7 +73,10 @@ fn main() {
         ),
         (
             "next-page TLB prefetcher",
-            Platform { tlb_prefetch: true, ..base.clone() },
+            Platform {
+                tlb_prefetch: true,
+                ..base.clone()
+            },
         ),
     ];
 
@@ -77,8 +95,16 @@ fn main() {
     ]);
     let mut worst: f64 = 0.0;
     for (name, design) in &designs {
-        let p = explore_design(&grid, &workload, base, design, name, model, PageSize::Base4K)
-            .expect("anchors present");
+        let p = explore_design(
+            &grid,
+            &workload,
+            base,
+            design,
+            name,
+            model,
+            PageSize::Base4K,
+        )
+        .expect("anchors present");
         worst = worst.max(p.error());
         table.row(vec![
             (*name).into(),

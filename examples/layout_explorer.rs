@@ -13,9 +13,11 @@ use vmcore::Region;
 use workloads::{TraceParams, WorkloadSpec};
 
 fn main() {
-    let workload = std::env::args().nth(1).unwrap_or_else(|| "graph500/4GB".to_string());
-    let spec = WorkloadSpec::by_name(&workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "graph500/4GB".to_string());
+    let spec =
+        WorkloadSpec::by_name(&workload).unwrap_or_else(|| panic!("unknown workload {workload:?}"));
     let speed = Speed::from_env();
     let platform = &Platform::SANDY_BRIDGE;
 
@@ -30,8 +32,13 @@ fn main() {
     let arena: Region = mosalloc.heap().region();
     let params = TraceParams::new(arena, speed.trace_len(spec.access_factor), 0xfeed);
 
-    println!("{} on {}: footprint {} MiB, {} accesses", workload, platform.name,
-        footprint >> 20, params.accesses);
+    println!(
+        "{} on {}: footprint {} MiB, {} accesses",
+        workload,
+        platform.name,
+        footprint >> 20,
+        params.accesses
+    );
 
     // 1. PEBS-like miss profile.
     let profile = profile_tlb_misses(platform, spec.trace(&params), arena, 2 << 20);
@@ -49,7 +56,11 @@ fn main() {
         })
         .collect();
     for (i, line) in glyphs.as_bytes().chunks(64).enumerate() {
-        println!("  {:>6} MiB | {}", i * 64 * 2, String::from_utf8_lossy(line));
+        println!(
+            "  {:>6} MiB | {}",
+            i * 64 * 2,
+            String::from_utf8_lossy(line)
+        );
     }
     for x in layouts::SLIDING_FRACTIONS {
         let hot = profile.hot_region(x);
@@ -64,8 +75,11 @@ fn main() {
     // 2. The 54-layout battery and the spread of C it produces.
     let grid = Grid::new(speed);
     let entry = grid.entry(&workload, platform);
-    let mut cs: Vec<f64> =
-        entry.records.iter().map(|r| r.counters.walk_cycles as f64).collect();
+    let mut cs: Vec<f64> = entry
+        .records
+        .iter()
+        .map(|r| r.counters.walk_cycles as f64)
+        .collect();
     cs.sort_by(f64::total_cmp);
     let c_max = cs.last().copied().unwrap_or(1.0).max(1.0);
     println!("\nwalk-cycle operating points covered by the battery (normalized):");
@@ -74,10 +88,17 @@ fn main() {
         let idx = ((c / c_max) * 63.0) as usize;
         strip[idx] = '*';
     }
-    println!("  0 |{}| C_max = {:.2}e6 cycles", strip.iter().collect::<String>(), c_max / 1e6);
+    println!(
+        "  0 |{}| C_max = {:.2}e6 cycles",
+        strip.iter().collect::<String>(),
+        c_max / 1e6
+    );
     println!(
         "  {} distinct operating points from {} runs",
-        cs.iter().map(|&c| c as u64).collect::<std::collections::HashSet<_>>().len(),
+        cs.iter()
+            .map(|&c| c as u64)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
         cs.len()
     );
 }

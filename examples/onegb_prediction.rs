@@ -15,8 +15,9 @@ use harness::{casestudy, Grid, Speed};
 use machine::Platform;
 
 fn main() {
-    let platform_name =
-        std::env::args().nth(1).unwrap_or_else(|| "SandyBridge".to_string());
+    let platform_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SandyBridge".to_string());
     let platform = Platform::by_name(&platform_name)
         .unwrap_or_else(|| panic!("unknown platform {platform_name:?}"));
     let grid = Grid::new(Speed::from_env());

@@ -12,7 +12,9 @@
 use harness::{casestudy, figures, tables, Grid, Speed};
 
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "fig2".to_string());
+    let what = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fig2".to_string());
     let grid = Grid::new(Speed::from_env());
     let run = |name: &str| what == "all" || what == name;
 
@@ -38,23 +40,38 @@ fn main() {
         println!("{}\n", figures::fig7(&grid).expect("sssp anchors present"));
     }
     if run("fig8") {
-        println!("Figure 8 — {}\n", figures::fig8(&grid).expect("omnetpp anchors present"));
+        println!(
+            "Figure 8 — {}\n",
+            figures::fig8(&grid).expect("omnetpp anchors present")
+        );
     }
     if run("fig9") {
-        println!("{}\n", figures::fig9(&grid).expect("xalancbmk anchors present"));
+        println!(
+            "{}\n",
+            figures::fig9(&grid).expect("xalancbmk anchors present")
+        );
     }
     if run("fig10") {
-        println!("Figure 10 — {}\n", figures::fig10(&grid).expect("gups anchors present"));
+        println!(
+            "Figure 10 — {}\n",
+            figures::fig10(&grid).expect("gups anchors present")
+        );
     }
     if run("fig11") {
-        println!("Figure 11 — {}\n", figures::fig11(&grid).expect("pr-twitter anchors present"));
+        println!(
+            "Figure 11 — {}\n",
+            figures::fig11(&grid).expect("pr-twitter anchors present")
+        );
     }
     if run("tab6") {
         let pairs = figures::sensitive_pairs(&grid);
         println!("{}\n", tables::tab6(&grid, &pairs, 6));
     }
     if run("tab7") {
-        println!("{}\n", tables::tab7(&grid).expect("xalancbmk anchors present"));
+        println!(
+            "{}\n",
+            tables::tab7(&grid).expect("xalancbmk anchors present")
+        );
     }
     if run("tab8") {
         let pairs = figures::sensitive_pairs(&grid);
@@ -66,8 +83,22 @@ fn main() {
             println!("{v}\n");
         }
     }
-    if !["fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab6",
-        "tab7", "tab8", "casestudy", "all"]
+    if ![
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "tab6",
+        "tab7",
+        "tab8",
+        "casestudy",
+        "all",
+    ]
     .contains(&what.as_str())
     {
         eprintln!("unknown figure {what:?}; try fig2..fig11, tab6..tab8, casestudy, or all");

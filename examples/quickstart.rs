@@ -31,8 +31,12 @@ fn main() {
     let entry = grid.entry(&workload, platform);
     let dataset = entry.dataset();
 
-    let a4k = dataset.anchor_4k().expect("battery includes the all-4KB anchor");
-    let a2m = dataset.anchor_2m().expect("battery includes the all-2MB anchor");
+    let a4k = dataset
+        .anchor_4k()
+        .expect("battery includes the all-4KB anchor");
+    let a2m = dataset
+        .anchor_2m()
+        .expect("battery includes the all-2MB anchor");
     println!(
         "\nAnchors: 4KB run R={:.3}e9 C={:.3}e9 | 2MB run R={:.3}e9 C={:.3}e9",
         a4k.r / 1e9,
@@ -66,7 +70,12 @@ fn main() {
                 ]);
             }
             Err(e) => {
-                table.row(vec![kind.name().into(), "-".into(), "-".into(), e.to_string()]);
+                table.row(vec![
+                    kind.name().into(),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]);
             }
         }
     }

@@ -29,8 +29,8 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown platform {platform_name:?}"));
     let speed = Speed::from_env();
 
-    let spec = WorkloadSpec::by_name(&workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let spec =
+        WorkloadSpec::by_name(&workload).unwrap_or_else(|| panic!("unknown workload {workload:?}"));
     let footprint = speed.footprint(spec.nominal_footprint);
     let mosalloc = Mosalloc::new(MosallocConfig {
         brk: PoolSpec::plain(footprint),
@@ -73,7 +73,13 @@ fn main() {
             cost,
         ]
     };
-    table.row(row("all-4KB".into(), r4k.runtime_cycles, r4k.stlb_misses, "-".into(), "-".into()));
+    table.row(row(
+        "all-4KB".into(),
+        r4k.runtime_cycles,
+        r4k.stlb_misses,
+        "-".into(),
+        "-".into(),
+    ));
 
     for threshold in [1u32, 8, 64, 512] {
         let thp = RefCell::new(Thp::new(arena, threshold));

@@ -25,7 +25,11 @@ fn every_workload_runs_entirely_inside_its_heap_allocation() {
     for spec in workloads::registry() {
         let params = TraceParams::new(arena, 3_000, 11);
         for access in spec.trace(&params) {
-            assert!(arena.contains(access.addr), "{} escaped its allocation", spec.name);
+            assert!(
+                arena.contains(access.addr),
+                "{} escaped its allocation",
+                spec.name
+            );
         }
     }
 }
@@ -35,8 +39,7 @@ fn battery_layouts_translate_to_valid_mosalloc_configs() {
     let (_, arena) = arena_alloc(128 * MIB);
     let spec = WorkloadSpec::by_name("graph500/4GB").unwrap();
     let params = TraceParams::new(arena, 20_000, 5);
-    let profile =
-        profile_tlb_misses(&Platform::SANDY_BRIDGE, spec.trace(&params), arena, 2 * MIB);
+    let profile = profile_tlb_misses(&Platform::SANDY_BRIDGE, spec.trace(&params), arena, 2 * MIB);
     let battery = standard_battery(arena, |x| profile.hot_region(x));
     assert_eq!(battery.len(), 54);
 
@@ -81,8 +84,7 @@ fn sliding_battery_follows_the_hot_region() {
     let (_, arena) = arena_alloc(128 * MIB);
     let spec = WorkloadSpec::by_name("graph500/4GB").unwrap();
     let params = TraceParams::new(arena, 30_000, 5);
-    let profile =
-        profile_tlb_misses(&Platform::SANDY_BRIDGE, spec.trace(&params), arena, 2 * MIB);
+    let profile = profile_tlb_misses(&Platform::SANDY_BRIDGE, spec.trace(&params), arena, 2 * MIB);
     let battery = standard_battery(arena, |x| profile.hot_region(x));
 
     for fraction in [20u8, 40, 60, 80] {

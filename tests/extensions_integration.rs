@@ -14,7 +14,9 @@ fn arena() -> Region {
 }
 
 fn trace(workload: &str, n: u64) -> impl Iterator<Item = workloads::Access> {
-    WorkloadSpec::by_name(workload).unwrap().trace(&TraceParams::new(arena(), n, 0xe5))
+    WorkloadSpec::by_name(workload)
+        .unwrap()
+        .trace(&TraceParams::new(arena(), n, 0xe5))
 }
 
 #[test]
@@ -23,10 +25,14 @@ fn thp_lands_between_4k_and_2m() {
     let r4k = Engine::new(platform).run(trace("xsbench/4GB", 60_000), |_| PageSize::Base4K);
     let r2m = Engine::new(platform).run(trace("xsbench/4GB", 60_000), |_| PageSize::Huge2M);
     let thp = RefCell::new(Thp::new(arena(), 64));
-    let rthp = Engine::new(platform)
-        .run(trace("xsbench/4GB", 60_000), |va| thp.borrow_mut().observe(va));
+    let rthp = Engine::new(platform).run(trace("xsbench/4GB", 60_000), |va| {
+        thp.borrow_mut().observe(va)
+    });
     let thp = thp.into_inner();
-    assert!(thp.promotions() > 0, "xsbench touches chunks often enough to promote");
+    assert!(
+        thp.promotions() > 0,
+        "xsbench touches chunks often enough to promote"
+    );
     assert!(
         rthp.runtime_cycles <= r4k.runtime_cycles,
         "THP must not be slower than 4KB (engine time excludes promotion copies)"
@@ -45,10 +51,11 @@ fn virtualization_slows_execution_and_host_hugepages_recover_it() {
     let platform = &Platform::SANDY_BRIDGE;
     let native = Engine::new(platform).run(trace("spec06/mcf", 50_000), |_| PageSize::Base4K);
     let run_virt = |host: PageSize| {
-        let config = EngineConfig { virtualized: Some(host), ..EngineConfig::default() };
-        Engine::with_config(platform, config).run(trace("spec06/mcf", 50_000), |_| {
-            PageSize::Base4K
-        })
+        let config = EngineConfig {
+            virtualized: Some(host),
+            ..EngineConfig::default()
+        };
+        Engine::with_config(platform, config).run(trace("spec06/mcf", 50_000), |_| PageSize::Base4K)
     };
     let virt_4k = run_virt(PageSize::Base4K);
     let virt_1g = run_virt(PageSize::Huge1G);
@@ -73,7 +80,10 @@ fn tlb_prefetcher_helps_sequential_workloads_most() {
     // visits: a next-page prefetcher converts many scan walks into STLB
     // hits. gups is uniformly random: the prefetcher is near-useless.
     let base = &Platform::SANDY_BRIDGE;
-    let pf = Platform { tlb_prefetch: true, ..base.clone() };
+    let pf = Platform {
+        tlb_prefetch: true,
+        ..base.clone()
+    };
     let improvement = |workload: &str| {
         let before = Engine::new(base).run(trace(workload, 60_000), |_| PageSize::Base4K);
         let after = Engine::new(&pf).run(trace(workload, 60_000), |_| PageSize::Base4K);
@@ -86,9 +96,18 @@ fn tlb_prefetcher_helps_sequential_workloads_most() {
     // methodology can evaluate (see examples/design_exploration.rs).
     let graph = improvement("graph500/4GB");
     let gups = improvement("gups/16GB");
-    assert!(graph > 0.005, "edge scans should ride the prefetcher: {graph}");
-    assert!(gups < graph, "random access cannot benefit as much: {gups} vs {graph}");
-    assert!(gups.abs() < 0.01, "gups should be essentially unaffected: {gups}");
+    assert!(
+        graph > 0.005,
+        "edge scans should ride the prefetcher: {graph}"
+    );
+    assert!(
+        gups < graph,
+        "random access cannot benefit as much: {gups} vs {graph}"
+    );
+    assert!(
+        gups.abs() < 0.01,
+        "gups should be essentially unaffected: {gups}"
+    );
 }
 
 #[test]
@@ -108,9 +127,15 @@ fn sampled_counters_correlate_with_full_run() {
         };
         c.stlb_misses as f64 / c.program_l1d_loads as f64
     };
-    for (hot, cold) in [("gups/16GB", "spec17/xalancbmk_s"), ("xsbench/8GB", "graph500/4GB")] {
+    for (hot, cold) in [
+        ("gups/16GB", "spec17/xalancbmk_s"),
+        ("xsbench/8GB", "graph500/4GB"),
+    ] {
         assert!(rate(hot, false) > rate(cold, false), "{hot} vs {cold} full");
-        assert!(rate(hot, true) > rate(cold, true), "{hot} vs {cold} sampled");
+        assert!(
+            rate(hot, true) > rate(cold, true),
+            "{hot} vs {cold} sampled"
+        );
     }
 }
 
@@ -149,8 +174,7 @@ mod mosalloc_smoke {
                     for i in 0..ops {
                         if i % 3 == 2 {
                             if let Some((addr, len)) = mine.pop() {
-                                let freed =
-                                    rt.lock().unwrap().pool_munmap(addr, len).unwrap();
+                                let freed = rt.lock().unwrap().pool_munmap(addr, len).unwrap();
                                 assert!(freed, "thread {t} failed to free its mapping");
                             }
                         } else {

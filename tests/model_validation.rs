@@ -20,7 +20,13 @@ fn battery(c4k: f64, shape: impl Fn(f64) -> f64) -> Dataset {
                 53 => LayoutKind::All2M,
                 _ => LayoutKind::Mixed,
             };
-            Sample { r: shape(c), h: c / 500.0, m: c / 40.0, c, kind }
+            Sample {
+                r: shape(c),
+                h: c / 500.0,
+                m: c / 40.0,
+                c,
+                kind,
+            }
         })
         .collect()
 }
@@ -29,7 +35,12 @@ fn battery(c4k: f64, shape: impl Fn(f64) -> f64) -> Dataset {
 fn all_models_are_exact_on_their_own_assumptions() {
     // A world where runtime really is `β + 1.0·C`: Alam's assumption.
     let ds = battery(1e9, |c| 5e9 + c);
-    for kind in [ModelKind::Alam, ModelKind::Yaniv, ModelKind::Poly1, ModelKind::Poly3] {
+    for kind in [
+        ModelKind::Alam,
+        ModelKind::Yaniv,
+        ModelKind::Poly1,
+        ModelKind::Poly3,
+    ] {
         let m = kind.fit(&ds).unwrap();
         assert!(max_err(&m, &ds) < 1e-6, "{kind}: {}", max_err(&m, &ds));
     }
@@ -43,7 +54,10 @@ fn linear_models_fail_on_convex_worlds_polynomials_do_not() {
     let poly2 = ModelKind::Poly2.fit(&ds).unwrap();
     let yaniv = ModelKind::Yaniv.fit(&ds).unwrap();
     assert!(max_err(&poly1, &ds) > 0.01, "poly1 must miss the curvature");
-    assert!(max_err(&poly2, &ds) < 1e-6, "poly2 captures a parabola exactly");
+    assert!(
+        max_err(&poly2, &ds) < 1e-6,
+        "poly2 captures a parabola exactly"
+    );
     assert!(
         max_err(&yaniv, &ds) > max_err(&poly2, &ds),
         "anchored line cannot beat the parabola"
@@ -75,7 +89,10 @@ fn pham_is_optimistic_when_stlb_hits_are_cheap() {
     let ds = battery(1e9, |c| 5e9 + c); // R ignores H entirely
     let pham = ModelKind::Pham.fit(&ds).unwrap();
     let a4k = ds.anchor_4k().unwrap();
-    assert!((pham.predict(a4k) - a4k.r).abs() < 1.0, "pham passes through its anchor");
+    assert!(
+        (pham.predict(a4k) - a4k.r).abs() < 1.0,
+        "pham passes through its anchor"
+    );
     // At low C the 7H term has vanished along with C, and β's
     // over-subtraction surfaces.
     let low = &ds.samples()[50];
@@ -96,12 +113,22 @@ fn mosmodel_uses_h_when_h_is_the_signal() {
                 53 => LayoutKind::All2M,
                 _ => LayoutKind::Mixed,
             };
-            Sample { r: 1e9 + 7.0 * h, h, m: h / 30.0, c, kind }
+            Sample {
+                r: 1e9 + 7.0 * h,
+                h,
+                m: h / 30.0,
+                c,
+                kind,
+            }
         })
         .collect();
     let mos = ModelKind::Mosmodel.fit(&ds).unwrap();
     let poly3 = ModelKind::Poly3.fit(&ds).unwrap();
-    assert!(max_err(&mos, &ds) < 0.01, "mosmodel: {}", max_err(&mos, &ds));
+    assert!(
+        max_err(&mos, &ds) < 0.01,
+        "mosmodel: {}",
+        max_err(&mos, &ds)
+    );
     assert!(
         max_err(&poly3, &ds) > 10.0 * max_err(&mos, &ds),
         "C-only poly3 ({}) cannot compete with multi-input mosmodel ({})",
@@ -118,8 +145,14 @@ fn cross_validation_ranks_models_by_generalization() {
     let cv1 = k_fold(ModelKind::Poly1, &ds, 6).unwrap().max_err;
     let cv2 = k_fold(ModelKind::Poly2, &ds, 6).unwrap().max_err;
     let cvm = k_fold(ModelKind::Mosmodel, &ds, 6).unwrap().max_err;
-    assert!(cv2 < cv1, "poly2 ({cv2}) generalizes better than poly1 ({cv1})");
-    assert!(cvm < cv1, "mosmodel ({cvm}) generalizes better than poly1 ({cv1})");
+    assert!(
+        cv2 < cv1,
+        "poly2 ({cv2}) generalizes better than poly1 ({cv1})"
+    );
+    assert!(
+        cvm < cv1,
+        "mosmodel ({cvm}) generalizes better than poly1 ({cv1})"
+    );
 }
 
 proptest! {

@@ -10,7 +10,9 @@ use std::process::Command;
 fn preload_so() -> Option<PathBuf> {
     let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
     for profile in ["debug", "release"] {
-        let p = PathBuf::from(&target).join(profile).join("libmosalloc_preload.so");
+        let p = PathBuf::from(&target)
+            .join(profile)
+            .join("libmosalloc_preload.so");
         if p.exists() {
             return Some(p);
         }
@@ -23,7 +25,9 @@ fn preload_so() -> Option<PathBuf> {
     if !status.success() {
         return None;
     }
-    let p = PathBuf::from(&target).join("debug").join("libmosalloc_preload.so");
+    let p = PathBuf::from(&target)
+        .join("debug")
+        .join("libmosalloc_preload.so");
     p.exists().then_some(p)
 }
 
@@ -40,7 +44,10 @@ fn preloaded_binary_runs_and_produces_output() {
         .output()
         .expect("spawn echo");
     assert!(out.status.success(), "exit: {:?}", out.status);
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "mosalloc-preload-alive");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "mosalloc-preload-alive"
+    );
 }
 
 #[test]
@@ -51,8 +58,9 @@ fn preloaded_binary_survives_heavy_allocation() {
     };
     // sort(1) allocates through malloc (brk path) and mmap; feed it a
     // few thousand lines to force real heap traffic under the pools.
-    let input: String =
-        (0..20_000).map(|i| format!("{}\n", (i * 2654435761u64) % 100_000)).collect();
+    let input: String = (0..20_000)
+        .map(|i| format!("{}\n", (i * 2654435761u64) % 100_000))
+        .collect();
     let mut child = Command::new("/usr/bin/sort")
         .arg("-n")
         .env("LD_PRELOAD", &so)
@@ -62,9 +70,18 @@ fn preloaded_binary_survives_heavy_allocation() {
         .spawn()
         .expect("spawn sort");
     use std::io::Write;
-    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "sort under preload failed: {:?}", out.status);
+    assert!(
+        out.status.success(),
+        "sort under preload failed: {:?}",
+        out.status
+    );
     let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
     assert_eq!(lines.len(), 20_000);
     let sorted = lines
