@@ -74,7 +74,9 @@ impl GridEntry {
     /// The paper's TLB-sensitivity test (§VI-A): does the best hugepage
     /// layout improve runtime by at least 5% over all-4KB?
     pub fn is_tlb_sensitive(&self) -> bool {
-        self.full_dataset().tlb_sensitivity().is_some_and(|s| s >= 0.05)
+        self.full_dataset()
+            .tlb_sensitivity()
+            .is_some_and(|s| s >= 0.05)
     }
 
     /// The worst runtime variation across all layouts (§VI-A demands
@@ -158,12 +160,20 @@ impl Grid {
                     .unwrap_or_else(|_| PathBuf::from("target/mosaic-cache")),
             ),
         };
-        Grid { speed, memo: Mutex::new(HashMap::new()), disk_dir: disk }
+        Grid {
+            speed,
+            memo: Mutex::new(HashMap::new()),
+            disk_dir: disk,
+        }
     }
 
     /// Creates a grid without the on-disk cache (hermetic tests).
     pub fn in_memory(speed: Speed) -> Self {
-        Grid { speed, memo: Mutex::new(HashMap::new()), disk_dir: None }
+        Grid {
+            speed,
+            memo: Mutex::new(HashMap::new()),
+            disk_dir: None,
+        }
     }
 
     /// The active speed preset.
@@ -235,18 +245,32 @@ impl Grid {
             return;
         };
         if let Some(parent) = path.parent() {
-            let _ = fs::create_dir_all(parent);
+            if let Err(e) = fs::create_dir_all(parent) {
+                eprintln!("mosaic: cannot create cache dir {}: {e}", parent.display());
+                return;
+            }
         }
-        let _ = fs::write(path, render_entry(entry));
+        // A failed write only costs re-measurement next run, but silence
+        // would hide a misconfigured MOSAIC_CACHE_DIR forever.
+        if let Err(e) = fs::write(&path, render_entry(entry)) {
+            eprintln!(
+                "mosaic: cache write to {} failed (ignored): {e}",
+                path.display()
+            );
+        }
     }
 }
 
+/// Cache format version; bump whenever the TSV schema changes so stale
+/// files are re-measured instead of mis-parsed.
+const CACHE_VERSION: u32 = 2;
+
 /// Serializes an entry as a TSV document (stable, human-inspectable).
+/// The first line is a version header; [`parse_entry`] rejects files
+/// written by any other version.
 fn render_entry(entry: &GridEntry) -> String {
-    let mut out = String::new();
-    out.push_str(
-        "kind\tR\tH\tM\tC\tinst\tpl1d\tpl2\tpl3\twl1d\twl2\twl3\tcvR\tdescription\n",
-    );
+    let mut out = format!("# mosaic-cache v{CACHE_VERSION}\n");
+    out.push_str("kind\tR\tH\tM\tC\tinst\tpl1d\tpl2\tpl3\twl1d\twl2\twl3\tcvR\tdescription\n");
     for r in &entry.records {
         let c = &r.counters;
         out.push_str(&format!(
@@ -271,8 +295,14 @@ fn render_entry(entry: &GridEntry) -> String {
 }
 
 fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let version = header.strip_prefix("# mosaic-cache v")?;
+    if version.trim().parse::<u32>() != Ok(CACHE_VERSION) {
+        return None;
+    }
     let mut records = Vec::new();
-    for line in text.lines().skip(1) {
+    for line in lines.skip(1) {
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() != 14 {
             return None;
@@ -307,7 +337,11 @@ fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> 
     if records.is_empty() {
         return None;
     }
-    Some(GridEntry { workload: workload.to_string(), platform: platform.to_string(), records })
+    Some(GridEntry {
+        workload: workload.to_string(),
+        platform: platform.to_string(),
+        records,
+    })
 }
 
 /// Classifies a layout into its anchor kind.
@@ -343,81 +377,138 @@ fn config_for_layout(pool: Region, layout: &MemoryLayout) -> MosallocConfig {
     }
 }
 
+/// The fixed measurement geometry for one `(speed, workload)` pair: the
+/// heap pool region and the trace parameters every layout of that pair is
+/// measured against. Splitting this out of the battery loop lets callers
+/// (e.g. the prediction service) measure *single* layouts on demand with
+/// exactly the grid's methodology.
+#[derive(Clone, Debug)]
+pub struct MeasureContext {
+    spec: WorkloadSpec,
+    speed: Speed,
+    pool: Region,
+    params: TraceParams,
+}
+
+impl MeasureContext {
+    /// Builds the context for a named workload, or `None` if the name is
+    /// unknown.
+    pub fn new(speed: Speed, workload: &str) -> Option<Self> {
+        let spec = WorkloadSpec::by_name(workload)?;
+        let footprint = speed.footprint(spec.nominal_footprint);
+        let accesses = speed.trace_len(spec.access_factor);
+        let seed = fnv(workload.as_bytes());
+
+        // Claim the arena from a plain Mosalloc to fix the pool geometry.
+        let probe_alloc = Mosalloc::new(MosallocConfig {
+            brk: PoolSpec::plain(footprint),
+            anon: PoolSpec::plain(64 << 20),
+            file: PoolSpec::plain(64 << 20),
+        })
+        .expect("plain config is valid");
+        let pool = probe_alloc.heap().region();
+        let params = TraceParams::new(pool, accesses, seed);
+        Some(MeasureContext {
+            spec,
+            speed,
+            pool,
+            params,
+        })
+    }
+
+    /// The heap pool region layouts are built against.
+    pub fn pool(&self) -> Region {
+        self.pool
+    }
+
+    /// The workload name.
+    pub fn workload(&self) -> &str {
+        self.spec.name
+    }
+}
+
+/// Measures one layout on one machine variant with the grid's §VI-A
+/// methodology: repeat (varying physical placement via the engine salt)
+/// until the runtime variation falls below 5% or the speed preset's
+/// repetition budget runs out.
+///
+/// # Panics
+///
+/// Panics if `layout` does not describe a valid pool configuration for
+/// the context's pool region.
+pub fn measure_layout(
+    ctx: &MeasureContext,
+    variant: &MachineVariant,
+    layout: &MemoryLayout,
+) -> RunRecord {
+    let mosalloc = Mosalloc::new(config_for_layout(ctx.pool, layout))
+        .expect("layout must be a valid pool spec");
+    let mut runs: Vec<PmuCounters> = Vec::new();
+    for rep in 0..ctx.speed.max_reps.max(1) {
+        let config = EngineConfig {
+            salt: variant.config.salt ^ (u64::from(rep) << 56),
+            ..variant.config
+        };
+        let mut engine = Engine::with_config(&variant.platform, config);
+        runs.push(engine.run(ctx.spec.trace(&ctx.params), |va| mosalloc.page_size_at(va)));
+        if runs.len() >= 2 && runtime_cv(&runs) < 0.05 {
+            break;
+        }
+    }
+    RunRecord {
+        description: layout.describe(),
+        kind: classify(layout),
+        counters: mean_counters(&runs),
+        cv_r: runtime_cv(&runs),
+    }
+}
+
 /// Runs the whole battery for one (workload, machine-variant) pair.
 fn compute_entry(speed: Speed, workload: &str, variant: &MachineVariant) -> GridEntry {
-    let platform = &variant.platform;
-    let spec = WorkloadSpec::by_name(workload)
+    let ctx = MeasureContext::new(speed, workload)
         .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
-    let footprint = speed.footprint(spec.nominal_footprint);
-    let accesses = speed.trace_len(spec.access_factor);
-    let seed = fnv(workload.as_bytes());
-
-    // Claim the arena from a plain Mosalloc to fix the pool geometry.
-    let probe_alloc = Mosalloc::new(MosallocConfig {
-        brk: PoolSpec::plain(footprint),
-        anon: PoolSpec::plain(64 << 20),
-        file: PoolSpec::plain(64 << 20),
-    })
-    .expect("plain config is valid");
-    let pool = probe_alloc.heap().region();
-    let arena = pool;
-    let params = TraceParams::new(arena, accesses, seed);
+    let pool = ctx.pool;
 
     // PEBS-like profiling run for the Sliding Window heuristic.
-    let profile =
-        profile_tlb_misses(platform, spec.trace(&params), arena, 2 << 20);
+    let profile = profile_tlb_misses(
+        &variant.platform,
+        ctx.spec.trace(&ctx.params),
+        pool,
+        2 << 20,
+    );
 
     // The 54-layout battery plus the all-1GB hold-out.
-    let mut layouts: Vec<MemoryLayout> = layouts::standard_battery(pool, |x| {
-        profile.hot_region(x)
-    })
-    .into_iter()
-    .map(|p| p.layout)
-    .collect();
+    let mut layouts: Vec<MemoryLayout> = layouts::standard_battery(pool, |x| profile.hot_region(x))
+        .into_iter()
+        .map(|p| p.layout)
+        .collect();
     layouts.push(MemoryLayout::uniform(pool, PageSize::Huge1G));
 
     // Measure every layout; independent runs execute in parallel.
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunRecord>>> =
-        layouts.iter().map(|_| Mutex::new(None)).collect();
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(layouts.len());
+    let results: Vec<Mutex<Option<RunRecord>>> = layouts.iter().map(|_| Mutex::new(None)).collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(layouts.len());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(layout) = layouts.get(i) else { break };
-                let mosalloc = Mosalloc::new(config_for_layout(pool, layout))
-                    .expect("battery layouts are valid pool specs");
-                // §VI-A: repeat until the runtime variation is below 5%
-                // (or the repetition budget runs out). Repetitions vary
-                // the physical page placement via the engine salt.
-                let mut runs: Vec<PmuCounters> = Vec::new();
-                for rep in 0..speed.max_reps.max(1) {
-                    let config = EngineConfig {
-                        salt: variant.config.salt ^ (u64::from(rep) << 56),
-                        ..variant.config
-                    };
-                    let mut engine = Engine::with_config(platform, config);
-                    runs.push(
-                        engine.run(spec.trace(&params), |va| mosalloc.page_size_at(va)),
-                    );
-                    if runs.len() >= 2 && runtime_cv(&runs) < 0.05 {
-                        break;
-                    }
-                }
-                *results[i].lock() = Some(RunRecord {
-                    description: layout.describe(),
-                    kind: classify(layout),
-                    counters: mean_counters(&runs),
-                    cv_r: runtime_cv(&runs),
-                });
+                *results[i].lock() = Some(measure_layout(&ctx, variant, layout));
             });
         }
     });
 
-    let records: Vec<RunRecord> =
-        results.into_iter().map(|m| m.into_inner().expect("all runs completed")).collect();
-    GridEntry { workload: workload.to_string(), platform: variant.name.clone(), records }
+    let records: Vec<RunRecord> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all runs completed"))
+        .collect();
+    GridEntry {
+        workload: workload.to_string(),
+        platform: variant.name.clone(),
+        records,
+    }
 }
 
 /// Coefficient of variation (stddev/mean) of the runtimes of `runs`;
@@ -470,7 +561,13 @@ mod tests {
     use super::*;
 
     fn tiny_speed() -> Speed {
-        Speed { name: "tiny", footprint_div: 1024, min_footprint: 48 << 20, accesses: 12_000, max_reps: 1 }
+        Speed {
+            name: "tiny",
+            footprint_div: 1024,
+            min_footprint: 48 << 20,
+            accesses: 12_000,
+            max_reps: 1,
+        }
     }
 
     #[test]
@@ -491,9 +588,21 @@ mod tests {
         let grid = Grid::in_memory(tiny_speed());
         let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
         assert!(entry.is_tlb_sensitive());
-        let r4k = entry.record(LayoutKind::All4K).unwrap().counters.runtime_cycles;
-        let r2m = entry.record(LayoutKind::All2M).unwrap().counters.runtime_cycles;
-        let r1g = entry.record(LayoutKind::All1G).unwrap().counters.runtime_cycles;
+        let r4k = entry
+            .record(LayoutKind::All4K)
+            .unwrap()
+            .counters
+            .runtime_cycles;
+        let r2m = entry
+            .record(LayoutKind::All2M)
+            .unwrap()
+            .counters
+            .runtime_cycles;
+        let r1g = entry
+            .record(LayoutKind::All1G)
+            .unwrap()
+            .counters
+            .runtime_cycles;
         assert!(r4k > r2m, "2MB must beat 4KB for gups: {r4k} vs {r2m}");
         assert!(r2m >= r1g, "1GB at least as good as 2MB: {r2m} vs {r1g}");
     }
@@ -534,7 +643,10 @@ mod tests {
         // §VI-A: each layout is rerun until runtime variation < 5%. The
         // simulator's only noise source is physical placement, which is
         // far quieter than real machines — the bound must hold easily.
-        let speed = Speed { max_reps: 3, ..tiny_speed() };
+        let speed = Speed {
+            max_reps: 3,
+            ..tiny_speed()
+        };
         let grid = Grid::in_memory(speed);
         let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
         assert!(
@@ -542,7 +654,10 @@ mod tests {
             "runtime variation {} exceeds the paper's bound",
             entry.max_cv()
         );
-        assert!(entry.max_cv() > 0.0, "repetitions actually vary the placement");
+        assert!(
+            entry.max_cv() > 0.0,
+            "repetitions actually vary the placement"
+        );
         // TSV round-trip preserves the variation column.
         let text = render_entry(&entry);
         let parsed = parse_entry("gups/8GB", "SandyBridge", &text).unwrap();
@@ -553,10 +668,19 @@ mod tests {
     fn classify_kinds() {
         let pool = Region::new(vmcore::VirtAddr::new(0x1000_0000_0000), 64 << 20);
         assert_eq!(classify(&MemoryLayout::all_4k(pool)), LayoutKind::All4K);
-        assert_eq!(classify(&MemoryLayout::uniform(pool, PageSize::Huge2M)), LayoutKind::All2M);
-        assert_eq!(classify(&MemoryLayout::uniform(pool, PageSize::Huge1G)), LayoutKind::All1G);
+        assert_eq!(
+            classify(&MemoryLayout::uniform(pool, PageSize::Huge2M)),
+            LayoutKind::All2M
+        );
+        assert_eq!(
+            classify(&MemoryLayout::uniform(pool, PageSize::Huge1G)),
+            LayoutKind::All1G
+        );
         let mixed = MemoryLayout::builder(pool)
-            .window(Region::new(vmcore::VirtAddr::new(0x1000_0000_0000), 2 << 20), PageSize::Huge2M)
+            .window(
+                Region::new(vmcore::VirtAddr::new(0x1000_0000_0000), 2 << 20),
+                PageSize::Huge2M,
+            )
             .unwrap()
             .build()
             .unwrap();
@@ -567,5 +691,89 @@ mod tests {
     fn fnv_distinguishes_names() {
         assert_ne!(fnv(b"gups/8GB"), fnv(b"gups/16GB"));
         assert_eq!(fnv(b"x"), fnv(b"x"));
+    }
+
+    #[test]
+    fn stale_cache_versions_are_rejected() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        let text = render_entry(&entry);
+        assert!(text.starts_with("# mosaic-cache v2\n"), "{}", &text[..40]);
+
+        // A v1-era file (no header at all) and a future version must both
+        // be treated as cache misses, not mis-parsed.
+        let headerless = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(parse_entry("gups/8GB", "SandyBridge", &headerless).is_none());
+        let future = text.replacen("v2", "v3", 1);
+        assert!(parse_entry("gups/8GB", "SandyBridge", &future).is_none());
+    }
+
+    #[test]
+    fn single_layout_measurement_matches_battery_methodology() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        let ctx = MeasureContext::new(tiny_speed(), "gups/8GB").unwrap();
+        let variant = MachineVariant::real(&Platform::SANDY_BRIDGE);
+        // The all-4KB layout measured alone reproduces the battery's
+        // all-4KB record exactly (same trace, same salt schedule).
+        let record = measure_layout(&ctx, &variant, &MemoryLayout::all_4k(ctx.pool()));
+        assert_eq!(record, *entry.record(LayoutKind::All4K).unwrap());
+    }
+
+    use proptest::prelude::*;
+
+    fn counters_strategy() -> impl Strategy<Value = PmuCounters> {
+        prop::collection::vec(0u64..(1 << 50), 11usize).prop_map(|v| PmuCounters {
+            runtime_cycles: v[0],
+            stlb_hits: v[1],
+            stlb_misses: v[2],
+            walk_cycles: v[3],
+            instructions: v[4],
+            program_l1d_loads: v[5],
+            program_l2_loads: v[6],
+            program_l3_loads: v[7],
+            walker_l1d_loads: v[8],
+            walker_l2_loads: v[9],
+            walker_l3_loads: v[10],
+        })
+    }
+
+    fn record_strategy() -> impl Strategy<Value = RunRecord> {
+        (
+            counters_strategy(),
+            0usize..4,
+            0.0f64..0.05,
+            "[a-z 0-9]{0,24}",
+        )
+            .prop_map(|(counters, kind, cv_r, description)| RunRecord {
+                description,
+                kind: [
+                    LayoutKind::All4K,
+                    LayoutKind::All2M,
+                    LayoutKind::All1G,
+                    LayoutKind::Mixed,
+                ][kind],
+                counters,
+                cv_r,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any entry — arbitrary counters, every layout kind, fractional
+        /// cv values — survives the TSV round-trip exactly.
+        #[test]
+        fn tsv_roundtrip_arbitrary_entries(
+            records in prop::collection::vec(record_strategy(), 1..8),
+        ) {
+            let entry = GridEntry {
+                workload: "w/1GB".to_string(),
+                platform: "P".to_string(),
+                records,
+            };
+            let parsed = parse_entry("w/1GB", "P", &render_entry(&entry));
+            prop_assert_eq!(Some(entry), parsed);
+        }
     }
 }

@@ -37,7 +37,7 @@ pub mod report;
 mod speed;
 pub mod tables;
 
-pub use experiment::{Grid, GridEntry, MachineVariant, RunRecord};
+pub use experiment::{measure_layout, Grid, GridEntry, MachineVariant, MeasureContext, RunRecord};
 pub use speed::Speed;
 
 /// The fast preset (shrunken footprints and short traces) for tests.

@@ -31,6 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod spec;
+
+pub use spec::{parse_spec, SpecError};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmcore::{MemoryLayout, PageSize, Region, VirtAddr};
@@ -93,7 +97,11 @@ pub fn random_window(pool: Region, n: usize, seed: u64) -> Vec<MemoryLayout> {
         .map(|_| {
             let len = rng.gen_range(1..=pool.len());
             let max_start = pool.len() - len;
-            let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
             layout_with_window(pool, Region::new(pool.start() + start, len))
         })
         .collect()
@@ -188,10 +196,16 @@ where
 {
     let mut plans = Vec::with_capacity(6 * (steps + 1));
     for layout in growing_window(pool, steps) {
-        plans.push(PlannedLayout { layout, origin: Heuristic::Growing });
+        plans.push(PlannedLayout {
+            layout,
+            origin: Heuristic::Growing,
+        });
     }
     for layout in random_window(pool, steps, 0x6261_7474) {
-        plans.push(PlannedLayout { layout, origin: Heuristic::Random });
+        plans.push(PlannedLayout {
+            layout,
+            origin: Heuristic::Random,
+        });
     }
     for fraction in SLIDING_FRACTIONS {
         let hot = hot_region_for(fraction);
@@ -232,8 +246,10 @@ mod tests {
     fn random_windows_are_valid_and_diverse() {
         let battery = random_window(pool(), 8, 42);
         assert_eq!(battery.len(), 9);
-        let coverages: std::collections::HashSet<u64> =
-            battery.iter().map(|l| l.bytes_backed_by(PageSize::Huge2M)).collect();
+        let coverages: std::collections::HashSet<u64> = battery
+            .iter()
+            .map(|l| l.bytes_backed_by(PageSize::Huge2M))
+            .collect();
         assert!(coverages.len() >= 5, "windows should differ: {coverages:?}");
         // Deterministic per seed.
         assert_eq!(battery, random_window(pool(), 8, 42));
@@ -257,7 +273,10 @@ mod tests {
         let first = coverage_of_hot(&battery[0]);
         let mid = coverage_of_hot(&battery[4]);
         let last = coverage_of_hot(&battery[8]);
-        assert!(first > mid && mid > last, "{first} > {mid} > {last} expected");
+        assert!(
+            first > mid && mid > last,
+            "{first} > {mid} > {last} expected"
+        );
         assert_eq!(last, 0, "window slid fully off the hot region");
     }
 
@@ -286,8 +305,14 @@ mod tests {
             .count();
         assert!(all_2m >= 1, "must include the all-2MB anchor");
         // Heuristic mix: 9 + 9 + 36.
-        let growing = battery.iter().filter(|p| p.origin == Heuristic::Growing).count();
-        let random = battery.iter().filter(|p| p.origin == Heuristic::Random).count();
+        let growing = battery
+            .iter()
+            .filter(|p| p.origin == Heuristic::Growing)
+            .count();
+        let random = battery
+            .iter()
+            .filter(|p| p.origin == Heuristic::Random)
+            .count();
         let sliding = battery
             .iter()
             .filter(|p| matches!(p.origin, Heuristic::Sliding(_)))
@@ -305,7 +330,11 @@ mod tests {
             .iter()
             .map(|p| p.layout.bytes_backed_by(PageSize::Huge2M))
             .collect();
-        assert!(coverages.len() >= 15, "only {} distinct coverages", coverages.len());
+        assert!(
+            coverages.len() >= 15,
+            "only {} distinct coverages",
+            coverages.len()
+        );
     }
 
     #[test]

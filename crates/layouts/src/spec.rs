@@ -1,0 +1,192 @@
+//! Textual layout specifications.
+//!
+//! The prediction service (and any script driving it) names a layout as
+//! one whitespace-free token:
+//!
+//! * `4k` — the all-4KB layout;
+//! * `2m` — the all-2MB layout;
+//! * `1g` — the all-1GB layout;
+//! * `<size>:<start>..<end>` — a hugepage window over a pool-relative
+//!   byte range, e.g. `2m:0..64M`; several windows join with `+`, e.g.
+//!   `2m:0..64M+1g:1G..2G`.
+//!
+//! Window `<size>` is `2m` or `1g`; offsets take optional `K`/`M`/`G`
+//! suffixes (binary units). Windows are clipped to the pool and aligned
+//! *outward* to their page size — the same normalization the battery
+//! heuristics apply — so callers can give round numbers without knowing
+//! the pool's exact base address.
+
+use std::fmt;
+
+use vmcore::{MemoryLayout, PageSize, Region};
+
+/// Why a layout spec failed to parse or build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec (or a window inside it) is not valid grammar.
+    Syntax(String),
+    /// A window range is empty or inverted.
+    EmptyWindow(String),
+    /// A window misses the pool entirely.
+    OutsidePool(String),
+    /// The windows overlap after outward alignment.
+    Overlap(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax(s) => write!(f, "bad layout spec {s:?}"),
+            SpecError::EmptyWindow(s) => write!(f, "empty window range {s:?}"),
+            SpecError::OutsidePool(s) => write!(f, "window {s:?} is outside the pool"),
+            SpecError::Overlap(s) => write!(f, "windows overlap after alignment: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a size-suffixed byte count (`64M`, `1G`, `4096`).
+fn parse_bytes(text: &str) -> Option<u64> {
+    let (digits, mult) = match text.as_bytes().last()? {
+        b'K' | b'k' => (&text[..text.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&text[..text.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&text[..text.len() - 1], 1u64 << 30),
+        _ => (text, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Parses a layout spec against a concrete pool region.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the first problem found; the parser
+/// never panics on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use layouts::spec::parse_spec;
+/// use vmcore::{PageSize, Region, VirtAddr, GIB};
+///
+/// let pool = Region::new(VirtAddr::new(0x2000_0000_0000), GIB);
+/// let layout = parse_spec(pool, "2m:0..128M").unwrap();
+/// assert_eq!(layout.bytes_backed_by(PageSize::Huge2M), 128 << 20);
+/// assert!(parse_spec(pool, "uniform?").is_err());
+/// ```
+pub fn parse_spec(pool: Region, spec: &str) -> Result<MemoryLayout, SpecError> {
+    match spec.to_ascii_lowercase().as_str() {
+        "4k" | "4kb" => return Ok(MemoryLayout::all_4k(pool)),
+        "2m" | "2mb" => return Ok(MemoryLayout::uniform(pool, PageSize::Huge2M)),
+        "1g" | "1gb" => return Ok(MemoryLayout::uniform(pool, PageSize::Huge1G)),
+        _ => {}
+    }
+
+    let mut builder = MemoryLayout::builder(pool);
+    for window in spec.split('+') {
+        let (size_text, range_text) = window
+            .split_once(':')
+            .ok_or_else(|| SpecError::Syntax(window.to_string()))?;
+        let size = match size_text.to_ascii_lowercase().as_str() {
+            "2m" | "2mb" => PageSize::Huge2M,
+            "1g" | "1gb" => PageSize::Huge1G,
+            _ => return Err(SpecError::Syntax(window.to_string())),
+        };
+        let (start_text, end_text) = range_text
+            .split_once("..")
+            .ok_or_else(|| SpecError::Syntax(window.to_string()))?;
+        let start = parse_bytes(start_text).ok_or_else(|| SpecError::Syntax(window.to_string()))?;
+        let end = parse_bytes(end_text).ok_or_else(|| SpecError::Syntax(window.to_string()))?;
+        if end <= start {
+            return Err(SpecError::EmptyWindow(window.to_string()));
+        }
+        let absolute = Region::new(pool.start() + start, end - start);
+        let clipped = absolute
+            .intersection(&pool.align_outward(size))
+            .map(|w| w.align_outward(size))
+            .ok_or_else(|| SpecError::OutsidePool(window.to_string()))?;
+        builder = builder
+            .window(clipped, size)
+            .map_err(|e| SpecError::Overlap(e.to_string()))?;
+    }
+    builder
+        .build()
+        .map_err(|e| SpecError::Overlap(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::{VirtAddr, GIB, MIB};
+
+    fn pool() -> Region {
+        Region::new(VirtAddr::new(0x2000_0000_0000), 2 * GIB)
+    }
+
+    #[test]
+    fn uniform_specs() {
+        assert_eq!(
+            parse_spec(pool(), "4k").unwrap(),
+            MemoryLayout::all_4k(pool())
+        );
+        assert_eq!(
+            parse_spec(pool(), "2M").unwrap(),
+            MemoryLayout::uniform(pool(), PageSize::Huge2M)
+        );
+        assert_eq!(
+            parse_spec(pool(), "1gb").unwrap(),
+            MemoryLayout::uniform(pool(), PageSize::Huge1G)
+        );
+    }
+
+    #[test]
+    fn windows_clip_and_align() {
+        let l = parse_spec(pool(), "2m:0..64M").unwrap();
+        assert_eq!(l.bytes_backed_by(PageSize::Huge2M), 64 * MIB);
+
+        // An unaligned window rounds outward, exactly like the battery.
+        let l = parse_spec(pool(), "2m:1M..3M").unwrap();
+        assert_eq!(l.bytes_backed_by(PageSize::Huge2M), 4 * MIB);
+
+        // Multiple windows of different page sizes.
+        let l = parse_spec(pool(), "2m:0..64M+1g:1G..2G").unwrap();
+        assert_eq!(l.bytes_backed_by(PageSize::Huge2M), 64 * MIB);
+        assert_eq!(l.bytes_backed_by(PageSize::Huge1G), GIB);
+    }
+
+    #[test]
+    fn malformed_specs_error_cleanly() {
+        for bad in [
+            "",
+            "3m",
+            "2m:",
+            "2m:0",
+            "2m:0..",
+            "2m:8M..4M",
+            "2m:x..y",
+            "4k+2m",
+            "2m:0..1x",
+        ] {
+            assert!(
+                parse_spec(pool(), bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        // Overlapping windows are refused, not silently merged.
+        assert!(matches!(
+            parse_spec(pool(), "2m:0..64M+2m:32M..96M"),
+            Err(SpecError::Overlap(_))
+        ));
+    }
+
+    #[test]
+    fn suffixes_and_bare_bytes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("64M"), Some(64 * MIB));
+        assert_eq!(parse_bytes("1G"), Some(GIB));
+        assert_eq!(parse_bytes("2k"), Some(2048));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("M"), None);
+    }
+}

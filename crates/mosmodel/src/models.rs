@@ -72,8 +72,12 @@ impl ModelKind {
     ];
 
     /// The four newly proposed (regression) models of Figure 2b.
-    pub const NEW: [ModelKind; 4] =
-        [ModelKind::Poly1, ModelKind::Poly2, ModelKind::Poly3, ModelKind::Mosmodel];
+    pub const NEW: [ModelKind; 4] = [
+        ModelKind::Poly1,
+        ModelKind::Poly2,
+        ModelKind::Poly3,
+        ModelKind::Mosmodel,
+    ];
 
     /// Display name as used in the paper's figure legends.
     pub fn name(self) -> &'static str {
@@ -216,17 +220,20 @@ pub fn scale_simulated_walk_cycles(
     c4k_measured: f64,
     c4k_simulated: f64,
 ) -> f64 {
-    assert!(c4k_simulated > 0.0, "simulated calibration run must have walk cycles");
+    assert!(
+        c4k_simulated > 0.0,
+        "simulated calibration run must have walk cycles"
+    );
     c_design_simulated * (c4k_measured / c4k_simulated)
 }
 
 /// Closed-form linear model `R̂ = β + α_c·C + α_m·M + α_h·H`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
-struct ClosedForm {
-    alpha_c: f64,
-    alpha_m: f64,
-    alpha_h: f64,
-    beta: f64,
+pub(crate) struct ClosedForm {
+    pub(crate) alpha_c: f64,
+    pub(crate) alpha_m: f64,
+    pub(crate) alpha_h: f64,
+    pub(crate) beta: f64,
 }
 
 impl ClosedForm {
@@ -236,7 +243,7 @@ impl ClosedForm {
 }
 
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-enum Inner {
+pub(crate) enum Inner {
     Closed(ClosedForm),
     Linear(LinearFit),
 }
@@ -246,6 +253,18 @@ enum Inner {
 pub struct FittedModel {
     kind: ModelKind,
     inner: Inner,
+}
+
+impl FittedModel {
+    /// Reassembles a model from persisted parts (see [`crate::persist`]).
+    pub(crate) fn from_parts(kind: ModelKind, inner: Inner) -> Self {
+        FittedModel { kind, inner }
+    }
+
+    /// The model's internals, for the persistence encoder.
+    pub(crate) fn inner(&self) -> &Inner {
+        &self.inner
+    }
 }
 
 impl FittedModel {
@@ -355,14 +374,38 @@ mod tests {
     /// 2MB run (R=750, H=5, M=2, C=30).
     fn anchored() -> Dataset {
         Dataset::from_samples([
-            Sample { r: 1000.0, h: 40.0, m: 20.0, c: 300.0, kind: LayoutKind::All4K },
-            Sample { r: 750.0, h: 5.0, m: 2.0, c: 30.0, kind: LayoutKind::All2M },
-            Sample { r: 870.0, h: 20.0, m: 10.0, c: 150.0, kind: LayoutKind::Mixed },
+            Sample {
+                r: 1000.0,
+                h: 40.0,
+                m: 20.0,
+                c: 300.0,
+                kind: LayoutKind::All4K,
+            },
+            Sample {
+                r: 750.0,
+                h: 5.0,
+                m: 2.0,
+                c: 30.0,
+                kind: LayoutKind::All2M,
+            },
+            Sample {
+                r: 870.0,
+                h: 20.0,
+                m: 10.0,
+                c: 150.0,
+                kind: LayoutKind::Mixed,
+            },
         ])
     }
 
     fn probe() -> Sample {
-        Sample { r: 0.0, h: 10.0, m: 8.0, c: 100.0, kind: LayoutKind::Mixed }
+        Sample {
+            r: 0.0,
+            h: 10.0,
+            m: 8.0,
+            c: 100.0,
+            kind: LayoutKind::Mixed,
+        }
     }
 
     #[test]
@@ -424,8 +467,20 @@ mod tests {
         // Paper: "the Alam model is equivalent to the Yaniv model where
         // α = 1". Construct data where Yaniv's slope is exactly 1.
         let ds = Dataset::from_samples([
-            Sample { r: 1000.0, h: 0.0, m: 10.0, c: 300.0, kind: LayoutKind::All4K },
-            Sample { r: 730.0, h: 0.0, m: 1.0, c: 30.0, kind: LayoutKind::All2M },
+            Sample {
+                r: 1000.0,
+                h: 0.0,
+                m: 10.0,
+                c: 300.0,
+                kind: LayoutKind::All4K,
+            },
+            Sample {
+                r: 730.0,
+                h: 0.0,
+                m: 1.0,
+                c: 30.0,
+                kind: LayoutKind::All2M,
+            },
         ]);
         let yaniv = ModelKind::Yaniv.fit(&ds).unwrap();
         let alam = ModelKind::Alam.fit(&ds).unwrap();
@@ -455,8 +510,20 @@ mod tests {
     #[test]
     fn degenerate_anchor_errors() {
         let zero_m = Dataset::from_samples([
-            Sample { r: 1000.0, h: 0.0, m: 0.0, c: 300.0, kind: LayoutKind::All4K },
-            Sample { r: 700.0, h: 0.0, m: 0.0, c: 300.0, kind: LayoutKind::All2M },
+            Sample {
+                r: 1000.0,
+                h: 0.0,
+                m: 0.0,
+                c: 300.0,
+                kind: LayoutKind::All4K,
+            },
+            Sample {
+                r: 700.0,
+                h: 0.0,
+                m: 0.0,
+                c: 300.0,
+                kind: LayoutKind::All2M,
+            },
         ]);
         assert!(matches!(
             ModelKind::Basu.fit(&zero_m),
@@ -478,14 +545,24 @@ mod tests {
                     19 => LayoutKind::All4K,
                     _ => LayoutKind::Mixed,
                 };
-                Sample { r: 1e9 + 0.9 * c, h: 3.0, m: i as f64, c, kind }
+                Sample {
+                    r: 1e9 + 0.9 * c,
+                    h: 3.0,
+                    m: i as f64,
+                    c,
+                    kind,
+                }
             })
             .collect();
         for kind in ModelKind::NEW {
             let m = kind.fit(&data).unwrap();
             // Lasso carries a small regularization bias; OLS models are
             // exact to solver precision.
-            let tol = if kind == ModelKind::Mosmodel { 1e-4 } else { 1e-6 };
+            let tol = if kind == ModelKind::Mosmodel {
+                1e-4
+            } else {
+                1e-6
+            };
             for s in data.iter() {
                 let rel = (m.predict(s) - s.r).abs() / s.r;
                 assert!(rel < tol, "{kind} rel error {rel}");
@@ -498,12 +575,22 @@ mod tests {
         let data: Dataset = (0..54)
             .map(|i| {
                 let c = 1e6 * i as f64;
-                Sample { r: 1e9 + 0.9 * c, h: 1.0, m: 2.0, c, kind: LayoutKind::Mixed }
+                Sample {
+                    r: 1e9 + 0.9 * c,
+                    h: 1.0,
+                    m: 2.0,
+                    c,
+                    kind: LayoutKind::Mixed,
+                }
             })
             .collect();
         let m = ModelKind::Mosmodel.fit(&data).unwrap();
         assert!(m.nonzero_terms().unwrap() <= 5);
-        assert!(ModelKind::Basu.fit(&anchored()).unwrap().nonzero_terms().is_none());
+        assert!(ModelKind::Basu
+            .fit(&anchored())
+            .unwrap()
+            .nonzero_terms()
+            .is_none());
     }
 
     #[test]
@@ -522,7 +609,13 @@ mod tests {
         let data: Dataset = (0..54)
             .map(|i| {
                 let c = 1e6 * i as f64;
-                Sample { r: 1e9 + 2.0 * c, h: 1.0, m: 2.0, c, kind: LayoutKind::Mixed }
+                Sample {
+                    r: 1e9 + 2.0 * c,
+                    h: 1.0,
+                    m: 2.0,
+                    c,
+                    kind: LayoutKind::Mixed,
+                }
             })
             .collect();
         let mos = ModelKind::Mosmodel.fit(&data).unwrap();
@@ -551,6 +644,9 @@ mod tests {
         for kind in ModelKind::NEW {
             assert!(!kind.is_preexisting());
         }
-        assert_eq!(ModelKind::PREEXISTING.len() + ModelKind::NEW.len(), ModelKind::ALL.len());
+        assert_eq!(
+            ModelKind::PREEXISTING.len() + ModelKind::NEW.len(),
+            ModelKind::ALL.len()
+        );
     }
 }

@@ -1,0 +1,120 @@
+//! A blocking mosaicd client for the CLI and the integration tests.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mosmodel::ModelKind;
+
+use crate::metrics::StatsSnapshot;
+use crate::protocol::{parse_prediction, Prediction};
+
+/// Why a client call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or server hangup).
+    Io(String),
+    /// The server rejected the connection with `busy` (admission queue
+    /// full) — back off and retry on a fresh connection.
+    Busy,
+    /// The server answered `err <reason>`.
+    Server(String),
+    /// The server's response did not parse — version skew or a
+    /// non-mosaicd endpoint.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Busy => write!(f, "server busy (admission queue full)"),
+            ClientError::Server(reason) => write!(f, "server error: {reason}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// One persistent connection to a mosaicd server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the TCP connect or socket setup fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    fn roundtrip(&mut self, request: &str) -> Result<String, ClientError> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io("server closed the connection".to_string()));
+        }
+        let line = line.trim_end().to_string();
+        if line == "busy" {
+            return Err(ClientError::Busy);
+        }
+        if let Some(reason) = line.strip_prefix("err ") {
+            return Err(ClientError::Server(reason.to_string()));
+        }
+        Ok(line)
+    }
+
+    /// Requests a prediction for `(workload, platform, layout-spec)`,
+    /// optionally pinning the model (default: `mosmodel`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] under backpressure, [`ClientError::Server`]
+    /// for unknown names or bad specs, [`ClientError::Io`] /
+    /// [`ClientError::Protocol`] for transport or framing problems.
+    pub fn predict(
+        &mut self,
+        workload: &str,
+        platform: &str,
+        spec: &str,
+        model: Option<ModelKind>,
+    ) -> Result<Prediction, ClientError> {
+        let mut request = format!("predict {workload} {platform} {spec}");
+        if let Some(kind) = model {
+            request.push(' ');
+            request.push_str(kind.name());
+        }
+        let line = self.roundtrip(&request)?;
+        parse_prediction(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`].
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let line = self.roundtrip("stats")?;
+        StatsSnapshot::parse(&line).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,82 @@
+//! **mosaicd** — the prediction-serving subsystem.
+//!
+//! The paper's workflow ends with a fitted model; this crate turns that
+//! model into an online service. A [`registry::ModelRegistry`] fits (or
+//! reloads) the nine runtime models per `(workload, platform)` pair and
+//! persists the coefficients in the versioned [`mosmodel::persist`]
+//! format; a [`server::Server`] exposes them over a line-delimited TCP
+//! protocol with a fixed worker pool, a bounded admission queue with
+//! explicit backpressure, and an embedded metrics endpoint; a blocking
+//! [`client::Client`] speaks the protocol for the CLI and tests.
+//!
+//! # Wire protocol
+//!
+//! Requests and responses are single `\n`-terminated lines over TCP;
+//! a connection may carry any number of requests.
+//!
+//! | request | response |
+//! |---|---|
+//! | `predict <workload> <platform> <layout-spec> [model]` | `ok r=… h=… m=… c=… model=… pred=… max_err=… geo_err=…` |
+//! | `stats` | `stats requests=… … p50_us=… buckets=…` |
+//! | anything else | `err <reason>` |
+//!
+//! A connection arriving while the admission queue is full is answered
+//! `busy` and closed — explicit backpressure instead of unbounded
+//! buffering. Layout specs use the [`layouts::spec`] grammar (`4k`,
+//! `2m`, `1g`, `2m:0..64M+1g:1G..2G`); floating-point fields are printed
+//! with Rust's shortest-roundtrip formatting, so parsing them back
+//! yields bit-identical values.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use harness::{Grid, SPEED_FAST};
+//! use service::client::Client;
+//! use service::registry::ModelRegistry;
+//! use service::server::{Server, ServerConfig};
+//!
+//! let registry = ModelRegistry::new(Grid::new(SPEED_FAST), None);
+//! let server = Server::start(ServerConfig::default(), registry).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let p = client.predict("gups/8GB", "sandybridge", "2m:0..64M", None).unwrap();
+//! println!("predicted {} cycles (max model error {:.1}%)", p.predicted, 100.0 * p.max_err);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+use std::fmt;
+
+/// Why a prediction request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The workload name is not in the registry.
+    UnknownWorkload(String),
+    /// The platform name is not a known platform.
+    UnknownPlatform(String),
+    /// The layout spec did not parse or build.
+    BadSpec(String),
+    /// The requested model is not available for the pair (e.g. a
+    /// degenerate anchor made its fit impossible).
+    ModelUnavailable(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
+            ServiceError::UnknownPlatform(p) => write!(f, "unknown platform {p:?}"),
+            ServiceError::BadSpec(s) => write!(f, "{s}"),
+            ServiceError::ModelUnavailable(m) => write!(f, "model {m:?} unavailable for this pair"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,284 @@
+//! Embedded metrics: request counters and a fixed-bucket latency
+//! histogram.
+//!
+//! Everything is a relaxed `AtomicU64` — workers record without locking,
+//! and the `stats` command takes a point-in-time snapshot. Latency
+//! percentiles are read off the cumulative histogram: the reported
+//! `pNN_us` value is the upper bound of the first bucket whose
+//! cumulative count covers the percentile, i.e. an upper bound on the
+//! true percentile with bucket-width resolution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::registry::RegistryCounters;
+
+/// Upper bounds (inclusive, microseconds) of the latency buckets. The
+/// final bucket is unbounded; percentiles falling in it are reported as
+/// the `u64::MAX` sentinel.
+pub const BUCKET_BOUNDS_US: [u64; 12] = [
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    u64::MAX,
+];
+
+/// Lock-free metric registers shared by all workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    predicts: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    queue_depth: AtomicU64,
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one served request and its handling latency.
+    pub fn record_request(&self, latency_us: u64, was_predict: bool, was_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if was_predict {
+            self.predicts.fetch_add(1, Ordering::Relaxed);
+        }
+        if was_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| latency_us <= b)
+            .unwrap_or(0);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection rejected with `busy`.
+    pub fn record_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the admission-queue depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot.
+    pub fn snapshot(&self, registry: RegistryCounters) -> StatsSnapshot {
+        let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            predicts: self.predicts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            registry,
+            buckets,
+        }
+    }
+}
+
+/// One consistent-enough view of the metrics, as sent over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total request lines served (including errors).
+    pub requests: u64,
+    /// Requests that were `predict` commands.
+    pub predicts: u64,
+    /// Requests answered with `err`.
+    pub errors: u64,
+    /// Connections rejected with `busy`.
+    pub busy: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Registry lookup counters.
+    pub registry: RegistryCounters,
+    /// Latency histogram counts, aligned with [`BUCKET_BOUNDS_US`].
+    pub buckets: [u64; BUCKET_BOUNDS_US.len()],
+}
+
+impl StatsSnapshot {
+    /// The `q`-th latency percentile (`0 < q ≤ 100`) as the covering
+    /// bucket's upper bound in µs; zero when nothing has been recorded
+    /// and `u64::MAX` when the percentile falls in the unbounded bucket.
+    pub fn percentile_us(&self, q: u32) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total * u64::from(q)).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (count, bound) in self.buckets.iter().zip(BUCKET_BOUNDS_US) {
+            seen += count;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Renders the `stats ...` response line (no newline).
+    pub fn render(&self) -> String {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "stats requests={} predicts={} errors={} busy={} queue_depth={} \
+             registry_hits={} registry_misses={} registry_disk_loads={} \
+             p50_us={} p90_us={} p99_us={} buckets={}",
+            self.requests,
+            self.predicts,
+            self.errors,
+            self.busy,
+            self.queue_depth,
+            self.registry.hits,
+            self.registry.misses,
+            self.registry.disk_loads,
+            self.percentile_us(50),
+            self.percentile_us(90),
+            self.percentile_us(99),
+            buckets,
+        )
+    }
+
+    /// Parses a `stats ...` line back into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field. Percentile
+    /// fields are accepted but recomputed from the histogram, so
+    /// `parse(render())` is the identity.
+    pub fn parse(line: &str) -> Result<StatsSnapshot, String> {
+        let mut words = line.split_ascii_whitespace();
+        if words.next() != Some("stats") {
+            return Err(format!("expected stats response, got {line:?}"));
+        }
+        let mut take = |key: &str| -> Result<&str, String> {
+            let word = words.next().ok_or_else(|| format!("missing field {key}"))?;
+            word.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix('='))
+                .ok_or_else(|| format!("expected {key}=..., got {word:?}"))
+        };
+        let num = |s: &str, key: &str| -> Result<u64, String> {
+            s.parse::<u64>().map_err(|e| format!("bad {key}: {e}"))
+        };
+        let requests = num(take("requests")?, "requests")?;
+        let predicts = num(take("predicts")?, "predicts")?;
+        let errors = num(take("errors")?, "errors")?;
+        let busy = num(take("busy")?, "busy")?;
+        let queue_depth = num(take("queue_depth")?, "queue_depth")?;
+        let hits = num(take("registry_hits")?, "registry_hits")?;
+        let misses = num(take("registry_misses")?, "registry_misses")?;
+        let disk_loads = num(take("registry_disk_loads")?, "registry_disk_loads")?;
+        take("p50_us")?;
+        take("p90_us")?;
+        take("p99_us")?;
+        let bucket_text = take("buckets")?;
+        let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
+        let counts: Vec<&str> = bucket_text.split(',').collect();
+        if counts.len() != buckets.len() {
+            return Err(format!(
+                "expected {} buckets, got {}",
+                buckets.len(),
+                counts.len()
+            ));
+        }
+        for (out, text) in buckets.iter_mut().zip(counts) {
+            *out = num(text, "buckets")?;
+        }
+        Ok(StatsSnapshot {
+            requests,
+            predicts,
+            errors,
+            busy,
+            queue_depth,
+            registry: RegistryCounters {
+                hits,
+                misses,
+                disk_loads,
+            },
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_walk_the_histogram() {
+        let mut snap = StatsSnapshot {
+            requests: 0,
+            predicts: 0,
+            errors: 0,
+            busy: 0,
+            queue_depth: 0,
+            registry: RegistryCounters::default(),
+            buckets: [0; BUCKET_BOUNDS_US.len()],
+        };
+        assert_eq!(snap.percentile_us(50), 0, "empty histogram reports 0");
+
+        // 90 requests ≤50µs, 9 ≤1000µs, 1 unbounded.
+        snap.buckets[0] = 90;
+        snap.buckets[4] = 9;
+        snap.buckets[BUCKET_BOUNDS_US.len() - 1] = 1;
+        assert_eq!(snap.percentile_us(50), 50);
+        assert_eq!(snap.percentile_us(90), 50);
+        assert_eq!(snap.percentile_us(99), 1_000);
+        assert_eq!(snap.percentile_us(100), u64::MAX);
+    }
+
+    #[test]
+    fn record_buckets_latencies() {
+        let m = Metrics::new();
+        m.record_request(10, true, false);
+        m.record_request(300, true, false);
+        m.record_request(700_000, false, true);
+        m.record_busy();
+        m.set_queue_depth(3);
+        let snap = m.snapshot(RegistryCounters::default());
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.predicts, 2);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.busy, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[3], 1, "300µs lands in the ≤500µs bucket");
+        assert_eq!(snap.buckets[BUCKET_BOUNDS_US.len() - 1], 1);
+    }
+
+    #[test]
+    fn stats_line_roundtrips() {
+        let m = Metrics::new();
+        for i in 0..100 {
+            m.record_request(i * 37, i % 2 == 0, i % 10 == 0);
+        }
+        m.record_busy();
+        m.set_queue_depth(7);
+        let snap = m.snapshot(RegistryCounters {
+            hits: 5,
+            disk_loads: 1,
+            misses: 2,
+        });
+        assert_eq!(StatsSnapshot::parse(&snap.render()), Ok(snap));
+        assert!(StatsSnapshot::parse("stats requests=1").is_err());
+        assert!(StatsSnapshot::parse("nope").is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! The line-delimited wire protocol shared by server and client.
+//!
+//! Keeping parsing and rendering in one module means the integration
+//! tests exercise the *same* code path in both directions, and a
+//! protocol change cannot silently desynchronize the two sides.
+//!
+//! Floating-point fields are rendered with Rust's `Display`, which emits
+//! the shortest string that round-trips to the same bits; `str::parse`
+//! on the other side therefore reproduces the server's value exactly.
+
+use mosmodel::ModelKind;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `predict <workload> <platform> <layout-spec> [model]`
+    Predict {
+        /// Workload name, paper spelling (e.g. `gups/8GB`).
+        workload: String,
+        /// Platform name, case-insensitive (e.g. `sandybridge`).
+        platform: String,
+        /// Layout spec in the [`layouts::spec`] grammar.
+        spec: String,
+        /// Requested model; `None` means the default (`mosmodel`).
+        model: Option<ModelKind>,
+    },
+    /// `stats` — dump the metrics snapshot.
+    Stats,
+}
+
+/// Looks a model kind up by its wire name (`pham`, `poly2`, `mosmodel`, ...).
+pub fn model_by_name(name: &str) -> Option<ModelKind> {
+    ModelKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable reason (sent back as `err <reason>`) for
+/// unknown verbs, wrong arity, or an unrecognized model name.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_ascii_whitespace();
+    match words.next() {
+        Some("predict") => {
+            let workload = words.next().ok_or("predict needs <workload>")?.to_string();
+            let platform = words.next().ok_or("predict needs <platform>")?.to_string();
+            let spec = words
+                .next()
+                .ok_or("predict needs <layout-spec>")?
+                .to_string();
+            let model = match words.next() {
+                None => None,
+                Some(name) => {
+                    Some(model_by_name(name).ok_or_else(|| format!("unknown model {name:?}"))?)
+                }
+            };
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected trailing argument {extra:?}"));
+            }
+            Ok(Request::Predict {
+                workload,
+                platform,
+                spec,
+                model,
+            })
+        }
+        Some("stats") => {
+            if words.next().is_some() {
+                return Err("stats takes no arguments".to_string());
+            }
+            Ok(Request::Stats)
+        }
+        Some(verb) => Err(format!("unknown command {verb:?}")),
+        None => Err("empty request".to_string()),
+    }
+}
+
+/// A successful prediction: measured counters, the chosen model's
+/// predicted runtime, and the model's fit-time error bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// Measured runtime cycles (`R`).
+    pub runtime_cycles: u64,
+    /// Measured L2-TLB hits (`H`).
+    pub stlb_hits: u64,
+    /// Measured L2-TLB misses (`M`).
+    pub stlb_misses: u64,
+    /// Measured page-walk cycles (`C`).
+    pub walk_cycles: u64,
+    /// The model that produced the prediction.
+    pub model: ModelKind,
+    /// Predicted runtime cycles, `R̂(H, M, C)`.
+    pub predicted: f64,
+    /// The model's maximum relative error over its fitting battery.
+    pub max_err: f64,
+    /// The model's geometric-mean relative error over its battery.
+    pub geo_mean_err: f64,
+}
+
+/// Renders a prediction as the `ok ...` response line (no newline).
+pub fn render_prediction(p: &Prediction) -> String {
+    format!(
+        "ok r={} h={} m={} c={} model={} pred={} max_err={} geo_err={}",
+        p.runtime_cycles,
+        p.stlb_hits,
+        p.stlb_misses,
+        p.walk_cycles,
+        p.model.name(),
+        p.predicted,
+        p.max_err,
+        p.geo_mean_err,
+    )
+}
+
+fn field<'a>(words: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<&'a str, String> {
+    let word = words.next().ok_or_else(|| format!("missing field {key}"))?;
+    word.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=..., got {word:?}"))
+}
+
+/// Parses an `ok ...` response line back into a [`Prediction`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field. `parse_prediction`
+/// of [`render_prediction`]'s output is the identity, bit-for-bit.
+pub fn parse_prediction(line: &str) -> Result<Prediction, String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("ok") {
+        return Err(format!("expected ok response, got {line:?}"));
+    }
+    let parse_u64 = |s: &str, key: &str| s.parse::<u64>().map_err(|e| format!("bad {key}: {e}"));
+    let parse_f64 = |s: &str, key: &str| s.parse::<f64>().map_err(|e| format!("bad {key}: {e}"));
+    let runtime_cycles = parse_u64(field(&mut words, "r")?, "r")?;
+    let stlb_hits = parse_u64(field(&mut words, "h")?, "h")?;
+    let stlb_misses = parse_u64(field(&mut words, "m")?, "m")?;
+    let walk_cycles = parse_u64(field(&mut words, "c")?, "c")?;
+    let model_name = field(&mut words, "model")?;
+    let model = model_by_name(model_name).ok_or_else(|| format!("bad model {model_name:?}"))?;
+    let predicted = parse_f64(field(&mut words, "pred")?, "pred")?;
+    let max_err = parse_f64(field(&mut words, "max_err")?, "max_err")?;
+    let geo_mean_err = parse_f64(field(&mut words, "geo_err")?, "geo_err")?;
+    Ok(Prediction {
+        runtime_cycles,
+        stlb_hits,
+        stlb_misses,
+        walk_cycles,
+        model,
+        predicted,
+        max_err,
+        geo_mean_err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(
+            parse_request("predict gups/8GB sandybridge 2m:0..64M"),
+            Ok(Request::Predict {
+                workload: "gups/8GB".into(),
+                platform: "sandybridge".into(),
+                spec: "2m:0..64M".into(),
+                model: None,
+            })
+        );
+        assert_eq!(
+            parse_request("predict x y 4k poly2"),
+            Ok(Request::Predict {
+                workload: "x".into(),
+                platform: "y".into(),
+                spec: "4k".into(),
+                model: Some(ModelKind::Poly2),
+            })
+        );
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        for bad in [
+            "",
+            "predict",
+            "predict a",
+            "predict a b",
+            "predict a b c nomodel",
+            "predict a b c mosmodel extra",
+            "stats now",
+            "frobnicate",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn prediction_roundtrips_bit_for_bit() {
+        let p = Prediction {
+            runtime_cycles: 123_456_789,
+            stlb_hits: 42,
+            stlb_misses: 7,
+            walk_cycles: 999,
+            model: ModelKind::Mosmodel,
+            predicted: 1.234_567_890_123_4e8,
+            max_err: 0.071_234_567_89,
+            geo_mean_err: f64::MIN_POSITIVE,
+        };
+        let parsed = parse_prediction(&render_prediction(&p)).unwrap();
+        assert_eq!(parsed.predicted.to_bits(), p.predicted.to_bits());
+        assert_eq!(parsed.geo_mean_err.to_bits(), p.geo_mean_err.to_bits());
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn malformed_responses_error_cleanly() {
+        for bad in [
+            "",
+            "err nope",
+            "ok",
+            "ok r=1",
+            "ok r=x h=1 m=1 c=1 model=pham pred=1 max_err=1 geo_err=1",
+            "ok r=1 h=1 m=1 c=1 model=zeus pred=1 max_err=1 geo_err=1",
+        ] {
+            assert!(parse_prediction(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn every_model_kind_has_a_wire_name() {
+        for kind in ModelKind::ALL {
+            assert_eq!(model_by_name(kind.name()), Some(kind));
+        }
+    }
+}

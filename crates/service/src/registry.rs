@@ -1,0 +1,297 @@
+//! The model registry: fit once, serve forever.
+//!
+//! For each `(workload, platform)` pair the registry measures the full
+//! layout battery through [`harness::Grid`], fits every
+//! [`ModelKind`](mosmodel::ModelKind) that the data admits, records each
+//! model's error bounds, and memoizes the result behind an `RwLock`.
+//! When given a store directory it also persists the fitted coefficients
+//! in the versioned [`mosmodel::persist`] text format, so a later server
+//! process answers its first query without re-measuring anything.
+//!
+//! Three counters expose the registry's behaviour to the metrics
+//! endpoint: *hits* (served from memory), *disk loads* (revived from the
+//! persisted store) and *misses* (had to measure and fit).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use harness::{Grid, MeasureContext};
+use machine::Platform;
+use mosmodel::metrics::{geo_mean_err, max_err};
+use mosmodel::persist::{decode_bundle, encode_bundle, ModelBundle, PersistedModel};
+use mosmodel::ModelKind;
+use parking_lot::RwLock;
+
+use crate::ServiceError;
+
+/// Everything the server needs to answer queries for one pair: the
+/// fitted models (with error bounds) and the measurement geometry for
+/// running layout-spec simulations.
+#[derive(Clone, Debug)]
+pub struct RegistryEntry {
+    /// Fitted models and their error bounds.
+    pub bundle: ModelBundle,
+    /// Pool geometry + trace parameters for single-layout measurement.
+    pub ctx: MeasureContext,
+}
+
+impl RegistryEntry {
+    /// The persisted model of the given kind, if its fit succeeded.
+    pub fn model(&self, kind: ModelKind) -> Option<&PersistedModel> {
+        self.bundle.models.iter().find(|m| m.model.kind() == kind)
+    }
+}
+
+/// Counts of how registry lookups were satisfied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryCounters {
+    /// Lookups served from the in-memory memo.
+    pub hits: u64,
+    /// Lookups revived from the on-disk model store.
+    pub disk_loads: u64,
+    /// Lookups that had to measure the battery and fit from scratch.
+    pub misses: u64,
+}
+
+/// Fits, persists, and memoizes models per `(workload, platform)`.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    grid: Grid,
+    store_dir: Option<PathBuf>,
+    entries: RwLock<HashMap<(String, String), Arc<RegistryEntry>>>,
+    hits: AtomicU64,
+    disk_loads: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry over `grid`, persisting fitted models under
+    /// `store_dir` (`None` keeps everything in memory — hermetic tests).
+    pub fn new(grid: Grid, store_dir: Option<PathBuf>) -> Self {
+        ModelRegistry {
+            grid,
+            store_dir,
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The default on-disk store location.
+    pub fn default_store_dir() -> PathBuf {
+        std::env::var("MOSAIC_MODEL_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/mosaic-models"))
+    }
+
+    /// Lookup-counter snapshot.
+    pub fn counters(&self) -> RegistryCounters {
+        RegistryCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The measurement grid backing the registry.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Returns (fitting if needed) the entry for a pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownWorkload`] for names outside the workload
+    /// registry; fitting itself is infallible for battery datasets (the
+    /// battery always contains both anchors).
+    pub fn entry(
+        &self,
+        workload: &str,
+        platform: &'static Platform,
+    ) -> Result<Arc<RegistryEntry>, ServiceError> {
+        let key = (workload.to_string(), platform.name.to_string());
+        if let Some(hit) = self.entries.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+
+        // Fit under the write lock: concurrent first queries for the same
+        // pair would otherwise each run the (expensive) battery.
+        let mut entries = self.entries.write();
+        if let Some(hit) = entries.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+
+        let ctx = MeasureContext::new(self.grid.speed(), workload)
+            .ok_or_else(|| ServiceError::UnknownWorkload(workload.to_string()))?;
+
+        let bundle = match self.load_store(workload, platform.name) {
+            Some(bundle) => {
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                bundle
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let bundle = self.fit_bundle(workload, platform);
+                self.persist(&bundle);
+                bundle
+            }
+        };
+
+        let entry = Arc::new(RegistryEntry { bundle, ctx });
+        entries.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    fn store_path(&self, workload: &str, platform: &str) -> Option<PathBuf> {
+        let dir = self.store_dir.as_ref()?;
+        let safe = workload.replace(['/', ' '], "_");
+        Some(dir.join(format!(
+            "{}_{}_{}.models",
+            self.grid.speed().name,
+            safe,
+            platform
+        )))
+    }
+
+    fn load_store(&self, workload: &str, platform: &str) -> Option<ModelBundle> {
+        let path = self.store_path(workload, platform)?;
+        let text = fs::read_to_string(path).ok()?;
+        let bundle = decode_bundle(&text).ok()?;
+        // A renamed or hand-edited file must not serve the wrong pair.
+        (bundle.workload == workload && bundle.platform == platform).then_some(bundle)
+    }
+
+    fn persist(&self, bundle: &ModelBundle) {
+        let Some(path) = self.store_path(&bundle.workload, &bundle.platform) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            if let Err(e) = fs::create_dir_all(parent) {
+                eprintln!(
+                    "mosaicd: cannot create model store {}: {e}",
+                    parent.display()
+                );
+                return;
+            }
+        }
+        if let Err(e) = fs::write(&path, encode_bundle(bundle)) {
+            eprintln!(
+                "mosaicd: model store write to {} failed (ignored): {e}",
+                path.display()
+            );
+        }
+    }
+
+    fn fit_bundle(&self, workload: &str, platform: &'static Platform) -> ModelBundle {
+        let dataset = self.grid.entry(workload, platform).dataset();
+        let models = ModelKind::ALL
+            .into_iter()
+            .filter_map(|kind| {
+                // A degenerate pair can make individual fits impossible
+                // (e.g. M₄ₖ = 0 for Basu); serve the models that do fit.
+                let model = kind.fit(&dataset).ok()?;
+                Some(PersistedModel {
+                    max_err: max_err(&model, &dataset),
+                    geo_mean_err: geo_mean_err(&model, &dataset),
+                    model,
+                })
+            })
+            .collect();
+        ModelBundle {
+            workload: workload.to_string(),
+            platform: platform.name.to_string(),
+            models,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harness::Speed;
+
+    fn tiny_speed() -> Speed {
+        Speed {
+            name: "tiny",
+            footprint_div: 1024,
+            min_footprint: 48 << 20,
+            accesses: 12_000,
+            max_reps: 1,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mosaicd-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fits_memoizes_and_counts() {
+        let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), None);
+        let platform = &Platform::SANDY_BRIDGE;
+        let a = registry.entry("gups/8GB", platform).unwrap();
+        assert_eq!(
+            registry.counters(),
+            RegistryCounters {
+                hits: 0,
+                disk_loads: 0,
+                misses: 1
+            }
+        );
+        let b = registry.entry("gups/8GB", platform).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.counters().hits, 1);
+
+        // Every anchor-complete battery admits all nine models.
+        assert_eq!(a.bundle.models.len(), ModelKind::ALL.len());
+        for m in &a.bundle.models {
+            assert!(m.max_err >= m.geo_mean_err, "{}", m.model.kind());
+        }
+        assert!(registry.entry("no-such-workload", platform).is_err());
+    }
+
+    #[test]
+    fn persisted_store_is_reused_across_registries() {
+        let dir = temp_dir("reuse");
+        let platform = &Platform::SANDY_BRIDGE;
+
+        let first = ModelRegistry::new(Grid::in_memory(tiny_speed()), Some(dir.clone()));
+        let fitted = first.entry("gups/8GB", platform).unwrap();
+        assert_eq!(first.counters().misses, 1);
+
+        // A fresh registry (fresh process, conceptually) loads from disk:
+        // zero misses, identical coefficients.
+        let second = ModelRegistry::new(Grid::in_memory(tiny_speed()), Some(dir.clone()));
+        let reloaded = second.entry("gups/8GB", platform).unwrap();
+        let c = second.counters();
+        assert_eq!((c.misses, c.disk_loads), (0, 1));
+        assert_eq!(fitted.bundle, reloaded.bundle);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_files_fall_back_to_fitting() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("tiny_gups_8GB_SandyBridge.models"),
+            "# mosaic-models v999\n",
+        )
+        .unwrap();
+        let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), Some(dir.clone()));
+        let entry = registry.entry("gups/8GB", &Platform::SANDY_BRIDGE).unwrap();
+        assert_eq!(registry.counters().misses, 1, "bad version must refit");
+        assert!(!entry.bundle.models.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,299 @@
+//! The mosaicd TCP server: acceptor, bounded admission queue, worker
+//! pool.
+//!
+//! One acceptor thread owns the listener. Accepted connections go into a
+//! bounded queue; when the queue is full the connection is answered
+//! `busy` and closed immediately — explicit backpressure instead of
+//! unbounded buffering or silent drops. A fixed pool of worker threads
+//! pops connections and serves them line-by-line; connections are
+//! persistent, so one client can issue many requests.
+//!
+//! Shutdown is graceful: the flag flips, the acceptor stops admitting,
+//! and workers finish the request they are executing, then drain the
+//! admission queue before exiting. Workers poll the flag between
+//! requests via a read timeout, so an idle persistent connection cannot
+//! hold shutdown hostage.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use harness::{measure_layout, MachineVariant};
+use layouts::parse_spec;
+use machine::Platform;
+use mosmodel::{ModelKind, RuntimeModel};
+
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::protocol::{parse_request, render_prediction, Prediction, Request};
+use crate::registry::ModelRegistry;
+use crate::ServiceError;
+
+/// How a [`Server`] listens and schedules work.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Admission-queue bound; connections beyond it are answered `busy`.
+    pub queue_bound: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_bound: 64,
+        }
+    }
+}
+
+/// State shared between the acceptor, the workers, and the handle.
+struct Shared {
+    registry: ModelRegistry,
+    metrics: Metrics,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_bound: usize,
+}
+
+/// A running mosaicd instance. Dropping the handle without calling
+/// [`Server::shutdown`] detaches the threads (the process exit reaps
+/// them); call `shutdown` for a graceful drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns the
+    /// running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error (address in use, permission, ...).
+    pub fn start(config: ServerConfig, registry: ModelRegistry) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            metrics: Metrics::new(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_bound: config.queue_bound.max(1),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mosaicd-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mosaicd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time metrics snapshot (same data as the `stats`
+    /// command).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.registry.counters())
+    }
+
+    /// The registry backing the server.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Gracefully shuts down: stop admitting, finish in-flight requests,
+    /// drain the admission queue, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        // accept() has no timeout; a loopback connection unblocks it so
+        // the acceptor can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+        if queue.len() >= shared.queue_bound {
+            drop(queue);
+            shared.metrics.record_busy();
+            let mut stream = stream;
+            let _ = stream.write_all(b"busy\n");
+            // Drain anything the client already pipelined so the close is
+            // a clean FIN; closing with unread data can turn into an RST
+            // that discards the busy reply on the way out.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+            let _ = io::Read::read(&mut stream, &mut [0u8; 256]);
+        } else {
+            queue.push_back(stream);
+            shared.metrics.set_queue_depth(queue.len() as u64);
+            drop(queue);
+            shared.available.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    shared.metrics.set_queue_depth(queue.len() as u64);
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).expect("queue mutex poisoned");
+            }
+        };
+        match conn {
+            Some(conn) => serve_connection(conn, shared),
+            None => return,
+        }
+    }
+}
+
+/// Serves one persistent connection until EOF, an I/O error, or a
+/// shutdown observed *between* requests (in-flight requests always
+/// complete and their response is written).
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let started = Instant::now();
+                let (response, was_predict, was_error) = handle_line(line.trim_end(), shared);
+                let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared
+                    .metrics
+                    .record_request(latency_us, was_predict, was_error);
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; returns `(response, was_predict, was_error)`.
+fn handle_line(line: &str, shared: &Shared) -> (String, bool, bool) {
+    match parse_request(line) {
+        Ok(Request::Stats) => {
+            let snap = shared.metrics.snapshot(shared.registry.counters());
+            (snap.render(), false, false)
+        }
+        Ok(Request::Predict {
+            workload,
+            platform,
+            spec,
+            model,
+        }) => match predict(&shared.registry, &workload, &platform, &spec, model) {
+            Ok(prediction) => (render_prediction(&prediction), true, false),
+            Err(e) => (format!("err {e}"), true, true),
+        },
+        Err(reason) => (format!("err {reason}"), false, true),
+    }
+}
+
+/// The in-process prediction path: measure the layout with the grid's
+/// methodology, then apply the fitted model. Public so the integration
+/// tests can compare the server's answers bit-for-bit against a direct
+/// call.
+pub fn predict(
+    registry: &ModelRegistry,
+    workload: &str,
+    platform: &str,
+    spec: &str,
+    model: Option<ModelKind>,
+) -> Result<Prediction, ServiceError> {
+    let platform = Platform::by_name(platform)
+        .ok_or_else(|| ServiceError::UnknownPlatform(platform.to_string()))?;
+    let entry = registry.entry(workload, platform)?;
+    let layout =
+        parse_spec(entry.ctx.pool(), spec).map_err(|e| ServiceError::BadSpec(e.to_string()))?;
+    let kind = model.unwrap_or(ModelKind::Mosmodel);
+    let persisted = entry
+        .model(kind)
+        .ok_or_else(|| ServiceError::ModelUnavailable(kind.name().to_string()))?;
+
+    let record = measure_layout(&entry.ctx, &MachineVariant::real(platform), &layout);
+    let predicted = persisted.model.predict(&record.sample());
+    Ok(Prediction {
+        runtime_cycles: record.counters.runtime_cycles,
+        stlb_hits: record.counters.stlb_hits,
+        stlb_misses: record.counters.stlb_misses,
+        walk_cycles: record.counters.walk_cycles,
+        model: kind,
+        predicted,
+        max_err: persisted.max_err,
+        geo_mean_err: persisted.geo_mean_err,
+    })
+}

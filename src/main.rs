@@ -5,6 +5,9 @@
 //! mosaic run <workload> <platform>     # fit all nine models on one pair
 //! mosaic figure <fig2..fig11|tab6..tab8|casestudy|all>
 //! mosaic sensitivity <platform>        # TLB sensitivity of every workload
+//! mosaic serve [addr]                  # start the mosaicd prediction server
+//! mosaic query <addr> <workload> <platform> <layout-spec> [model]
+//! mosaic query <addr> stats            # fetch server metrics
 //! ```
 //!
 //! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere.
@@ -24,9 +27,11 @@ fn main() {
         Some("sensitivity") => cmd_sensitivity(args.get(1)),
         Some("export") => cmd_export(args.get(1), args.get(2)),
         Some("describe") => cmd_describe(args.get(1), args.get(2), args.get(3)),
+        Some("serve") => cmd_serve(args.get(1)),
+        Some("query") => cmd_query(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] | query <addr> ...>"
             );
             2
         }
@@ -37,7 +42,11 @@ fn main() {
 fn cmd_list() -> i32 {
     println!("workloads (paper Table 5):");
     for w in workloads::registry() {
-        println!("  {:<22} {:>6} MiB nominal", w.name, w.nominal_footprint >> 20);
+        println!(
+            "  {:<22} {:>6} MiB nominal",
+            w.name,
+            w.nominal_footprint >> 20
+        );
     }
     println!("\nplatforms (paper Tables 3-4; * = measured in the paper):");
     for p in Platform::ALL_EXTENDED {
@@ -47,7 +56,11 @@ fn cmd_list() -> i32 {
             if starred { "*" } else { " " },
             p.name,
             p.stlb.entries,
-            if p.stlb.holds_2m { " (shared 4K/2M)" } else { " (4K only)" },
+            if p.stlb.holds_2m {
+                " (shared 4K/2M)"
+            } else {
+                " (4K only)"
+            },
             p.walkers,
             p.l3_bytes >> 20,
         );
@@ -301,9 +314,115 @@ fn cmd_sensitivity(platform: Option<&String>) -> i32 {
         t.row(vec![
             w.name.into(),
             pct(sens),
-            if entry.is_tlb_sensitive() { "yes".into() } else { "no (< 5%)".into() },
+            if entry.is_tlb_sensitive() {
+                "yes".into()
+            } else {
+                "no (< 5%)".into()
+            },
         ]);
     }
-    println!("TLB sensitivity on {} (paper §VI-A threshold: 5%):\n\n{t}", platform.name);
+    println!(
+        "TLB sensitivity on {} (paper §VI-A threshold: 5%):\n\n{t}",
+        platform.name
+    );
     0
+}
+
+fn cmd_serve(addr: Option<&String>) -> i32 {
+    let default_addr = "127.0.0.1:7070".to_string();
+    let addr = addr.unwrap_or(&default_addr);
+    let speed = Speed::from_env();
+    let store_dir = service::registry::ModelRegistry::default_store_dir();
+    let registry = service::registry::ModelRegistry::new(Grid::new(speed), Some(store_dir.clone()));
+    let config = service::server::ServerConfig {
+        addr: addr.clone(),
+        ..Default::default()
+    };
+    let server = match service::server::Server::start(config, registry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("mosaicd: cannot listen on {addr}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "mosaicd listening on {} ({} preset, model store {})",
+        server.addr(),
+        speed.name,
+        store_dir.display(),
+    );
+    // Serve until the process is killed; workers own all the state.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let usage = "usage: mosaic query <addr> <workload> <platform> <layout-spec> [model] | mosaic query <addr> stats";
+    let Some(addr) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let mut client = match service::client::Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mosaic query: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    match &args[1..] {
+        [word] if word == "stats" => match client.stats() {
+            Ok(snap) => {
+                println!("{}", snap.render());
+                0
+            }
+            Err(e) => {
+                eprintln!("mosaic query: {e}");
+                1
+            }
+        },
+        [workload, platform, spec, rest @ ..] if rest.len() <= 1 => {
+            let model = match rest.first() {
+                None => None,
+                Some(name) => match service::protocol::model_by_name(name) {
+                    Some(kind) => Some(kind),
+                    None => {
+                        eprintln!(
+                            "unknown model {name:?}; one of: {}",
+                            model_names().join(" ")
+                        );
+                        return 2;
+                    }
+                },
+            };
+            match client.predict(workload, platform, spec, model) {
+                Ok(p) => {
+                    println!(
+                        "measured  R={} H={} M={} C={}",
+                        p.runtime_cycles, p.stlb_hits, p.stlb_misses, p.walk_cycles
+                    );
+                    println!(
+                        "predicted R̂={:.0} cycles ({}; battery max err {}, geo mean {})",
+                        p.predicted,
+                        p.model.name(),
+                        pct(p.max_err),
+                        pct(p.geo_mean_err),
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("mosaic query: {e}");
+                    1
+                }
+            }
+        }
+        _ => {
+            eprintln!("{usage}");
+            2
+        }
+    }
+}
+
+fn model_names() -> Vec<&'static str> {
+    ModelKind::ALL.into_iter().map(ModelKind::name).collect()
 }

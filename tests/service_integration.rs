@@ -1,0 +1,233 @@
+//! mosaicd end-to-end: a real server on an ephemeral port, hammered by
+//! concurrent clients, checked bit-for-bit against in-process
+//! predictions, plus backpressure and persisted-store behaviour.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use harness::{Grid, Speed};
+use service::client::{Client, ClientError};
+use service::registry::ModelRegistry;
+use service::server::{predict, Server, ServerConfig};
+
+/// Low-fidelity preset so each battery fit takes seconds, not minutes.
+const TINY: Speed = Speed {
+    name: "tiny",
+    footprint_div: 1024,
+    min_footprint: 48 << 20,
+    accesses: 12_000,
+    max_reps: 1,
+};
+
+const WORKLOAD: &str = "gups/8GB";
+const PLATFORM: &str = "sandybridge";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mosaicd-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_predictions_match_in_process_bit_for_bit() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 32; // 8 × 32 = 256 requests
+
+    let registry = ModelRegistry::new(Grid::in_memory(TINY), None);
+    let config = ServerConfig {
+        workers: THREADS,
+        queue_bound: 512,
+        ..Default::default()
+    };
+    let server = Server::start(config, registry).unwrap();
+    let addr = server.addr();
+
+    // The ground truth: the same (workload, platform, spec) answered by
+    // the in-process prediction path on the same registry. The layouts
+    // stay inside the 48MB tiny pool.
+    let specs = [
+        "4k",
+        "2m",
+        "1g",
+        "2m:0..8M",
+        "2m:0..16M",
+        "2m:8M..24M",
+        "2m:16M..32M",
+        "2m:0..32M",
+    ];
+    let expected: HashMap<&str, _> = specs
+        .iter()
+        .map(|&spec| {
+            (
+                spec,
+                predict(server.registry(), WORKLOAD, PLATFORM, spec, None).unwrap(),
+            )
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..PER_THREAD {
+                    let spec = specs[(thread * PER_THREAD + i) % specs.len()];
+                    let got = client.predict(WORKLOAD, PLATFORM, spec, None).unwrap();
+                    let want = &expected[spec];
+                    assert_eq!(&got, want, "spec {spec} diverged over the wire");
+                    assert_eq!(
+                        got.predicted.to_bits(),
+                        want.predicted.to_bits(),
+                        "prediction for {spec} is not bit-identical"
+                    );
+                }
+            });
+        }
+    });
+
+    // The wire-level snapshot was taken before its own stats request was
+    // recorded, so it sees exactly the 256 predictions.
+    let mut client = Client::connect(addr).unwrap();
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.requests, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.predicts, snap.requests);
+    assert_eq!(snap.errors, 0);
+    assert_eq!(snap.busy, 0);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.requests);
+    assert!(
+        snap.buckets.iter().any(|&c| c > 0),
+        "latency histogram is empty"
+    );
+    assert!(snap.percentile_us(50) > 0);
+
+    // Error paths are answered (and counted) without killing the
+    // connection.
+    match client.predict("no-such-workload", PLATFORM, "2m", None) {
+        Err(ClientError::Server(reason)) => assert!(reason.contains("unknown workload")),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    match client.predict(WORKLOAD, "z80", "2m", None) {
+        Err(ClientError::Server(reason)) => assert!(reason.contains("unknown platform")),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    match client.predict(WORKLOAD, PLATFORM, "uniform?", None) {
+        Err(ClientError::Server(reason)) => assert!(reason.contains("bad layout spec")),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    assert_eq!(client.stats().unwrap().errors, 3);
+
+    server.shutdown();
+}
+
+#[test]
+fn second_server_reuses_persisted_model_store() {
+    let dir = temp_dir("store");
+
+    let first = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), Some(dir.clone())),
+    )
+    .unwrap();
+    let mut client = Client::connect(first.addr()).unwrap();
+    let fitted = client
+        .predict(WORKLOAD, PLATFORM, "2m:0..16M", None)
+        .unwrap();
+    let counters = first.stats().registry;
+    assert_eq!(
+        (counters.misses, counters.disk_loads),
+        (1, 0),
+        "first start must fit"
+    );
+    first.shutdown();
+
+    // A fresh server over the same store answers from disk: zero fitting
+    // misses, and the prediction is bit-identical to the fitted one.
+    let second = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), Some(dir.clone())),
+    )
+    .unwrap();
+    let mut client = Client::connect(second.addr()).unwrap();
+    let reloaded = client
+        .predict(WORKLOAD, PLATFORM, "2m:0..16M", None)
+        .unwrap();
+    let counters = second.stats().registry;
+    assert_eq!(
+        (counters.misses, counters.disk_loads),
+        (0, 1),
+        "second start must load the persisted store instead of refitting"
+    );
+    assert_eq!(reloaded, fitted);
+    assert_eq!(reloaded.predicted.to_bits(), fitted.predicted.to_bits());
+    second.shutdown();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn full_queue_rejects_with_busy_and_shutdown_drains() {
+    const QUEUE_BOUND: usize = 2;
+
+    // One worker, tiny queue: a single held connection occupies the
+    // worker, so admissions beyond the bound must be turned away.
+    let config = ServerConfig {
+        workers: 1,
+        queue_bound: QUEUE_BOUND,
+        ..Default::default()
+    };
+    let server = Server::start(config, ModelRegistry::new(Grid::in_memory(TINY), None)).unwrap();
+    let addr = server.addr();
+
+    // A successful roundtrip proves the worker owns this connection.
+    let mut holder = Client::connect(addr).unwrap();
+    holder.stats().unwrap();
+
+    // Fill the admission queue, then wait until the acceptor has
+    // actually queued both connections.
+    let queued: Vec<TcpStream> = (0..QUEUE_BOUND)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while holder.stats().unwrap().queue_depth < QUEUE_BOUND as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "acceptor never queued the connections"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Every connection beyond the bound is answered `busy` and closed.
+    for i in 0..4 {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert_eq!(
+            line.trim_end(),
+            "busy",
+            "burst connection {i} was not rejected"
+        );
+    }
+    let snap = holder.stats().unwrap();
+    assert_eq!(snap.busy, 4);
+    assert_eq!(snap.queue_depth, QUEUE_BOUND as u64);
+
+    // Requests already pipelined on the queued connections are in
+    // flight; graceful shutdown must answer them before exiting.
+    for mut stream in &queued {
+        stream.write_all(b"stats\n").unwrap();
+        stream.flush().unwrap();
+    }
+    server.shutdown();
+
+    for stream in queued {
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("stats "),
+            "queued request was dropped during shutdown: {line:?}"
+        );
+    }
+}

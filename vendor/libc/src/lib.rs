@@ -1,0 +1,60 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact* FFI surface it uses: the Linux x86_64 constants,
+//! type aliases and extern functions needed by `mosalloc-preload`.
+//! Values are the kernel/glibc ABI constants for x86_64 Linux.
+
+#![allow(non_camel_case_types, non_upper_case_globals)]
+#![no_std]
+
+pub use core::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long`.
+pub type c_long = i64;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `off_t` (x86_64 Linux).
+pub type off_t = i64;
+/// C `intptr_t`.
+pub type intptr_t = isize;
+
+// errno values (asm-generic).
+pub const EINVAL: c_int = 22;
+pub const ENOMEM: c_int = 12;
+
+// mmap prot bits.
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+
+// mmap flags (x86_64 Linux).
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_FIXED: c_int = 0x0010;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_NORESERVE: c_int = 0x4000;
+pub const MAP_HUGETLB: c_int = 0x4_0000;
+pub const MAP_HUGE_SHIFT: c_int = 26;
+pub const MAP_HUGE_2MB: c_int = 21 << MAP_HUGE_SHIFT;
+pub const MAP_HUGE_1GB: c_int = 30 << MAP_HUGE_SHIFT;
+
+/// `mmap`'s error return.
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// glibc mallopt parameters.
+pub const M_MMAP_MAX: c_int = -4;
+pub const M_ARENA_MAX: c_int = -8;
+
+// x86_64 syscall numbers.
+pub const SYS_mmap: c_long = 9;
+pub const SYS_munmap: c_long = 11;
+
+extern "C" {
+    /// Raw variadic syscall entry point.
+    pub fn syscall(num: c_long, ...) -> c_long;
+    /// glibc malloc tuning.
+    pub fn mallopt(param: c_int, value: c_int) -> c_int;
+    /// Address of the thread-local `errno`.
+    pub fn __errno_location() -> *mut c_int;
+}

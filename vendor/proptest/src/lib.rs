@@ -1,0 +1,150 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements randomized property testing with the API surface the
+//! workspace's `tests/prop_*.rs` files use: the [`Strategy`] trait with
+//! `prop_map`, range / tuple / `any` / string-pattern strategies,
+//! `prop::collection::vec`, the `proptest!`, `prop_assert*!` and
+//! `prop_oneof!` macros, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! values via the assertion message instead of a minimized input), and
+//! the RNG is seeded from the test name, so runs are deterministic.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` paths as upstream spells them.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub use strategy::{any, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                        stringify!($left), stringify!($right), l, r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(format!($($fmt)+));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: {} != {} (both: {:?})",
+                        stringify!($left), stringify!($right), l
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err(format!($($fmt)+));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut union = $crate::strategy::Union::empty();
+        $( union.push(::std::boxed::Box::new($strategy)); )+
+        union
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = $config:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            // A tuple of strategies is itself a strategy over tuples.
+            let strategies = ($($strategy,)+);
+            for case in 0..config.cases {
+                let values = $crate::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                    let ($($arg,)+) = values;
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property {} failed on case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, message
+                    );
+                }
+            }
+        }
+    )*};
+}

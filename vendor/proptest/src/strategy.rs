@@ -1,0 +1,400 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// Produces random values of an associated type.
+///
+/// Object safe (modulo the `Sized`-gated combinators), so strategies can
+/// be boxed and unioned by `prop_oneof!`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % width;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+/// String pattern strategies: a `&str` literal is interpreted as one of
+/// the regex shapes the workspace's fuzz tests use:
+///
+/// * `.{a,b}` — `a..=b` chars from a printable-heavy mix with some
+///   multi-byte and control characters;
+/// * `(alt1|alt2|…|)` — one alternative chosen uniformly (alternatives
+///   are taken literally, and may be empty);
+/// * `[chars]{a,b}` — `a..=b` chars drawn from the literal class.
+///
+/// Anything else falls back to 0..=64 arbitrary chars.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(alternatives) = parse_alternation(self) {
+            let index = rng.below(alternatives.len() as u64) as usize;
+            return alternatives[index].to_string();
+        }
+        if let Some((class, min, max)) = parse_class_repeat(self) {
+            let len = min + rng.below((max - min) as u64 + 1) as usize;
+            return (0..len)
+                .map(|_| class[rng.below(class.len() as u64) as usize])
+                .collect();
+        }
+        let (min, max) =
+            parse_repeat_suffix(self.strip_prefix('.').unwrap_or("")).unwrap_or((0, 64));
+        let len = min + rng.below((max - min) as u64 + 1) as usize;
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_alternation(pattern: &str) -> Option<Vec<&str>> {
+    let body = pattern.strip_prefix('(')?.strip_suffix(')')?;
+    Some(body.split('|').collect())
+}
+
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let body = pattern.strip_prefix('[')?;
+    let (class, repeat) = body.split_once(']')?;
+    let (min, max) = parse_repeat_suffix(repeat)?;
+    // Expand simple `a-z` spans; other chars are literal members.
+    let raw: Vec<char> = class.chars().collect();
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if i + 2 < raw.len() && raw[i + 1] == '-' {
+            for c in raw[i]..=raw[i + 2] {
+                members.push(c);
+            }
+            i += 3;
+        } else {
+            members.push(raw[i]);
+            i += 1;
+        }
+    }
+    (!members.is_empty()).then_some((members, min, max))
+}
+
+fn parse_repeat_suffix(repeat: &str) -> Option<(usize, usize)> {
+    let body = repeat.strip_prefix('{')?.strip_suffix('}')?;
+    let (a, b) = body.split_once(',')?;
+    let min = a.trim().parse().ok()?;
+    let max = b.trim().parse().ok()?;
+    (min <= max).then_some((min, max))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        // Mostly printable ASCII: the interesting structure for parsers.
+        0..=6 => (0x20 + rng.below(0x5f) as u32 as u8) as char,
+        // Occasionally digits/separators that stress grammars.
+        7 => *[',', ';', ':', '=', '.', '0', '9', 'M', 'G', 'K']
+            .get(rng.below(10) as usize)
+            .unwrap(),
+        // Control and whitespace.
+        8 => *['\t', '\r', '\u{0}', '\u{7f}']
+            .get(rng.below(4) as usize)
+            .unwrap(),
+        // Multi-byte.
+        _ => *['é', 'λ', '中', '🦀'].get(rng.below(4) as usize).unwrap(),
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// An empty union; `prop_oneof!` pushes into it.
+    pub fn empty() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds an alternative.
+    pub fn push(&mut self, option: Box<dyn Strategy<Value = V>>) {
+        self.options.push(option);
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.options.is_empty(), "empty prop_oneof!");
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// Length specification for [`vec`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// `prop::collection::vec`: vectors of `element` with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for vectors (see [`vec`]).
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_vectors_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let strat = vec((0u64..10, -3i64..=3, any::<bool>()), 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            for (a, b, _) in v {
+                assert!(a < 10);
+                assert!((-3..=3).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_union() {
+        let mut rng = TestRng::for_test("map_union");
+        let strat =
+            crate::prop_oneof![(0u64..5).prop_map(|x| x * 2), (100u64..105).prop_map(|x| x),];
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            if v < 10 {
+                low = true;
+            } else {
+                assert!((100..105).contains(&v));
+                high = true;
+            }
+        }
+        assert!(low && high, "union explores both arms");
+    }
+
+    #[test]
+    fn string_patterns_bound_length() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..100 {
+            let s = ".{0,120}".generate(&mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(!s.contains('\n'));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace tags model/domain types with `Serialize`/`Deserialize`
+//! derives, but all persistence in-tree goes through explicit versioned
+//! text formats (the grid TSV cache and `mosmodel::persist`). This stub
+//! provides the marker traits and (behind the `derive` feature) no-op
+//! derive macros so the annotations compile without crates.io access.
+
+/// Marker for serializable types (no data-model methods in the stub).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no data-model methods in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

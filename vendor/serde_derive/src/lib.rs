@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation of
+//! intent, but nothing in-tree drives serde's data model (persistence
+//! uses explicit versioned text formats instead — see
+//! `mosmodel::persist`). The derives therefore expand to nothing, which
+//! keeps every `#[derive(Serialize, Deserialize)]` compiling without
+//! syn/quote or network access.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
