@@ -1,0 +1,110 @@
+//! Diagnostics: rustc-style text rendering and a hand-rolled (std-only)
+//! JSON output mode for machine consumption in CI.
+
+use std::fmt;
+
+/// One finding: a rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`determinism`, `panic-surface`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Renders the full report as a JSON document:
+/// `{"count": N, "diagnostics": [{"rule": ..., "path": ..., ...}]}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"count\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            json_string(d.rule),
+            json_string(&d.path),
+            d.line,
+            d.col,
+            json_string(&d.message),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let d = Diagnostic {
+            rule: "determinism",
+            path: "crates/memsim/src/tlb.rs".into(),
+            line: 12,
+            col: 9,
+            message: "HashMap iteration order is nondeterministic".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/memsim/src/tlb.rs:12:9: error[determinism]: \
+             HashMap iteration order is nondeterministic"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            rule: "panic-surface",
+            path: "a/b.rs".into(),
+            line: 1,
+            col: 2,
+            message: "say \"no\"\nto panics\t\u{1}".into(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains(r#"say \"no\"\nto panics\t\u0001"#));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+}

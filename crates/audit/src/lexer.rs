@@ -1,0 +1,362 @@
+//! A lightweight Rust lexer: just enough token structure for lexical
+//! lint rules, with line/column spans and total panic-freedom.
+//!
+//! The lexer does **not** aim to be a conforming Rust tokenizer. It
+//! distinguishes the categories the audit rules care about — comments,
+//! string-ish literals, identifiers, numbers, punctuation — and it must
+//! accept *any* input without panicking (unterminated strings and
+//! comments simply run to end of input). A proptest in the fixture
+//! suite feeds it arbitrary byte strings to hold it to that contract.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (integer or float, any base).
+    Number,
+    /// String-ish literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`,
+    /// `'c'` — the text includes the delimiters.
+    Str,
+    /// `// ...` line comment (text includes the `//`).
+    LineComment,
+    /// `/* ... */` block comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character (`.`, `[`, `!`, `::` is two).
+    Punct,
+}
+
+/// One lexeme with its location (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token's category.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// Tokenizes `source`. Never panics; malformed input degrades to
+/// best-effort tokens (an unterminated string becomes one `Str` token
+/// running to end of input).
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        source,
+        rest: source.char_indices().peekable(),
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    source: &'a str,
+    rest: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while let Some(&(start, c)) = self.rest.peek() {
+            let (line, col) = (self.line, self.col);
+            let kind = match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                '/' if self.starts_with(start, "//") => self.line_comment(),
+                '/' if self.starts_with(start, "/*") => self.block_comment(),
+                '"' => self.string('"'),
+                'r' | 'b' if self.raw_or_byte_string(start) => self.raw_string(start),
+                'b' if self.starts_with(start, "b'") => {
+                    self.bump(); // 'b'
+                    self.bump(); // opening quote
+                    self.char_literal()
+                }
+                'b' if self.starts_with(start, "b\"") => {
+                    self.bump();
+                    self.string('"')
+                }
+                '\'' => self.lifetime_or_char(start),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            };
+            let end = self.position();
+            tokens.push(Token {
+                kind,
+                text: &self.source[start..end],
+                line,
+                col,
+            });
+        }
+        tokens
+    }
+
+    /// Byte offset of the next unconsumed character (or end of input).
+    fn position(&mut self) -> usize {
+        self.rest
+            .peek()
+            .map_or(self.source.len(), |&(offset, _)| offset)
+    }
+
+    fn starts_with(&self, start: usize, prefix: &str) -> bool {
+        self.source[start..].starts_with(prefix)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.rest.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, keep: impl Fn(char) -> bool) {
+        while let Some(&(_, c)) = self.rest.peek() {
+            if !keep(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        self.bump_while(|c| c != '\n');
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            let start = self.position();
+            if self.starts_with(start, "/*") {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.starts_with(start, "*/") {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else if self.bump().is_none() {
+                break; // unterminated: run to end of input
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    fn string(&mut self, delim: char) -> TokenKind {
+        self.bump(); // opening delimiter
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // escaped character (may be the delimiter)
+            } else if c == delim {
+                break;
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Is the char at `start` the head of `r"`, `r#`, `br"`, or `br#`?
+    fn raw_or_byte_string(&self, start: usize) -> bool {
+        let tail = &self.source[start..];
+        let after = tail
+            .strip_prefix("br")
+            .or_else(|| tail.strip_prefix("rb"))
+            .or_else(|| tail.strip_prefix('r'));
+        after.is_some_and(|rest| {
+            let rest = rest.trim_start_matches('#');
+            rest.starts_with('"') && !rest.is_empty()
+        })
+    }
+
+    fn raw_string(&mut self, start: usize) -> TokenKind {
+        // Consume the r/br prefix and count the hashes.
+        self.bump_while(|c| c == 'r' || c == 'b');
+        let mut hashes = 0usize;
+        while self.rest.peek().is_some_and(|&(_, c)| c == '#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let closer: String = std::iter::once('"')
+            .chain("#".repeat(hashes).chars())
+            .collect();
+        loop {
+            let here = self.position();
+            if here >= self.source.len() {
+                break; // unterminated
+            }
+            if self.starts_with(here, &closer) {
+                for _ in 0..closer.chars().count() {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        let _ = start;
+        TokenKind::Str
+    }
+
+    fn lifetime_or_char(&mut self, start: usize) -> TokenKind {
+        // `'a` / `'static` are lifetimes (no closing quote right after
+        // the identifier); `'x'`, `'\n'`, `'\u{1F600}'` are char
+        // literals.
+        let tail: Vec<char> = self.source[start..].chars().take(3).collect();
+        let is_lifetime = matches!(
+            (tail.get(1), tail.get(2)),
+            (Some(c), next) if (c.is_alphabetic() || *c == '_') && next != Some(&'\'')
+        );
+        self.bump(); // the quote
+        if is_lifetime {
+            self.bump_while(|c| c.is_alphanumeric() || c == '_');
+            TokenKind::Lifetime
+        } else {
+            self.char_literal()
+        }
+    }
+
+    /// Consumes the rest of a char literal; the opening `'` (and `b`
+    /// prefix, if any) must already be consumed.
+    fn char_literal(&mut self) -> TokenKind {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // escaped char (possibly `'` or `\`)
+            } else if c == '\'' || c == '\n' {
+                break; // newline: give up, it was malformed
+            }
+        }
+        TokenKind::Str
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        self.bump();
+        self.bump_while(|c| c.is_alphanumeric() || c == '_');
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        self.bump();
+        // Good enough for lint purposes: digits, radix/exponent letters,
+        // underscores, and `.` only when followed by a digit (so method
+        // calls like `1.max(2)` keep their `.` as punctuation).
+        loop {
+            let here = self.position();
+            let mut chars = self.source[here..].chars();
+            match (chars.next(), chars.next()) {
+                (Some('.'), Some(next)) if next.is_ascii_digit() => {
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) if c.is_alphanumeric() || c == '_' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_categories() {
+        assert_eq!(
+            kinds("let x = 1.5e3; // hi"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Number, "1.5e3"),
+                (TokenKind::Punct, ";"),
+                (TokenKind::LineComment, "// hi"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        assert_eq!(
+            kinds(r#"f("a\"b", 'c', '\n', 'x: &'static str)"#)
+                .iter()
+                .filter(|(k, _)| *k == TokenKind::Str)
+                .count(),
+            3
+        );
+        let toks = kinds("&'a str 'label: loop");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'label")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = kinds(r##"r#"embedded " quote"# after"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r##"r#"embedded " quote"#"##);
+        assert_eq!(toks[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* x /* y */ z */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"s.split('\'').count() b'\'' next");
+        assert!(toks.contains(&(TokenKind::Str, r"'\''")));
+        assert!(toks.contains(&(TokenKind::Str, r"b'\''")));
+        assert!(toks.contains(&(TokenKind::Ident, "next")));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"raw", "'", "b'", "'\\"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn format_string_stays_one_token() {
+        let toks = kinds(r#"format!("{:.3e}", v)"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""{:.3e}""#)));
+    }
+}

@@ -1,0 +1,50 @@
+//! **mosaic-audit** — workspace static analysis for the reproduction's
+//! non-negotiables: determinism, panic-freedom, and bit-exactness.
+//!
+//! The study's ground truth is a deterministic simulator: Mosmodel's
+//! error bounds (paper §6) only mean anything if the `(R, H, M, C)`
+//! samples are bit-exact across runs, and the persisted model store
+//! only serves correct answers if every `f64` survives its text
+//! round-trip. Nothing in the type system stops a contributor from
+//! introducing a randomly-seeded `HashMap` iteration, a wall-clock
+//! read, or a `{:.3}` float rendering into those paths — such a change
+//! compiles, passes most tests, and surfaces weeks later as mysterious
+//! grid drift. This crate closes that gap mechanically.
+//!
+//! # How it works
+//!
+//! A lightweight [lexer](lexer) tokenizes each source file (no rustc
+//! dependency, no syn — std only, and it must never panic on arbitrary
+//! input). A [rule set](rules) scoped by path runs over the production
+//! tokens (test code is exempt) and emits rustc-style
+//! `file:line:col: error[rule]: message` diagnostics, with a JSON mode
+//! for machine consumption and a nonzero exit for CI gating via
+//! `mosaic audit --deny`.
+//!
+//! # Suppressions
+//!
+//! A finding can be silenced for its own line or the following line
+//! with a justified inline comment:
+//!
+//! ```text
+//! // audit:allow(determinism) probe map is never iterated or serialized
+//! let mut probes: HashMap<u64, u32> = HashMap::new();
+//! ```
+//!
+//! The justification string is mandatory — a bare `audit:allow(rule)`
+//! is itself reported (rule id `suppression`), as is an unknown rule
+//! name. Suppressions are part of the audit trail: `--json` output and
+//! the text report both come from the same diagnostic stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{render_json, Diagnostic};
+pub use rules::RULE_IDS;
+pub use workspace::{audit_file, audit_workspace};

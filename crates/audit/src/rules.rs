@@ -1,0 +1,472 @@
+//! The audit rule set.
+//!
+//! Every rule is scoped by path: the invariants are *project-specific*
+//! (which crates form the deterministic simulation core, which files
+//! are on the mosaicd request path, which modules are on-disk codecs),
+//! so the scope tables below are part of the rule definitions. A file
+//! outside every scope produces no diagnostics no matter what it
+//! contains.
+//!
+//! | rule | scope | forbids |
+//! |---|---|---|
+//! | `determinism` | simulation crates + persistence modules | default-hasher `HashMap`/`HashSet`, `SystemTime`, `Instant::now`, non-seeded RNG |
+//! | `panic-surface` | mosaicd request path | `.unwrap()`, `.expect()`, `panic!`-family, direct slice indexing |
+//! | `bit-exactness` | on-disk codec modules | lossy float format specs; floats without a bit-exact codec |
+//! | `version-header` | on-disk codec modules | writers/parsers without a `# mosaic-... vN` header constant |
+//!
+//! The motivation is the paper's methodology: Mosmodel's error bounds
+//! (§6) are only meaningful if `(R, H, M, C)` samples are bit-exact
+//! across runs, and the persisted model store only serves identical
+//! predictions if every `f64` survives its text round-trip exactly.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::FileView;
+
+/// Stable ids of all scoped rules, in reporting order. (`suppression`,
+/// the meta-rule for malformed `audit:allow` comments, is implicit.)
+pub const RULE_IDS: [&str; 4] = [
+    "determinism",
+    "panic-surface",
+    "bit-exactness",
+    "version-header",
+];
+
+/// Crates whose `src/` trees form the deterministic simulation core.
+const SIM_CRATES: [&str; 4] = ["memsim", "machine", "vmcore", "workloads"];
+
+/// Modules that write or memoize on-disk state (store/cache files).
+const PERSIST_MODULES: [&str; 3] = [
+    "crates/mosmodel/src/persist.rs",
+    "crates/harness/src/experiment.rs",
+    "crates/service/src/registry.rs",
+];
+
+/// Modules that define an on-disk text codec (format + parse).
+const CODEC_MODULES: [&str; 2] = [
+    "crates/mosmodel/src/persist.rs",
+    "crates/harness/src/experiment.rs",
+];
+
+/// The mosaicd request path: code a malformed or hostile request can
+/// reach. A panic here kills a worker thread.
+const REQUEST_PATH: [&str; 3] = [
+    "crates/service/src/server.rs",
+    "crates/service/src/protocol.rs",
+    "crates/service/src/registry.rs",
+];
+
+fn file_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn in_sim_crate(path: &str) -> bool {
+    SIM_CRATES
+        .iter()
+        .any(|c| path.contains(&format!("crates/{c}/src/")))
+}
+
+fn is_persistence(path: &str) -> bool {
+    PERSIST_MODULES.iter().any(|m| path.ends_with(m)) || is_codec(path)
+}
+
+fn is_codec(path: &str) -> bool {
+    CODEC_MODULES.iter().any(|m| path.ends_with(m))
+        || file_name(path).contains("persist")
+        || file_name(path).contains("codec")
+}
+
+fn on_request_path(path: &str) -> bool {
+    REQUEST_PATH.iter().any(|m| path.ends_with(m))
+}
+
+/// Runs every applicable rule over `view`, honors suppressions, and
+/// appends suppression-misuse diagnostics.
+pub fn check_file(view: &FileView<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if in_sim_crate(&view.path) || is_persistence(&view.path) {
+        determinism(view, &mut diags);
+    }
+    if on_request_path(&view.path) {
+        panic_surface(view, &mut diags);
+    }
+    if is_codec(&view.path) {
+        bit_exactness(view, &mut diags);
+        version_header(view, &mut diags);
+    }
+    diags.retain(|d| !view.is_suppressed(d));
+    diags.extend(view.suppression_errors.iter().cloned());
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    // A single string literal can repeat the same lossy spec; one
+    // location gets one report.
+    diags.dedup();
+    diags
+}
+
+/// Does the code token at code-position `p` (with lookahead) spell out
+/// `words` (comments skipped, multi-char operators split)?
+fn seq(view: &FileView<'_>, p: usize, words: &[&str]) -> bool {
+    words.iter().enumerate().all(|(k, w)| {
+        view.code
+            .get(p + k)
+            .is_some_and(|&idx| view.tokens[idx].text == *w)
+    })
+}
+
+/// Rule 1 — nondeterminism in the simulation core and persistence
+/// paths. The simulator is the study's ground truth: a wall-clock read
+/// or a randomly-seeded structure silently degrades the <3% (paper §6)
+/// error bound into run-to-run grid drift.
+fn determinism(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "determinism";
+    for (p, &idx) in view.code.iter().enumerate() {
+        let t = &view.tokens[idx];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text {
+            "HashMap" | "HashSet" | "RandomState" => out.push(view.diag_at(
+                RULE,
+                idx,
+                format!(
+                    "`{}` uses a randomly-seeded hasher; iteration order changes across runs \
+                     — use BTreeMap/BTreeSet or sort before iterating/serializing",
+                    t.text
+                ),
+            )),
+            "SystemTime" => out.push(
+                view.diag_at(
+                    RULE,
+                    idx,
+                    "`SystemTime` reads the wall clock; simulation and persistence code must be \
+                 a pure function of its inputs"
+                        .to_string(),
+                ),
+            ),
+            "Instant" if seq(view, p + 1, &[":", ":", "now"]) => out.push(
+                view.diag_at(
+                    RULE,
+                    idx,
+                    "`Instant::now()` makes behaviour timing-dependent; derive timing from \
+                 simulated cycle counts instead"
+                        .to_string(),
+                ),
+            ),
+            "thread_rng" | "from_entropy" => out.push(view.diag_at(
+                RULE,
+                idx,
+                format!(
+                    "`{}` draws OS entropy; use an explicitly seeded RNG (e.g. an FNV-derived \
+                     workload seed) so runs are reproducible",
+                    t.text
+                ),
+            )),
+            "rand" if seq(view, p + 1, &[":", ":", "random"]) => out.push(
+                view.diag_at(
+                    RULE,
+                    idx,
+                    "`rand::random()` draws OS entropy; use an explicitly seeded RNG so runs are \
+                 reproducible"
+                        .to_string(),
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`&mut [0u8; 4]`, `return [a, b]`, `match x { .. }`).
+const NON_INDEX_KEYWORDS: [&str; 14] = [
+    "mut", "let", "ref", "in", "return", "match", "if", "else", "move", "as", "break", "box",
+    "dyn", "const",
+];
+
+/// Rule 2 — panics on the mosaicd request path. A panic in request
+/// handling kills a worker thread: enough malformed requests and the
+/// pool is dead while the acceptor keeps admitting connections.
+/// Errors must travel as protocol-level `err ...` responses.
+fn panic_surface(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "panic-surface";
+    for (p, &idx) in view.code.iter().enumerate() {
+        let t = &view.tokens[idx];
+        match (t.kind, t.text) {
+            (TokenKind::Ident, "unwrap" | "expect")
+                if p > 0 && view.tokens[view.code[p - 1]].text == "." =>
+            {
+                out.push(view.diag_at(
+                    RULE,
+                    idx,
+                    format!(
+                        "`.{}()` on the request path can panic a worker; return a \
+                         protocol-level error response instead",
+                        t.text
+                    ),
+                ));
+            }
+            (TokenKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented")
+                if seq(view, p + 1, &["!"]) =>
+            {
+                out.push(view.diag_at(
+                    RULE,
+                    idx,
+                    format!(
+                        "`{}!` on the request path kills a worker thread; return a \
+                         protocol-level error response instead",
+                        t.text
+                    ),
+                ));
+            }
+            (TokenKind::Punct, "[") if p > 0 => {
+                let prev = &view.tokens[view.code[p - 1]];
+                let indexes_into = match prev.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text),
+                    TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if indexes_into {
+                    out.push(
+                        view.diag_at(
+                            RULE,
+                            idx,
+                            "direct indexing on the request path panics on out-of-bounds input; \
+                         use `.get(..)` and handle `None` as a protocol error"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The blessed bit-exact float codecs (hex-bit and shortest-roundtrip).
+const FLOAT_CODECS: [&str; 6] = [
+    "to_bits",
+    "from_bits",
+    "f64_hex",
+    "parse_f64_hex",
+    "fmt_f64_shortest",
+    "parse_f64_shortest",
+];
+
+/// Rule 3 — lossy floats in on-disk codecs. The model store and grid
+/// cache only reproduce in-memory predictions bit-for-bit if every
+/// `f64` round-trips exactly; a `{:.3}`-style rendering quietly
+/// truncates coefficients.
+fn bit_exactness(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "bit-exactness";
+    let mut mentions_float = None;
+    let mut has_codec = false;
+    for &idx in &view.code {
+        let t = &view.tokens[idx];
+        match t.kind {
+            TokenKind::Ident if t.text == "f64" || t.text == "f32" => {
+                mentions_float.get_or_insert(idx);
+            }
+            TokenKind::Ident if FLOAT_CODECS.contains(&t.text) => has_codec = true,
+            TokenKind::Str => {
+                for spec in lossy_specs(t.text) {
+                    out.push(view.diag_at(
+                        RULE,
+                        idx,
+                        format!(
+                            "lossy float format `{{:{spec}}}` in an on-disk codec; persist \
+                             floats with the hex-bit codec (`to_bits`) or the \
+                             shortest-roundtrip codec (`fmt_f64_shortest`)"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(idx) = mentions_float {
+        if !has_codec {
+            out.push(
+                view.diag_at(
+                    RULE,
+                    idx,
+                    "codec module handles floating-point values but references no bit-exact \
+                 codec (`to_bits`/`from_bits` or `fmt_f64_shortest`/`parse_f64_shortest`)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Extracts the lossy format specs (`e`/`E` exponent or `.` precision)
+/// from a format-string literal's placeholders.
+fn lossy_specs(literal: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let chars: Vec<char> = literal.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2; // escaped `{{`
+                continue;
+            }
+            let close = (i + 1..chars.len()).find(|&j| chars[j] == '}');
+            if let Some(close) = close {
+                let inner: String = chars[i + 1..close].iter().collect();
+                if let Some((_, spec)) = inner.split_once(':') {
+                    let lossy = spec.contains('.')
+                        || spec.ends_with('e')
+                        || spec.ends_with('E')
+                        || spec == "e"
+                        || spec == "E";
+                    if lossy {
+                        found.push(spec.to_string());
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Rule 4 — versioned on-disk formats. Every writer/parser must
+/// reference a `# mosaic-... vN` header constant so stale files are
+/// re-measured instead of mis-parsed (the grid cache and model store
+/// both learned this the hard way; see `# mosaic-cache v2`).
+fn version_header(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "version-header";
+    let mut has_header_literal = false;
+    let mut has_version_const = false;
+    for &idx in &view.code {
+        let t = &view.tokens[idx];
+        match t.kind {
+            TokenKind::Str if t.text.contains("# mosaic-") => has_header_literal = true,
+            TokenKind::Ident if t.text.contains("VERSION") => has_version_const = true,
+            _ => {}
+        }
+    }
+    let missing = match (has_header_literal, has_version_const) {
+        (true, true) => return,
+        (false, true) => "a `\"# mosaic-... v\"` header string",
+        (true, false) => "a `*VERSION` constant",
+        (false, false) => "a `\"# mosaic-... v\"` header string and a `*VERSION` constant",
+    };
+    let anchor = view.code.first().copied();
+    let (line, col) = anchor.map_or((1, 1), |i| (view.tokens[i].line, view.tokens[i].col));
+    out.push(Diagnostic {
+        rule: RULE,
+        path: view.path.clone(),
+        line,
+        col,
+        message: format!(
+            "on-disk format module must version its header: missing {missing} \
+             (readers must reject versions they were not written for)"
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let view = FileView::new(path, src, &RULE_IDS);
+        check_file(&view)
+    }
+
+    fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn determinism_flags_only_in_scope() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
+        let hits = run("crates/memsim/src/tlb.rs", src);
+        assert_eq!(rules_hit(&hits), vec!["determinism", "determinism"]);
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+        // Same source outside the scope: clean.
+        assert_eq!(run("crates/service/src/metrics.rs", src), vec![]);
+    }
+
+    #[test]
+    fn determinism_allows_instant_type_without_now() {
+        let src = "fn f(deadline: Instant) -> Instant { deadline }\n";
+        assert_eq!(run("crates/machine/src/engine.rs", src), vec![]);
+    }
+
+    #[test]
+    fn panic_surface_flags_the_family() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    let x = v.get(0).unwrap();\n    \
+                   if v.is_empty() { panic!(\"no\") }\n    v[1]\n}\n";
+        let hits = run("crates/service/src/server.rs", src);
+        assert_eq!(
+            rules_hit(&hits),
+            vec!["panic-surface", "panic-surface", "panic-surface"]
+        );
+        // Array literals and `unwrap_or` are fine.
+        let ok = "fn g() -> u64 { u64::try_from(1i64).unwrap_or(0) }\n\
+                  fn h() { let _ = &mut [0u8; 4]; }\n";
+        assert_eq!(run("crates/service/src/server.rs", ok), vec![]);
+        // Out of scope: anything goes.
+        assert_eq!(run("crates/service/src/metrics.rs", src), vec![]);
+    }
+
+    #[test]
+    fn bit_exactness_needs_a_codec_and_no_lossy_specs() {
+        let lossy = "const FORMAT_VERSION: u32 = 1;\nconst MAGIC: &str = \"# mosaic-m v\";\n\
+                     fn save(v: f64) -> String { format!(\"{v:.3}\") }\n";
+        let hits = run("crates/mosmodel/src/persist.rs", lossy);
+        assert_eq!(rules_hit(&hits), vec!["bit-exactness", "bit-exactness"]);
+        let exact = "fn save(v: f64) -> String { format!(\"{:016x}\", v.to_bits()) }\n\
+                     const V: &str = \"# mosaic-x v1\";\nconst FORMAT_VERSION: u32 = 1;\n";
+        assert_eq!(run("crates/mosmodel/src/persist.rs", exact), vec![]);
+    }
+
+    #[test]
+    fn lossy_spec_extraction() {
+        assert_eq!(
+            lossy_specs("\"{:.3e} {:e} {} {:016x} {{:.9}} {:?}\""),
+            vec![".3e", "e"]
+        );
+        assert_eq!(lossy_specs("\"{cv:.2}\""), vec![".2"]);
+        assert_eq!(lossy_specs("\"plain {} and {:>8}\""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn version_header_requires_both_halves() {
+        let missing = "fn render(x: u64) -> String { format!(\"{x}\") }\n";
+        let hits = run("crates/harness/src/experiment.rs", missing);
+        assert_eq!(rules_hit(&hits), vec!["version-header"]);
+        let versioned = "const CACHE_VERSION: u32 = 2;\n\
+                         fn render(x: u64) -> String { format!(\"# mosaic-cache v{CACHE_VERSION}\\n{x}\") }\n";
+        assert_eq!(run("crates/harness/src/experiment.rs", versioned), vec![]);
+    }
+
+    #[test]
+    fn suppressions_silence_and_misuse_reports() {
+        let src = "// audit:allow(determinism) probe map never iterated or serialized\n\
+                   use std::collections::HashMap;\nuse std::collections::HashSet;\n";
+        let hits = run("crates/vmcore/src/lib.rs", src);
+        // Line 2 suppressed, line 3 not.
+        assert_eq!(rules_hit(&hits), vec!["determinism"]);
+        assert_eq!(hits[0].line, 3);
+
+        // A reasonless suppression is itself an error AND does not
+        // silence anything.
+        let bad = "// audit:allow(determinism)\nuse std::collections::HashMap;\n";
+        let hits = run("crates/vmcore/src/lib.rs", bad);
+        assert_eq!(rules_hit(&hits), vec!["suppression", "determinism"]);
+    }
+
+    #[test]
+    fn test_code_is_exempt_everywhere() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    \
+                   #[test]\n    fn t() { x.unwrap(); v[0]; }\n}\n";
+        assert_eq!(run("crates/memsim/src/lib.rs", src), vec![]);
+        assert_eq!(run("crates/service/src/server.rs", src), vec![]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Workspace traversal: find the `.rs` sources the audit governs.
+//!
+//! The walk is deterministic (paths sorted at every level — an audit of
+//! determinism had better not report findings in random order) and
+//! skips build output (`target/`), the offline dependency stand-ins
+//! (`vendor/` mirrors external crates we do not own), version-control
+//! internals, and the audit crate's own fixture tree (those files are
+//! *deliberately* full of violations).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::rules::{check_file, RULE_IDS};
+use crate::source::FileView;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "node_modules"];
+
+/// Path suffixes (workspace-relative) never descended into.
+const SKIP_SUFFIXES: [&str; 1] = ["crates/audit/tests/fixtures"];
+
+/// Audits one file's text as if it lived at `rel_path` (workspace
+/// relative, `/`-separated). This is the engine's core entry point; the
+/// fixture tests call it directly.
+pub fn audit_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let view = FileView::new(rel_path, text, &RULE_IDS);
+    check_file(&view)
+}
+
+/// Walks the workspace under `root` and audits every governed source.
+/// Diagnostics come back sorted by `(path, line, col)`.
+///
+/// # Errors
+///
+/// Propagates directory-read failures on the root itself; unreadable
+/// files below it are skipped (the audit must not be DoS-able by a
+/// dangling symlink).
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_sources(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in files {
+        let Ok(text) = fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        diags.extend(audit_file(&rel_str, &text));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(diags)
+}
+
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Ok(rel) = path.strip_prefix(root) else {
+            continue;
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str())
+                || SKIP_SUFFIXES.iter().any(|s| rel_str.ends_with(s))
+            {
+                continue;
+            }
+            // Unreadable subdirectories are skipped, not fatal.
+            let _ = collect_sources(root, &path, out);
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_vendor_target_and_fixtures() {
+        let dir = std::env::temp_dir().join(format!("mosaic-audit-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        for sub in [
+            "crates/memsim/src",
+            "vendor/rand/src",
+            "target/debug",
+            "crates/audit/tests/fixtures/bad",
+        ] {
+            fs::create_dir_all(dir.join(sub)).unwrap();
+        }
+        let bad = "use std::collections::HashMap;\n";
+        fs::write(dir.join("crates/memsim/src/lib.rs"), bad).unwrap();
+        fs::write(dir.join("vendor/rand/src/lib.rs"), bad).unwrap();
+        fs::write(dir.join("target/debug/gen.rs"), bad).unwrap();
+        fs::write(dir.join("crates/audit/tests/fixtures/bad/x.rs"), bad).unwrap();
+
+        let diags = audit_workspace(&dir).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].path, "crates/memsim/src/lib.rs");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

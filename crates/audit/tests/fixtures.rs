@@ -1,0 +1,189 @@
+//! Fixture suite: known-bad sources must produce exactly the expected
+//! `(path, rule, line)` findings, known-good sources (including every
+//! rule's justified `audit:allow` waiver) must audit clean, and the
+//! engine must never panic on arbitrary input.
+//!
+//! The fixture trees mirror real workspace paths (`crates/memsim/src/…`)
+//! because the rules are path-scoped: auditing a fixture under its
+//! mirrored relative path exercises the same scope tables production
+//! runs use.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use audit::{audit_file, RULE_IDS};
+use proptest::prelude::*;
+
+fn fixture_root(tree: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(tree)
+}
+
+/// All `.rs` files under the tree as `(mirrored-relative-path, text)`.
+fn fixture_files(tree: &str) -> Vec<(String, String)> {
+    let root = fixture_root(tree);
+    let mut stack = vec![root.clone()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("fixture tree readable") {
+            let path = entry.expect("fixture entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(&root)
+                    .expect("under fixture root")
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let text = fs::read_to_string(&path).expect("fixture readable");
+                files.push((rel, text));
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn findings(tree: &str) -> BTreeSet<(String, &'static str, usize)> {
+    fixture_files(tree)
+        .iter()
+        .flat_map(|(rel, text)| {
+            audit_file(rel, text)
+                .into_iter()
+                .map(|d| (d.path, d.rule, d.line))
+        })
+        .collect()
+}
+
+#[test]
+fn bad_fixtures_produce_exactly_the_expected_findings() {
+    let expected: BTreeSet<(String, &'static str, usize)> = [
+        // Nondeterminism in a simulation crate.
+        ("crates/memsim/src/clock.rs", "determinism", 3),
+        ("crates/memsim/src/clock.rs", "determinism", 4),
+        ("crates/memsim/src/clock.rs", "determinism", 7),
+        ("crates/memsim/src/clock.rs", "determinism", 8),
+        ("crates/memsim/src/clock.rs", "determinism", 9),
+        // Panics on the request path.
+        ("crates/service/src/server.rs", "panic-surface", 4),
+        ("crates/service/src/server.rs", "panic-surface", 5),
+        ("crates/service/src/server.rs", "panic-surface", 6),
+        // Lossy floats in a codec module: the module-level "no bit-exact
+        // codec referenced" finding plus the `{v:.6}` format spec.
+        ("crates/mosmodel/src/persist.rs", "bit-exactness", 6),
+        ("crates/mosmodel/src/persist.rs", "bit-exactness", 7),
+        // Unversioned on-disk format.
+        ("crates/harness/src/experiment.rs", "version-header", 3),
+        // Suppression misuse: no reason, unknown rule — and neither
+        // malformed waiver silences its line's real finding.
+        ("crates/vmcore/src/lib.rs", "suppression", 1),
+        ("crates/vmcore/src/lib.rs", "determinism", 2),
+        ("crates/vmcore/src/lib.rs", "suppression", 3),
+        ("crates/vmcore/src/lib.rs", "determinism", 4),
+    ]
+    .into_iter()
+    .map(|(p, r, l)| (p.to_string(), r, l))
+    .collect();
+
+    let got = findings("bad");
+    assert_eq!(
+        got,
+        expected,
+        "bad-fixture findings diverged\nmissing: {:?}\nunexpected: {:?}",
+        expected.difference(&got).collect::<Vec<_>>(),
+        got.difference(&expected).collect::<Vec<_>>(),
+    );
+
+    // Every scoped rule is demonstrated by at least one caught violation.
+    let rules_caught: BTreeSet<&str> = got.iter().map(|(_, r, _)| *r).collect();
+    for rule in RULE_IDS {
+        assert!(rules_caught.contains(rule), "no bad fixture catches {rule}");
+    }
+}
+
+#[test]
+fn good_fixtures_audit_clean_and_exercise_every_suppression() {
+    let files = fixture_files("good");
+    assert!(!files.is_empty(), "good fixture tree is missing");
+
+    for (rel, text) in &files {
+        let diags = audit_file(rel, text);
+        assert!(
+            diags.is_empty(),
+            "good fixture {rel} is not clean: {diags:?}"
+        );
+    }
+
+    // The clean runs above must be *earned*: each scoped rule has a good
+    // fixture whose `audit:allow(<rule>)` waiver is what silences it.
+    let all_text: String = files.iter().map(|(_, t)| t.as_str()).collect();
+    for rule in RULE_IDS {
+        assert!(
+            all_text.contains(&format!("audit:allow({rule})")),
+            "no good fixture demonstrates an honored audit:allow({rule})"
+        );
+    }
+}
+
+#[test]
+fn stripping_the_waivers_makes_the_good_fixtures_fail() {
+    // The good fixtures really do contain violations — removing the
+    // justified waiver must resurface each rule's finding.
+    let mut resurfaced = BTreeSet::new();
+    for (rel, text) in fixture_files("good") {
+        let stripped: String = text
+            .lines()
+            .map(|l| {
+                if l.contains("audit:allow(") {
+                    "// waiver removed\n".to_string()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        for d in audit_file(&rel, &stripped) {
+            resurfaced.insert(d.rule);
+        }
+    }
+    for rule in RULE_IDS {
+        assert!(
+            resurfaced.contains(rule),
+            "stripping waivers did not resurface {rule}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer accepts arbitrary bytes (lossily decoded, as the
+    /// workspace walker does for non-UTF-8 files) without panicking.
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = audit::lexer::lex(&text);
+    }
+
+    /// The full per-file pipeline — lexing, test-masking, suppression
+    /// parsing, every scoped rule — never panics on arbitrary input,
+    /// whatever path scope it lands in.
+    #[test]
+    fn audit_file_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        which in 0usize..5,
+    ) {
+        let paths = [
+            "crates/memsim/src/tlb.rs",
+            "crates/service/src/server.rs",
+            "crates/mosmodel/src/persist.rs",
+            "crates/harness/src/experiment.rs",
+            "crates/elsewhere/src/lib.rs",
+        ];
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = audit_file(paths[which], &text);
+    }
+}

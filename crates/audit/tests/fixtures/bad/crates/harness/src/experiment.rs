@@ -1,0 +1,9 @@
+//! Fixture: an on-disk format with no version header at all.
+
+pub fn render(rows: &[u64]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&r.to_string());
+    }
+    out
+}

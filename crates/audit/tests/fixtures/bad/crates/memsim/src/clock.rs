@@ -1,0 +1,10 @@
+//! Fixture: nondeterminism in a simulation crate (every line below
+//! line 2 is a deliberate violation).
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub fn jitter() -> u64 {
+    let t = Instant::now();
+    let mut rng = thread_rng();
+    rand::random()
+}

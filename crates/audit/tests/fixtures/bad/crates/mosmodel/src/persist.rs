@@ -1,0 +1,8 @@
+//! Fixture: lossy float persistence in an on-disk codec.
+
+pub const FORMAT_VERSION: u32 = 9;
+pub const MAGIC: &str = "# mosaic-fixture v";
+
+pub fn encode(v: f64) -> String {
+    format!("{v:.6}")
+}

@@ -1,0 +1,7 @@
+//! Fixture: panics on the mosaicd request path.
+
+pub fn handle(line: &str, parts: &[&str]) -> String {
+    let first = parts.first().unwrap();
+    if line.is_empty() { panic!("empty") }
+    parts[1].to_string()
+}

@@ -1,0 +1,4 @@
+// audit:allow(determinism)
+use std::collections::HashMap;
+// audit:allow(frobnicate) rule does not exist
+use std::collections::HashSet;

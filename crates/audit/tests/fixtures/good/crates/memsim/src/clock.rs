@@ -1,0 +1,8 @@
+//! Fixture: a justified determinism waiver.
+
+// audit:allow(determinism) scratch map: keyed lookups only, never iterated or persisted
+pub type ProbeMap = std::collections::HashMap<u64, u64>;
+
+pub fn lookup(map: &ProbeMap, key: u64) -> Option<u64> {
+    map.get(&key).copied()
+}

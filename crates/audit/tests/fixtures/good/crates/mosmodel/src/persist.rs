@@ -1,0 +1,9 @@
+//! Fixture: a bit-exact codec with one justified lossy rendering.
+
+pub const FORMAT_VERSION: u32 = 1;
+pub const MAGIC: &str = "# mosaic-good v";
+
+pub fn encode(v: f64) -> String {
+    // audit:allow(bit-exactness) the {:.2} column is a human-facing comment; parsers read the hex field
+    format!("{:016x}\t# {:.2}", v.to_bits(), v)
+}

@@ -1,6 +1,6 @@
 //! The measurement grid: workload × platform × layout → PMU counters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -9,6 +9,7 @@ use std::sync::Arc;
 use machine::{profile_tlb_misses, Engine, EngineConfig, Platform};
 use mosalloc::{Mosalloc, MosallocConfig, PoolSpec};
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
+use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 use parking_lot::Mutex;
 use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
 use workloads::{TraceParams, WorkloadSpec};
@@ -144,7 +145,9 @@ impl MachineVariant {
 #[derive(Debug)]
 pub struct Grid {
     speed: Speed,
-    memo: Mutex<HashMap<(String, String), Arc<GridEntry>>>,
+    // BTreeMap, not HashMap: the memo feeds the on-disk cache, and
+    // nothing on a persistence path may depend on a per-process hasher.
+    memo: Mutex<BTreeMap<(String, String), Arc<GridEntry>>>,
     disk_dir: Option<PathBuf>,
 }
 
@@ -162,7 +165,7 @@ impl Grid {
         };
         Grid {
             speed,
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(BTreeMap::new()),
             disk_dir: disk,
         }
     }
@@ -171,7 +174,7 @@ impl Grid {
     pub fn in_memory(speed: Speed) -> Self {
         Grid {
             speed,
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(BTreeMap::new()),
             disk_dir: None,
         }
     }
@@ -287,7 +290,9 @@ fn render_entry(entry: &GridEntry) -> String {
             c.walker_l1d_loads,
             c.walker_l2_loads,
             c.walker_l3_loads,
-            r.cv_r,
+            // Shortest-roundtrip codec: human-readable, yet the parsed
+            // value reproduces the measured cv bit-for-bit.
+            fmt_f64_shortest(r.cv_r),
             r.description.replace(['\t', '\n'], " "),
         ));
     }
@@ -330,7 +335,7 @@ fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> 
                 walker_l2_loads: num(10)?,
                 walker_l3_loads: num(11)?,
             },
-            cv_r: cols[12].parse::<f64>().ok()?,
+            cv_r: parse_f64_shortest(cols[12])?,
             description: cols[13].to_string(),
         });
     }
@@ -636,6 +641,20 @@ mod tests {
         let text = render_entry(&entry);
         let parsed = parse_entry("gups/8GB", "SandyBridge", &text).unwrap();
         assert_eq!(*entry, parsed);
+    }
+
+    #[test]
+    fn independent_measurements_render_byte_identical_tsv() {
+        // Two grids, each measuring from scratch (multi-threaded battery
+        // and all): the rendered cache files must agree byte-for-byte,
+        // or the on-disk cache would smear nondeterminism across runs.
+        let a = Grid::in_memory(tiny_speed()).entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        let b = Grid::in_memory(tiny_speed()).entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        assert_eq!(
+            render_entry(&a),
+            render_entry(&b),
+            "successive measurements of the same pair rendered different TSV"
+        );
     }
 
     #[test]

@@ -94,6 +94,22 @@ fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
+/// Renders an `f64` with Rust's `Display`, which emits the *shortest*
+/// decimal string that parses back to the identical bit pattern. This is
+/// the blessed codec for columns that must stay human-readable (unlike
+/// the hex-bit encoding) yet still round-trip exactly — e.g. the grid
+/// cache's `cvR` column.
+pub fn fmt_f64_shortest(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Parses a float written by [`fmt_f64_shortest`]; returns `None` for
+/// text `f64::from_str` rejects. `parse_f64_shortest(&fmt_f64_shortest(v))`
+/// reproduces `v` bit-for-bit for every finite `v`.
+pub fn parse_f64_shortest(s: &str) -> Option<f64> {
+    s.parse().ok()
+}
+
 fn parse_f64_hex(line_no: usize, field: &str) -> Result<f64, PersistError> {
     u64::from_str_radix(field, 16)
         .map(f64::from_bits)
@@ -127,6 +143,7 @@ pub fn encode_bundle(bundle: &ModelBundle) -> String {
     out.push_str(&format!("platform\t{}\n", bundle.platform));
     for entry in &bundle.models {
         out.push_str(&format!(
+            // audit:allow(bit-exactness) the {:.3e} fields are a trailing human-readable comment; the parsed values are the hex-bit columns
             "model\t{}\t{}\t{}\t# max={:.3e} geo={:.3e}\n",
             entry.model.kind().name(),
             f64_hex(entry.max_err),
@@ -343,6 +360,25 @@ mod tests {
             let y = b.model.predict(&probe);
             assert_eq!(x.to_bits(), y.to_bits(), "{} drifted", a.model.kind());
         }
+    }
+
+    #[test]
+    fn shortest_roundtrip_codec_is_bit_exact() {
+        let probes = [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            0.047_281_953,
+            1e-308,
+            f64::MAX,
+            std::f64::consts::PI,
+        ];
+        for v in probes {
+            let s = fmt_f64_shortest(v);
+            let back = parse_f64_shortest(&s).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s} drifted");
+        }
+        assert!(parse_f64_shortest("not-a-float").is_none());
     }
 
     #[test]

@@ -45,6 +45,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A panic in request handling kills a worker thread (see
+// `server::handle_line_shielded`), so panicking shortcuts are banned in
+// production code; tests may still assert with unwrap/expect/indexing.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
+)]
 
 pub mod client;
 pub mod metrics;

@@ -60,7 +60,9 @@ impl Metrics {
             .iter()
             .position(|&b| latency_us <= b)
             .unwrap_or(0);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records one connection rejected with `busy`.

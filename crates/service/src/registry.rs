@@ -12,7 +12,7 @@
 //! endpoint: *hits* (served from memory), *disk loads* (revived from the
 //! persisted store) and *misses* (had to measure and fit).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,7 +61,9 @@ pub struct RegistryCounters {
 pub struct ModelRegistry {
     grid: Grid,
     store_dir: Option<PathBuf>,
-    entries: RwLock<HashMap<(String, String), Arc<RegistryEntry>>>,
+    // BTreeMap, not HashMap: the memo is on the persistence path and
+    // its iteration order must not depend on a per-process hasher seed.
+    entries: RwLock<BTreeMap<(String, String), Arc<RegistryEntry>>>,
     hits: AtomicU64,
     disk_loads: AtomicU64,
     misses: AtomicU64,
@@ -74,7 +76,7 @@ impl ModelRegistry {
         ModelRegistry {
             grid,
             store_dir,
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -277,6 +279,22 @@ mod tests {
         assert_eq!(fitted.bundle, reloaded.bundle);
 
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_independent_fits_persist_byte_identical_stores() {
+        let (dir_a, dir_b) = (temp_dir("det-a"), temp_dir("det-b"));
+        for dir in [&dir_a, &dir_b] {
+            let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), Some(dir.clone()));
+            registry.entry("gups/8GB", &Platform::SANDY_BRIDGE).unwrap();
+        }
+        let file = "tiny_gups_8GB_SandyBridge.models";
+        let a = fs::read(dir_a.join(file)).unwrap();
+        let b = fs::read(dir_b.join(file)).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "identical fits persisted different bytes");
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
     }
 
     #[test]

@@ -17,8 +17,9 @@
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -150,6 +151,14 @@ impl Server {
     }
 }
 
+/// Locks the admission queue, recovering from poisoning. The queue
+/// holds plain `TcpStream`s with no invariants a half-completed
+/// operation could break, so a panic elsewhere must not take the whole
+/// pool down with `PoisonError` panics.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
@@ -158,7 +167,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+        let mut queue = lock_queue(shared);
         if queue.len() >= shared.queue_bound {
             drop(queue);
             shared.metrics.record_busy();
@@ -181,7 +190,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let conn = {
-            let mut queue = shared.queue.lock().expect("queue mutex poisoned");
+            let mut queue = lock_queue(shared);
             loop {
                 if let Some(conn) = queue.pop_front() {
                     shared.metrics.set_queue_depth(queue.len() as u64);
@@ -190,7 +199,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.available.wait(queue).expect("queue mutex poisoned");
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         match conn {
@@ -217,7 +229,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Ok(0) => return,
             Ok(_) => {
                 let started = Instant::now();
-                let (response, was_predict, was_error) = handle_line(line.trim_end(), shared);
+                let (response, was_predict, was_error) = handle_line_shielded(&line, shared);
                 let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 shared
                     .metrics
@@ -243,8 +255,33 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Runs [`handle_line`] under a panic shield. The worker pool is a
+/// fixed resource: a panic that escapes request handling permanently
+/// removes a worker, and enough hostile requests would empty the pool
+/// while the acceptor keeps admitting connections. Any panic becomes a
+/// protocol-level `err internal ...` response and the worker lives on
+/// (the shared queue tolerates this — see [`lock_queue`]).
+fn handle_line_shielded(line: &str, shared: &Shared) -> (String, bool, bool) {
+    catch_unwind(AssertUnwindSafe(|| handle_line(line.trim_end(), shared))).unwrap_or_else(|_| {
+        (
+            "err internal: request handler panicked; request rejected".to_string(),
+            false,
+            true,
+        )
+    })
+}
+
 /// Handles one request line; returns `(response, was_predict, was_error)`.
 fn handle_line(line: &str, shared: &Shared) -> (String, bool, bool) {
+    // Fault-injection hook for the shield regression test: the only way
+    // to prove a worker survives a handler panic is to panic in a
+    // handler. Debug builds only; release servers treat the verb as an
+    // unknown command.
+    #[cfg(debug_assertions)]
+    if line == "inject-panic" {
+        // audit:allow(panic-surface) deliberate fault injection, compiled out of release; the shield test depends on it
+        panic!("injected worker panic (requested by the shield regression test)");
+    }
     match parse_request(line) {
         Ok(Request::Stats) => {
             let snap = shared.metrics.snapshot(shared.registry.counters());

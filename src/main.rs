@@ -8,6 +8,7 @@
 //! mosaic serve [addr]                  # start the mosaicd prediction server
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
+//! mosaic audit [--json] [--deny]       # workspace static analysis (CI gate)
 //! ```
 //!
 //! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere.
@@ -29,9 +30,10 @@ fn main() {
         Some("describe") => cmd_describe(args.get(1), args.get(2), args.get(3)),
         Some("serve") => cmd_serve(args.get(1)),
         Some("query") => cmd_query(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] | query <addr> ...>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] | query <addr> ... | audit [--json] [--deny]>"
             );
             2
         }
@@ -420,6 +422,52 @@ fn cmd_query(args: &[String]) -> i32 {
             eprintln!("{usage}");
             2
         }
+    }
+}
+
+fn cmd_audit(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut deny = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            other => {
+                eprintln!("usage: mosaic audit [--json] [--deny] (unknown flag {other:?})");
+                return 2;
+            }
+        }
+    }
+    // Run from the workspace root when invoked via `cargo run`; fall back
+    // to the compile-time manifest dir so the binary works from anywhere.
+    let root = if std::path::Path::new("crates").is_dir() {
+        std::path::PathBuf::from(".")
+    } else {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+    };
+    let diags = match audit::audit_workspace(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("mosaic audit: cannot scan {}: {e}", root.display());
+            return 1;
+        }
+    };
+    if json {
+        print!("{}", audit::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "audit: {} finding{} across workspace",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if deny && !diags.is_empty() {
+        1
+    } else {
+        0
     }
 }
 

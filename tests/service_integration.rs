@@ -122,6 +122,105 @@ fn concurrent_predictions_match_in_process_bit_for_bit() {
     server.shutdown();
 }
 
+/// A pool of one worker, fed every kind of hostile input we can type:
+/// malformed verbs, wrong arity, bad specs, raw binary, and (via the
+/// debug-only `inject-panic` hook) a genuine handler panic. If any of
+/// them killed the lone worker, every later exchange would time out —
+/// so a passing run proves malformed requests cannot drain the pool.
+#[test]
+fn hostile_requests_cannot_kill_the_worker_pool() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_bound: 16,
+        ..Default::default()
+    };
+    let server = Server::start(config, ModelRegistry::new(Grid::in_memory(TINY), None)).unwrap();
+    let addr = server.addr();
+
+    // One connection per batch: the lone worker serves a persistent
+    // connection until EOF, so each batch must be dropped before the
+    // next is picked up.
+    let exchange = |lines: &[&[u8]]| -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        for &line in lines {
+            writer.write_all(line).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            if reader.read_line(&mut reply).is_ok() && !reply.is_empty() {
+                replies.push(reply.trim_end().to_string());
+            }
+        }
+        replies
+    };
+
+    let hostile: &[&[u8]] = &[
+        b"predict",
+        b"predict gups/8GB",
+        b"frobnicate all the things",
+        b"predict gups/8GB sandybridge not-a-spec",
+        b"predict gups/8GB z80 2m",
+        b"predict no-such-workload sandybridge 2m",
+        b"predict gups/8GB sandybridge 2m bogus-model",
+        b"stats now please",
+        b"",
+    ];
+    let replies = exchange(hostile);
+    assert_eq!(
+        replies.len(),
+        hostile.len(),
+        "a hostile line went unanswered"
+    );
+    for (line, reply) in hostile.iter().zip(&replies) {
+        assert!(
+            reply.starts_with("err "),
+            "hostile line {:?} got {reply:?}",
+            String::from_utf8_lossy(line)
+        );
+    }
+
+    // Raw binary garbage is not even valid UTF-8; the server may close
+    // that connection, but the worker itself must survive.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0xff, 0xfe, 0x80, 0x00, b'\n']).unwrap();
+    }
+
+    // A genuine panic inside request handling (debug-only fault
+    // injection) is contained by the shield: the same connection gets an
+    // `err internal` response and keeps working.
+    let replies = exchange(&[b"inject-panic", b"stats"]);
+    assert_eq!(replies.len(), 2, "worker died inside the panic shield");
+    assert!(
+        replies[0].starts_with("err internal"),
+        "panic was not reported as a protocol error: {:?}",
+        replies[0]
+    );
+    assert!(
+        replies[1].starts_with("stats "),
+        "worker unusable after panic"
+    );
+
+    // The one worker is still serving real predictions.
+    let mut client = Client::connect(addr).unwrap();
+    let p = client
+        .predict(WORKLOAD, PLATFORM, "2m:0..8M", None)
+        .unwrap();
+    assert!(p.predicted.is_finite());
+    let snap = client.stats().unwrap();
+    assert_eq!(
+        snap.errors,
+        hostile.len() as u64 + 1,
+        "every hostile line counted"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn second_server_reuses_persisted_model_store() {
     let dir = temp_dir("store");
