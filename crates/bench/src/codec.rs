@@ -1,0 +1,237 @@
+//! On-disk codec for `mosaic bench` reports.
+//!
+//! A report is a small JSON document whose `format` field carries the
+//! `# mosaic-bench v1` version header; readers reject any other version
+//! rather than guessing. All floating-point fields are rendered with
+//! [`fmt_f64_shortest`] (Rust's shortest-roundtrip `Display`), so
+//! `parse_report(&render_report(r))` reproduces every float bit-for-bit
+//! — the same bit-exactness contract as the grid cache and the model
+//! store.
+
+use std::fmt::Write as _;
+
+use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
+
+/// Version of the bench-report schema. Bump on any breaking change.
+pub const BENCH_VERSION: u32 = 1;
+
+/// Version-header prefix; the full header is `# mosaic-bench v1`.
+const BENCH_MAGIC: &str = "# mosaic-bench v";
+
+/// Wall-clock results of the grid-battery throughput benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridBench {
+    /// Measurement records produced (battery layouts + the all-1GB run).
+    pub records: u64,
+    /// Total simulated demand accesses across all records.
+    pub accesses: u64,
+    /// Wall-clock seconds for the whole battery.
+    pub wall_seconds: f64,
+    /// `accesses / wall_seconds` — the headline throughput figure.
+    pub accesses_per_sec: f64,
+}
+
+/// Wall-clock results of the mosaicd request-latency benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceBench {
+    /// Predict requests timed (after the model-fitting warmup).
+    pub requests: u64,
+    /// Mean end-to-end request latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency (bucket upper bound) in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+}
+
+/// One complete `mosaic bench` report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Civil date of the run (`YYYY-MM-DD`), stamped by the runner.
+    pub date: String,
+    /// Speed preset the benchmark ran at (`fast` / `full`).
+    pub speed: String,
+    /// Workload benchmarked (e.g. `gups/8GB`).
+    pub workload: String,
+    /// Platform benchmarked (e.g. `SandyBridge`).
+    pub platform: String,
+    /// Grid-battery throughput results.
+    pub grid: GridBench,
+    /// mosaicd latency results.
+    pub service: ServiceBench,
+}
+
+impl BenchReport {
+    /// The versioned format header this codec writes and accepts.
+    pub fn format_header() -> String {
+        format!("{BENCH_MAGIC}{BENCH_VERSION}")
+    }
+}
+
+/// Renders a report as its on-disk JSON document.
+pub fn render_report(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"format\": \"{}\",", BenchReport::format_header());
+    let _ = writeln!(out, "  \"date\": \"{}\",", report.date);
+    let _ = writeln!(out, "  \"speed\": \"{}\",", report.speed);
+    let _ = writeln!(out, "  \"workload\": \"{}\",", report.workload);
+    let _ = writeln!(out, "  \"platform\": \"{}\",", report.platform);
+    let _ = writeln!(out, "  \"grid\": {{");
+    let _ = writeln!(out, "    \"records\": {},", report.grid.records);
+    let _ = writeln!(out, "    \"accesses\": {},", report.grid.accesses);
+    let _ = writeln!(
+        out,
+        "    \"wall_seconds\": {},",
+        fmt_f64_shortest(report.grid.wall_seconds)
+    );
+    let _ = writeln!(
+        out,
+        "    \"accesses_per_sec\": {}",
+        fmt_f64_shortest(report.grid.accesses_per_sec)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"service\": {{");
+    let _ = writeln!(out, "    \"requests\": {},", report.service.requests);
+    let _ = writeln!(
+        out,
+        "    \"mean_us\": {},",
+        fmt_f64_shortest(report.service.mean_us)
+    );
+    let _ = writeln!(out, "    \"p50_us\": {},", report.service.p50_us);
+    let _ = writeln!(out, "    \"p90_us\": {},", report.service.p90_us);
+    let _ = writeln!(out, "    \"p99_us\": {}", report.service.p99_us);
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Extracts the raw value token following `"key":` — up to the next
+/// comma or newline — from this codec's own fixed-shape documents (one
+/// field per line; not a general JSON parser).
+fn field<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle).ok_or_else(|| format!("missing {key}"))?;
+    let rest = text[at + needle.len()..].trim_start();
+    let end = rest
+        .find(['\n', ','])
+        .ok_or_else(|| format!("unterminated {key}"))?;
+    Ok(rest[..end].trim_end().trim_end_matches(','))
+}
+
+fn string_field(text: &str, key: &str) -> Result<String, String> {
+    let raw = field(text, key)?;
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key} is not a string: {raw:?}"))
+}
+
+fn u64_field(text: &str, key: &str) -> Result<u64, String> {
+    let raw = field(text, key)?;
+    raw.parse().map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn f64_field(text: &str, key: &str) -> Result<f64, String> {
+    let raw = field(text, key)?;
+    parse_f64_shortest(raw).ok_or_else(|| format!("bad {key}: {raw:?}"))
+}
+
+/// Parses a document written by [`render_report`].
+///
+/// # Errors
+///
+/// Returns a description of the first problem: a missing or malformed
+/// field, or a version header this codec does not understand.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let header = string_field(text, "format")?;
+    if header != BenchReport::format_header() {
+        return Err(format!(
+            "unsupported bench report format {header:?} (this build reads {:?})",
+            BenchReport::format_header()
+        ));
+    }
+    Ok(BenchReport {
+        date: string_field(text, "date")?,
+        speed: string_field(text, "speed")?,
+        workload: string_field(text, "workload")?,
+        platform: string_field(text, "platform")?,
+        grid: GridBench {
+            records: u64_field(text, "records")?,
+            accesses: u64_field(text, "accesses")?,
+            wall_seconds: f64_field(text, "wall_seconds")?,
+            accesses_per_sec: f64_field(text, "accesses_per_sec")?,
+        },
+        service: ServiceBench {
+            requests: u64_field(text, "requests")?,
+            mean_us: f64_field(text, "mean_us")?,
+            p50_us: u64_field(text, "p50_us")?,
+            p90_us: u64_field(text, "p90_us")?,
+            p99_us: u64_field(text, "p99_us")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            date: "2026-08-06".to_string(),
+            speed: "fast".to_string(),
+            workload: "gups/8GB".to_string(),
+            platform: "SandyBridge".to_string(),
+            grid: GridBench {
+                records: 55,
+                accesses: 4_400_000,
+                wall_seconds: 0.698_678_299,
+                accesses_per_sec: 6_297_613.847_210_31,
+            },
+            service: ServiceBench {
+                requests: 32,
+                mean_us: 24_817.406_25,
+                p50_us: 25_000,
+                p90_us: 50_000,
+                p99_us: 50_000,
+            },
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_bit_exactly() {
+        let report = sample();
+        let text = render_report(&report);
+        assert!(text.contains("\"format\": \"# mosaic-bench v1\""));
+        let back = parse_report(&text).expect("own output parses");
+        assert_eq!(back, report);
+        assert_eq!(
+            back.grid.wall_seconds.to_bits(),
+            report.grid.wall_seconds.to_bits()
+        );
+        assert_eq!(
+            back.grid.accesses_per_sec.to_bits(),
+            report.grid.accesses_per_sec.to_bits()
+        );
+        assert_eq!(
+            back.service.mean_us.to_bits(),
+            report.service.mean_us.to_bits()
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = render_report(&sample()).replace("# mosaic-bench v1", "# mosaic-bench v2");
+        let err = parse_report(&text).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_error_cleanly() {
+        assert!(parse_report("{}").is_err());
+        let text = render_report(&sample()).replace("\"p99_us\"", "\"p99\"");
+        assert!(parse_report(&text).is_err());
+    }
+}

@@ -9,11 +9,20 @@
 //! only the first bench invocation pays for simulation; set
 //! `MOSAIC_FAST=1` for a quick low-fidelity pass.
 
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
 use harness::{Grid, Speed};
 use machine::{profile_tlb_misses, Engine, Platform};
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
+use service::client::Client;
+use service::registry::ModelRegistry;
+use service::server::{predict, Server, ServerConfig};
 use vmcore::{MemoryLayout, PageSize, Region, VirtAddr};
 use workloads::{TraceParams, WorkloadSpec};
+
+pub mod codec;
+
+use codec::{BenchReport, GridBench, ServiceBench};
 
 /// Builds the benchmark grid with the standard disk cache.
 pub fn bench_grid() -> Grid {
@@ -57,6 +66,123 @@ pub fn measure_battery(
         .collect()
 }
 
+/// Predict requests timed against the in-process server (after one
+/// untimed warmup request that absorbs the model fit).
+const SERVICE_REQUESTS: usize = 32;
+
+/// Runs the end-to-end benchmark suite: the grid battery (throughput)
+/// and the mosaicd request path (latency), both for one
+/// `(workload, platform)` pair at the given fidelity.
+///
+/// The grid leg times a cold in-memory battery fit — `records` layout
+/// measurements through the full simulation stack — and reports demand
+/// accesses per wall-clock second, the figure the hot-path work in
+/// `memsim`/`machine` is meant to move. The service leg then starts a
+/// real TCP server over the same (now warm) grid, so its numbers
+/// isolate per-request work: one `measure_layout` plus model
+/// application per predict.
+///
+/// # Panics
+///
+/// Panics on an unknown workload/platform or if the loopback server
+/// cannot bind — all setup errors, not measurement outcomes.
+pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> BenchReport {
+    let spec = WorkloadSpec::by_name(workload).expect("known workload");
+    let grid = Grid::in_memory(speed);
+
+    let started = Instant::now();
+    let entry = grid.entry(workload, platform);
+    let wall = started.elapsed();
+
+    let records = entry.records.len() as u64;
+    // Every record replays the same trace at least once; FAST/FULL stop
+    // at one repetition when the runtime variation bound already holds,
+    // so the per-record access count is the trace length.
+    let accesses = records * speed.trace_len(spec.access_factor);
+    let wall_seconds = wall.as_secs_f64();
+    let grid_bench = GridBench {
+        records,
+        accesses,
+        wall_seconds,
+        accesses_per_sec: accesses as f64 / wall_seconds,
+    };
+
+    // The service leg reuses the grid (and its cached entry), so the
+    // first predict pays only the model fit, not a second battery.
+    let registry = ModelRegistry::new(grid, None);
+    let server = Server::start(ServerConfig::default(), registry).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect to own server");
+
+    // All windows fit the smallest pool any preset produces (48MB).
+    let layout_specs = ["4k", "2m", "1g", "2m:0..8M", "2m:8M..24M", "2m:0..32M"];
+    // Warm up through the in-process path: it shares the registry (so
+    // the model fit is paid here) but bypasses the server's histogram,
+    // which should see only the timed steady-state requests.
+    predict(
+        server.registry(),
+        workload,
+        platform.name,
+        layout_specs[0],
+        None,
+    )
+    .expect("warmup predict");
+
+    let mut total = Duration::ZERO;
+    for i in 0..SERVICE_REQUESTS {
+        let layout = layout_specs[i % layout_specs.len()];
+        let one = Instant::now();
+        client
+            .predict(workload, platform.name, layout, None)
+            .expect("timed predict");
+        total += one.elapsed();
+    }
+    // Percentiles come from the server's own histogram; the mean is
+    // client-side, so it also includes the loopback round-trip.
+    let snap = server.stats();
+    let service_bench = ServiceBench {
+        requests: SERVICE_REQUESTS as u64,
+        mean_us: total.as_micros() as f64 / SERVICE_REQUESTS as f64,
+        p50_us: snap.percentile_us(50),
+        p90_us: snap.percentile_us(90),
+        p99_us: snap.percentile_us(99),
+    };
+    server.shutdown();
+
+    BenchReport {
+        date: today_utc(),
+        speed: speed.name.to_string(),
+        workload: workload.to_string(),
+        platform: platform.name.to_string(),
+        grid: grid_bench,
+        service: service_bench,
+    }
+}
+
+/// Today's civil date (UTC) as `YYYY-MM-DD`, from the system clock.
+pub fn today_utc() -> String {
+    let days = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs()
+        / 86_400;
+    civil_from_days(days as i64)
+}
+
+/// Gregorian date for a day count since 1970-01-01 (the standard
+/// era-based inversion), so the report stamp needs no date crate.
+fn civil_from_days(z: i64) -> String {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 fn classify(layout: &MemoryLayout) -> LayoutKind {
     if layout.windows().is_empty() {
         LayoutKind::All4K
@@ -64,5 +190,31 @@ fn classify(layout: &MemoryLayout) -> LayoutKind {
         LayoutKind::All2M
     } else {
         LayoutKind::Mixed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), "1970-01-01");
+        assert_eq!(civil_from_days(31), "1970-02-01");
+        assert_eq!(civil_from_days(11_016), "2000-02-29"); // leap day
+        assert_eq!(civil_from_days(11_017), "2000-03-01");
+        assert_eq!(civil_from_days(19_723), "2024-01-01");
+        assert_eq!(civil_from_days(20_671), "2026-08-06");
+    }
+
+    #[test]
+    fn today_is_well_formed() {
+        let today = today_utc();
+        let parts: Vec<&str> = today.split('-').collect();
+        assert_eq!(parts.len(), 3, "{today:?}");
+        assert_eq!(parts[0].len(), 4);
+        assert!(parts[0].parse::<u32>().unwrap() >= 2024);
+        assert!((1..=12).contains(&parts[1].parse::<u32>().unwrap()));
+        assert!((1..=31).contains(&parts[2].parse::<u32>().unwrap()));
     }
 }

@@ -1,0 +1,81 @@
+//! Golden PMU-counter snapshots: the counter-invisibility gate for the
+//! simulation fast path.
+//!
+//! The memsim translation memo and the flattened cache indexing are
+//! allowed to change *wall-clock* behaviour only. These snapshots pin
+//! one (workload, platform, layout) triple per speed preset to the exact
+//! counter values the pre-optimization simulator produced; any
+//! divergence — one extra TLB hit, one reordered LRU stamp — fails the
+//! suite. Update these numbers only for a deliberate, documented model
+//! change, never for an "optimization".
+
+use harness::{measure_layout, MachineVariant, MeasureContext, Speed};
+use machine::Platform;
+use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
+
+/// Measures the pinned triple: gups/8GB on SandyBridge with the first
+/// half of the pool backed by 2MB pages (both halves are 2MB-aligned for
+/// every preset, so the layout is exactly reproducible).
+fn measure(speed: Speed) -> (PmuCounters, f64) {
+    let ctx = MeasureContext::new(speed, "gups/8GB").expect("known workload");
+    let pool = ctx.pool();
+    let half = Region::new(pool.start(), pool.len() / 2);
+    let layout = MemoryLayout::builder(pool)
+        .window(half, PageSize::Huge2M)
+        .expect("2M-aligned half-pool window")
+        .build()
+        .expect("valid layout");
+    let variant = MachineVariant::real(&Platform::SANDY_BRIDGE);
+    let record = measure_layout(&ctx, &variant, &layout);
+    (record.counters, record.cv_r)
+}
+
+#[test]
+fn fast_preset_counters_are_byte_identical_to_golden() {
+    let (counters, cv_r) = measure(Speed::FAST);
+    let golden = PmuCounters {
+        runtime_cycles: 2_409_763,
+        stlb_hits: 530,
+        stlb_misses: 19_507,
+        walk_cycles: 859_054,
+        instructions: 280_163,
+        program_l1d_loads: 80_000,
+        program_l2_loads: 39_993,
+        program_l3_loads: 39_949,
+        walker_l1d_loads: 19_541,
+        walker_l2_loads: 18_113,
+        walker_l3_loads: 10_055,
+    };
+    assert_eq!(counters, golden, "FAST counters drifted from golden");
+    assert_eq!(
+        cv_r.to_bits(),
+        0.0f64.to_bits(),
+        "single-rep FAST run must have exactly zero runtime variance"
+    );
+}
+
+#[test]
+fn full_preset_counters_are_byte_identical_to_golden() {
+    let (counters, cv_r) = measure(Speed::FULL);
+    let golden = PmuCounters {
+        runtime_cycles: 13_260_755,
+        stlb_hits: 636,
+        stlb_misses: 174_297,
+        walk_cycles: 5_473_395,
+        instructions: 1_400_399,
+        program_l1d_loads: 400_000,
+        program_l2_loads: 199_990,
+        program_l3_loads: 199_927,
+        walker_l1d_loads: 248_573,
+        walker_l2_loads: 97_746,
+        walker_l3_loads: 84_612,
+    };
+    assert_eq!(counters, golden, "FULL counters drifted from golden");
+    // Three repetitions with distinct salts: even the cross-rep variance
+    // is pinned to the bit.
+    assert_eq!(
+        cv_r.to_bits(),
+        2.767_564_893_552_441e-5f64.to_bits(),
+        "FULL cross-repetition variance drifted from golden"
+    );
+}

@@ -11,10 +11,13 @@
 //!   `2m:0..64M+1g:1G..2G`.
 //!
 //! Window `<size>` is `2m` or `1g`; offsets take optional `K`/`M`/`G`
-//! suffixes (binary units). Windows are clipped to the pool and aligned
-//! *outward* to their page size — the same normalization the battery
-//! heuristics apply — so callers can give round numbers without knowing
-//! the pool's exact base address.
+//! suffixes (binary units). Windows are aligned *outward* to their page
+//! size — the same normalization the battery heuristics apply — so
+//! callers can give round numbers without knowing the pool's exact base
+//! address. A window that (after alignment) extends beyond the pool, or
+//! overlaps another window, is rejected with a [`SpecError`]: silently
+//! clipping or merging would measure a different layout than the one the
+//! spec names.
 
 use std::fmt;
 
@@ -27,7 +30,7 @@ pub enum SpecError {
     Syntax(String),
     /// A window range is empty or inverted.
     EmptyWindow(String),
-    /// A window misses the pool entirely.
+    /// A window misses the pool or extends beyond it after alignment.
     OutsidePool(String),
     /// The windows overlap after outward alignment.
     Overlap(String),
@@ -102,12 +105,17 @@ pub fn parse_spec(pool: Region, spec: &str) -> Result<MemoryLayout, SpecError> {
             return Err(SpecError::EmptyWindow(window.to_string()));
         }
         let absolute = Region::new(pool.start() + start, end - start);
-        let clipped = absolute
-            .intersection(&pool.align_outward(size))
-            .map(|w| w.align_outward(size))
-            .ok_or_else(|| SpecError::OutsidePool(window.to_string()))?;
+        let aligned = absolute.align_outward(size);
+        // A window that pokes past the pool is a spec error, not
+        // something to clip: silently shrinking it would measure a
+        // different layout than the one the caller named. (The bound is
+        // the pool aligned outward, so a round window over an unaligned
+        // pool still counts as in-pool — the battery's normalization.)
+        if !pool.align_outward(size).contains_region(&aligned) {
+            return Err(SpecError::OutsidePool(window.to_string()));
+        }
         builder = builder
-            .window(clipped, size)
+            .window(aligned, size)
             .map_err(|e| SpecError::Overlap(e.to_string()))?;
     }
     builder
@@ -178,6 +186,26 @@ mod tests {
             parse_spec(pool(), "2m:0..64M+2m:32M..96M"),
             Err(SpecError::Overlap(_))
         ));
+    }
+
+    #[test]
+    fn pool_exceeding_windows_are_rejected_not_clipped() {
+        // The pool is 2GiB; windows reaching past its end used to be
+        // silently clipped, measuring a different layout than named.
+        for bad in ["2m:0..4G", "1g:1G..3G", "2m:1920M..2049M"] {
+            assert!(
+                matches!(parse_spec(pool(), bad), Err(SpecError::OutsidePool(_))),
+                "{bad:?} must be rejected as outside the pool"
+            );
+        }
+        // A window entirely past the pool is likewise outside.
+        assert!(matches!(
+            parse_spec(pool(), "2m:2G..3G"),
+            Err(SpecError::OutsidePool(_))
+        ));
+        // Exactly filling the pool is still accepted.
+        assert!(parse_spec(pool(), "2m:0..2G").is_ok());
+        assert!(parse_spec(pool(), "1g:0..2G").is_ok());
     }
 
     #[test]

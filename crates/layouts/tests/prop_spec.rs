@@ -1,0 +1,81 @@
+//! Property tests for the layout-spec parser: any spec the parser
+//! accepts must describe pairwise-disjoint windows inside the pool.
+//! (Rejection is fine — silently "repairing" a spec by clipping or
+//! merging is the bug these properties guard against.)
+
+use proptest::prelude::*;
+use vmcore::{PageSize, Region, VirtAddr, GIB, MIB};
+
+use layouts::parse_spec;
+
+fn pool() -> Region {
+    Region::new(VirtAddr::new(0x2000_0000_0000), 2 * GIB)
+}
+
+/// Arbitrary window tokens: a size, a start and a length in MiB. Many of
+/// these overlap each other or run past the 2GiB pool — exactly the
+/// inputs the parser must reject rather than adjust.
+fn windows_strategy() -> impl Strategy<Value = Vec<(bool, u64, u64)>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..5000, 1u64..3000), // (is_1g, start_mib, len_mib)
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn accepted_specs_are_disjoint_and_in_pool(windows in windows_strategy()) {
+        let spec = windows
+            .iter()
+            .map(|&(is_1g, start, len)| {
+                let size = if is_1g { "1g" } else { "2m" };
+                format!("{size}:{start}M..{}M", start + len)
+            })
+            .collect::<Vec<_>>()
+            .join("+");
+
+        let Ok(layout) = parse_spec(pool(), &spec) else {
+            return Ok(()); // rejection is always a correct answer
+        };
+        let windows = layout.windows();
+        for w in windows {
+            prop_assert!(
+                pool().contains_region(&w.region),
+                "window {:?} of accepted spec {spec:?} leaves the pool",
+                w.region
+            );
+            prop_assert!(
+                w.region.is_aligned(w.size),
+                "window {:?} is unaligned to {}",
+                w.region,
+                w.size
+            );
+        }
+        for (a, b) in windows.iter().zip(windows.iter().skip(1)) {
+            prop_assert!(
+                !a.region.overlaps(&b.region),
+                "accepted spec {spec:?} produced overlapping windows"
+            );
+        }
+    }
+
+    /// Whole-MiB windows inside the first half of the pool are always
+    /// valid 2MB windows; the parser must accept them and reproduce the
+    /// requested extent exactly (no clipping, no growth beyond outward
+    /// alignment).
+    #[test]
+    fn round_in_pool_windows_parse_exactly(start in 0u64..512, len in 1u64..512) {
+        let spec = format!("2m:{start}M..{}M", start + len);
+        let layout = parse_spec(pool(), &spec).unwrap();
+        let backed = layout.bytes_backed_by(PageSize::Huge2M);
+        // Outward 2MB alignment can add at most one page on either side.
+        let requested = len * MIB;
+        prop_assert!(backed >= requested, "window shrank: {backed} < {requested}");
+        prop_assert!(
+            backed <= requested + 2 * PageSize::Huge2M.bytes(),
+            "window grew past alignment: {backed} vs {requested}"
+        );
+    }
+}

@@ -173,10 +173,18 @@ impl Engine {
         self.now += base;
         self.headroom = (self.headroom + base * HEADROOM_SUPPLY).min(self.headroom_cap);
 
-        // Address translation.
+        // One fused trip through the simulator: translation plus the data
+        // reference. The subsystem resolves both against the same memoized
+        // page entry, and the engine-local timing math below needs only
+        // the outcome fields (the EMA and stall accounting between the
+        // two halves never touched `vm`, so fusing them is
+        // counter-invisible).
         let size = page_size_at(access.addr);
+        let outcome = self.vm.access(access.addr, size);
+
+        // Address translation.
         let mut walked = false;
-        match self.vm.translate(access.addr, size).translation {
+        match outcome.translation {
             Translation::L1Hit => {}
             Translation::StlbHit { latency } => {
                 self.stlb_hits += 1;
@@ -204,8 +212,7 @@ impl Engine {
         // divided by the core's memory-level parallelism; serially
         // dependent loads (pointer chases) expose almost all of it — the
         // next instruction cannot issue without the value.
-        let (_, lat) = self.vm.data_access(access.addr, size);
-        let extra = f64::from(lat) - l1d_lat;
+        let extra = f64::from(outcome.data_latency) - l1d_lat;
         if extra > 0.0 {
             if access.dep {
                 self.now += extra * DEP_EXPOSED;

@@ -67,6 +67,16 @@ pub struct SetAssocCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Number of sets, precomputed (the division `entries / ways` must
+    /// stay out of the per-access path).
+    sets: u64,
+    /// `sets - 1` when the set count is a power of two — the common case
+    /// for every TLB and cache geometry in the paper — letting set
+    /// selection use a mask instead of a u64 modulo. `tag & mask` and
+    /// `tag % sets` pick the same set, so behaviour is bit-identical.
+    pow2_mask: Option<u64>,
+    /// Associativity, precomputed as usize for indexing.
+    ways: usize,
 }
 
 const INVALID: u64 = u64::MAX;
@@ -75,6 +85,7 @@ impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(geometry: CacheGeometry) -> Self {
         let n = geometry.entries as usize;
+        let sets = u64::from(geometry.sets());
         SetAssocCache {
             geometry,
             tags: vec![INVALID; n],
@@ -82,6 +93,9 @@ impl SetAssocCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            sets,
+            pow2_mask: sets.is_power_of_two().then(|| sets - 1),
+            ways: geometry.ways as usize,
         }
     }
 
@@ -92,17 +106,48 @@ impl SetAssocCache {
 
     /// Looks up `tag`; on miss, inserts it (evicting the set's LRU way).
     /// Returns whether the lookup hit.
+    #[inline]
     pub fn access(&mut self, tag: u64) -> bool {
-        let hit = self.touch(tag, true);
+        self.access_locating(tag).0
+    }
+
+    /// Like [`SetAssocCache::access`], but also returns the global slot
+    /// index (`set * ways + way`) where `tag` resides after the call —
+    /// its hit position, or the way it was just inserted into. The slot
+    /// stays valid until another tag evicts it, which callers detect by
+    /// re-checking with [`SetAssocCache::hit_at`].
+    #[inline]
+    pub fn access_locating(&mut self, tag: u64) -> (bool, u32) {
+        let (hit, slot) = self.touch_locating(tag, true);
         if hit {
             self.hits += 1;
         } else {
             self.misses += 1;
         }
-        hit
+        (hit, slot)
+    }
+
+    /// O(1) re-lookup through a slot previously returned by
+    /// [`SetAssocCache::access_locating`]. If `slot` still holds `tag`,
+    /// this performs exactly the state transition of a hitting
+    /// [`SetAssocCache::access`] (clock advance, LRU re-stamp, hit
+    /// count) and returns `true`. Otherwise the cache is untouched and
+    /// the caller must fall back to the full lookup.
+    #[inline]
+    pub fn hit_at(&mut self, slot: u32, tag: u64) -> bool {
+        let slot = slot as usize;
+        if self.tags.get(slot).copied() == Some(tag) {
+            self.clock += 1;
+            self.stamps[slot] = self.clock;
+            self.hits += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Looks up `tag` without inserting on miss. Does not update stats.
+    #[inline]
     pub fn probe(&self, tag: u64) -> bool {
         debug_assert_ne!(tag, INVALID, "tag collides with the invalid marker");
         let (start, ways) = self.set_bounds(tag);
@@ -110,6 +155,7 @@ impl SetAssocCache {
     }
 
     /// Inserts `tag` unconditionally (used for fills from outer levels).
+    #[inline]
     pub fn insert(&mut self, tag: u64) {
         self.touch(tag, true);
     }
@@ -135,41 +181,52 @@ impl SetAssocCache {
         self.tags.iter().filter(|&&t| t != INVALID).count()
     }
 
+    #[inline]
     fn set_bounds(&self, tag: u64) -> (usize, usize) {
-        let sets = self.geometry.sets() as u64;
-        let ways = self.geometry.ways as usize;
-        let set = (tag % sets) as usize;
-        (set * ways, ways)
+        let set = match self.pow2_mask {
+            Some(mask) => (tag & mask) as usize,
+            None => (tag % self.sets) as usize,
+        };
+        (set * self.ways, self.ways)
     }
 
     /// Core lookup; optionally inserts on miss. Returns hit status.
+    #[inline]
     fn touch(&mut self, tag: u64, insert_on_miss: bool) -> bool {
+        self.touch_locating(tag, insert_on_miss).0
+    }
+
+    /// Core lookup; optionally inserts on miss. Returns hit status and
+    /// the global slot now holding `tag` (unchanged LRU victim slot when
+    /// `insert_on_miss` is false and the lookup missed).
+    #[inline]
+    fn touch_locating(&mut self, tag: u64, insert_on_miss: bool) -> (bool, u32) {
         debug_assert_ne!(tag, INVALID, "tag collides with the invalid marker");
         self.clock += 1;
         let (start, ways) = self.set_bounds(tag);
         let set_tags = &mut self.tags[start..start + ways];
         if let Some(i) = set_tags.iter().position(|&t| t == tag) {
             self.stamps[start + i] = self.clock;
-            return true;
+            return (true, (start + i) as u32);
         }
-        if insert_on_miss {
-            // Choose an invalid way, else the LRU way.
-            let victim = match set_tags.iter().position(|&t| t == INVALID) {
-                Some(i) => i,
-                None => {
-                    let mut lru = 0;
-                    for i in 1..ways {
-                        if self.stamps[start + i] < self.stamps[start + lru] {
-                            lru = i;
-                        }
+        // Choose an invalid way, else the LRU way.
+        let victim = match set_tags.iter().position(|&t| t == INVALID) {
+            Some(i) => i,
+            None => {
+                let mut lru = 0;
+                for i in 1..ways {
+                    if self.stamps[start + i] < self.stamps[start + lru] {
+                        lru = i;
                     }
-                    lru
                 }
-            };
+                lru
+            }
+        };
+        if insert_on_miss {
             self.tags[start + victim] = tag;
             self.stamps[start + victim] = self.clock;
         }
-        false
+        (false, (start + victim) as u32)
     }
 }
 
@@ -248,6 +305,70 @@ mod tests {
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.hits(), 1);
         assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn hit_at_is_equivalent_to_a_hitting_access() {
+        // Drive two identical caches through the same sequence, one via
+        // plain access, one via the slot fast path, and require the full
+        // observable state (probe results, stats, later evictions) to
+        // match exactly.
+        let geometry = CacheGeometry::new(8, 2);
+        let mut plain = SetAssocCache::new(geometry);
+        let mut fast = SetAssocCache::new(geometry);
+        let tags = [3u64, 7, 3, 11, 3, 15, 19, 3, 7, 23, 3];
+        let mut last_slot: Option<(u64, u32)> = None;
+        for &tag in &tags {
+            let want = plain.access(tag);
+            let got = match last_slot {
+                Some((memo_tag, slot)) if memo_tag == tag && fast.hit_at(slot, tag) => {
+                    // The fast path only fires on a re-hit; remember the
+                    // slot unchanged.
+                    true
+                }
+                _ => {
+                    let (hit, slot) = fast.access_locating(tag);
+                    last_slot = Some((tag, slot));
+                    hit
+                }
+            };
+            assert_eq!(got, want, "divergence at tag {tag}");
+        }
+        assert_eq!(plain.hits(), fast.hits());
+        assert_eq!(plain.misses(), fast.misses());
+        for tag in [3u64, 7, 11, 15, 19, 23] {
+            assert_eq!(plain.probe(tag), fast.probe(tag), "residency of {tag}");
+        }
+    }
+
+    #[test]
+    fn hit_at_rejects_stale_slot() {
+        let mut c = SetAssocCache::new(CacheGeometry::full(2));
+        let (_, slot) = c.access_locating(1);
+        c.access(2);
+        c.access(3); // evicts 1 (the LRU)
+        assert!(!c.probe(1));
+        let hits_before = c.hits();
+        assert!(!c.hit_at(slot, 1), "stale slot must not fake a hit");
+        assert_eq!(c.hits(), hits_before, "stale hit_at must not touch stats");
+    }
+
+    #[test]
+    fn pow2_and_modulo_indexing_agree() {
+        // 8 sets is a power of two: the masked path must land tags in the
+        // same sets the modulo path would.
+        let mut c = SetAssocCache::new(CacheGeometry::new(8, 1));
+        for tag in 0..8u64 {
+            c.access(tag);
+        }
+        for tag in 0..8u64 {
+            assert!(c.probe(tag), "tag {tag} displaced under mask indexing");
+        }
+        c.access(8); // 8 % 8 == 0: must evict tag 0 only
+        assert!(!c.probe(0));
+        for tag in 1..8u64 {
+            assert!(c.probe(tag));
+        }
     }
 
     #[test]

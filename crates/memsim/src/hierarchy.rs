@@ -78,6 +78,7 @@ impl MemoryHierarchy {
     /// back (inclusive hierarchy). `is_walker` selects the counter class.
     ///
     /// Returns the satisfying level and its load-to-use latency in cycles.
+    #[inline]
     pub fn access(&mut self, addr: PhysAddr, is_walker: bool) -> (HitLevel, u32) {
         let line = addr.cache_line();
         let counts = if is_walker {

@@ -53,7 +53,7 @@ pub use cache::{CacheGeometry, SetAssocCache};
 pub use hash::splitmix64;
 pub use hierarchy::{HitLevel, LoadCounts, MemoryHierarchy};
 pub use nested::{NestedWalkInfo, NestedWalker};
-pub use pagetable::{Level, PageTable};
+pub use pagetable::{Level, PageTable, WalkPath};
 pub use platform::{CacheLatencies, Microarch, Platform, PwcGeometry, StlbGeometry, TlbGeometry};
 pub use pwc::{PwcLevel, WalkCaches};
 pub use subsystem::{AccessOutcome, MemorySubsystem, Translation, TranslationOutcome, WalkInfo};

@@ -15,6 +15,8 @@
 //! * walker references land in the same physical cache sets as program
 //!   data, producing the cache pollution of paper Table 7.
 
+use std::ops::Deref;
+
 use vmcore::{PageSize, PhysAddr, VirtAddr};
 
 use crate::hash::splitmix64;
@@ -106,13 +108,39 @@ impl PageTable {
     /// The physical addresses the walker dereferences, root-most first,
     /// when translating a `size`-mapped `va`: 4 entries for 4KB pages, 3
     /// for 2MB, 2 for 1GB.
-    pub fn walk_path(&self, va: VirtAddr, size: PageSize) -> Vec<PhysAddr> {
+    pub fn walk_path(&self, va: VirtAddr, size: PageSize) -> WalkPath {
         let levels: &[Level] = match size {
             PageSize::Base4K => &Level::ALL,
             PageSize::Huge2M => &Level::ALL[..3],
             PageSize::Huge1G => &Level::ALL[..2],
         };
-        levels.iter().map(|&l| self.entry_addr(va, l)).collect()
+        let mut addrs = [PhysAddr::new(0); 4];
+        for (slot, &level) in addrs.iter_mut().zip(levels) {
+            *slot = self.entry_addr(va, level);
+        }
+        WalkPath {
+            addrs,
+            len: levels.len() as u8,
+        }
+    }
+}
+
+/// The walker's dereference path, stored inline. A walk happens on every
+/// STLB miss, so the path must not heap-allocate; at most 4 levels exist
+/// on x86-64. Dereferences to a slice, so it indexes and iterates like
+/// the `Vec<PhysAddr>` it replaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkPath {
+    addrs: [PhysAddr; 4],
+    len: u8,
+}
+
+impl Deref for WalkPath {
+    type Target = [PhysAddr];
+
+    #[inline]
+    fn deref(&self) -> &[PhysAddr] {
+        &self.addrs[..self.len as usize]
     }
 }
 

@@ -1,9 +1,95 @@
 //! The assembled virtual-memory subsystem: TLBs + walk caches + page table
 //! + walker + memory hierarchy.
 
-use vmcore::{PageSize, VirtAddr};
+use vmcore::{PageSize, PhysAddr, VirtAddr};
 
 use crate::{HitLevel, MemoryHierarchy, NestedWalker, PageTable, Platform, Stlb, Tlb, WalkCaches};
+
+/// Entries in the translation memo. Must be a power of two.
+const MEMO_ENTRIES: usize = 16;
+
+/// Empty-key sentinel. No real key collides with it: key bits 56..=59
+/// are always zero (the VPN is masked to 56 bits and the size tag sits
+/// at bit 60).
+const MEMO_EMPTY_KEY: u64 = u64::MAX;
+
+/// A direct-mapped memo of recently resolved `(vpn, page size)`
+/// translations, sitting in front of the full TLB/walk dispatch.
+///
+/// The memo is **counter-invisible** by construction:
+///
+/// * A memo hit is honoured only if the memoized L1 TLB slot still holds
+///   the page's translation ([`Tlb::hit_at`]), in which case it replays
+///   exactly the state transition a hitting [`Tlb::access`] would have
+///   performed — clock advance, LRU re-stamp, hit count. TLB replacement
+///   therefore invalidates memo entries implicitly; no explicit
+///   invalidation protocol can be missed.
+/// * The memoized physical page base caches [`PageTable::translate`],
+///   which is a pure function of `(vpn, size)` for a fixed salt — the
+///   salt never changes after construction, so the cached base can never
+///   go stale.
+/// * Under virtualization ([`MemorySubsystem::virtualized`]) the memo is
+///   bypassed entirely: nested walks keep their own MMU-cache state.
+#[derive(Clone, Debug)]
+struct TranslationMemo {
+    keys: [u64; MEMO_ENTRIES],
+    /// L1 TLB slot that held the translation when it was memoized.
+    slots: [u32; MEMO_ENTRIES],
+    /// Size-aligned physical page base from [`PageTable::translate`].
+    phys_base: [u64; MEMO_ENTRIES],
+}
+
+impl TranslationMemo {
+    fn new() -> Self {
+        TranslationMemo {
+            keys: [MEMO_EMPTY_KEY; MEMO_ENTRIES],
+            slots: [0; MEMO_ENTRIES],
+            phys_base: [0; MEMO_ENTRIES],
+        }
+    }
+
+    /// Packs `(vpn, size)` into one tag, mirroring the STLB's shared-tag
+    /// scheme: the size tag lands in bits the (≤ 48-bit-VA) VPN cannot
+    /// reach, so distinct page sizes never alias.
+    #[inline]
+    fn key(va: VirtAddr, size: PageSize) -> u64 {
+        let size_bits: u64 = match size {
+            PageSize::Base4K => 0,
+            PageSize::Huge2M => 1,
+            PageSize::Huge1G => 2,
+        };
+        (va.page_number(size) & 0x00ff_ffff_ffff_ffff) | (size_bits << 60)
+    }
+
+    /// Direct-mapped index: low VPN bits folded with the size tag.
+    #[inline]
+    fn index(key: u64) -> usize {
+        ((key ^ (key >> 60)) as usize) & (MEMO_ENTRIES - 1)
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<(u32, u64)> {
+        let i = Self::index(key);
+        (self.keys[i] == key).then(|| (self.slots[i], self.phys_base[i]))
+    }
+
+    #[inline]
+    fn store(&mut self, key: u64, slot: u32, phys_base: u64) {
+        let i = Self::index(key);
+        self.keys[i] = key;
+        self.slots[i] = slot;
+        self.phys_base[i] = phys_base;
+    }
+
+    /// Drops `key`'s entry (used when its TLB slot turned out stale).
+    #[inline]
+    fn evict(&mut self, key: u64) {
+        let i = Self::index(key);
+        if self.keys[i] == key {
+            self.keys[i] = MEMO_EMPTY_KEY;
+        }
+    }
+}
 
 /// How one translation was resolved.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -78,6 +164,8 @@ pub struct MemorySubsystem {
     prefetch: bool,
     /// Prefetches issued (for design-study diagnostics).
     prefetches: u64,
+    /// Counter-invisible fast path for repeated same-page translations.
+    memo: TranslationMemo,
 }
 
 impl MemorySubsystem {
@@ -113,6 +201,7 @@ impl MemorySubsystem {
             nested: None,
             prefetch: platform.tlb_prefetch,
             prefetches: 0,
+            memo: TranslationMemo::new(),
         }
     }
 
@@ -133,13 +222,51 @@ impl MemorySubsystem {
     /// Translates `va` (mapped with `size` pages), exercising the TLBs and
     /// — on a full miss — the walk caches, page table and memory
     /// hierarchy. Walker references pollute the data caches.
+    ///
+    /// Repeated same-page translations short-circuit through the
+    /// [`TranslationMemo`]; the observable simulation state (every
+    /// counter, every LRU stamp) is identical either way.
+    #[inline]
     pub fn translate(&mut self, va: VirtAddr, size: PageSize) -> TranslationOutcome {
+        if self.nested.is_none() {
+            let key = TranslationMemo::key(va, size);
+            if let Some((slot, _)) = self.memo.lookup(key) {
+                let vpn = va.page_number(size);
+                let l1 = match size {
+                    PageSize::Base4K => &mut self.l1_4k,
+                    PageSize::Huge2M => &mut self.l1_2m,
+                    PageSize::Huge1G => &mut self.l1_1g,
+                };
+                if l1.hit_at(slot, vpn) {
+                    return TranslationOutcome {
+                        translation: Translation::L1Hit,
+                    };
+                }
+                // The TLB replaced that slot since the memo was filled;
+                // forget the entry and resolve through the full path.
+                self.memo.evict(key);
+            }
+        }
+        self.translate_full(va, size)
+    }
+
+    /// The full translation dispatch (everything below the memo).
+    fn translate_full(&mut self, va: VirtAddr, size: PageSize) -> TranslationOutcome {
         let l1 = match size {
             PageSize::Base4K => &mut self.l1_4k,
             PageSize::Huge2M => &mut self.l1_2m,
             PageSize::Huge1G => &mut self.l1_1g,
         };
-        if l1.access(va) {
+        let (l1_hit, slot) = l1.access_locating(va);
+        if self.nested.is_none() {
+            // Whether this lookup hit or missed-and-filled, the page's
+            // translation now resides at `slot` — memoize it together
+            // with the (pure, salt-stable) physical page base.
+            let key = TranslationMemo::key(va, size);
+            let base = self.page_table.translate(va, size).raw() & !(size.bytes() - 1);
+            self.memo.store(key, slot, base);
+        }
+        if l1_hit {
             return TranslationOutcome {
                 translation: Translation::L1Hit,
             };
@@ -211,10 +338,20 @@ impl MemorySubsystem {
 
     /// Performs the program's data reference for `va` (already
     /// translated), returning the serving level and latency.
+    #[inline]
     pub fn data_access(&mut self, va: VirtAddr, size: PageSize) -> (HitLevel, u32) {
         let pa = match &self.nested {
             Some(nested) => nested.compose_translate(va, size),
-            None => self.page_table.translate(va, size),
+            None => {
+                // The memoized page base is PageTable::translate's (pure)
+                // result for this page, so composing it with the in-page
+                // offset is exactly the full translation.
+                let key = TranslationMemo::key(va, size);
+                match self.memo.lookup(key) {
+                    Some((_, base)) => PhysAddr::new(base | va.offset_in(size)),
+                    None => self.page_table.translate(va, size),
+                }
+            }
         };
         self.memory.access(pa, false)
     }
@@ -424,6 +561,46 @@ mod tests {
             v.refs > n.refs && v.cycles > n.cycles,
             "2D walk must cost more: {v:?} vs {n:?}"
         );
+    }
+
+    #[test]
+    fn memo_never_fakes_hits_under_l1_thrash() {
+        // SandyBridge's 4KB L1 TLB is 64 entries / 4 ways = 16 sets.
+        // Five pages in the same set LRU-thrash: once warm, no lookup may
+        // ever be an L1 hit. A memo that survived TLB replacement would
+        // fabricate L1Hit outcomes here.
+        let mut vm = MemorySubsystem::new(&Platform::SANDY_BRIDGE);
+        for round in 0..4 {
+            for i in 0..5u64 {
+                let va = VirtAddr::new(i * 16 * 4096);
+                let out = vm.translate(va, PageSize::Base4K);
+                if round > 0 {
+                    assert!(
+                        !matches!(out.translation, Translation::L1Hit),
+                        "round {round} page {i}: stale memo faked an L1 hit"
+                    );
+                }
+                vm.data_access(va, PageSize::Base4K);
+            }
+        }
+    }
+
+    #[test]
+    fn memo_data_access_matches_page_table() {
+        // The memoized physical base must reproduce PageTable::translate
+        // exactly for every page size, including unaligned offsets.
+        let mut vm = MemorySubsystem::new(&Platform::BROADWELL);
+        for size in PageSize::ALL {
+            let va = VirtAddr::new((7 << 30) + 12345);
+            let direct = vm.page_table().translate(va, size);
+            vm.translate(va, size); // fills the memo
+            let (_, cold_lat) = vm.data_access(va, size);
+            let (warm_level, _) = vm.data_access(va, size);
+            assert_eq!(warm_level, HitLevel::L1d, "{size}: memoized PA diverged");
+            assert!(cold_lat >= 1);
+            // And the memo path agrees with the pure translation.
+            assert_eq!(vm.page_table().translate(va, size), direct);
+        }
     }
 
     #[test]

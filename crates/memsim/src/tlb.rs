@@ -38,8 +38,25 @@ impl Tlb {
     }
 
     /// Looks up `va`; inserts the translation on miss. Returns hit status.
+    #[inline]
     pub fn access(&mut self, va: VirtAddr) -> bool {
         self.cache.access(va.page_number(self.size))
+    }
+
+    /// Like [`Tlb::access`], additionally returning the slot where the
+    /// translation now resides (see [`SetAssocCache::access_locating`]).
+    #[inline]
+    pub fn access_locating(&mut self, va: VirtAddr) -> (bool, u32) {
+        self.cache.access_locating(va.page_number(self.size))
+    }
+
+    /// O(1) re-hit through a slot from [`Tlb::access_locating`]: if the
+    /// slot still holds the translation of `vpn`, performs exactly a
+    /// hitting [`Tlb::access`] and returns `true`; otherwise leaves the
+    /// TLB untouched.
+    #[inline]
+    pub fn hit_at(&mut self, slot: u32, vpn: u64) -> bool {
+        self.cache.hit_at(slot, vpn)
     }
 
     /// Looks up without filling.

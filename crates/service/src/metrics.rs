@@ -117,14 +117,17 @@ impl StatsSnapshot {
     /// bucket's upper bound in µs; zero when nothing has been recorded
     /// and `u64::MAX` when the percentile falls in the unbounded bucket.
     pub fn percentile_us(&self, q: u32) -> u64 {
-        let total: u64 = self.buckets.iter().sum();
+        let total: u128 = self.buckets.iter().map(|&c| u128::from(c)).sum();
         if total == 0 {
             return 0;
         }
-        let rank = (total * u64::from(q)).div_ceil(100).max(1);
-        let mut seen = 0;
+        // The rank is computed in u128: `total * q` overflows u64 once
+        // the histogram holds more than u64::MAX / 100 samples, which
+        // would silently wrap to a tiny rank and report the first bucket.
+        let rank = (total * u128::from(q)).div_ceil(100).max(1);
+        let mut seen: u128 = 0;
         for (count, bound) in self.buckets.iter().zip(BUCKET_BOUNDS_US) {
-            seen += count;
+            seen += u128::from(*count);
             if seen >= rank {
                 return bound;
             }
@@ -244,6 +247,32 @@ mod tests {
         assert_eq!(snap.percentile_us(50), 50);
         assert_eq!(snap.percentile_us(90), 50);
         assert_eq!(snap.percentile_us(99), 1_000);
+        assert_eq!(snap.percentile_us(100), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_survive_huge_histogram_totals() {
+        // Totals above u64::MAX / 100 used to overflow the u64 rank
+        // computation (total * q wraps), collapsing every percentile
+        // into the first bucket. The worst case — every bucket saturated
+        // — must still walk to the right bound.
+        let mut snap = StatsSnapshot {
+            requests: 0,
+            predicts: 0,
+            errors: 0,
+            busy: 0,
+            queue_depth: 0,
+            registry: RegistryCounters::default(),
+            buckets: [0; BUCKET_BOUNDS_US.len()],
+        };
+        // Exactly at the old overflow boundary: total * 100 > u64::MAX.
+        snap.buckets[0] = u64::MAX / 100 + 1;
+        snap.buckets[4] = u64::MAX / 100 + 1;
+        assert_eq!(snap.percentile_us(50), 50);
+        assert_eq!(snap.percentile_us(99), 1_000, "p99 must reach bucket 4");
+        // All buckets saturated: the high percentiles live at the top.
+        snap.buckets = [u64::MAX; BUCKET_BOUNDS_US.len()];
+        assert_eq!(snap.percentile_us(1), 50);
         assert_eq!(snap.percentile_us(100), u64::MAX);
     }
 

@@ -224,7 +224,6 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {
@@ -234,6 +233,10 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 shared
                     .metrics
                     .record_request(latency_us, was_predict, was_error);
+                // Only a handled, complete line resets the buffer; see
+                // the timeout arm below for why it must not be cleared
+                // anywhere else.
+                line.clear();
                 if writer.write_all(response.as_bytes()).is_err()
                     || writer.write_all(b"\n").is_err()
                 {
@@ -246,6 +249,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                // The timeout exists only to poll the shutdown flag.
+                // `read_line` may already have appended part of a request
+                // to `line` before timing out; that partial line must
+                // survive this arm untouched, or a slow writer's request
+                // is truncated and its tail parsed as a garbage command.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }

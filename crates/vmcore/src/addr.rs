@@ -26,16 +26,19 @@ pub struct VirtAddr(u64);
 
 impl VirtAddr {
     /// Creates a virtual address from a raw value.
+    #[inline]
     pub const fn new(raw: u64) -> Self {
         VirtAddr(raw)
     }
 
     /// Returns the raw 64-bit value.
+    #[inline]
     pub const fn raw(self) -> u64 {
         self.0
     }
 
     /// Rounds the address down to the nearest boundary of `size`.
+    #[inline]
     pub const fn align_down(self, size: PageSize) -> Self {
         VirtAddr(self.0 & !(size.bytes() - 1))
     }
@@ -57,12 +60,14 @@ impl VirtAddr {
     }
 
     /// Returns the byte offset of the address within its `size` page.
+    #[inline]
     pub const fn offset_in(self, size: PageSize) -> u64 {
         self.0 & (size.bytes() - 1)
     }
 
     /// Returns the virtual page number for a given page size
     /// (the address shifted right by the page-size shift).
+    #[inline]
     pub const fn page_number(self, size: PageSize) -> u64 {
         self.0 >> size.shift()
     }
@@ -129,16 +134,19 @@ pub struct PhysAddr(u64);
 
 impl PhysAddr {
     /// Creates a physical address from a raw value.
+    #[inline]
     pub const fn new(raw: u64) -> Self {
         PhysAddr(raw)
     }
 
     /// Returns the raw 64-bit value.
+    #[inline]
     pub const fn raw(self) -> u64 {
         self.0
     }
 
     /// Returns the cache-line address (64-byte lines).
+    #[inline]
     pub const fn cache_line(self) -> u64 {
         self.0 >> 6
     }
@@ -181,6 +189,7 @@ impl PageSize {
     pub const ALL: [PageSize; 3] = [PageSize::Base4K, PageSize::Huge2M, PageSize::Huge1G];
 
     /// The page size in bytes.
+    #[inline]
     pub const fn bytes(self) -> u64 {
         match self {
             PageSize::Base4K => 4 << 10,
@@ -190,6 +199,7 @@ impl PageSize {
     }
 
     /// The log2 of the page size.
+    #[inline]
     pub const fn shift(self) -> u32 {
         match self {
             PageSize::Base4K => 12,

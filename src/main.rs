@@ -9,6 +9,7 @@
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
 //! mosaic audit [--json] [--deny]       # workspace static analysis (CI gate)
+//! mosaic bench [--json] [workload] [platform]  # hot-path throughput + serving latency
 //! ```
 //!
 //! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere.
@@ -31,9 +32,10 @@ fn main() {
         Some("serve") => cmd_serve(args.get(1)),
         Some("query") => cmd_query(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] | query <addr> ... | audit [--json] [--deny]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] | query <addr> ... | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -469,6 +471,71 @@ fn cmd_audit(args: &[String]) -> i32 {
     } else {
         0
     }
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!(
+                    "usage: mosaic bench [--json] [workload] [platform] (unknown flag {other:?})"
+                );
+                return 2;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let workload = positional.first().map_or("gups/8GB", |s| s.as_str());
+    let platform_name = positional.get(1).map_or("sandybridge", |s| s.as_str());
+    let Some(platform) = Platform::by_name(platform_name) else {
+        eprintln!("unknown platform {platform_name:?}; see `mosaic list`");
+        return 2;
+    };
+    if workloads::WorkloadSpec::by_name(workload).is_none() {
+        eprintln!("unknown workload {workload:?}; see `mosaic list`");
+        return 2;
+    }
+
+    // The benchmark pins the FAST preset regardless of MOSAIC_FAST: its
+    // numbers are only comparable run-to-run at one fixed fidelity.
+    let report = bench::run_bench(Speed::FAST, workload, platform);
+    println!(
+        "grid battery: {} records / {} accesses in {:.3}s -> {:.0} accesses/sec",
+        report.grid.records,
+        report.grid.accesses,
+        report.grid.wall_seconds,
+        report.grid.accesses_per_sec,
+    );
+    println!(
+        "mosaicd:      {} predict requests, mean {:.0}us, p50<={}us p90<={}us p99<={}us",
+        report.service.requests,
+        report.service.mean_us,
+        report.service.p50_us,
+        report.service.p90_us,
+        report.service.p99_us,
+    );
+    if json {
+        let path = format!("BENCH_{}.json", report.date);
+        let text = bench::codec::render_report(&report);
+        match bench::codec::parse_report(&text) {
+            Ok(back) if back == report => {}
+            _ => {
+                eprintln!(
+                    "mosaic bench: report failed its own roundtrip check; not writing {path}"
+                );
+                return 1;
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("mosaic bench: cannot write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+    }
+    0
 }
 
 fn model_names() -> Vec<&'static str> {

@@ -221,6 +221,56 @@ fn hostile_requests_cannot_kill_the_worker_pool() {
     server.shutdown();
 }
 
+/// A client that dribbles its request one byte at a time, slower than
+/// the server's 100ms shutdown-poll read timeout, so the line straddles
+/// several timeout windows. The server must accumulate the partial line
+/// across those windows: discarding bytes already read before a timeout
+/// truncates the request and mis-parses its tail as a garbage command.
+#[test]
+fn slow_writer_request_survives_read_timeout_windows() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    for &byte in b"stats\n" {
+        writer.write_all(&[byte]).unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("stats "),
+        "slow-written request was truncated: {reply:?}"
+    );
+
+    // The same connection keeps serving normally afterwards.
+    writer.write_all(b"stats\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("stats "), "connection broken: {reply:?}");
+
+    // No fragment of the dribbled line may have been parsed as its own
+    // (garbage) request.
+    let mut client = Client::connect(addr).unwrap();
+    let snap = client.stats().unwrap();
+    assert_eq!(
+        snap.errors, 0,
+        "a truncated fragment was parsed as a garbage request"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn second_server_reuses_persisted_model_store() {
     let dir = temp_dir("store");
