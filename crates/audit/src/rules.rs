@@ -35,11 +35,14 @@ pub const RULE_IDS: [&str; 4] = [
 /// Crates whose `src/` trees form the deterministic simulation core.
 const SIM_CRATES: [&str; 4] = ["memsim", "machine", "vmcore", "workloads"];
 
-/// Modules that write or memoize on-disk state (store/cache files).
-const PERSIST_MODULES: [&str; 3] = [
+/// Modules that write or memoize on-disk or in-memory state whose
+/// iteration/eviction order must be deterministic (store/cache files,
+/// the prediction cache).
+const PERSIST_MODULES: [&str; 4] = [
     "crates/mosmodel/src/persist.rs",
     "crates/harness/src/experiment.rs",
     "crates/service/src/registry.rs",
+    "crates/service/src/cache.rs",
 ];
 
 /// Modules that define an on-disk text codec (format + parse).
@@ -50,10 +53,11 @@ const CODEC_MODULES: [&str; 2] = [
 
 /// The mosaicd request path: code a malformed or hostile request can
 /// reach. A panic here kills a worker thread.
-const REQUEST_PATH: [&str; 3] = [
+const REQUEST_PATH: [&str; 4] = [
     "crates/service/src/server.rs",
     "crates/service/src/protocol.rs",
     "crates/service/src/registry.rs",
+    "crates/service/src/cache.rs",
 ];
 
 fn file_name(path: &str) -> &str {

@@ -13,9 +13,11 @@ use std::fmt::Write as _;
 use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 
 /// Version of the bench-report schema. Bump on any breaking change.
-pub const BENCH_VERSION: u32 = 1;
+/// v2 added `cold_us` (first-request latency including the model fit)
+/// to the service leg.
+pub const BENCH_VERSION: u32 = 2;
 
-/// Version-header prefix; the full header is `# mosaic-bench v1`.
+/// Version-header prefix; the full header is `# mosaic-bench v2`.
 const BENCH_MAGIC: &str = "# mosaic-bench v";
 
 /// Wall-clock results of the grid-battery throughput benchmark.
@@ -36,7 +38,11 @@ pub struct GridBench {
 pub struct ServiceBench {
     /// Predict requests timed (after the model-fitting warmup).
     pub requests: u64,
-    /// Mean end-to-end request latency in microseconds.
+    /// Latency of the first (cold) request in microseconds — pays the
+    /// full model fit under the registry's singleflight latch. The gap
+    /// between this and `mean_us` is what `warm` requests buy.
+    pub cold_us: f64,
+    /// Mean end-to-end warm request latency in microseconds.
     pub mean_us: f64,
     /// Median latency (bucket upper bound) in microseconds.
     pub p50_us: u64,
@@ -95,6 +101,11 @@ pub fn render_report(report: &BenchReport) -> String {
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"service\": {{");
     let _ = writeln!(out, "    \"requests\": {},", report.service.requests);
+    let _ = writeln!(
+        out,
+        "    \"cold_us\": {},",
+        fmt_f64_shortest(report.service.cold_us)
+    );
     let _ = writeln!(
         out,
         "    \"mean_us\": {},",
@@ -166,6 +177,7 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
         },
         service: ServiceBench {
             requests: u64_field(text, "requests")?,
+            cold_us: f64_field(text, "cold_us")?,
             mean_us: f64_field(text, "mean_us")?,
             p50_us: u64_field(text, "p50_us")?,
             p90_us: u64_field(text, "p90_us")?,
@@ -192,6 +204,7 @@ mod tests {
             },
             service: ServiceBench {
                 requests: 32,
+                cold_us: 2_731_009.25,
                 mean_us: 24_817.406_25,
                 p50_us: 25_000,
                 p90_us: 50_000,
@@ -204,7 +217,7 @@ mod tests {
     fn report_roundtrips_bit_exactly() {
         let report = sample();
         let text = render_report(&report);
-        assert!(text.contains("\"format\": \"# mosaic-bench v1\""));
+        assert!(text.contains("\"format\": \"# mosaic-bench v2\""));
         let back = parse_report(&text).expect("own output parses");
         assert_eq!(back, report);
         assert_eq!(
@@ -219,11 +232,15 @@ mod tests {
             back.service.mean_us.to_bits(),
             report.service.mean_us.to_bits()
         );
+        assert_eq!(
+            back.service.cold_us.to_bits(),
+            report.service.cold_us.to_bits()
+        );
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = render_report(&sample()).replace("# mosaic-bench v1", "# mosaic-bench v2");
+        let text = render_report(&sample()).replace("# mosaic-bench v2", "# mosaic-bench v1");
         let err = parse_report(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

@@ -7,7 +7,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use mosmodel::ModelKind;
 
 use crate::metrics::StatsSnapshot;
-use crate::protocol::{parse_prediction, Prediction};
+use crate::protocol::{parse_prediction, parse_warm, Prediction};
 
 /// Why a client call failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +22,10 @@ pub enum ClientError {
     /// The server's response did not parse — version skew or a
     /// non-mosaicd endpoint.
     Protocol(String),
+    /// A request argument would corrupt the line-delimited framing
+    /// (empty, or containing whitespace/control characters), so it was
+    /// rejected client-side without touching the wire.
+    InvalidArgument(String),
 }
 
 impl fmt::Display for ClientError {
@@ -31,8 +35,28 @@ impl fmt::Display for ClientError {
             ClientError::Busy => write!(f, "server busy (admission queue full)"),
             ClientError::Server(reason) => write!(f, "server error: {reason}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::InvalidArgument(e) => write!(f, "invalid argument: {e}"),
         }
     }
+}
+
+/// Rejects arguments that cannot survive the whitespace-delimited,
+/// newline-framed wire protocol. An embedded `\n` would smuggle a
+/// second request onto the wire and desynchronize request/response
+/// pairing; an embedded space would silently shift every later
+/// argument; an empty string would vanish entirely.
+fn validate_arg(kind: &str, value: &str) -> Result<(), ClientError> {
+    if value.is_empty() {
+        return Err(ClientError::InvalidArgument(format!(
+            "{kind} must not be empty"
+        )));
+    }
+    if value.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(ClientError::InvalidArgument(format!(
+            "{kind} {value:?} contains whitespace or control characters"
+        )));
+    }
+    Ok(())
 }
 
 impl std::error::Error for ClientError {}
@@ -99,6 +123,9 @@ impl Client {
         spec: &str,
         model: Option<ModelKind>,
     ) -> Result<Prediction, ClientError> {
+        validate_arg("workload", workload)?;
+        validate_arg("platform", platform)?;
+        validate_arg("layout spec", spec)?;
         let mut request = format!("predict {workload} {platform} {spec}");
         if let Some(kind) = model {
             request.push(' ');
@@ -106,6 +133,21 @@ impl Client {
         }
         let line = self.roundtrip(&request)?;
         parse_prediction(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Pre-fits (or revives) a pair's models without running a
+    /// prediction; returns how many models the server's bundle holds.
+    /// Blocks until the fit completes — issue warms from their own
+    /// connections to overlap several pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`].
+    pub fn warm(&mut self, workload: &str, platform: &str) -> Result<u64, ClientError> {
+        validate_arg("workload", workload)?;
+        validate_arg("platform", platform)?;
+        let line = self.roundtrip(&format!("warm {workload} {platform}"))?;
+        parse_warm(&line).map_err(ClientError::Protocol)
     }
 
     /// Fetches the server's metrics snapshot.
@@ -116,5 +158,42 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         let line = self.roundtrip("stats")?;
         StatsSnapshot::parse(&line).map_err(ClientError::Protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_hostile_arguments_are_rejected_client_side() {
+        for bad in ["", "a b", "a\tb", "a\nb", "a\rb", "spec\nstats"] {
+            let err = validate_arg("workload", bad).unwrap_err();
+            assert!(
+                matches!(err, ClientError::InvalidArgument(_)),
+                "{bad:?} should be InvalidArgument, got {err:?}"
+            );
+        }
+        for good in ["gups/8GB", "sandybridge", "2m:0..64M+1g:1G..2G", "a_b"] {
+            assert_eq!(validate_arg("workload", good), Ok(()), "{good:?}");
+        }
+    }
+
+    #[test]
+    fn predict_and_warm_validate_before_touching_the_wire() {
+        // No server anywhere: if validation happens first, these fail
+        // with InvalidArgument, never Io.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = Client::connect(listener.local_addr().unwrap()).unwrap();
+        for (w, p, s) in [
+            ("", "sandybridge", "4k"),
+            ("gups/8GB", "sandy bridge", "4k"),
+            ("gups/8GB", "sandybridge", "4k\nstats"),
+        ] {
+            let err = client.predict(w, p, s, None).unwrap_err();
+            assert!(matches!(err, ClientError::InvalidArgument(_)), "{err:?}");
+        }
+        let err = client.warm("gups/8GB", "sandy\nbridge").unwrap_err();
+        assert!(matches!(err, ClientError::InvalidArgument(_)), "{err:?}");
     }
 }

@@ -17,8 +17,16 @@
 //! | request | response |
 //! |---|---|
 //! | `predict <workload> <platform> <layout-spec> [model]` | `ok r=… h=… m=… c=… model=… pred=… max_err=… geo_err=…` |
+//! | `warm <workload> <platform>` | `warm workload=… platform=… models=…` |
 //! | `stats` | `stats requests=… … p50_us=… buckets=…` |
 //! | anything else | `err <reason>` |
+//!
+//! `warm` pre-fits a pair's models without running a prediction, so a
+//! deployment can pay the one-time fitting cost up front (`mosaic serve
+//! --warm <workload>:<platform>`). Fitting is per-pair singleflight:
+//! one cold fit never blocks predictions for other pairs, and repeat
+//! predictions for the same `(workload, platform, layout, model)` are
+//! answered bit-identically from a bounded deterministic cache.
 //!
 //! A connection arriving while the admission queue is full is answered
 //! `busy` and closed — explicit backpressure instead of unbounded
@@ -53,6 +61,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing)
 )]
 
+pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
@@ -73,6 +82,9 @@ pub enum ServiceError {
     /// The requested model is not available for the pair (e.g. a
     /// degenerate anchor made its fit impossible).
     ModelUnavailable(String),
+    /// The battery fit for the pair panicked; the fitting slot was
+    /// released, so a later query retries from scratch.
+    FitFailed(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -82,6 +94,7 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownPlatform(p) => write!(f, "unknown platform {p:?}"),
             ServiceError::BadSpec(s) => write!(f, "{s}"),
             ServiceError::ModelUnavailable(m) => write!(f, "model {m:?} unavailable for this pair"),
+            ServiceError::FitFailed(why) => write!(f, "model fitting failed: {why}"),
         }
     }
 }

@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::cache::CacheCounters;
 use crate::registry::RegistryCounters;
 
 /// Upper bounds (inclusive, microseconds) of the latency buckets. The
@@ -76,7 +77,7 @@ impl Metrics {
     }
 
     /// Takes a point-in-time snapshot.
-    pub fn snapshot(&self, registry: RegistryCounters) -> StatsSnapshot {
+    pub fn snapshot(&self, registry: RegistryCounters, cache: CacheCounters) -> StatsSnapshot {
         let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
@@ -88,6 +89,7 @@ impl Metrics {
             busy: self.busy.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             registry,
+            cache,
             buckets,
         }
     }
@@ -106,8 +108,10 @@ pub struct StatsSnapshot {
     pub busy: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: u64,
-    /// Registry lookup counters.
+    /// Registry lookup counters (including the in-flight fitting gauge).
     pub registry: RegistryCounters,
+    /// Prediction-cache lookup counters.
+    pub cache: CacheCounters,
     /// Latency histogram counts, aligned with [`BUCKET_BOUNDS_US`].
     pub buckets: [u64; BUCKET_BOUNDS_US.len()],
 }
@@ -146,6 +150,7 @@ impl StatsSnapshot {
         format!(
             "stats requests={} predicts={} errors={} busy={} queue_depth={} \
              registry_hits={} registry_misses={} registry_disk_loads={} \
+             registry_fitting={} pred_cache_hits={} pred_cache_misses={} \
              p50_us={} p90_us={} p99_us={} buckets={}",
             self.requests,
             self.predicts,
@@ -155,6 +160,9 @@ impl StatsSnapshot {
             self.registry.hits,
             self.registry.misses,
             self.registry.disk_loads,
+            self.registry.fitting,
+            self.cache.hits,
+            self.cache.misses,
             self.percentile_us(50),
             self.percentile_us(90),
             self.percentile_us(99),
@@ -191,6 +199,9 @@ impl StatsSnapshot {
         let hits = num(take("registry_hits")?, "registry_hits")?;
         let misses = num(take("registry_misses")?, "registry_misses")?;
         let disk_loads = num(take("registry_disk_loads")?, "registry_disk_loads")?;
+        let fitting = num(take("registry_fitting")?, "registry_fitting")?;
+        let cache_hits = num(take("pred_cache_hits")?, "pred_cache_hits")?;
+        let cache_misses = num(take("pred_cache_misses")?, "pred_cache_misses")?;
         take("p50_us")?;
         take("p90_us")?;
         take("p99_us")?;
@@ -217,6 +228,11 @@ impl StatsSnapshot {
                 hits,
                 misses,
                 disk_loads,
+                fitting,
+            },
+            cache: CacheCounters {
+                hits: cache_hits,
+                misses: cache_misses,
             },
             buckets,
         })
@@ -236,6 +252,7 @@ mod tests {
             busy: 0,
             queue_depth: 0,
             registry: RegistryCounters::default(),
+            cache: CacheCounters::default(),
             buckets: [0; BUCKET_BOUNDS_US.len()],
         };
         assert_eq!(snap.percentile_us(50), 0, "empty histogram reports 0");
@@ -263,6 +280,7 @@ mod tests {
             busy: 0,
             queue_depth: 0,
             registry: RegistryCounters::default(),
+            cache: CacheCounters::default(),
             buckets: [0; BUCKET_BOUNDS_US.len()],
         };
         // Exactly at the old overflow boundary: total * 100 > u64::MAX.
@@ -284,7 +302,7 @@ mod tests {
         m.record_request(700_000, false, true);
         m.record_busy();
         m.set_queue_depth(3);
-        let snap = m.snapshot(RegistryCounters::default());
+        let snap = m.snapshot(RegistryCounters::default(), CacheCounters::default());
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.predicts, 2);
         assert_eq!(snap.errors, 1);
@@ -303,12 +321,23 @@ mod tests {
         }
         m.record_busy();
         m.set_queue_depth(7);
-        let snap = m.snapshot(RegistryCounters {
-            hits: 5,
-            disk_loads: 1,
-            misses: 2,
-        });
-        assert_eq!(StatsSnapshot::parse(&snap.render()), Ok(snap));
+        let snap = m.snapshot(
+            RegistryCounters {
+                hits: 5,
+                disk_loads: 1,
+                misses: 2,
+                fitting: 1,
+            },
+            CacheCounters {
+                hits: 40,
+                misses: 9,
+            },
+        );
+        let line = snap.render();
+        assert!(line.contains("registry_fitting=1"), "{line}");
+        assert!(line.contains("pred_cache_hits=40"), "{line}");
+        assert!(line.contains("pred_cache_misses=9"), "{line}");
+        assert_eq!(StatsSnapshot::parse(&line), Ok(snap));
         assert!(StatsSnapshot::parse("stats requests=1").is_err());
         assert!(StatsSnapshot::parse("nope").is_err());
     }

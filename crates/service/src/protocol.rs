@@ -24,6 +24,14 @@ pub enum Request {
         /// Requested model; `None` means the default (`mosmodel`).
         model: Option<ModelKind>,
     },
+    /// `warm <workload> <platform>` — pre-fit a pair's models without
+    /// running a prediction (pays the one-time fitting cost up front).
+    Warm {
+        /// Workload name, paper spelling (e.g. `gups/8GB`).
+        workload: String,
+        /// Platform name, case-insensitive (e.g. `sandybridge`).
+        platform: String,
+    },
     /// `stats` — dump the metrics snapshot.
     Stats,
 }
@@ -64,6 +72,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 spec,
                 model,
             })
+        }
+        Some("warm") => {
+            let workload = words.next().ok_or("warm needs <workload>")?.to_string();
+            let platform = words.next().ok_or("warm needs <platform>")?.to_string();
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected trailing argument {extra:?}"));
+            }
+            Ok(Request::Warm { workload, platform })
         }
         Some("stats") => {
             if words.next().is_some() {
@@ -111,6 +127,30 @@ pub fn render_prediction(p: &Prediction) -> String {
         p.max_err,
         p.geo_mean_err,
     )
+}
+
+/// Renders the `warm ...` response line (no newline): the pair that was
+/// warmed and how many models its bundle now holds.
+pub fn render_warm(workload: &str, platform: &str, models: usize) -> String {
+    format!("warm workload={workload} platform={platform} models={models}")
+}
+
+/// Parses a `warm ...` response line; returns the model count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_warm(line: &str) -> Result<u64, String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("warm") {
+        return Err(format!("expected warm response, got {line:?}"));
+    }
+    field(&mut words, "workload")?;
+    field(&mut words, "platform")?;
+    let models = field(&mut words, "models")?;
+    models
+        .parse::<u64>()
+        .map_err(|e| format!("bad models: {e}"))
 }
 
 fn field<'a>(words: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<&'a str, String> {
@@ -179,6 +219,13 @@ mod tests {
             })
         );
         assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(
+            parse_request("warm gups/8GB sandybridge"),
+            Ok(Request::Warm {
+                workload: "gups/8GB".into(),
+                platform: "sandybridge".into(),
+            })
+        );
         for bad in [
             "",
             "predict",
@@ -186,6 +233,9 @@ mod tests {
             "predict a b",
             "predict a b c nomodel",
             "predict a b c mosmodel extra",
+            "warm",
+            "warm a",
+            "warm a b c",
             "stats now",
             "frobnicate",
         ] {
@@ -222,6 +272,16 @@ mod tests {
             "ok r=1 h=1 m=1 c=1 model=zeus pred=1 max_err=1 geo_err=1",
         ] {
             assert!(parse_prediction(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn warm_roundtrips() {
+        let line = render_warm("gups/8GB", "SandyBridge", 9);
+        assert_eq!(line, "warm workload=gups/8GB platform=SandyBridge models=9");
+        assert_eq!(parse_warm(&line), Ok(9));
+        for bad in ["", "warm", "warm workload=w platform=p models=x", "ok r=1"] {
+            assert!(parse_warm(bad).is_err(), "{bad:?} should be rejected");
         }
     }
 

@@ -3,20 +3,37 @@
 //! For each `(workload, platform)` pair the registry measures the full
 //! layout battery through [`harness::Grid`], fits every
 //! [`ModelKind`](mosmodel::ModelKind) that the data admits, records each
-//! model's error bounds, and memoizes the result behind an `RwLock`.
-//! When given a store directory it also persists the fitted coefficients
-//! in the versioned [`mosmodel::persist`] text format, so a later server
-//! process answers its first query without re-measuring anything.
+//! model's error bounds, and memoizes the result. When given a store
+//! directory it also persists the fitted coefficients in the versioned
+//! [`mosmodel::persist`] text format, so a later server process answers
+//! its first query without re-measuring anything.
 //!
-//! Three counters expose the registry's behaviour to the metrics
-//! endpoint: *hits* (served from memory), *disk loads* (revived from the
-//! persisted store) and *misses* (had to measure and fit).
+//! # Singleflight fitting
+//!
+//! A battery fit takes seconds to minutes; the global map lock is held
+//! only long enough to *claim* a key, never across the fit itself. Each
+//! key holds a once-latch slot: the first query for a cold pair inserts
+//! a `Pending` latch and fits outside the lock, concurrent queries for
+//! the *same* pair park on that latch and share the one fit, and
+//! queries for *other* pairs (warm or cold) proceed untouched. A fit
+//! that fails — or panics — completes the latch with a
+//! [`ServiceError`] and removes the `Pending` slot, so waiters are
+//! released with a proper error and a later query retries instead of
+//! hanging on a poisoned key.
+//!
+//! Counters expose the registry's behaviour to the metrics endpoint:
+//! *hits* (served from memory, including waiters coalesced onto another
+//! query's fit), *disk loads* (revived from the persisted store),
+//! *misses* (had to measure and fit) and the *fitting* gauge (fits in
+//! flight right now).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use harness::{Grid, MeasureContext};
 use machine::Platform;
@@ -25,7 +42,11 @@ use mosmodel::persist::{decode_bundle, encode_bundle, ModelBundle, PersistedMode
 use mosmodel::ModelKind;
 use parking_lot::RwLock;
 
+use crate::cache::PredictionCache;
 use crate::ServiceError;
+
+/// Default bound on the prediction cache (see [`PredictionCache`]).
+pub const DEFAULT_PREDICTION_CACHE: usize = 1024;
 
 /// Everything the server needs to answer queries for one pair: the
 /// fitted models (with error bounds) and the measurement geometry for
@@ -48,12 +69,71 @@ impl RegistryEntry {
 /// Counts of how registry lookups were satisfied.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RegistryCounters {
-    /// Lookups served from the in-memory memo.
+    /// Lookups served from the in-memory memo (including waiters
+    /// coalesced onto an in-flight fit).
     pub hits: u64,
     /// Lookups revived from the on-disk model store.
     pub disk_loads: u64,
     /// Lookups that had to measure the battery and fit from scratch.
     pub misses: u64,
+    /// Gauge: battery fits in flight right now.
+    pub fitting: u64,
+}
+
+/// A once-latch other queries for the same pair park on while one query
+/// runs the fit. `state` stays `None` until the fit completes (either
+/// way); `complete` publishes exactly once and wakes every waiter.
+#[derive(Debug)]
+struct FitLatch {
+    state: Mutex<Option<Result<Arc<RegistryEntry>, ServiceError>>>,
+    done: Condvar,
+}
+
+impl FitLatch {
+    fn new() -> Self {
+        FitLatch {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the fit completes and returns its outcome. Poisoning
+    /// is recovered: the state is a plain `Option` a panicked fitter
+    /// cannot half-write (the fitter publishes via [`FitLatch::complete`]
+    /// *after* its panic shield).
+    fn wait(&self) -> Result<Arc<RegistryEntry>, ServiceError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn complete(&self, result: &Result<Arc<RegistryEntry>, ServiceError>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = Some(result.clone());
+        self.done.notify_all();
+    }
+}
+
+/// One key's slot in the entries map.
+#[derive(Debug)]
+enum Slot {
+    /// A fit is in flight; park on the latch.
+    Pending(Arc<FitLatch>),
+    /// The fitted entry, served lock-free forever after.
+    Ready(Arc<RegistryEntry>),
+}
+
+/// How an [`ModelRegistry::entry`] call was resolved against the map.
+enum Claim {
+    Hit(Arc<RegistryEntry>),
+    Wait(Arc<FitLatch>),
+    Fit(Arc<FitLatch>),
 }
 
 /// Fits, persists, and memoizes models per `(workload, platform)`.
@@ -63,23 +143,38 @@ pub struct ModelRegistry {
     store_dir: Option<PathBuf>,
     // BTreeMap, not HashMap: the memo is on the persistence path and
     // its iteration order must not depend on a per-process hasher seed.
-    entries: RwLock<BTreeMap<(String, String), Arc<RegistryEntry>>>,
+    entries: RwLock<BTreeMap<(String, String), Slot>>,
+    cache: PredictionCache,
     hits: AtomicU64,
     disk_loads: AtomicU64,
     misses: AtomicU64,
+    fitting: AtomicU64,
 }
 
 impl ModelRegistry {
     /// Creates a registry over `grid`, persisting fitted models under
-    /// `store_dir` (`None` keeps everything in memory — hermetic tests).
+    /// `store_dir` (`None` keeps everything in memory — hermetic tests),
+    /// with the default prediction-cache bound.
     pub fn new(grid: Grid, store_dir: Option<PathBuf>) -> Self {
+        Self::with_cache_capacity(grid, store_dir, DEFAULT_PREDICTION_CACHE)
+    }
+
+    /// Creates a registry with an explicit prediction-cache bound
+    /// (`0` disables the cache — every predict runs the simulation).
+    pub fn with_cache_capacity(
+        grid: Grid,
+        store_dir: Option<PathBuf>,
+        cache_capacity: usize,
+    ) -> Self {
         ModelRegistry {
             grid,
             store_dir,
             entries: RwLock::new(BTreeMap::new()),
+            cache: PredictionCache::new(cache_capacity),
             hits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fitting: AtomicU64::new(0),
         }
     }
 
@@ -96,6 +191,7 @@ impl ModelRegistry {
             hits: self.hits.load(Ordering::Relaxed),
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            fitting: self.fitting.load(Ordering::SeqCst),
         }
     }
 
@@ -104,32 +200,122 @@ impl ModelRegistry {
         &self.grid
     }
 
+    /// The bounded prediction cache in front of the simulation path.
+    pub fn prediction_cache(&self) -> &PredictionCache {
+        &self.cache
+    }
+
     /// Returns (fitting if needed) the entry for a pair.
+    ///
+    /// Concurrent first-queries for the same pair coalesce onto one fit;
+    /// queries for other pairs never wait on it (the map lock is held
+    /// only to claim or publish a slot, never across a fit).
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownWorkload`] for names outside the workload
-    /// registry; fitting itself is infallible for battery datasets (the
-    /// battery always contains both anchors).
+    /// registry, [`ServiceError::FitFailed`] if the fit panicked (the
+    /// slot is released so a later query retries).
     pub fn entry(
         &self,
         workload: &str,
         platform: &'static Platform,
     ) -> Result<Arc<RegistryEntry>, ServiceError> {
         let key = (workload.to_string(), platform.name.to_string());
-        if let Some(hit) = self.entries.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
 
-        // Fit under the write lock: concurrent first queries for the same
-        // pair would otherwise each run the (expensive) battery.
-        let mut entries = self.entries.write();
-        if let Some(hit) = entries.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
+        // Fast path: a read lock resolves warm pairs and in-flight fits.
+        let claim = {
+            let entries = self.entries.read();
+            match entries.get(&key) {
+                Some(Slot::Ready(entry)) => Some(Claim::Hit(Arc::clone(entry))),
+                Some(Slot::Pending(latch)) => Some(Claim::Wait(Arc::clone(latch))),
+                None => None,
+            }
+        };
+        // Cold pair: claim the key under the write lock (still cheap —
+        // the fit itself runs after the lock is dropped).
+        let claim = match claim {
+            Some(claim) => claim,
+            None => {
+                let mut entries = self.entries.write();
+                match entries.get(&key) {
+                    Some(Slot::Ready(entry)) => Claim::Hit(Arc::clone(entry)),
+                    Some(Slot::Pending(latch)) => Claim::Wait(Arc::clone(latch)),
+                    None => {
+                        let latch = Arc::new(FitLatch::new());
+                        entries.insert(key.clone(), Slot::Pending(Arc::clone(&latch)));
+                        Claim::Fit(latch)
+                    }
+                }
+            }
+        };
 
+        match claim {
+            Claim::Hit(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(entry)
+            }
+            Claim::Wait(latch) => {
+                let result = latch.wait();
+                if result.is_ok() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
+            Claim::Fit(latch) => self.fit_and_publish(&key, workload, platform, &latch),
+        }
+    }
+
+    /// Runs the fit outside the map lock, publishes the slot, and
+    /// releases every waiter parked on the latch. A panicking fit is
+    /// caught and surfaced as [`ServiceError::FitFailed`]; the `Pending`
+    /// slot is removed either way on error so the pair can be retried.
+    fn fit_and_publish(
+        &self,
+        key: &(String, String),
+        workload: &str,
+        platform: &'static Platform,
+        latch: &FitLatch,
+    ) -> Result<Arc<RegistryEntry>, ServiceError> {
+        self.fitting.fetch_add(1, Ordering::SeqCst);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.build_entry(workload, platform)));
+        self.fitting.fetch_sub(1, Ordering::SeqCst);
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(ServiceError::FitFailed(panic_message(payload.as_ref()))),
+        };
+        {
+            let mut entries = self.entries.write();
+            match &result {
+                Ok(entry) => {
+                    entries.insert(key.clone(), Slot::Ready(Arc::clone(entry)));
+                }
+                Err(_) => {
+                    entries.remove(key);
+                }
+            }
+        }
+        latch.complete(&result);
+        result
+    }
+
+    /// The actual fit: resolve the workload, revive from the store or
+    /// measure + fit + persist. Runs with no registry lock held.
+    fn build_entry(
+        &self,
+        workload: &str,
+        platform: &'static Platform,
+    ) -> Result<Arc<RegistryEntry>, ServiceError> {
+        // Fault-injection hook for the singleflight regression tests:
+        // proving that a panicking fit releases its waiters (instead of
+        // hanging them forever on a poisoned slot) requires a fit that
+        // panics. Debug builds only; release registries treat the name
+        // as an unknown workload.
+        #[cfg(debug_assertions)]
+        if workload == "inject-fit-panic" {
+            // audit:allow(panic-surface) deliberate fault injection, compiled out of release; the latch-release test depends on it
+            panic!("injected fit panic (requested by the singleflight regression test)");
+        }
         let ctx = MeasureContext::new(self.grid.speed(), workload)
             .ok_or_else(|| ServiceError::UnknownWorkload(workload.to_string()))?;
 
@@ -146,19 +332,16 @@ impl ModelRegistry {
             }
         };
 
-        let entry = Arc::new(RegistryEntry { bundle, ctx });
-        entries.insert(key, Arc::clone(&entry));
-        Ok(entry)
+        Ok(Arc::new(RegistryEntry { bundle, ctx }))
     }
 
     fn store_path(&self, workload: &str, platform: &str) -> Option<PathBuf> {
         let dir = self.store_dir.as_ref()?;
-        let safe = workload.replace(['/', ' '], "_");
         Some(dir.join(format!(
             "{}_{}_{}.models",
-            self.grid.speed().name,
-            safe,
-            platform
+            encode_store_component(self.grid.speed().name),
+            encode_store_component(workload),
+            encode_store_component(platform),
         )))
     }
 
@@ -214,6 +397,37 @@ impl ModelRegistry {
     }
 }
 
+/// Injective file-name encoding for store-path components. ASCII
+/// alphanumerics, `-` and `.` pass through; every other byte (including
+/// `_`, `/`, space and `%` itself) becomes `%XX`, so distinct names can
+/// never share a store file — the old `replace(['/', ' '], "_")` mapped
+/// `a/b`, `a b` and `a_b` to the same path, and colliding pairs then
+/// failed the identity check in `load_store` and refit every start
+/// while overwriting each other's store.
+fn encode_store_component(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for byte in raw.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' => out.push(byte as char),
+            _ => {
+                let _ = write!(out, "%{byte:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Best-effort text of a panic payload (what `panic!` was given).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,7 +460,8 @@ mod tests {
             RegistryCounters {
                 hits: 0,
                 disk_loads: 0,
-                misses: 1
+                misses: 1,
+                fitting: 0,
             }
         );
         let b = registry.entry("gups/8GB", platform).unwrap();
@@ -259,6 +474,52 @@ mod tests {
             assert!(m.max_err >= m.geo_mean_err, "{}", m.model.kind());
         }
         assert!(registry.entry("no-such-workload", platform).is_err());
+    }
+
+    #[test]
+    fn concurrent_first_queries_coalesce_onto_one_fit() {
+        const THREADS: usize = 8;
+        let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), None);
+        let platform = &Platform::SANDY_BRIDGE;
+        let entries: Vec<Arc<RegistryEntry>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| scope.spawn(|| registry.entry("gups/8GB", platform).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for entry in &entries {
+            assert!(Arc::ptr_eq(entry, &entries[0]), "coalesced fits diverged");
+        }
+        let c = registry.counters();
+        assert_eq!(c.misses, 1, "exactly one thread may fit");
+        assert_eq!(c.fitting, 0, "the fitting gauge must return to zero");
+        assert_eq!(
+            c.hits + c.misses,
+            THREADS as u64,
+            "every query is a hit or the one miss"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn panicking_fit_releases_waiters_and_allows_retry() {
+        let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), None);
+        let platform = &Platform::SANDY_BRIDGE;
+        // The injected panic must come back as a FitFailed error, not a
+        // poisoned lock or a hang.
+        match registry.entry("inject-fit-panic", platform) {
+            Err(ServiceError::FitFailed(msg)) => assert!(msg.contains("injected"), "{msg}"),
+            other => panic!("expected FitFailed, got {other:?}"),
+        }
+        // The slot was released: the same pair errors again (fresh
+        // attempt) instead of deadlocking on a stale Pending latch.
+        assert!(matches!(
+            registry.entry("inject-fit-panic", platform),
+            Err(ServiceError::FitFailed(_))
+        ));
+        assert_eq!(registry.counters().fitting, 0);
+        // And the registry still serves healthy pairs.
+        assert!(registry.entry("gups/8GB", platform).is_ok());
     }
 
     #[test]
@@ -288,7 +549,7 @@ mod tests {
             let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), Some(dir.clone()));
             registry.entry("gups/8GB", &Platform::SANDY_BRIDGE).unwrap();
         }
-        let file = "tiny_gups_8GB_SandyBridge.models";
+        let file = "tiny_gups%2F8GB_SandyBridge.models";
         let a = fs::read(dir_a.join(file)).unwrap();
         let b = fs::read(dir_b.join(file)).unwrap();
         assert!(!a.is_empty());
@@ -302,7 +563,7 @@ mod tests {
         let dir = temp_dir("corrupt");
         fs::create_dir_all(&dir).unwrap();
         fs::write(
-            dir.join("tiny_gups_8GB_SandyBridge.models"),
+            dir.join("tiny_gups%2F8GB_SandyBridge.models"),
             "# mosaic-models v999\n",
         )
         .unwrap();
@@ -311,5 +572,30 @@ mod tests {
         assert_eq!(registry.counters().misses, 1, "bad version must refit");
         assert!(!entry.bundle.models.is_empty());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_paths_never_collide() {
+        let registry =
+            ModelRegistry::new(Grid::in_memory(tiny_speed()), Some(PathBuf::from("/store")));
+        // The old scheme mapped all three of these to `a_b`: colliding
+        // pairs failed the identity check in load_store, refit every
+        // process start, and overwrote each other's store file.
+        let colliding = ["a/b", "a b", "a_b"];
+        let paths: Vec<PathBuf> = colliding
+            .iter()
+            .map(|w| registry.store_path(w, "SandyBridge").unwrap())
+            .collect();
+        for (i, a) in paths.iter().enumerate() {
+            for b in paths.iter().skip(i + 1) {
+                assert_ne!(a, b, "colliding store paths for {colliding:?}");
+            }
+        }
+        // Encoding is stable and keeps safe characters readable.
+        assert_eq!(encode_store_component("gups/8GB"), "gups%2F8GB");
+        assert_eq!(encode_store_component("a_b"), "a%5Fb");
+        assert_eq!(encode_store_component("a b"), "a%20b");
+        assert_eq!(encode_store_component("Broadwell-1.2"), "Broadwell-1.2");
+        assert_eq!(encode_store_component("100%"), "100%25");
     }
 }

@@ -28,10 +28,17 @@ use layouts::parse_spec;
 use machine::Platform;
 use mosmodel::{ModelKind, RuntimeModel};
 
+use crate::cache::prediction_key;
 use crate::metrics::{Metrics, StatsSnapshot};
-use crate::protocol::{parse_request, render_prediction, Prediction, Request};
+use crate::protocol::{parse_request, render_prediction, render_warm, Prediction, Request};
 use crate::registry::ModelRegistry;
 use crate::ServiceError;
+
+/// Longest request line the server accepts, in bytes. A client
+/// streaming bytes with no newline is answered `err request too long`
+/// once and ignored until its next newline, instead of growing the
+/// line buffer without bound.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
 
 /// How a [`Server`] listens and schedules work.
 #[derive(Clone, Debug)]
@@ -124,9 +131,10 @@ impl Server {
     /// A point-in-time metrics snapshot (same data as the `stats`
     /// command).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared
-            .metrics
-            .snapshot(self.shared.registry.counters())
+        self.shared.metrics.snapshot(
+            self.shared.registry.counters(),
+            self.shared.registry.prediction_cache().counters(),
+        )
     }
 
     /// The registry backing the server.
@@ -159,10 +167,49 @@ fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<TcpStream>> {
     shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// What the acceptor should do after `accept()` returns an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AcceptErrorAction {
+    /// Shutdown was requested; stop accepting.
+    Shutdown,
+    /// Transient failure (e.g. EMFILE while connections drain): pause
+    /// before retrying instead of hot-spinning on the error.
+    Backoff(Duration),
+}
+
+/// Backoff policy for `accept()` errors. A persistent error like EMFILE
+/// used to make the acceptor spin `Err => continue` at 100% CPU with no
+/// shutdown check; instead, back off exponentially (1ms doubling to a
+/// 100ms ceiling) and honor the shutdown flag first.
+fn on_accept_error(shutdown_requested: bool, consecutive_errors: u32) -> AcceptErrorAction {
+    if shutdown_requested {
+        return AcceptErrorAction::Shutdown;
+    }
+    let millis = 1u64
+        .checked_shl(consecutive_errors)
+        .unwrap_or(u64::MAX)
+        .min(100);
+    AcceptErrorAction::Backoff(Duration::from_millis(millis))
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut consecutive_errors: u32 = 0;
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => {
+                consecutive_errors = 0;
+                conn
+            }
+            Err(_) => {
+                match on_accept_error(shared.shutdown.load(Ordering::SeqCst), consecutive_errors) {
+                    AcceptErrorAction::Shutdown => return,
+                    AcceptErrorAction::Backoff(pause) => {
+                        consecutive_errors = consecutive_errors.saturating_add(1);
+                        std::thread::sleep(pause);
+                        continue;
+                    }
+                }
+            }
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -215,6 +262,14 @@ fn worker_loop(shared: &Shared) {
 /// Serves one persistent connection until EOF, an I/O error, or a
 /// shutdown observed *between* requests (in-flight requests always
 /// complete and their response is written).
+///
+/// Request lines are accumulated manually (via `fill_buf`/`consume`)
+/// rather than with `read_line`, for two reasons: a partial line must
+/// survive the 100ms shutdown-poll read timeouts untouched (a slow
+/// writer's request would otherwise be truncated), and the buffer must
+/// be *bounded* — a line past [`MAX_REQUEST_BYTES`] is answered
+/// `err request too long` once, then discarded up to the next newline
+/// so the connection resyncs at a request boundary.
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut writer = match stream.try_clone() {
@@ -222,43 +277,83 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    // True while skipping the remainder of an over-long request.
+    let mut discarding = false;
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return,
-            Ok(_) => {
-                let started = Instant::now();
-                let (response, was_predict, was_error) = handle_line_shielded(&line, shared);
-                let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-                shared
-                    .metrics
-                    .record_request(latency_us, was_predict, was_error);
-                // Only a handled, complete line resets the buffer; see
-                // the timeout arm below for why it must not be cleared
-                // anywhere else.
-                line.clear();
-                if writer.write_all(response.as_bytes()).is_err()
-                    || writer.write_all(b"\n").is_err()
-                {
-                    return;
+        let mut complete = false;
+        let consumed = match reader.fill_buf() {
+            Ok([]) => return,
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    if !discarding {
+                        line.extend_from_slice(buf.get(..nl).unwrap_or_default());
+                    }
+                    complete = true;
+                    nl + 1
                 }
-            }
+                None => {
+                    if !discarding {
+                        line.extend_from_slice(buf);
+                    }
+                    buf.len()
+                }
+            },
             Err(e)
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                // The timeout exists only to poll the shutdown flag.
-                // `read_line` may already have appended part of a request
-                // to `line` before timing out; that partial line must
-                // survive this arm untouched, or a slow writer's request
-                // is truncated and its tail parsed as a garbage command.
+                // The timeout exists only to poll the shutdown flag; any
+                // partial line stays in `line` for the next window.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                continue;
             }
             Err(_) => return,
+        };
+        reader.consume(consumed);
+
+        if discarding {
+            // The over-long request's tail is being thrown away; a
+            // newline means the connection is back at a boundary.
+            discarding = !complete;
+            continue;
+        }
+        if line.len() > MAX_REQUEST_BYTES {
+            shared.metrics.record_request(0, false, true);
+            line.clear();
+            // If the newline already arrived we are at a boundary;
+            // otherwise keep discarding until it does.
+            discarding = !complete;
+            if writer
+                .write_all(b"err request too long (max 65536 bytes)\n")
+                .is_err()
+            {
+                return;
+            }
+            continue;
+        }
+        if !complete {
+            continue;
+        }
+
+        let started = Instant::now();
+        let (response, was_predict, was_error) = match std::str::from_utf8(&line) {
+            Ok(text) => handle_line_shielded(text, shared),
+            // Raw non-UTF-8 bytes cannot carry a valid request; close,
+            // matching the old `read_line` behaviour.
+            Err(_) => return,
+        };
+        let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        shared
+            .metrics
+            .record_request(latency_us, was_predict, was_error);
+        line.clear();
+        if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
         }
     }
 }
@@ -292,7 +387,10 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool, bool) {
     }
     match parse_request(line) {
         Ok(Request::Stats) => {
-            let snap = shared.metrics.snapshot(shared.registry.counters());
+            let snap = shared.metrics.snapshot(
+                shared.registry.counters(),
+                shared.registry.prediction_cache().counters(),
+            );
             (snap.render(), false, false)
         }
         Ok(Request::Predict {
@@ -304,14 +402,45 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool, bool) {
             Ok(prediction) => (render_prediction(&prediction), true, false),
             Err(e) => (format!("err {e}"), true, true),
         },
+        Ok(Request::Warm { workload, platform }) => {
+            match warm(&shared.registry, &workload, &platform) {
+                Ok(models) => (render_warm(&workload, &platform, models), false, false),
+                Err(e) => (format!("err {e}"), false, true),
+            }
+        }
         Err(reason) => (format!("err {reason}"), false, true),
     }
+}
+
+/// Pre-fits (or revives) a pair's models without running a prediction;
+/// returns how many models the bundle holds. Shares the registry's
+/// singleflight path, so concurrent warms and predicts for the same
+/// pair coalesce onto one fit.
+///
+/// # Errors
+///
+/// Same failure modes as [`ModelRegistry::entry`].
+pub fn warm(
+    registry: &ModelRegistry,
+    workload: &str,
+    platform: &str,
+) -> Result<usize, ServiceError> {
+    let platform = Platform::by_name(platform)
+        .ok_or_else(|| ServiceError::UnknownPlatform(platform.to_string()))?;
+    let entry = registry.entry(workload, platform)?;
+    Ok(entry.bundle.models.len())
 }
 
 /// The in-process prediction path: measure the layout with the grid's
 /// methodology, then apply the fitted model. Public so the integration
 /// tests can compare the server's answers bit-for-bit against a direct
 /// call.
+///
+/// `predict` is a pure function of `(workload, platform, layout,
+/// model)`, so results are memoized in the registry's bounded
+/// [`PredictionCache`](crate::cache::PredictionCache): a hit skips the
+/// partial simulation entirely and returns a `Prediction` that is
+/// bit-identical to the uncached answer.
 pub fn predict(
     registry: &ModelRegistry,
     workload: &str,
@@ -329,9 +458,16 @@ pub fn predict(
         .model(kind)
         .ok_or_else(|| ServiceError::ModelUnavailable(kind.name().to_string()))?;
 
+    // The key uses the *canonical* layout (parsed + aligned), so spec
+    // spellings naming the same windows share one cache entry.
+    let key = prediction_key(workload, platform.name, &layout, kind);
+    if let Some(cached) = registry.prediction_cache().get(&key) {
+        return Ok(cached);
+    }
+
     let record = measure_layout(&entry.ctx, &MachineVariant::real(platform), &layout);
     let predicted = persisted.model.predict(&record.sample());
-    Ok(Prediction {
+    let prediction = Prediction {
         runtime_cycles: record.counters.runtime_cycles,
         stlb_hits: record.counters.stlb_hits,
         stlb_misses: record.counters.stlb_misses,
@@ -340,5 +476,39 @@ pub fn predict(
         predicted,
         max_err: persisted.max_err,
         geo_mean_err: persisted.geo_mean_err,
-    })
+    };
+    registry.prediction_cache().insert(key, prediction.clone());
+    Ok(prediction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_error_backoff_honors_shutdown_first() {
+        assert_eq!(on_accept_error(true, 0), AcceptErrorAction::Shutdown);
+        assert_eq!(on_accept_error(true, 99), AcceptErrorAction::Shutdown);
+    }
+
+    #[test]
+    fn accept_error_backoff_grows_and_caps() {
+        let pause = |n| match on_accept_error(false, n) {
+            AcceptErrorAction::Backoff(d) => d,
+            AcceptErrorAction::Shutdown => panic!("no shutdown requested"),
+        };
+        // Starts small: one transient error must not stall accepts.
+        assert_eq!(pause(0), Duration::from_millis(1));
+        // Monotonically non-decreasing under consecutive errors...
+        let mut last = Duration::ZERO;
+        for n in 0..40 {
+            let p = pause(n);
+            assert!(p >= last, "backoff shrank at error {n}");
+            assert!(p >= Duration::from_millis(1), "never a zero (hot) spin");
+            last = p;
+        }
+        // ...and capped so recovery after EMFILE clears is prompt.
+        assert_eq!(pause(12), Duration::from_millis(100));
+        assert_eq!(pause(u32::MAX), Duration::from_millis(100));
+    }
 }

@@ -5,7 +5,7 @@
 //! mosaic run <workload> <platform>     # fit all nine models on one pair
 //! mosaic figure <fig2..fig11|tab6..tab8|casestudy|all>
 //! mosaic sensitivity <platform>        # TLB sensitivity of every workload
-//! mosaic serve [addr]                  # start the mosaicd prediction server
+//! mosaic serve [addr] [--warm <workload>:<platform>]...  # start mosaicd (optionally pre-fitting pairs)
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
 //! mosaic audit [--json] [--deny]       # workspace static analysis (CI gate)
@@ -29,13 +29,13 @@ fn main() {
         Some("sensitivity") => cmd_sensitivity(args.get(1)),
         Some("export") => cmd_export(args.get(1), args.get(2)),
         Some("describe") => cmd_describe(args.get(1), args.get(2), args.get(3)),
-        Some("serve") => cmd_serve(args.get(1)),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] | query <addr> ... | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... | query <addr> ... | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -332,9 +332,49 @@ fn cmd_sensitivity(platform: Option<&String>) -> i32 {
     0
 }
 
-fn cmd_serve(addr: Option<&String>) -> i32 {
-    let default_addr = "127.0.0.1:7070".to_string();
-    let addr = addr.unwrap_or(&default_addr);
+fn cmd_serve(args: &[String]) -> i32 {
+    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]...";
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut positional_seen = false;
+    let mut warm_pairs: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--warm" => {
+                let Some(pair) = it.next() else {
+                    eprintln!("{usage} (--warm needs <workload>:<platform>)");
+                    return 2;
+                };
+                // Workload names may contain '/' but not ':', so the
+                // rightmost ':' splits unambiguously.
+                let Some((workload, platform_name)) = pair.rsplit_once(':') else {
+                    eprintln!("--warm wants <workload>:<platform>, got {pair:?}");
+                    return 2;
+                };
+                if workloads::WorkloadSpec::by_name(workload).is_none() {
+                    eprintln!("unknown workload {workload:?}; see `mosaic list`");
+                    return 2;
+                }
+                let Some(platform) = Platform::by_name(platform_name) else {
+                    eprintln!("unknown platform {platform_name:?}; see `mosaic list`");
+                    return 2;
+                };
+                warm_pairs.push((workload.to_string(), platform.name.to_string()));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("{usage} (unknown flag {other:?})");
+                return 2;
+            }
+            other => {
+                if positional_seen {
+                    eprintln!("{usage} (unexpected argument {other:?})");
+                    return 2;
+                }
+                positional_seen = true;
+                addr = other.to_string();
+            }
+        }
+    }
     let speed = Speed::from_env();
     let store_dir = service::registry::ModelRegistry::default_store_dir();
     let registry = service::registry::ModelRegistry::new(Grid::new(speed), Some(store_dir.clone()));
@@ -355,6 +395,24 @@ fn cmd_serve(addr: Option<&String>) -> i32 {
         speed.name,
         store_dir.display(),
     );
+    // Pre-fit the requested pairs in the background, one `warm` request
+    // per pair on its own connection: the registry's singleflight
+    // fitting lets distinct pairs proceed in parallel while the server
+    // is already accepting requests (a predict racing a warm for the
+    // same pair simply coalesces onto the in-flight fit).
+    let warm_addr = server.addr();
+    for (workload, platform_name) in warm_pairs {
+        std::thread::spawn(move || {
+            let outcome = service::client::Client::connect(warm_addr)
+                .and_then(|mut client| client.warm(&workload, &platform_name));
+            match outcome {
+                Ok(models) => {
+                    println!("mosaicd: warmed {workload}:{platform_name} ({models} models)");
+                }
+                Err(e) => eprintln!("mosaicd: warm {workload}:{platform_name} failed: {e}"),
+            }
+        });
+    }
     // Serve until the process is killed; workers own all the state.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -510,12 +568,21 @@ fn cmd_bench(args: &[String]) -> i32 {
         report.grid.accesses_per_sec,
     );
     println!(
-        "mosaicd:      {} predict requests, mean {:.0}us, p50<={}us p90<={}us p99<={}us",
+        "mosaicd:      {} warm predict requests, mean {:.0}us, p50<={}us p90<={}us p99<={}us",
         report.service.requests,
         report.service.mean_us,
         report.service.p50_us,
         report.service.p90_us,
         report.service.p99_us,
+    );
+    let speedup = if report.service.mean_us > 0.0 {
+        report.service.cold_us / report.service.mean_us
+    } else {
+        0.0
+    };
+    println!(
+        "mosaicd:      cold first request {:.0}us (model fit) vs warm mean {:.0}us -> {:.0}x; pre-fit with `mosaic serve --warm {}:{}`",
+        report.service.cold_us, report.service.mean_us, speedup, workload, platform.name,
     );
     if json {
         let path = format!("BENCH_{}.json", report.date);

@@ -316,6 +316,185 @@ fn second_server_reuses_persisted_model_store() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The head-of-line-blocking regression test: while one pair's cold
+/// model fit is in flight, requests for an already-warm pair (and
+/// `stats`) must complete promptly. Under the old registry — which held
+/// the global map lock across the whole fit — the warm predict below
+/// blocked for the full fit duration, so the timing assertion hung this
+/// test.
+#[test]
+fn cold_fit_does_not_block_warm_pairs() {
+    const COLD_WORKLOAD: &str = "gups/16GB";
+
+    let config = ServerConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    let server = Server::start(config, ModelRegistry::new(Grid::in_memory(TINY), None)).unwrap();
+    let addr = server.addr();
+
+    // Warm pair A over the wire — the same verb `mosaic serve --warm`
+    // issues — so its later predicts are pure measure+apply.
+    let mut client = Client::connect(addr).unwrap();
+    let models = client.warm(WORKLOAD, PLATFORM).unwrap();
+    assert!(models >= 1, "warm must report the fitted models");
+
+    // Kick off pair B's cold fit on its own connection/worker.
+    let cold = std::thread::spawn(move || {
+        let mut cold_client = Client::connect(addr).unwrap();
+        cold_client
+            .predict(COLD_WORKLOAD, PLATFORM, "2m:0..8M", None)
+            .unwrap()
+    });
+
+    // Wait until the fit is actually in flight (the gauge rises before
+    // the fit starts, so this cannot miss a fast fit's window entirely).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while client.stats().unwrap().registry.fitting < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "cold fit never became visible in registry_fitting"
+        );
+        assert!(
+            !cold.is_finished(),
+            "cold fit finished before it was observed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // With the fit in flight, warm-pair traffic must not queue behind it.
+    let started = Instant::now();
+    let warm = client
+        .predict(WORKLOAD, PLATFORM, "2m:0..8M", None)
+        .unwrap();
+    let snap = client.stats().unwrap();
+    let elapsed = started.elapsed();
+    assert!(warm.predicted.is_finite());
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "warm pair blocked behind the cold fit for {elapsed:?}"
+    );
+    assert!(
+        snap.registry.fitting >= 1 || cold.is_finished(),
+        "fitting gauge dropped while the fit was still running"
+    );
+
+    let cold_prediction = cold.join().expect("cold fit thread");
+    assert!(cold_prediction.predicted.is_finite());
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.registry.fitting, 0, "gauge must return to zero");
+    assert_eq!(snap.registry.misses, 2, "exactly two fits: one per pair");
+    server.shutdown();
+}
+
+/// Requests longer than the 64KiB cap are answered with an error and the
+/// connection resynchronizes at the next newline instead of buffering
+/// without bound (or mis-parsing the overflow's tail as new requests).
+#[test]
+fn oversized_request_line_is_rejected_and_resyncs() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // 100KiB with no newline: the server must refuse as soon as the cap
+    // is crossed, without waiting for a line terminator.
+    let giant = vec![b'a'; 100 * 1024];
+    writer.write_all(&giant).unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(
+        reply.trim_end(),
+        "err request too long (max 65536 bytes)",
+        "oversized line not refused"
+    );
+
+    // Terminate the garbage; the very next line must parse normally and
+    // the discarded tail must not surface as extra error responses.
+    writer.write_all(b"\nstats\n").unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("stats "),
+        "connection did not resync after overflow: {reply:?}"
+    );
+
+    // A second oversized line that *includes* its newline in one write
+    // behaves the same: one error, then business as usual.
+    let mut giant = vec![b'b'; (64 * 1024) + 1];
+    giant.push(b'\n');
+    writer.write_all(&giant).unwrap();
+    writer.write_all(b"stats\n").unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("err request too long"), "{reply:?}");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("stats "), "{reply:?}");
+
+    // Exactly two oversized-line errors were counted, nothing more.
+    let mut client = Client::connect(addr).unwrap();
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.errors, 2, "overflow tails were parsed as requests");
+    server.shutdown();
+}
+
+/// Cache hits must be indistinguishable from recomputation: the same
+/// `(workload, platform, layout, model)` asked twice — including under a
+/// different spec spelling of the same layout — renders byte-identical
+/// responses, and the stats counters show the hit.
+#[test]
+fn cached_predictions_are_bit_identical_to_uncached() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let first = client
+        .predict(WORKLOAD, PLATFORM, "2m:0..16M", None)
+        .unwrap();
+    let second = client
+        .predict(WORKLOAD, PLATFORM, "2m:0..16M", None)
+        .unwrap();
+    // The alias spells the same 16MiB window in 2MB pages ("2mb", K
+    // suffix), so the canonical cache key coalesces it with the first.
+    let aliased = client
+        .predict(WORKLOAD, PLATFORM, "2mb:0..16384K", None)
+        .unwrap();
+    for (label, p) in [("repeat", &second), ("alias", &aliased)] {
+        assert_eq!(p, &first, "{label} diverged from the uncached answer");
+        assert_eq!(
+            p.predicted.to_bits(),
+            first.predicted.to_bits(),
+            "{label} prediction is not bit-identical"
+        );
+        assert_eq!(
+            service::protocol::render_prediction(p),
+            service::protocol::render_prediction(&first),
+            "{label} renders different bytes on the wire"
+        );
+    }
+
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.cache.misses, 1, "only the first predict may simulate");
+    assert_eq!(snap.cache.hits, 2, "repeat and alias must both hit");
+    server.shutdown();
+}
+
 #[test]
 fn full_queue_rejects_with_busy_and_shutdown_drains() {
     const QUEUE_BOUND: usize = 2;
