@@ -9,8 +9,8 @@
 //!
 //! | rule | scope | forbids |
 //! |---|---|---|
-//! | `determinism` | simulation crates + persistence modules | default-hasher `HashMap`/`HashSet`, `SystemTime`, `Instant::now`, non-seeded RNG |
-//! | `panic-surface` | mosaicd request path | `.unwrap()`, `.expect()`, `panic!`-family, direct slice indexing |
+//! | `determinism` | simulation crates (incl. `obs`) + persistence modules | default-hasher `HashMap`/`HashSet`, `SystemTime`, `Instant::now`, non-seeded RNG |
+//! | `panic-surface` | mosaicd request path + `obs` | `.unwrap()`, `.expect()`, `panic!`-family, direct slice indexing |
 //! | `bit-exactness` | on-disk codec modules | lossy float format specs; floats without a bit-exact codec |
 //! | `version-header` | on-disk codec modules | writers/parsers without a `# mosaic-... vN` header constant |
 //!
@@ -33,7 +33,10 @@ pub const RULE_IDS: [&str; 4] = [
 ];
 
 /// Crates whose `src/` trees form the deterministic simulation core.
-const SIM_CRATES: [&str; 4] = ["memsim", "machine", "vmcore", "workloads"];
+/// `obs` belongs here because sim-domain traces must be byte-identical
+/// across runs: a wall-clock read or random iteration order inside the
+/// tracer would leak into rendered spans.
+const SIM_CRATES: [&str; 5] = ["memsim", "machine", "vmcore", "workloads", "obs"];
 
 /// Modules that write or memoize on-disk or in-memory state whose
 /// iteration/eviction order must be deterministic (store/cache files,
@@ -52,12 +55,16 @@ const CODEC_MODULES: [&str; 2] = [
 ];
 
 /// The mosaicd request path: code a malformed or hostile request can
-/// reach. A panic here kills a worker thread.
-const REQUEST_PATH: [&str; 4] = [
+/// reach. A panic here kills a worker thread. The tracer and the
+/// exposition renderer run inside every request, so they are on the
+/// path too (the whole `obs` crate is included via [`on_request_path`]).
+const REQUEST_PATH: [&str; 6] = [
     "crates/service/src/server.rs",
     "crates/service/src/protocol.rs",
     "crates/service/src/registry.rs",
     "crates/service/src/cache.rs",
+    "crates/service/src/trace.rs",
+    "crates/service/src/prom.rs",
 ];
 
 fn file_name(path: &str) -> &str {
@@ -81,7 +88,7 @@ fn is_codec(path: &str) -> bool {
 }
 
 fn on_request_path(path: &str) -> bool {
-    REQUEST_PATH.iter().any(|m| path.ends_with(m))
+    REQUEST_PATH.iter().any(|m| path.ends_with(m)) || path.contains("crates/obs/src/")
 }
 
 /// Runs every applicable rule over `view`, honors suppressions, and
@@ -463,6 +470,43 @@ mod tests {
         let bad = "// audit:allow(determinism)\nuse std::collections::HashMap;\n";
         let hits = run("crates/vmcore/src/lib.rs", bad);
         assert_eq!(rules_hit(&hits), vec!["suppression", "determinism"]);
+    }
+
+    #[test]
+    fn obs_crate_is_in_both_determinism_and_panic_surface_scope() {
+        // The tracer feeds byte-identical sim-domain traces, so clock
+        // reads are nondeterminism there...
+        let clocky = "fn stamp() -> Instant { Instant::now() }\n";
+        assert_eq!(
+            rules_hit(&run("crates/obs/src/lib.rs", clocky)),
+            vec!["determinism"]
+        );
+        // ...and it runs inside every mosaicd request, so panics there
+        // kill a worker thread.
+        let panicky = "fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n";
+        assert_eq!(
+            rules_hit(&run("crates/obs/src/lib.rs", panicky)),
+            vec!["panic-surface"]
+        );
+        // Neither rule leaks to an out-of-scope crate.
+        assert_eq!(run("crates/layouts/src/lib.rs", clocky), vec![]);
+        assert_eq!(run("crates/layouts/src/lib.rs", panicky), vec![]);
+    }
+
+    #[test]
+    fn tracer_and_exposition_modules_are_on_the_request_path() {
+        let panicky = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        for path in ["crates/service/src/trace.rs", "crates/service/src/prom.rs"] {
+            assert_eq!(
+                rules_hit(&run(path, panicky)),
+                vec!["panic-surface"],
+                "{path}"
+            );
+        }
+        // The request path is panic-scoped, not determinism-scoped: the
+        // wall-clock domain legitimately reads `Instant::now()` there.
+        let clocky = "fn stamp() -> Instant { Instant::now() }\n";
+        assert_eq!(run("crates/service/src/trace.rs", clocky), vec![]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! On-disk codec for `mosaic bench` reports.
 //!
 //! A report is a small JSON document whose `format` field carries the
-//! `# mosaic-bench v1` version header; readers reject any other version
+//! `# mosaic-bench v3` version header; readers reject any other version
 //! rather than guessing. All floating-point fields are rendered with
 //! [`fmt_f64_shortest`] (Rust's shortest-roundtrip `Display`), so
 //! `parse_report(&render_report(r))` reproduces every float bit-for-bit
@@ -14,10 +14,13 @@ use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 
 /// Version of the bench-report schema. Bump on any breaking change.
 /// v2 added `cold_us` (first-request latency including the model fit)
-/// to the service leg.
-pub const BENCH_VERSION: u32 = 2;
+/// to the service leg. v3 added `trace_overhead_pct` (tracer cost on a
+/// FAST `measure_layout`, the <3% gate) to the grid leg and
+/// `cold_stages` (wall-domain stage breakdown of the cold request,
+/// from the server's trace ring) to the service leg.
+pub const BENCH_VERSION: u32 = 3;
 
-/// Version-header prefix; the full header is `# mosaic-bench v2`.
+/// Version-header prefix; the full header is `# mosaic-bench v3`.
 const BENCH_MAGIC: &str = "# mosaic-bench v";
 
 /// Wall-clock results of the grid-battery throughput benchmark.
@@ -31,6 +34,11 @@ pub struct GridBench {
     pub wall_seconds: f64,
     /// `accesses / wall_seconds` — the headline throughput figure.
     pub accesses_per_sec: f64,
+    /// Relative cost (percent, min-of-k) of running `measure_layout`
+    /// with the span recorder enabled versus disabled. The tracing
+    /// gate: must stay under 3% or observability is perturbing the
+    /// measurement it observes. Negative values are timer noise.
+    pub trace_overhead_pct: f64,
 }
 
 /// Wall-clock results of the mosaicd request-latency benchmark.
@@ -42,6 +50,13 @@ pub struct ServiceBench {
     /// full model fit under the registry's singleflight latch. The gap
     /// between this and `mean_us` is what `warm` requests buy.
     pub cold_us: f64,
+    /// Wall-domain stage breakdown of the cold request, harvested from
+    /// the server's trace ring: space-separated `stage:start..end`
+    /// tokens in microseconds since the request's first byte, or `-`
+    /// when no trace was captured. Space-separated (not the wire
+    /// format's commas) because this codec's field extractor treats a
+    /// comma as end-of-value.
+    pub cold_stages: String,
     /// Mean end-to-end warm request latency in microseconds.
     pub mean_us: f64,
     /// Median latency (bucket upper bound) in microseconds.
@@ -95,8 +110,13 @@ pub fn render_report(report: &BenchReport) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"accesses_per_sec\": {}",
+        "    \"accesses_per_sec\": {},",
         fmt_f64_shortest(report.grid.accesses_per_sec)
+    );
+    let _ = writeln!(
+        out,
+        "    \"trace_overhead_pct\": {}",
+        fmt_f64_shortest(report.grid.trace_overhead_pct)
     );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"service\": {{");
@@ -105,6 +125,11 @@ pub fn render_report(report: &BenchReport) -> String {
         out,
         "    \"cold_us\": {},",
         fmt_f64_shortest(report.service.cold_us)
+    );
+    let _ = writeln!(
+        out,
+        "    \"cold_stages\": \"{}\",",
+        report.service.cold_stages
     );
     let _ = writeln!(
         out,
@@ -174,10 +199,12 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
             accesses: u64_field(text, "accesses")?,
             wall_seconds: f64_field(text, "wall_seconds")?,
             accesses_per_sec: f64_field(text, "accesses_per_sec")?,
+            trace_overhead_pct: f64_field(text, "trace_overhead_pct")?,
         },
         service: ServiceBench {
             requests: u64_field(text, "requests")?,
             cold_us: f64_field(text, "cold_us")?,
+            cold_stages: string_field(text, "cold_stages")?,
             mean_us: f64_field(text, "mean_us")?,
             p50_us: u64_field(text, "p50_us")?,
             p90_us: u64_field(text, "p90_us")?,
@@ -201,10 +228,12 @@ mod tests {
                 accesses: 4_400_000,
                 wall_seconds: 0.698_678_299,
                 accesses_per_sec: 6_297_613.847_210_31,
+                trace_overhead_pct: 0.412_907_3,
             },
             service: ServiceBench {
                 requests: 32,
                 cold_us: 2_731_009.25,
+                cold_stages: "read:0..3 parse:3..5 fit:5..2730881 cache_lookup:2730881..2730890 simulate:2730890..2730999 render:2730999..2731002".to_string(),
                 mean_us: 24_817.406_25,
                 p50_us: 25_000,
                 p90_us: 50_000,
@@ -217,7 +246,7 @@ mod tests {
     fn report_roundtrips_bit_exactly() {
         let report = sample();
         let text = render_report(&report);
-        assert!(text.contains("\"format\": \"# mosaic-bench v2\""));
+        assert!(text.contains("\"format\": \"# mosaic-bench v3\""));
         let back = parse_report(&text).expect("own output parses");
         assert_eq!(back, report);
         assert_eq!(
@@ -236,11 +265,16 @@ mod tests {
             back.service.cold_us.to_bits(),
             report.service.cold_us.to_bits()
         );
+        assert_eq!(
+            back.grid.trace_overhead_pct.to_bits(),
+            report.grid.trace_overhead_pct.to_bits()
+        );
+        assert_eq!(back.service.cold_stages, report.service.cold_stages);
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = render_report(&sample()).replace("# mosaic-bench v2", "# mosaic-bench v1");
+        let text = render_report(&sample()).replace("# mosaic-bench v3", "# mosaic-bench v2");
         let err = parse_report(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

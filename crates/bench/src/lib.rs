@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use harness::{Grid, Speed};
+use harness::{measure_layout, measure_layout_traced, Grid, MachineVariant, MeasureContext, Speed};
 use machine::{profile_tlb_misses, Engine, Platform};
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
 use service::client::Client;
@@ -107,6 +107,7 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         accesses,
         wall_seconds,
         accesses_per_sec: accesses as f64 / wall_seconds,
+        trace_overhead_pct: trace_overhead_pct(speed, workload, platform),
     };
 
     // The service leg reuses the grid (and its cached entry), so the
@@ -128,6 +129,19 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         .expect("cold predict");
     let cold_us = cold_started.elapsed().as_micros() as f64;
     let after_cold = server.stats();
+    // The server traced the cold request into its ring; the newest
+    // wall-domain predict trace is its stage breakdown (read/parse/
+    // fit/cache_lookup/simulate/render, µs since the first byte).
+    let cold_stages = client
+        .trace(8)
+        .ok()
+        .and_then(|(traces, _dropped)| {
+            traces
+                .into_iter()
+                .rev()
+                .find(|t| t.label == "predict" && t.domain == obs::ClockDomain::Wall)
+        })
+        .map_or_else(|| "-".to_string(), |t| stage_tokens(&t.spans));
 
     let mut total = Duration::ZERO;
     for i in 0..SERVICE_REQUESTS {
@@ -154,6 +168,7 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
     let service_bench = ServiceBench {
         requests: SERVICE_REQUESTS as u64,
         cold_us,
+        cold_stages,
         mean_us: total.as_micros() as f64 / SERVICE_REQUESTS as f64,
         p50_us: warm_only.percentile_us(50),
         p90_us: warm_only.percentile_us(90),
@@ -169,6 +184,53 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         grid: grid_bench,
         service: service_bench,
     }
+}
+
+/// Renders wall-domain spans as space-separated `stage:start..end`
+/// tokens for the bench report (the report codec treats a comma as
+/// end-of-value, so the wire format's comma separator is unusable).
+fn stage_tokens(spans: &[obs::Span]) -> String {
+    if spans.is_empty() {
+        return "-".to_string();
+    }
+    spans
+        .iter()
+        .map(|s| format!("{}:{}..{}", s.stage, s.start, s.end))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// How many interleaved traced/untraced `measure_layout` pairs the
+/// overhead gate times (min-of-k on each arm).
+const OVERHEAD_REPS: usize = 5;
+
+/// Measures the relative wall-clock cost of running `measure_layout`
+/// with a span recorder attached, in percent. Min-of-k on interleaved
+/// runs: both arms get their best case, so scheduler noise cancels
+/// instead of accumulating into a phantom overhead. A warmup run
+/// absorbs first-touch page faults before either arm is timed.
+fn trace_overhead_pct(speed: Speed, workload: &str, platform: &'static Platform) -> f64 {
+    let ctx = MeasureContext::new(speed, workload).expect("known workload");
+    let variant = MachineVariant::real(platform);
+    let layout = MemoryLayout::all_4k(ctx.pool());
+    let _ = measure_layout(&ctx, &variant, &layout);
+
+    let mut untraced = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPS {
+        let t0 = Instant::now();
+        let _ = measure_layout(&ctx, &variant, &layout);
+        untraced = untraced.min(t0.elapsed().as_secs_f64());
+
+        let mut recorder = obs::SpanRecorder::new(64);
+        let t1 = Instant::now();
+        let _ = measure_layout_traced(&ctx, &variant, &layout, Some(&mut recorder));
+        traced = traced.min(t1.elapsed().as_secs_f64());
+    }
+    if untraced <= 0.0 {
+        return 0.0;
+    }
+    (traced - untraced) / untraced * 100.0
 }
 
 /// Today's civil date (UTC) as `YYYY-MM-DD`, from the system clock.

@@ -446,16 +446,54 @@ pub fn measure_layout(
     variant: &MachineVariant,
     layout: &MemoryLayout,
 ) -> RunRecord {
+    measure_layout_traced(ctx, variant, layout, None)
+}
+
+/// Sim-domain stage names emitted by [`measure_layout_traced`], in emission
+/// order per repetition. Span timestamps are *simulated cycles* (the engine's
+/// retirement clock), never wall time, so identical runs produce
+/// byte-identical traces.
+pub const SIM_STAGES: [&str; 3] = ["replay", "page_walk", "finalize"];
+
+/// [`measure_layout`] with optional sim-domain span recording.
+///
+/// When a recorder is supplied, each repetition contributes three spans on a
+/// cumulative simulated-cycle axis (repetition `k` starts where repetition
+/// `k-1` retired its last instruction):
+///
+/// * `replay` — the full trace replay, `[base, base + runtime_cycles]`;
+/// * `page_walk` — the page-walk share of that window,
+///   `[base, base + walk_cycles]` (walks overlap replay by definition);
+/// * `finalize` — a zero-width marker at the repetition's retirement point,
+///   where counters are read out and the CV stopping rule is evaluated.
+///
+/// All timestamps derive from deterministic PMU counters, so the rendered
+/// trace bytes are a pure function of (workload, platform, layout, speed).
+pub fn measure_layout_traced(
+    ctx: &MeasureContext,
+    variant: &MachineVariant,
+    layout: &MemoryLayout,
+    mut recorder: Option<&mut obs::SpanRecorder>,
+) -> RunRecord {
     let mosalloc = Mosalloc::new(config_for_layout(ctx.pool, layout))
         .expect("layout must be a valid pool spec");
     let mut runs: Vec<PmuCounters> = Vec::new();
+    let mut base: u64 = 0;
     for rep in 0..ctx.speed.max_reps.max(1) {
         let config = EngineConfig {
             salt: variant.config.salt ^ (u64::from(rep) << 56),
             ..variant.config
         };
         let mut engine = Engine::with_config(&variant.platform, config);
-        runs.push(engine.run(ctx.spec.trace(&ctx.params), |va| mosalloc.page_size_at(va)));
+        let counters = engine.run(ctx.spec.trace(&ctx.params), |va| mosalloc.page_size_at(va));
+        if let Some(rec) = recorder.as_deref_mut() {
+            let end = base.saturating_add(counters.runtime_cycles);
+            rec.record("replay", base, end);
+            rec.record("page_walk", base, base.saturating_add(counters.walk_cycles));
+            rec.record("finalize", end, end);
+            base = end;
+        }
+        runs.push(counters);
         if runs.len() >= 2 && runtime_cv(&runs) < 0.05 {
             break;
         }

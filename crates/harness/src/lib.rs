@@ -37,7 +37,10 @@ pub mod report;
 mod speed;
 pub mod tables;
 
-pub use experiment::{measure_layout, Grid, GridEntry, MachineVariant, MeasureContext, RunRecord};
+pub use experiment::{
+    measure_layout, measure_layout_traced, Grid, GridEntry, MachineVariant, MeasureContext,
+    RunRecord, SIM_STAGES,
+};
 pub use speed::Speed;
 
 /// The fast preset (shrunken footprints and short traces) for tests.

@@ -10,13 +10,19 @@
 //! change, never for an "optimization".
 
 use harness::{measure_layout, MachineVariant, MeasureContext, Speed};
-use machine::Platform;
+use machine::{EngineConfig, Platform};
 use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
 
 /// Measures the pinned triple: gups/8GB on SandyBridge with the first
 /// half of the pool backed by 2MB pages (both halves are 2MB-aligned for
 /// every preset, so the layout is exactly reproducible).
 fn measure(speed: Speed) -> (PmuCounters, f64) {
+    measure_with_config(speed, EngineConfig::default())
+}
+
+/// Same pinned triple, but with an explicit engine configuration so
+/// machine variants (e.g. nested paging) can be pinned too.
+fn measure_with_config(speed: Speed, config: EngineConfig) -> (PmuCounters, f64) {
     let ctx = MeasureContext::new(speed, "gups/8GB").expect("known workload");
     let pool = ctx.pool();
     let half = Region::new(pool.start(), pool.len() / 2);
@@ -25,7 +31,11 @@ fn measure(speed: Speed) -> (PmuCounters, f64) {
         .expect("2M-aligned half-pool window")
         .build()
         .expect("valid layout");
-    let variant = MachineVariant::real(&Platform::SANDY_BRIDGE);
+    let variant = MachineVariant {
+        name: "golden-variant".to_string(),
+        platform: Platform::SANDY_BRIDGE.clone(),
+        config,
+    };
     let record = measure_layout(&ctx, &variant, &layout);
     (record.counters, record.cv_r)
 }
@@ -47,6 +57,42 @@ fn fast_preset_counters_are_byte_identical_to_golden() {
         walker_l3_loads: 10_055,
     };
     assert_eq!(counters, golden, "FAST counters drifted from golden");
+    assert_eq!(
+        cv_r.to_bits(),
+        0.0f64.to_bits(),
+        "single-rep FAST run must have exactly zero runtime variance"
+    );
+}
+
+#[test]
+fn fast_preset_nested_paging_counters_are_byte_identical_to_golden() {
+    // Virtualized variant (guest backed by 4KB host pages): pins the 2D
+    // walk path *and* the TranslationMemo bypass that virtualization takes
+    // through the memory subsystem, bit-for-bit.
+    let (counters, cv_r) = measure_with_config(
+        Speed::FAST,
+        EngineConfig {
+            virtualized: Some(PageSize::Base4K),
+            ..EngineConfig::default()
+        },
+    );
+    let golden = PmuCounters {
+        runtime_cycles: 6_802_063,
+        stlb_hits: 530,
+        stlb_misses: 19_507,
+        walk_cycles: 5_422_012,
+        instructions: 280_163,
+        program_l1d_loads: 80_000,
+        program_l2_loads: 39_996,
+        program_l3_loads: 39_970,
+        walker_l1d_loads: 118_388,
+        walker_l2_loads: 61_540,
+        walker_l3_loads: 48_435,
+    };
+    assert_eq!(
+        counters, golden,
+        "nested-paging counters drifted from golden"
+    );
     assert_eq!(
         cv_r.to_bits(),
         0.0f64.to_bits(),

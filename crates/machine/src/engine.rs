@@ -260,6 +260,14 @@ impl Engine {
         self.headroom -= hide;
     }
 
+    /// The current simulated cycle count (the retirement-point clock,
+    /// rounded the same way as `PmuCounters::runtime_cycles`). This is the
+    /// tick source for sim-domain observability spans: it is a pure function
+    /// of the trace and platform, so identical runs read identical values.
+    pub fn cycles(&self) -> u64 {
+        self.now.round() as u64
+    }
+
     /// Reads out the accumulated counters.
     pub fn counters(&self) -> PmuCounters {
         let program = self.vm.memory().program_loads();

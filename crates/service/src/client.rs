@@ -7,7 +7,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use mosmodel::ModelKind;
 
 use crate::metrics::StatsSnapshot;
-use crate::protocol::{parse_prediction, parse_warm, Prediction};
+use crate::prom::{parse_metrics, MetricsReport};
+use crate::protocol::{parse_prediction, parse_trace_header, parse_warm, Prediction};
 
 /// Why a client call failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -158,6 +159,66 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         let line = self.roundtrip("stats")?;
         StatsSnapshot::parse(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Reads one response line (without sending anything); used by the
+    /// multi-line verbs after the first line has been read.
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io("server closed the connection".to_string()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Fetches the Prometheus exposition (the `metrics` verb) and parses
+    /// it back into a [`MetricsReport`]. Use [`Client::metrics_text`]
+    /// for the raw scrape body.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`].
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        let text = self.metrics_text()?;
+        parse_metrics(&text).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches the raw Prometheus text exposition, exactly as a scraper
+    /// would see it (terminated by `# EOF` and a newline).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`].
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let first = self.roundtrip("metrics")?;
+        let mut text = String::new();
+        let mut line = first;
+        loop {
+            let done = line == "# EOF";
+            text.push_str(&line);
+            text.push('\n');
+            if done {
+                return Ok(text);
+            }
+            line = self.read_line()?;
+        }
+    }
+
+    /// Fetches the last `n` request traces; returns the traces (oldest
+    /// first) and the ring's lifetime drop counter.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`].
+    pub fn trace(&mut self, n: usize) -> Result<(Vec<obs::Trace>, u64), ClientError> {
+        let header = self.roundtrip(&format!("trace {n}"))?;
+        let (count, dropped) = parse_trace_header(&header).map_err(ClientError::Protocol)?;
+        let mut traces = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let line = self.read_line()?;
+            traces.push(obs::parse_trace(&line).map_err(ClientError::Protocol)?);
+        }
+        Ok((traces, dropped))
     }
 }
 

@@ -19,7 +19,16 @@
 //! | `predict <workload> <platform> <layout-spec> [model]` | `ok r=… h=… m=… c=… model=… pred=… max_err=… geo_err=…` |
 //! | `warm <workload> <platform>` | `warm workload=… platform=… models=…` |
 //! | `stats` | `stats requests=… … p50_us=… buckets=…` |
+//! | `metrics` | Prometheus text exposition, multi-line, ends with `# EOF` |
+//! | `trace [n]` | `traces count=… dropped=…` then one `trace …` line per trace |
 //! | anything else | `err <reason>` |
+//!
+//! `metrics` and `trace` are the only multi-line responses; both are
+//! self-framing (the `# EOF` terminator and the `count=` header), so
+//! clients never guess where a response ends. Request handling is traced
+//! end-to-end into fixed-capacity ring buffers ([`obs`]): wall-domain
+//! spans (µs) for the request path, sim-domain spans (simulated cycles,
+//! byte-identical across identical runs) for the partial simulation.
 //!
 //! `warm` pre-fits a pair's models without running a prediction, so a
 //! deployment can pay the one-time fitting cost up front (`mosaic serve
@@ -64,9 +73,11 @@
 pub mod cache;
 pub mod client;
 pub mod metrics;
+pub mod prom;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+mod trace;
 
 use std::fmt;
 

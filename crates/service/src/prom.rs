@@ -1,0 +1,617 @@
+//! Prometheus text exposition for the `metrics` verb.
+//!
+//! [`render_metrics`] emits the classic text format (`# HELP` / `# TYPE`
+//! comments, one sample per line, an OpenMetrics-style `# EOF`
+//! terminator) covering **every** [`StatsSnapshot`] counter plus the
+//! per-stage span sums and trace-ring gauges added by the tracing layer.
+//! [`parse_metrics`] is the exact inverse on everything `render_metrics`
+//! produces (render→parse→render is a fixed point) and never panics on
+//! arbitrary input, which the property suite exercises.
+
+use crate::cache::CacheCounters;
+use crate::metrics::{StatsSnapshot, BUCKET_BOUNDS_US};
+use crate::registry::RegistryCounters;
+
+/// Aggregate span totals for one stage, one clock domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageEntry {
+    /// Stage name (e.g. `read`, `fit`, `replay`).
+    pub stage: String,
+    /// Total ticks (µs for the wall domain, simulated cycles for sim)
+    /// across all spans of this stage.
+    pub total_ticks: u64,
+    /// Number of spans recorded for this stage.
+    pub spans: u64,
+}
+
+/// Everything the `metrics` verb exposes: the flat `stats` counters plus
+/// the tracing layer's aggregates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// The same snapshot the `stats` verb serves.
+    pub stats: StatsSnapshot,
+    /// Wall-domain stage totals (request-path stages, µs).
+    pub wall_stages: Vec<StageEntry>,
+    /// Sim-domain stage totals (partial-simulation stages, cycles).
+    pub sim_stages: Vec<StageEntry>,
+    /// Traces currently buffered in the ring.
+    pub traces_buffered: u64,
+    /// Ring capacity (traces retained before eviction).
+    pub trace_capacity: u64,
+    /// Traces evicted or rejected since startup.
+    pub traces_dropped: u64,
+}
+
+/// Canonical `le` label for a bucket bound (`u64::MAX` is the unbounded
+/// bucket, spelt `+Inf` in Prometheus).
+fn le_label(bound: u64) -> String {
+    if bound == u64::MAX {
+        "+Inf".to_string()
+    } else {
+        bound.to_string()
+    }
+}
+
+fn push_metric(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn push_sample(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn push_stage_samples(
+    out: &mut String,
+    name: &str,
+    domain: &str,
+    entries: &[StageEntry],
+    ticks: bool,
+) {
+    for e in entries {
+        let value = if ticks { e.total_ticks } else { e.spans };
+        out.push_str(&format!(
+            "{name}{{domain=\"{domain}\",stage=\"{stage}\"}} {value}\n",
+            stage = e.stage
+        ));
+    }
+}
+
+/// Renders the report as Prometheus text exposition (ends with `# EOF`
+/// and a trailing newline).
+pub fn render_metrics(report: &MetricsReport) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    push_metric(
+        &mut out,
+        "mosaicd_requests_total",
+        "counter",
+        "Request lines served, including errors.",
+    );
+    push_sample(&mut out, "mosaicd_requests_total", s.requests);
+    push_metric(
+        &mut out,
+        "mosaicd_predicts_total",
+        "counter",
+        "Requests that were predict commands.",
+    );
+    push_sample(&mut out, "mosaicd_predicts_total", s.predicts);
+    push_metric(
+        &mut out,
+        "mosaicd_errors_total",
+        "counter",
+        "Requests answered with err.",
+    );
+    push_sample(&mut out, "mosaicd_errors_total", s.errors);
+    push_metric(
+        &mut out,
+        "mosaicd_busy_total",
+        "counter",
+        "Connections rejected with busy (admission queue full).",
+    );
+    push_sample(&mut out, "mosaicd_busy_total", s.busy);
+    push_metric(
+        &mut out,
+        "mosaicd_queue_depth",
+        "gauge",
+        "Admission-queue depth at scrape time.",
+    );
+    push_sample(&mut out, "mosaicd_queue_depth", s.queue_depth);
+    push_metric(
+        &mut out,
+        "mosaicd_registry_hits_total",
+        "counter",
+        "Registry lookups answered from memory.",
+    );
+    push_sample(&mut out, "mosaicd_registry_hits_total", s.registry.hits);
+    push_metric(
+        &mut out,
+        "mosaicd_registry_misses_total",
+        "counter",
+        "Registry lookups that required a fit or disk load.",
+    );
+    push_sample(&mut out, "mosaicd_registry_misses_total", s.registry.misses);
+    push_metric(
+        &mut out,
+        "mosaicd_registry_disk_loads_total",
+        "counter",
+        "Registry misses satisfied from the on-disk store.",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_registry_disk_loads_total",
+        s.registry.disk_loads,
+    );
+    push_metric(
+        &mut out,
+        "mosaicd_registry_fitting",
+        "gauge",
+        "Model fits currently in flight (singleflight slots).",
+    );
+    push_sample(&mut out, "mosaicd_registry_fitting", s.registry.fitting);
+    push_metric(
+        &mut out,
+        "mosaicd_prediction_cache_hits_total",
+        "counter",
+        "Predictions answered from the bounded cache.",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_prediction_cache_hits_total",
+        s.cache.hits,
+    );
+    push_metric(
+        &mut out,
+        "mosaicd_prediction_cache_misses_total",
+        "counter",
+        "Predictions that ran the partial simulation.",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_prediction_cache_misses_total",
+        s.cache.misses,
+    );
+
+    push_metric(
+        &mut out,
+        "mosaicd_request_latency_us",
+        "histogram",
+        "Request handling latency in microseconds.",
+    );
+    let mut cumulative: u64 = 0;
+    for (count, bound) in s.buckets.iter().zip(BUCKET_BOUNDS_US) {
+        cumulative = cumulative.saturating_add(*count);
+        out.push_str(&format!(
+            "mosaicd_request_latency_us_bucket{{le=\"{}\"}} {cumulative}\n",
+            le_label(bound)
+        ));
+    }
+    push_sample(&mut out, "mosaicd_request_latency_us_count", cumulative);
+
+    push_metric(
+        &mut out,
+        "mosaicd_stage_ticks_total",
+        "counter",
+        "Total span ticks per stage (us for domain=wall, simulated cycles for domain=sim).",
+    );
+    push_stage_samples(
+        &mut out,
+        "mosaicd_stage_ticks_total",
+        "wall",
+        &report.wall_stages,
+        true,
+    );
+    push_stage_samples(
+        &mut out,
+        "mosaicd_stage_ticks_total",
+        "sim",
+        &report.sim_stages,
+        true,
+    );
+    push_metric(
+        &mut out,
+        "mosaicd_stage_spans_total",
+        "counter",
+        "Number of spans recorded per stage.",
+    );
+    push_stage_samples(
+        &mut out,
+        "mosaicd_stage_spans_total",
+        "wall",
+        &report.wall_stages,
+        false,
+    );
+    push_stage_samples(
+        &mut out,
+        "mosaicd_stage_spans_total",
+        "sim",
+        &report.sim_stages,
+        false,
+    );
+
+    push_metric(
+        &mut out,
+        "mosaicd_traces_buffered",
+        "gauge",
+        "Request traces currently held in the ring buffer.",
+    );
+    push_sample(&mut out, "mosaicd_traces_buffered", report.traces_buffered);
+    push_metric(
+        &mut out,
+        "mosaicd_trace_capacity",
+        "gauge",
+        "Ring-buffer capacity in traces.",
+    );
+    push_sample(&mut out, "mosaicd_trace_capacity", report.trace_capacity);
+    push_metric(
+        &mut out,
+        "mosaicd_traces_dropped_total",
+        "counter",
+        "Traces evicted from or rejected by the ring buffer.",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_traces_dropped_total",
+        report.traces_dropped,
+    );
+    out.push_str("# EOF\n");
+    out
+}
+
+/// One non-comment sample line, split into name, optional label body,
+/// and value.
+struct Sample<'a> {
+    name: &'a str,
+    labels: Option<&'a str>,
+    value: u64,
+}
+
+fn split_sample(line: &str) -> Result<Sample<'_>, String> {
+    let (name_part, value_part) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample line {line:?} has no value"))?;
+    let value = value_part
+        .parse::<u64>()
+        .map_err(|e| format!("bad value in {line:?}: {e}"))?;
+    match name_part.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels in {line:?}"))?;
+            Ok(Sample {
+                name,
+                labels: Some(labels),
+                value,
+            })
+        }
+        None => Ok(Sample {
+            name: name_part,
+            labels: None,
+            value,
+        }),
+    }
+}
+
+/// Parses a `key="value"` label list (as rendered here: no escaping, no
+/// spaces around separators).
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for item in body.split(',') {
+        let (key, rest) = item
+            .split_once("=\"")
+            .ok_or_else(|| format!("bad label {item:?}"))?;
+        let value = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated label value in {item:?}"))?;
+        if value.contains('"') || value.contains('\\') {
+            return Err(format!("unsupported label escape in {item:?}"));
+        }
+        out.push((key.to_string(), value.to_string()));
+    }
+    Ok(out)
+}
+
+fn stage_labels(sample: &Sample<'_>) -> Result<(String, String), String> {
+    let body = sample
+        .labels
+        .ok_or_else(|| format!("{} needs domain/stage labels", sample.name))?;
+    let labels = parse_labels(body)?;
+    match labels.as_slice() {
+        [(dk, domain), (sk, stage)] if dk == "domain" && sk == "stage" => {
+            Ok((domain.clone(), stage.clone()))
+        }
+        _ => Err(format!("{} needs domain=…,stage=… labels", sample.name)),
+    }
+}
+
+type SampleIter<'a> = std::iter::Peekable<std::vec::IntoIter<Sample<'a>>>;
+
+/// Consumes the next sample, requiring an unlabelled metric of the given
+/// name.
+fn next_plain(iter: &mut SampleIter<'_>, name: &str) -> Result<u64, String> {
+    let sample = iter
+        .next()
+        .ok_or_else(|| format!("missing sample {name}"))?;
+    if sample.name != name || sample.labels.is_some() {
+        return Err(format!("expected sample {name}, got {}", sample.name));
+    }
+    Ok(sample.value)
+}
+
+/// Parses Prometheus text produced by [`render_metrics`].
+///
+/// Comment lines (`# …`) are skipped; samples must appear in the
+/// canonical render order. Never panics; malformed input yields `Err`.
+pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
+    let mut samples = Vec::new();
+    let mut saw_eof = false;
+    for line in text.lines() {
+        if saw_eof {
+            return Err("content after # EOF".to_string());
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        samples.push(split_sample(line)?);
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_string());
+    }
+    let mut iter = samples.into_iter().peekable();
+    let requests = next_plain(&mut iter, "mosaicd_requests_total")?;
+    let predicts = next_plain(&mut iter, "mosaicd_predicts_total")?;
+    let errors = next_plain(&mut iter, "mosaicd_errors_total")?;
+    let busy = next_plain(&mut iter, "mosaicd_busy_total")?;
+    let queue_depth = next_plain(&mut iter, "mosaicd_queue_depth")?;
+    let registry = RegistryCounters {
+        hits: next_plain(&mut iter, "mosaicd_registry_hits_total")?,
+        misses: next_plain(&mut iter, "mosaicd_registry_misses_total")?,
+        disk_loads: next_plain(&mut iter, "mosaicd_registry_disk_loads_total")?,
+        fitting: next_plain(&mut iter, "mosaicd_registry_fitting")?,
+    };
+    let cache = CacheCounters {
+        hits: next_plain(&mut iter, "mosaicd_prediction_cache_hits_total")?,
+        misses: next_plain(&mut iter, "mosaicd_prediction_cache_misses_total")?,
+    };
+
+    let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
+    let mut previous: u64 = 0;
+    for (out, bound) in buckets.iter_mut().zip(BUCKET_BOUNDS_US) {
+        let sample = iter
+            .next()
+            .ok_or_else(|| "missing histogram bucket".to_string())?;
+        if sample.name != "mosaicd_request_latency_us_bucket" {
+            return Err(format!("expected histogram bucket, got {}", sample.name));
+        }
+        let labels = parse_labels(sample.labels.unwrap_or_default())?;
+        match labels.as_slice() {
+            [(key, le)] if key == "le" && *le == le_label(bound) => {}
+            _ => {
+                return Err(format!(
+                    "bucket le label mismatch (want {})",
+                    le_label(bound)
+                ))
+            }
+        }
+        *out = sample
+            .value
+            .checked_sub(previous)
+            .ok_or_else(|| "histogram buckets are not cumulative".to_string())?;
+        previous = sample.value;
+    }
+    let count = next_plain(&mut iter, "mosaicd_request_latency_us_count")?;
+    if count != previous {
+        return Err("histogram count disagrees with +Inf bucket".to_string());
+    }
+
+    // Stage samples: a run of ticks lines, then a run of spans lines
+    // whose (domain, stage) sequence must match exactly.
+    let mut ticks: Vec<(String, String, u64)> = Vec::new();
+    while iter
+        .peek()
+        .is_some_and(|s| s.name == "mosaicd_stage_ticks_total")
+    {
+        let sample = iter
+            .next()
+            .ok_or_else(|| "peeked sample vanished".to_string())?;
+        let (domain, stage) = stage_labels(&sample)?;
+        ticks.push((domain, stage, sample.value));
+    }
+    let mut spans: Vec<(String, String, u64)> = Vec::new();
+    while iter
+        .peek()
+        .is_some_and(|s| s.name == "mosaicd_stage_spans_total")
+    {
+        let sample = iter
+            .next()
+            .ok_or_else(|| "peeked sample vanished".to_string())?;
+        let (domain, stage) = stage_labels(&sample)?;
+        spans.push((domain, stage, sample.value));
+    }
+    if ticks.len() != spans.len() {
+        return Err("stage ticks/spans sample counts differ".to_string());
+    }
+    let mut wall_stages = Vec::new();
+    let mut sim_stages = Vec::new();
+    for ((t_domain, t_stage, total_ticks), (s_domain, s_stage, span_count)) in
+        ticks.into_iter().zip(spans)
+    {
+        if t_domain != s_domain || t_stage != s_stage {
+            return Err("stage ticks/spans samples disagree on labels".to_string());
+        }
+        let entry = StageEntry {
+            stage: t_stage,
+            total_ticks,
+            spans: span_count,
+        };
+        match t_domain.as_str() {
+            "wall" => wall_stages.push(entry),
+            "sim" => sim_stages.push(entry),
+            other => return Err(format!("unknown stage domain {other:?}")),
+        }
+    }
+
+    let traces_buffered = next_plain(&mut iter, "mosaicd_traces_buffered")?;
+    let trace_capacity = next_plain(&mut iter, "mosaicd_trace_capacity")?;
+    let traces_dropped = next_plain(&mut iter, "mosaicd_traces_dropped_total")?;
+    if iter.next().is_some() {
+        return Err("unexpected trailing samples".to_string());
+    }
+
+    Ok(MetricsReport {
+        stats: StatsSnapshot {
+            requests,
+            predicts,
+            errors,
+            busy,
+            queue_depth,
+            registry,
+            cache,
+            buckets,
+        },
+        wall_stages,
+        sim_stages,
+        traces_buffered,
+        trace_capacity,
+        traces_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> MetricsReport {
+        let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
+        buckets[0] = 5;
+        buckets[4] = 2;
+        buckets[BUCKET_BOUNDS_US.len() - 1] = 1;
+        MetricsReport {
+            stats: StatsSnapshot {
+                requests: 8,
+                predicts: 6,
+                errors: 1,
+                busy: 2,
+                queue_depth: 3,
+                registry: RegistryCounters {
+                    hits: 5,
+                    misses: 1,
+                    disk_loads: 1,
+                    fitting: 1,
+                },
+                cache: CacheCounters { hits: 4, misses: 2 },
+                buckets,
+            },
+            wall_stages: vec![
+                StageEntry {
+                    stage: "read".to_string(),
+                    total_ticks: 120,
+                    spans: 8,
+                },
+                StageEntry {
+                    stage: "fit".to_string(),
+                    total_ticks: 90_000,
+                    spans: 6,
+                },
+            ],
+            sim_stages: vec![StageEntry {
+                stage: "replay".to_string(),
+                total_ticks: 2_409_763,
+                spans: 2,
+            }],
+            traces_buffered: 7,
+            trace_capacity: 256,
+            traces_dropped: 1,
+        }
+    }
+
+    #[test]
+    fn exposition_roundtrips() {
+        let report = sample_report();
+        let text = render_metrics(&report);
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        assert_eq!(parse_metrics(&text), Ok(report.clone()));
+        // render→parse→render fixed point.
+        let reparsed = parse_metrics(&text).unwrap();
+        assert_eq!(render_metrics(&reparsed), text);
+    }
+
+    #[test]
+    fn exposition_covers_every_stats_counter() {
+        let text = render_metrics(&sample_report());
+        for needle in [
+            "mosaicd_requests_total 8",
+            "mosaicd_predicts_total 6",
+            "mosaicd_errors_total 1",
+            "mosaicd_busy_total 2",
+            "mosaicd_queue_depth 3",
+            "mosaicd_registry_hits_total 5",
+            "mosaicd_registry_misses_total 1",
+            "mosaicd_registry_disk_loads_total 1",
+            "mosaicd_registry_fitting 1",
+            "mosaicd_prediction_cache_hits_total 4",
+            "mosaicd_prediction_cache_misses_total 2",
+            "mosaicd_request_latency_us_bucket{le=\"50\"} 5",
+            "mosaicd_request_latency_us_bucket{le=\"+Inf\"} 8",
+            "mosaicd_request_latency_us_count 8",
+            "mosaicd_stage_ticks_total{domain=\"wall\",stage=\"read\"} 120",
+            "mosaicd_stage_ticks_total{domain=\"sim\",stage=\"replay\"} 2409763",
+            "mosaicd_stage_spans_total{domain=\"wall\",stage=\"fit\"} 6",
+            "mosaicd_traces_buffered 7",
+            "mosaicd_trace_capacity 256",
+            "mosaicd_traces_dropped_total 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let text = render_metrics(&sample_report());
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("mosaicd_request_latency_us_bucket") {
+                let value: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(value >= last, "buckets must be cumulative: {line}");
+                last = value;
+                bucket_lines += 1;
+            }
+        }
+        assert_eq!(bucket_lines, BUCKET_BOUNDS_US.len());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_expositions() {
+        let good = render_metrics(&sample_report());
+        for bad in [
+            String::new(),
+            "mosaicd_requests_total 1\n".to_string(),
+            good.replace("# EOF\n", ""),
+            good.replace("mosaicd_requests_total 8", "mosaicd_requests_total eight"),
+            good.replace("le=\"50\"", "le=\"51\""),
+            good.replace(
+                "mosaicd_request_latency_us_count 8",
+                "mosaicd_request_latency_us_count 9",
+            ),
+            good.replace("domain=\"sim\"", "domain=\"cpu\""),
+            format!("{good}mosaicd_requests_total 1\n"),
+        ] {
+            assert!(parse_metrics(&bad).is_err(), "accepted:\n{bad}");
+        }
+    }
+}

@@ -34,7 +34,20 @@ pub enum Request {
     },
     /// `stats` — dump the metrics snapshot.
     Stats,
+    /// `metrics` — Prometheus text exposition (multi-line response
+    /// terminated by `# EOF`).
+    Metrics,
+    /// `trace [n]` — dump the last `n` request traces (default
+    /// [`DEFAULT_TRACE_COUNT`]); the response is a `traces count=… …`
+    /// header followed by that many `trace …` lines.
+    Trace {
+        /// How many traces to return (capped by the ring's contents).
+        n: usize,
+    },
 }
+
+/// How many traces `trace` returns when no count is given.
+pub const DEFAULT_TRACE_COUNT: usize = 16;
 
 /// Looks a model kind up by its wire name (`pham`, `poly2`, `mosmodel`, ...).
 pub fn model_by_name(name: &str) -> Option<ModelKind> {
@@ -86,6 +99,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 return Err("stats takes no arguments".to_string());
             }
             Ok(Request::Stats)
+        }
+        Some("metrics") => {
+            if words.next().is_some() {
+                return Err("metrics takes no arguments".to_string());
+            }
+            Ok(Request::Metrics)
+        }
+        Some("trace") => {
+            let n = match words.next() {
+                None => DEFAULT_TRACE_COUNT,
+                Some(text) => text
+                    .parse::<usize>()
+                    .map_err(|_| format!("trace count must be a number, got {text:?}"))?,
+            };
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected trailing argument {extra:?}"));
+            }
+            Ok(Request::Trace { n })
         }
         Some(verb) => Err(format!("unknown command {verb:?}")),
         None => Err("empty request".to_string()),
@@ -151,6 +182,34 @@ pub fn parse_warm(line: &str) -> Result<u64, String> {
     models
         .parse::<u64>()
         .map_err(|e| format!("bad models: {e}"))
+}
+
+/// Renders the `traces …` response header (no newline): how many trace
+/// lines follow and the ring's lifetime drop count.
+pub fn render_trace_header(count: usize, dropped: u64) -> String {
+    format!("traces count={count} dropped={dropped}")
+}
+
+/// Parses a `traces …` response header; returns `(count, dropped)`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_trace_header(line: &str) -> Result<(usize, u64), String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("traces") {
+        return Err(format!("expected traces response, got {line:?}"));
+    }
+    let count = field(&mut words, "count")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad count: {e}"))?;
+    let dropped = field(&mut words, "dropped")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad dropped: {e}"))?;
+    if words.next().is_some() {
+        return Err("unexpected trailing tokens on traces header".to_string());
+    }
+    Ok((count, dropped))
 }
 
 fn field<'a>(words: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<&'a str, String> {
@@ -226,6 +285,14 @@ mod tests {
                 platform: "sandybridge".into(),
             })
         );
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
+        assert_eq!(
+            parse_request("trace"),
+            Ok(Request::Trace {
+                n: DEFAULT_TRACE_COUNT
+            })
+        );
+        assert_eq!(parse_request("trace 3"), Ok(Request::Trace { n: 3 }));
         for bad in [
             "",
             "predict",
@@ -237,9 +304,32 @@ mod tests {
             "warm a",
             "warm a b c",
             "stats now",
+            "metrics now",
+            "trace x",
+            "trace -1",
+            "trace 3 4",
             "frobnicate",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn trace_header_roundtrips() {
+        let line = render_trace_header(5, 12);
+        assert_eq!(line, "traces count=5 dropped=12");
+        assert_eq!(parse_trace_header(&line), Ok((5, 12)));
+        for bad in [
+            "",
+            "traces",
+            "traces count=x dropped=0",
+            "ok r=1",
+            "traces count=1 dropped=2 x",
+        ] {
+            assert!(
+                parse_trace_header(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 

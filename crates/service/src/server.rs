@@ -23,15 +23,20 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use harness::{measure_layout, MachineVariant};
+use harness::{measure_layout_traced, MachineVariant, SIM_STAGES};
 use layouts::parse_spec;
 use machine::Platform;
 use mosmodel::{ModelKind, RuntimeModel};
+use obs::{render_trace, ClockDomain, StageSums, TraceRing};
 
 use crate::cache::prediction_key;
 use crate::metrics::{Metrics, StatsSnapshot};
-use crate::protocol::{parse_request, render_prediction, render_warm, Prediction, Request};
+use crate::prom::{render_metrics, MetricsReport, StageEntry};
+use crate::protocol::{
+    parse_request, render_prediction, render_trace_header, render_warm, Prediction, Request,
+};
 use crate::registry::ModelRegistry;
+use crate::trace::RequestTrace;
 use crate::ServiceError;
 
 /// Longest request line the server accepts, in bytes. A client
@@ -39,6 +44,15 @@ use crate::ServiceError;
 /// once and ignored until its next newline, instead of growing the
 /// line buffer without bound.
 pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Spans one request may record per clock domain before the recorder
+/// starts counting drops. Sized for the deepest path (a cold predict:
+/// read, parse, fit, cache lookup, simulation, render, plus three sim
+/// spans per repetition) with headroom.
+pub const TRACE_SPAN_CAPACITY: usize = 16;
+
+/// Wall-domain stage names the request path records, in pipeline order.
+pub const WALL_STAGES: [&str; 6] = ["read", "parse", "fit", "cache_lookup", "simulate", "render"];
 
 /// How a [`Server`] listens and schedules work.
 #[derive(Clone, Debug)]
@@ -49,6 +63,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission-queue bound; connections beyond it are answered `busy`.
     pub queue_bound: usize,
+    /// How many finished request traces the server retains for the
+    /// `trace` verb; older traces are evicted (and counted as dropped)
+    /// rather than growing memory.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +75,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_bound: 64,
+            trace_capacity: 256,
         }
     }
 }
@@ -69,6 +88,12 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     queue_bound: usize,
+    /// Wall-domain per-stage tick totals (µs), exposed by `metrics`.
+    wall_stages: StageSums,
+    /// Sim-domain per-stage tick totals (simulated cycles).
+    sim_stages: StageSums,
+    /// Ring of the most recent finished traces, served by `trace`.
+    traces: TraceRing,
 }
 
 /// A running mosaicd instance. Dropping the handle without calling
@@ -98,6 +123,9 @@ impl Server {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             queue_bound: config.queue_bound.max(1),
+            wall_stages: StageSums::new(&WALL_STAGES),
+            sim_stages: StageSums::new(&SIM_STAGES),
+            traces: TraceRing::new(config.trace_capacity),
         });
 
         let acceptor = {
@@ -140,6 +168,11 @@ impl Server {
     /// The registry backing the server.
     pub fn registry(&self) -> &ModelRegistry {
         &self.shared.registry
+    }
+
+    /// The full observability report (same data as the `metrics` verb).
+    pub fn metrics_report(&self) -> MetricsReport {
+        metrics_report(&self.shared)
     }
 
     /// Gracefully shuts down: stop admitting, finish in-flight requests,
@@ -280,25 +313,33 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut line: Vec<u8> = Vec::new();
     // True while skipping the remainder of an over-long request.
     let mut discarding = false;
+    // When the current request's first bytes arrived — the wall epoch of
+    // its trace, so the `read` span covers the whole line accumulation.
+    let mut request_started: Option<Instant> = None;
     loop {
         let mut complete = false;
         let consumed = match reader.fill_buf() {
             Ok([]) => return,
-            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
-                Some(nl) => {
-                    if !discarding {
-                        line.extend_from_slice(buf.get(..nl).unwrap_or_default());
-                    }
-                    complete = true;
-                    nl + 1
+            Ok(buf) => {
+                if request_started.is_none() {
+                    request_started = Some(Instant::now());
                 }
-                None => {
-                    if !discarding {
-                        line.extend_from_slice(buf);
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        if !discarding {
+                            line.extend_from_slice(buf.get(..nl).unwrap_or_default());
+                        }
+                        complete = true;
+                        nl + 1
                     }
-                    buf.len()
+                    None => {
+                        if !discarding {
+                            line.extend_from_slice(buf);
+                        }
+                        buf.len()
+                    }
                 }
-            },
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -320,6 +361,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             // The over-long request's tail is being thrown away; a
             // newline means the connection is back at a boundary.
             discarding = !complete;
+            if complete {
+                request_started = None;
+            }
             continue;
         }
         if line.len() > MAX_REQUEST_BYTES {
@@ -328,6 +372,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             // If the newline already arrived we are at a boundary;
             // otherwise keep discarding until it does.
             discarding = !complete;
+            if complete {
+                request_started = None;
+            }
             if writer
                 .write_all(b"err request too long (max 65536 bytes)\n")
                 .is_err()
@@ -341,8 +388,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         }
 
         let started = Instant::now();
-        let (response, was_predict, was_error) = match std::str::from_utf8(&line) {
-            Ok(text) => handle_line_shielded(text, shared),
+        let epoch = request_started.take().unwrap_or(started);
+        let mut tracer = RequestTrace::new(TRACE_SPAN_CAPACITY, epoch);
+        // The read span: from the request's first byte to the complete
+        // line (handling latency, recorded below, starts here).
+        let read_end = tracer.now_us();
+        tracer.wall.record("read", 0, read_end);
+        let (response, verb, was_predict, was_error) = match std::str::from_utf8(&line) {
+            Ok(text) => handle_line_shielded(text, shared, &mut tracer),
             // Raw non-UTF-8 bytes cannot carry a valid request; close,
             // matching the old `read_line` behaviour.
             Err(_) => return,
@@ -351,10 +404,54 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         shared
             .metrics
             .record_request(latency_us, was_predict, was_error);
+        finish_trace(shared, verb, tracer);
         line.clear();
         if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
             return;
         }
+    }
+}
+
+/// Folds a finished request's spans into the stage sums and pushes its
+/// trace(s) into the ring: always a wall-domain trace, plus a sim-domain
+/// trace when the partial simulation ran.
+fn finish_trace(shared: &Shared, verb: &'static str, tracer: RequestTrace) {
+    let ((wall_spans, wall_dropped), (sim_spans, sim_dropped)) = tracer.into_parts();
+    shared.wall_stages.add_spans(&wall_spans);
+    shared
+        .traces
+        .push(verb, ClockDomain::Wall, wall_spans, wall_dropped);
+    if !sim_spans.is_empty() || sim_dropped > 0 {
+        shared.sim_stages.add_spans(&sim_spans);
+        shared
+            .traces
+            .push(verb, ClockDomain::Sim, sim_spans, sim_dropped);
+    }
+}
+
+/// Assembles the `metrics` report from the live server state.
+fn metrics_report(shared: &Shared) -> MetricsReport {
+    let stats = shared.metrics.snapshot(
+        shared.registry.counters(),
+        shared.registry.prediction_cache().counters(),
+    );
+    let entries = |sums: &StageSums| -> Vec<StageEntry> {
+        sums.snapshot()
+            .into_iter()
+            .map(|s| StageEntry {
+                stage: s.stage.to_string(),
+                total_ticks: s.total_ticks,
+                spans: s.spans,
+            })
+            .collect()
+    };
+    MetricsReport {
+        stats,
+        wall_stages: entries(&shared.wall_stages),
+        sim_stages: entries(&shared.sim_stages),
+        traces_buffered: shared.traces.len() as u64,
+        trace_capacity: shared.traces.capacity() as u64,
+        traces_dropped: shared.traces.dropped(),
     }
 }
 
@@ -364,18 +461,31 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 /// while the acceptor keeps admitting connections. Any panic becomes a
 /// protocol-level `err internal ...` response and the worker lives on
 /// (the shared queue tolerates this — see [`lock_queue`]).
-fn handle_line_shielded(line: &str, shared: &Shared) -> (String, bool, bool) {
-    catch_unwind(AssertUnwindSafe(|| handle_line(line.trim_end(), shared))).unwrap_or_else(|_| {
+fn handle_line_shielded(
+    line: &str,
+    shared: &Shared,
+    tracer: &mut RequestTrace,
+) -> (String, &'static str, bool, bool) {
+    catch_unwind(AssertUnwindSafe(|| {
+        handle_line(line.trim_end(), shared, tracer)
+    }))
+    .unwrap_or_else(|_| {
         (
             "err internal: request handler panicked; request rejected".to_string(),
+            "panic",
             false,
             true,
         )
     })
 }
 
-/// Handles one request line; returns `(response, was_predict, was_error)`.
-fn handle_line(line: &str, shared: &Shared) -> (String, bool, bool) {
+/// Handles one request line; returns `(response, verb, was_predict,
+/// was_error)`. The verb labels the request's trace in the ring.
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    tracer: &mut RequestTrace,
+) -> (String, &'static str, bool, bool) {
     // Fault-injection hook for the shield regression test: the only way
     // to prove a worker survives a handler panic is to panic in a
     // handler. Debug builds only; release servers treat the verb as an
@@ -385,30 +495,71 @@ fn handle_line(line: &str, shared: &Shared) -> (String, bool, bool) {
         // audit:allow(panic-surface) deliberate fault injection, compiled out of release; the shield test depends on it
         panic!("injected worker panic (requested by the shield regression test)");
     }
-    match parse_request(line) {
+    let parse_start = tracer.now_us();
+    let parsed = parse_request(line);
+    tracer.record("parse", parse_start);
+    match parsed {
         Ok(Request::Stats) => {
             let snap = shared.metrics.snapshot(
                 shared.registry.counters(),
                 shared.registry.prediction_cache().counters(),
             );
-            (snap.render(), false, false)
+            let render_start = tracer.now_us();
+            let text = snap.render();
+            tracer.record("render", render_start);
+            (text, "stats", false, false)
         }
         Ok(Request::Predict {
             workload,
             platform,
             spec,
             model,
-        }) => match predict(&shared.registry, &workload, &platform, &spec, model) {
-            Ok(prediction) => (render_prediction(&prediction), true, false),
-            Err(e) => (format!("err {e}"), true, true),
+        }) => match predict_traced(&shared.registry, &workload, &platform, &spec, model, tracer) {
+            Ok(prediction) => {
+                let render_start = tracer.now_us();
+                let text = render_prediction(&prediction);
+                tracer.record("render", render_start);
+                (text, "predict", true, false)
+            }
+            Err(e) => (format!("err {e}"), "predict", true, true),
         },
         Ok(Request::Warm { workload, platform }) => {
             match warm(&shared.registry, &workload, &platform) {
-                Ok(models) => (render_warm(&workload, &platform, models), false, false),
-                Err(e) => (format!("err {e}"), false, true),
+                Ok(models) => (
+                    render_warm(&workload, &platform, models),
+                    "warm",
+                    false,
+                    false,
+                ),
+                Err(e) => (format!("err {e}"), "warm", false, true),
             }
         }
-        Err(reason) => (format!("err {reason}"), false, true),
+        Ok(Request::Metrics) => {
+            let report = metrics_report(shared);
+            let render_start = tracer.now_us();
+            let text = render_metrics(&report);
+            tracer.record("render", render_start);
+            // render_metrics ends with "# EOF\n"; the connection loop
+            // appends the final newline, so trim the trailing one here.
+            (
+                text.trim_end_matches('\n').to_string(),
+                "metrics",
+                false,
+                false,
+            )
+        }
+        Ok(Request::Trace { n }) => {
+            let traces = shared.traces.last(n);
+            let render_start = tracer.now_us();
+            let mut text = render_trace_header(traces.len(), shared.traces.dropped());
+            for trace in &traces {
+                text.push('\n');
+                text.push_str(&render_trace(trace));
+            }
+            tracer.record("render", render_start);
+            (text, "trace", false, false)
+        }
+        Err(reason) => (format!("err {reason}"), "error", false, true),
     }
 }
 
@@ -448,9 +599,35 @@ pub fn predict(
     spec: &str,
     model: Option<ModelKind>,
 ) -> Result<Prediction, ServiceError> {
+    // The disabled tracer records nothing, so the traced and untraced
+    // paths execute identical prediction logic (bit-identical results).
+    predict_traced(
+        registry,
+        workload,
+        platform,
+        spec,
+        model,
+        &mut RequestTrace::disabled(),
+    )
+}
+
+/// [`predict`] with stage tracing: wall-domain spans for the registry
+/// fit, the cache lookup, and the partial simulation land in
+/// `tracer.wall`; the simulation itself records sim-domain spans
+/// (simulated cycles) into `tracer.sim` via `measure_layout_traced`.
+pub(crate) fn predict_traced(
+    registry: &ModelRegistry,
+    workload: &str,
+    platform: &str,
+    spec: &str,
+    model: Option<ModelKind>,
+    tracer: &mut RequestTrace,
+) -> Result<Prediction, ServiceError> {
     let platform = Platform::by_name(platform)
         .ok_or_else(|| ServiceError::UnknownPlatform(platform.to_string()))?;
+    let fit_start = tracer.now_us();
     let entry = registry.entry(workload, platform)?;
+    tracer.record("fit", fit_start);
     let layout =
         parse_spec(entry.ctx.pool(), spec).map_err(|e| ServiceError::BadSpec(e.to_string()))?;
     let kind = model.unwrap_or(ModelKind::Mosmodel);
@@ -460,13 +637,23 @@ pub fn predict(
 
     // The key uses the *canonical* layout (parsed + aligned), so spec
     // spellings naming the same windows share one cache entry.
+    let lookup_start = tracer.now_us();
     let key = prediction_key(workload, platform.name, &layout, kind);
-    if let Some(cached) = registry.prediction_cache().get(&key) {
+    let cached = registry.prediction_cache().get(&key);
+    tracer.record("cache_lookup", lookup_start);
+    if let Some(cached) = cached {
         return Ok(cached);
     }
 
-    let record = measure_layout(&entry.ctx, &MachineVariant::real(platform), &layout);
+    let sim_start = tracer.now_us();
+    let record = measure_layout_traced(
+        &entry.ctx,
+        &MachineVariant::real(platform),
+        &layout,
+        Some(&mut tracer.sim),
+    );
     let predicted = persisted.model.predict(&record.sample());
+    tracer.record("simulate", sim_start);
     let prediction = Prediction {
         runtime_cycles: record.counters.runtime_cycles,
         stlb_hits: record.counters.stlb_hits,

@@ -8,6 +8,8 @@
 //! mosaic serve [addr] [--warm <workload>:<platform>]...  # start mosaicd (optionally pre-fitting pairs)
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
+//! mosaic metrics <addr>                # Prometheus text exposition scrape
+//! mosaic trace <addr> [n]              # dump the last n request traces
 //! mosaic audit [--json] [--deny]       # workspace static analysis (CI gate)
 //! mosaic bench [--json] [workload] [platform]  # hot-path throughput + serving latency
 //! ```
@@ -31,11 +33,13 @@ fn main() {
         Some("describe") => cmd_describe(args.get(1), args.get(2), args.get(3)),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("metrics") => cmd_metrics(args.get(1)),
+        Some("trace") => cmd_trace(args.get(1), args.get(2)),
         Some("audit") => cmd_audit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... | query <addr> ... | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... | query <addr> ... | metrics <addr> | trace <addr> [n] | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -485,6 +489,77 @@ fn cmd_query(args: &[String]) -> i32 {
     }
 }
 
+/// Scrapes the server's Prometheus exposition and prints it verbatim,
+/// so `mosaic metrics <addr> > scrape.prom` matches what an HTTP
+/// exporter bridge would serve.
+fn cmd_metrics(addr: Option<&String>) -> i32 {
+    let Some(addr) = addr else {
+        eprintln!("usage: mosaic metrics <addr>");
+        return 2;
+    };
+    let mut client = match service::client::Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mosaic metrics: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.metrics_text() {
+        Ok(text) => {
+            print!("{text}");
+            0
+        }
+        Err(e) => {
+            eprintln!("mosaic metrics: {e}");
+            1
+        }
+    }
+}
+
+/// Dumps the server's most recent request traces (wall-domain spans in
+/// µs, sim-domain spans in simulated cycles).
+fn cmd_trace(addr: Option<&String>, count: Option<&String>) -> i32 {
+    let usage = "usage: mosaic trace <addr> [n]";
+    let Some(addr) = addr else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let n = match count {
+        None => service::protocol::DEFAULT_TRACE_COUNT,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("{usage} (count must be a number, got {text:?})");
+                return 2;
+            }
+        },
+    };
+    let mut client = match service::client::Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mosaic trace: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.trace(n) {
+        Ok((traces, dropped)) => {
+            println!(
+                "{} trace(s), {} dropped by the ring buffer",
+                traces.len(),
+                dropped
+            );
+            for trace in &traces {
+                println!("{}", obs::render_trace(trace));
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("mosaic trace: {e}");
+            1
+        }
+    }
+}
+
 fn cmd_audit(args: &[String]) -> i32 {
     let mut json = false;
     let mut deny = false;
@@ -567,6 +642,16 @@ fn cmd_bench(args: &[String]) -> i32 {
         report.grid.wall_seconds,
         report.grid.accesses_per_sec,
     );
+    // The tracing gate: span recording must be cheap enough that an
+    // instrumented run is the same run. Unlike the throughput figures
+    // (absolute numbers, too noisy to gate on shared runners), this is
+    // a self-relative ratio measured min-of-k, so it holds a threshold.
+    let overhead = report.grid.trace_overhead_pct;
+    let gate_ok = overhead < 3.0;
+    println!(
+        "tracing:      measure_layout overhead {overhead:+.2}% with spans enabled (gate: <3%) {}",
+        if gate_ok { "PASS" } else { "FAIL" },
+    );
     println!(
         "mosaicd:      {} warm predict requests, mean {:.0}us, p50<={}us p90<={}us p99<={}us",
         report.service.requests,
@@ -583,6 +668,10 @@ fn cmd_bench(args: &[String]) -> i32 {
     println!(
         "mosaicd:      cold first request {:.0}us (model fit) vs warm mean {:.0}us -> {:.0}x; pre-fit with `mosaic serve --warm {}:{}`",
         report.service.cold_us, report.service.mean_us, speedup, workload, platform.name,
+    );
+    println!(
+        "mosaicd:      cold request stages (us): {}",
+        report.service.cold_stages,
     );
     if json {
         let path = format!("BENCH_{}.json", report.date);
@@ -601,6 +690,10 @@ fn cmd_bench(args: &[String]) -> i32 {
             return 1;
         }
         println!("wrote {path}");
+    }
+    if !gate_ok {
+        eprintln!("mosaic bench: tracing overhead gate failed ({overhead:+.2}% >= 3%)");
+        return 1;
     }
     0
 }

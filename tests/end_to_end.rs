@@ -143,6 +143,12 @@ fn tab8_c_and_m_explain_runtime_better_than_h() {
 // regression bound so substrate changes cannot silently erode it
 // further, and keep the direction of the final assertion ready to flip
 // to `> 1.0` once FAST fidelity resolves the coupling.
+//
+// Re-triaged 2026-08: the band stays tier-1 (it has held bit-stable
+// through the mosaicd, hot-path, and tracing PRs), and the exact value
+// is now additionally pinned by the #[ignore]d companion below —
+// substrate work that moves the slope at all shows up there first,
+// before it ever threatens the band.
 fn fig9_slope_exceeds_one_on_broadwell_xalancbmk() {
     let f = figures::fig9(grid()).unwrap();
     assert!(
@@ -155,6 +161,27 @@ fn fig9_slope_exceeds_one_on_broadwell_xalancbmk() {
         f.slope <= 1.0,
         "α = {} now exceeds 1 — the FAST-fidelity substrate resolves \
          walker pollution; tighten this test to the paper's `α > 1.0` claim",
+        f.slope
+    );
+}
+
+#[test]
+#[ignore = "exact-value pin, not a tier-1 gate: run with --ignored before and after substrate retuning"]
+// The FAST substrate is deterministic, so the fig9 slope is not just
+// inside a band — it is one exact f64. Pinning the bits makes any
+// substrate drift visible immediately (run this before and after a
+// change to memsim/machine/harness), while keeping the tier-1 gate on
+// the tolerant band above so ordinary refactors don't churn a
+// hard-coded constant.
+fn fig9_slope_exact_value_is_bit_stable() {
+    let f = figures::fig9(grid()).unwrap();
+    let pinned = 0.9275005907061028f64;
+    assert_eq!(
+        f.slope.to_bits(),
+        pinned.to_bits(),
+        "FAST fig9 slope moved off its pinned value: α = {} (pinned {pinned}); \
+         if the move is intentional, update both this pin and the band's \
+         TRACKING note",
         f.slope
     );
 }

@@ -495,6 +495,171 @@ fn cached_predictions_are_bit_identical_to_uncached() {
     server.shutdown();
 }
 
+/// The tracing tentpole's service-level contract, both halves:
+///
+/// * **Deterministic**: two fresh servers given the same predict produce
+///   byte-identical sim-domain traces — the spans are derived from
+///   simulated cycle counts, so wall-clock jitter cannot reach them.
+/// * **Bounded**: flooding a server whose trace ring holds 2 entries
+///   never grows the ring; the overflow shows up in the drop counter
+///   instead of in memory.
+#[test]
+fn traces_are_deterministic_and_bounded() {
+    let sim_trace_lines = |tag: &str| -> Vec<String> {
+        let server = Server::start(
+            ServerConfig::default(),
+            ModelRegistry::new(Grid::in_memory(TINY), None),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client
+            .predict(WORKLOAD, PLATFORM, "2m:0..16M", None)
+            .unwrap();
+        let (traces, dropped) = client.trace(16).unwrap();
+        assert_eq!(dropped, 0, "{tag}: ring dropped traces under no load");
+        let lines: Vec<String> = traces
+            .iter()
+            .filter(|t| t.domain == obs::ClockDomain::Sim)
+            .map(obs::render_trace)
+            .collect();
+        assert!(!lines.is_empty(), "{tag}: predict left no sim-domain trace");
+        server.shutdown();
+        lines
+    };
+
+    let first = sim_trace_lines("first server");
+    let second = sim_trace_lines("second server");
+    assert_eq!(
+        first, second,
+        "identical FAST predicts must produce byte-identical sim-domain traces"
+    );
+    assert!(first[0].contains("domain=sim"), "{}", first[0]);
+    assert!(
+        first[0].contains("replay") && first[0].contains("page_walk"),
+        "sim trace is missing the measure_layout stages: {}",
+        first[0]
+    );
+
+    // Wall-domain traces exist for the same request but are *not*
+    // required to be byte-identical — that's the whole point of the two
+    // clock domains.
+    let server = Server::start(
+        ServerConfig {
+            trace_capacity: 2,
+            ..Default::default()
+        },
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    const FLOOD: u64 = 8;
+    for _ in 0..FLOOD {
+        client.stats().unwrap();
+    }
+    let (traces, dropped) = client.trace(100).unwrap();
+    assert!(
+        traces.len() <= 2,
+        "ring exceeded its capacity: {} traces",
+        traces.len()
+    );
+    assert_eq!(
+        dropped,
+        FLOOD - 2,
+        "every push beyond capacity must increment the drop counter"
+    );
+    server.shutdown();
+}
+
+/// The `metrics` verb end-to-end: the exposition covers every counter
+/// the `stats` verb reports (plus the trace gauges and per-stage sums),
+/// agrees with `stats` numerically, and the scraped text is a fixed
+/// point of parse∘render.
+#[test]
+fn metrics_exposition_covers_stats_and_roundtrips() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client
+        .predict(WORKLOAD, PLATFORM, "2m:0..8M", None)
+        .unwrap();
+    match client.predict("no-such-workload", PLATFORM, "2m", None) {
+        Err(ClientError::Server(_)) => {}
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    // `stats` snapshots exclude the stats request itself (it is recorded
+    // after its response is rendered), so the metrics report one request
+    // later sees exactly one more.
+    let snap = client.stats().unwrap();
+    let report = client.metrics().unwrap();
+    assert_eq!(report.stats.requests, snap.requests + 1);
+    assert_eq!(report.stats.predicts, snap.predicts);
+    assert_eq!(report.stats.errors, snap.errors);
+    assert_eq!(report.stats.registry, snap.registry);
+    assert_eq!(report.stats.cache, snap.cache);
+    assert!(report.traces_buffered > 0, "requests were traced");
+    assert_eq!(report.trace_capacity, 256, "default ring capacity");
+
+    // The predict's partial simulation landed in the sim-domain sums;
+    // the request path landed in the wall-domain sums.
+    assert!(
+        report
+            .sim_stages
+            .iter()
+            .any(|e| e.stage == "replay" && e.total_ticks > 0 && e.spans > 0),
+        "no replay stage in {:?}",
+        report.sim_stages
+    );
+    assert!(
+        report
+            .wall_stages
+            .iter()
+            .any(|e| e.stage == "parse" && e.spans > 0),
+        "no parse stage in {:?}",
+        report.wall_stages
+    );
+
+    // Raw scrape: self-framed, covers every stats counter by name, and
+    // parse∘render reproduces it byte-for-byte.
+    let text = client.metrics_text().unwrap();
+    assert!(text.ends_with("# EOF\n"), "exposition is not self-framing");
+    for needle in [
+        "mosaicd_requests_total ",
+        "mosaicd_predicts_total ",
+        "mosaicd_errors_total ",
+        "mosaicd_busy_total ",
+        "mosaicd_queue_depth ",
+        "mosaicd_registry_hits_total ",
+        "mosaicd_registry_misses_total ",
+        "mosaicd_registry_disk_loads_total ",
+        "mosaicd_registry_fitting ",
+        "mosaicd_prediction_cache_hits_total ",
+        "mosaicd_prediction_cache_misses_total ",
+        "mosaicd_request_latency_us_bucket{le=\"50\"}",
+        "mosaicd_request_latency_us_bucket{le=\"+Inf\"}",
+        "mosaicd_request_latency_us_count ",
+        "mosaicd_stage_ticks_total{domain=\"wall\",stage=\"read\"}",
+        "mosaicd_stage_ticks_total{domain=\"sim\",stage=\"replay\"}",
+        "mosaicd_stage_spans_total{domain=\"wall\",stage=\"render\"}",
+        "mosaicd_traces_buffered ",
+        "mosaicd_trace_capacity ",
+        "mosaicd_traces_dropped_total ",
+    ] {
+        assert!(text.contains(needle), "exposition is missing {needle:?}");
+    }
+    let parsed = service::prom::parse_metrics(&text).unwrap();
+    assert_eq!(
+        service::prom::render_metrics(&parsed),
+        text,
+        "scraped exposition is not a parse∘render fixed point"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn full_queue_rejects_with_busy_and_shutdown_drains() {
     const QUEUE_BOUND: usize = 2;
