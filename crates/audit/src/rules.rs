@@ -9,8 +9,8 @@
 //!
 //! | rule | scope | forbids |
 //! |---|---|---|
-//! | `determinism` | simulation crates (incl. `obs`) + persistence modules | default-hasher `HashMap`/`HashSet`, `SystemTime`, `Instant::now`, non-seeded RNG |
-//! | `panic-surface` | mosaicd request path + `obs` | `.unwrap()`, `.expect()`, `panic!`-family, direct slice indexing |
+//! | `determinism` | simulation crates (incl. `obs`, `recommend`) + persistence modules | default-hasher `HashMap`/`HashSet`, `SystemTime`, `Instant::now`, non-seeded RNG |
+//! | `panic-surface` | mosaicd request path + `obs` + `recommend` | `.unwrap()`, `.expect()`, `panic!`-family, direct slice indexing |
 //! | `bit-exactness` | on-disk codec modules | lossy float format specs; floats without a bit-exact codec |
 //! | `version-header` | on-disk codec modules | writers/parsers without a `# mosaic-... vN` header constant |
 //!
@@ -35,8 +35,19 @@ pub const RULE_IDS: [&str; 4] = [
 /// Crates whose `src/` trees form the deterministic simulation core.
 /// `obs` belongs here because sim-domain traces must be byte-identical
 /// across runs: a wall-clock read or random iteration order inside the
-/// tracer would leak into rendered spans.
-const SIM_CRATES: [&str; 5] = ["memsim", "machine", "vmcore", "workloads", "obs"];
+/// tracer would leak into rendered spans. `recommend` belongs here
+/// because two independent servers must produce byte-identical
+/// recommendations for the same request: its random explorer is seeded
+/// from the canonical budget string, and any entropy or clock read
+/// would break that.
+const SIM_CRATES: [&str; 6] = [
+    "memsim",
+    "machine",
+    "vmcore",
+    "workloads",
+    "obs",
+    "recommend",
+];
 
 /// Modules that write or memoize on-disk or in-memory state whose
 /// iteration/eviction order must be deterministic (store/cache files,
@@ -88,7 +99,11 @@ fn is_codec(path: &str) -> bool {
 }
 
 fn on_request_path(path: &str) -> bool {
-    REQUEST_PATH.iter().any(|m| path.ends_with(m)) || path.contains("crates/obs/src/")
+    REQUEST_PATH.iter().any(|m| path.ends_with(m))
+        || path.contains("crates/obs/src/")
+        // The whole recommendation engine runs inside the `recommend`
+        // verb's worker thread; a panic there kills the worker.
+        || path.contains("crates/recommend/src/")
 }
 
 /// Runs every applicable rule over `view`, honors suppressions, and
@@ -491,6 +506,24 @@ mod tests {
         // Neither rule leaks to an out-of-scope crate.
         assert_eq!(run("crates/layouts/src/lib.rs", clocky), vec![]);
         assert_eq!(run("crates/layouts/src/lib.rs", panicky), vec![]);
+    }
+
+    #[test]
+    fn recommend_crate_is_in_both_determinism_and_panic_surface_scope() {
+        // Two servers must return byte-identical recommendations, so
+        // entropy draws are nondeterminism inside the engine...
+        let entropic = "fn seed() -> u64 { thread_rng() }\n";
+        assert_eq!(
+            rules_hit(&run("crates/recommend/src/explore.rs", entropic)),
+            vec!["determinism"]
+        );
+        // ...and the engine runs inside the `recommend` verb's worker
+        // thread, so panics there kill a worker.
+        let panicky = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        assert_eq!(
+            rules_hit(&run("crates/recommend/src/engine.rs", panicky)),
+            vec!["panic-surface"]
+        );
     }
 
     #[test]

@@ -72,6 +72,11 @@ fn bad_fixtures_produce_exactly_the_expected_findings() {
         ("crates/service/src/server.rs", "panic-surface", 4),
         ("crates/service/src/server.rs", "panic-surface", 5),
         ("crates/service/src/server.rs", "panic-surface", 6),
+        // Entropy then an indexing panic inside the recommendation
+        // engine, which sits in both the determinism and panic-surface
+        // scopes.
+        ("crates/recommend/src/explore.rs", "determinism", 4),
+        ("crates/recommend/src/explore.rs", "panic-surface", 5),
         // Lossy floats in a codec module: the module-level "no bit-exact
         // codec referenced" finding plus the `{v:.6}` format spec.
         ("crates/mosmodel/src/persist.rs", "bit-exactness", 6),
@@ -174,13 +179,14 @@ proptest! {
     #[test]
     fn audit_file_never_panics_on_arbitrary_bytes(
         bytes in prop::collection::vec(any::<u8>(), 0..512),
-        which in 0usize..5,
+        which in 0usize..6,
     ) {
         let paths = [
             "crates/memsim/src/tlb.rs",
             "crates/service/src/server.rs",
             "crates/mosmodel/src/persist.rs",
             "crates/harness/src/experiment.rs",
+            "crates/recommend/src/engine.rs",
             "crates/elsewhere/src/lib.rs",
         ];
         let text = String::from_utf8_lossy(&bytes);

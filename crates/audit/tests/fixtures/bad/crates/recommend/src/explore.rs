@@ -1,0 +1,6 @@
+//! Fixture: entropy and panics inside the recommendation engine.
+
+pub fn pick(order: &[usize]) -> usize {
+    let roll = thread_rng();
+    order[roll]
+}

@@ -1,0 +1,20 @@
+//! Fixture: deterministic exploration — the RNG seed is a pure
+//! function of the canonical budget string, so two servers exploring
+//! the same budget draw the same candidates.
+
+pub fn seed_from(budget: &str) -> u64 {
+    budget.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+pub fn best(scores: &[(usize, u64)]) -> Option<usize> {
+    let mut winner: Option<(usize, u64)> = None;
+    for &(idx, score) in scores {
+        match winner {
+            Some((_, low)) if low <= score => {}
+            _ => winner = Some((idx, score)),
+        }
+    }
+    winner.map(|(idx, _)| idx)
+}

@@ -17,10 +17,14 @@ use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 /// to the service leg. v3 added `trace_overhead_pct` (tracer cost on a
 /// FAST `measure_layout`, the <3% gate) to the grid leg and
 /// `cold_stages` (wall-domain stage breakdown of the cold request,
-/// from the server's trace ring) to the service leg.
-pub const BENCH_VERSION: u32 = 3;
+/// from the server's trace ring) to the service leg. v4 added the
+/// `recommend` leg (`rec_requests` / `rec_cold_us` / `rec_mean_us`),
+/// timing the budget-to-layout recommendation verb cold (candidate
+/// enumeration, scoring, and the K-fold CV pass) and warm (served from
+/// the recommendation cache).
+pub const BENCH_VERSION: u32 = 4;
 
-/// Version-header prefix; the full header is `# mosaic-bench v3`.
+/// Version-header prefix; the full header is `# mosaic-bench v4`.
 const BENCH_MAGIC: &str = "# mosaic-bench v";
 
 /// Wall-clock results of the grid-battery throughput benchmark.
@@ -67,6 +71,21 @@ pub struct ServiceBench {
     pub p99_us: u64,
 }
 
+/// Wall-clock results of the mosaicd recommendation benchmark. Field
+/// names carry a `rec_` prefix because this codec's extractor matches
+/// keys globally across the document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecommendBench {
+    /// Warm recommend requests timed (after the cold one).
+    pub rec_requests: u64,
+    /// Latency of the first recommend in microseconds — pays candidate
+    /// enumeration, per-candidate scoring, and the K-fold CV error.
+    pub rec_cold_us: f64,
+    /// Mean warm recommend latency in microseconds (recommendation-cache
+    /// hits; includes the loopback round-trip).
+    pub rec_mean_us: f64,
+}
+
 /// One complete `mosaic bench` report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -82,6 +101,8 @@ pub struct BenchReport {
     pub grid: GridBench,
     /// mosaicd latency results.
     pub service: ServiceBench,
+    /// mosaicd recommendation-verb latency results.
+    pub recommend: RecommendBench,
 }
 
 impl BenchReport {
@@ -139,6 +160,23 @@ pub fn render_report(report: &BenchReport) -> String {
     let _ = writeln!(out, "    \"p50_us\": {},", report.service.p50_us);
     let _ = writeln!(out, "    \"p90_us\": {},", report.service.p90_us);
     let _ = writeln!(out, "    \"p99_us\": {}", report.service.p99_us);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"recommend\": {{");
+    let _ = writeln!(
+        out,
+        "    \"rec_requests\": {},",
+        report.recommend.rec_requests
+    );
+    let _ = writeln!(
+        out,
+        "    \"rec_cold_us\": {},",
+        fmt_f64_shortest(report.recommend.rec_cold_us)
+    );
+    let _ = writeln!(
+        out,
+        "    \"rec_mean_us\": {}",
+        fmt_f64_shortest(report.recommend.rec_mean_us)
+    );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -210,6 +248,11 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
             p90_us: u64_field(text, "p90_us")?,
             p99_us: u64_field(text, "p99_us")?,
         },
+        recommend: RecommendBench {
+            rec_requests: u64_field(text, "rec_requests")?,
+            rec_cold_us: f64_field(text, "rec_cold_us")?,
+            rec_mean_us: f64_field(text, "rec_mean_us")?,
+        },
     })
 }
 
@@ -239,6 +282,11 @@ mod tests {
                 p90_us: 50_000,
                 p99_us: 50_000,
             },
+            recommend: RecommendBench {
+                rec_requests: 16,
+                rec_cold_us: 148_212.75,
+                rec_mean_us: 183.062_5,
+            },
         }
     }
 
@@ -246,7 +294,7 @@ mod tests {
     fn report_roundtrips_bit_exactly() {
         let report = sample();
         let text = render_report(&report);
-        assert!(text.contains("\"format\": \"# mosaic-bench v3\""));
+        assert!(text.contains("\"format\": \"# mosaic-bench v4\""));
         let back = parse_report(&text).expect("own output parses");
         assert_eq!(back, report);
         assert_eq!(
@@ -270,11 +318,19 @@ mod tests {
             report.grid.trace_overhead_pct.to_bits()
         );
         assert_eq!(back.service.cold_stages, report.service.cold_stages);
+        assert_eq!(
+            back.recommend.rec_cold_us.to_bits(),
+            report.recommend.rec_cold_us.to_bits()
+        );
+        assert_eq!(
+            back.recommend.rec_mean_us.to_bits(),
+            report.recommend.rec_mean_us.to_bits()
+        );
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = render_report(&sample()).replace("# mosaic-bench v3", "# mosaic-bench v2");
+        let text = render_report(&sample()).replace("# mosaic-bench v4", "# mosaic-bench v3");
         let err = parse_report(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

@@ -22,7 +22,7 @@ use workloads::{TraceParams, WorkloadSpec};
 
 pub mod codec;
 
-use codec::{BenchReport, GridBench, ServiceBench};
+use codec::{BenchReport, GridBench, RecommendBench, ServiceBench};
 
 /// Builds the benchmark grid with the standard disk cache.
 pub fn bench_grid() -> Grid {
@@ -69,6 +69,15 @@ pub fn measure_battery(
 /// Warm predict requests timed against the in-process server, after
 /// the separately-timed cold request that absorbs the model fit.
 const SERVICE_REQUESTS: usize = 32;
+
+/// Warm recommend requests timed after the cold one (which pays
+/// candidate enumeration, scoring, and the K-fold CV error; the warm
+/// ones hit the recommendation cache).
+const RECOMMEND_REQUESTS: usize = 16;
+
+/// Hugepage budget the recommend leg asks about — small enough to be
+/// admissible against the smallest pool any preset produces (48MB).
+const RECOMMEND_BUDGET: &str = "8x2m";
 
 /// Runs the end-to-end benchmark suite: the grid battery (throughput)
 /// and the mosaicd request path (latency), both for one
@@ -174,6 +183,29 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         p90_us: warm_only.percentile_us(90),
         p99_us: warm_only.percentile_us(99),
     };
+
+    // The recommend leg rides the already-fitted pair: the cold request
+    // pays candidate enumeration, per-candidate scoring (warming the
+    // prediction cache), and the K-fold CV error; the warm ones are
+    // recommendation-cache hits, so the gap is what the cache buys.
+    let rec_cold_started = Instant::now();
+    client
+        .recommend(workload, platform.name, RECOMMEND_BUDGET, None)
+        .expect("cold recommend");
+    let rec_cold_us = rec_cold_started.elapsed().as_micros() as f64;
+    let mut rec_total = Duration::ZERO;
+    for _ in 0..RECOMMEND_REQUESTS {
+        let one = Instant::now();
+        client
+            .recommend(workload, platform.name, RECOMMEND_BUDGET, None)
+            .expect("timed recommend");
+        rec_total += one.elapsed();
+    }
+    let recommend_bench = RecommendBench {
+        rec_requests: RECOMMEND_REQUESTS as u64,
+        rec_cold_us,
+        rec_mean_us: rec_total.as_micros() as f64 / RECOMMEND_REQUESTS as f64,
+    };
     server.shutdown();
 
     BenchReport {
@@ -183,6 +215,7 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         platform: platform.name.to_string(),
         grid: grid_bench,
         service: service_bench,
+        recommend: recommend_bench,
     }
 }
 

@@ -1,0 +1,164 @@
+//! The paper's exploration heuristics, lifted behind a trait.
+//!
+//! Inside the grid battery the three §VI-B heuristics are free
+//! functions wired to a fixed schedule; here each becomes an
+//! [`Explorer`] — a swappable candidate source the recommendation
+//! engine iterates over (Virtuoso's argument: the exploration *policy*
+//! is a first-class module, not battery-internal code).
+//!
+//! Determinism: explorers take no clock and no ambient RNG. The random
+//! explorer derives its seed from the canonical budget string (FNV-1a),
+//! so the same `(pool, budget, steps)` request enumerates the same
+//! candidates on any server. The sliding explorer needs a hot region;
+//! on the request path no PEBS-like profile is available, so it slides
+//! a *budget-sized* window (the largest window the 2MB inventory can
+//! back) from the pool's base — a documented substitution that still
+//! sweeps distinct placements of the affordable window.
+
+use vmcore::{MemoryLayout, PageSize, Region};
+
+use crate::budget::{render_budget, Budget};
+
+/// A deterministic source of candidate layouts for one budget.
+pub trait Explorer {
+    /// Short name used in docs and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Candidate layouts for `budget` over `pool`. Implementations must
+    /// be pure functions of their arguments (no clocks, no ambient
+    /// randomness); they may return candidates that exceed the budget —
+    /// the engine filters admissibility centrally.
+    fn candidates(&self, pool: Region, budget: &Budget, steps: usize) -> Vec<MemoryLayout>;
+}
+
+/// Growing Window: 2MB prefixes of the pool, all-4KB to all-2MB.
+pub struct GrowingExplorer;
+
+/// Random Window: windows of random position and length, seeded from
+/// the canonical budget string.
+pub struct RandomExplorer;
+
+/// Sliding Window over a budget-sized window at the pool base.
+pub struct SlidingExplorer;
+
+/// The engine's default explorer set, in a fixed deterministic order.
+pub fn default_explorers() -> [&'static dyn Explorer; 3] {
+    [&GrowingExplorer, &RandomExplorer, &SlidingExplorer]
+}
+
+/// FNV-1a over the canonical budget string: a stable, dependency-free
+/// seed so the random explorer is a pure function of the budget.
+fn budget_seed(budget: &Budget) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in render_budget(budget).bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl Explorer for GrowingExplorer {
+    fn name(&self) -> &'static str {
+        "growing"
+    }
+
+    fn candidates(&self, pool: Region, _budget: &Budget, steps: usize) -> Vec<MemoryLayout> {
+        if steps == 0 || pool.is_empty() {
+            return Vec::new();
+        }
+        layouts::growing_window(pool, steps)
+    }
+}
+
+impl Explorer for RandomExplorer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn candidates(&self, pool: Region, budget: &Budget, steps: usize) -> Vec<MemoryLayout> {
+        if steps == 0 || pool.is_empty() {
+            return Vec::new();
+        }
+        layouts::random_window(pool, steps, budget_seed(budget))
+    }
+}
+
+impl Explorer for SlidingExplorer {
+    fn name(&self) -> &'static str {
+        "sliding"
+    }
+
+    fn candidates(&self, pool: Region, budget: &Budget, steps: usize) -> Vec<MemoryLayout> {
+        if steps == 0 || pool.is_empty() || budget.huge_2m == 0 {
+            return Vec::new();
+        }
+        let window_bytes = budget
+            .huge_2m
+            .saturating_mul(PageSize::Huge2M.bytes())
+            .min(pool.len());
+        let hot = Region::new(pool.start(), window_bytes);
+        layouts::sliding_window(pool, hot, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmcore::{VirtAddr, GIB};
+
+    fn pool() -> Region {
+        Region::new(VirtAddr::new(0x2000_0000_0000), 2 * GIB)
+    }
+
+    fn budget() -> Budget {
+        Budget {
+            huge_2m: 64,
+            huge_1g: 0,
+        }
+    }
+
+    #[test]
+    fn explorers_are_deterministic() {
+        for explorer in default_explorers() {
+            let a = explorer.candidates(pool(), &budget(), 4);
+            let b = explorer.candidates(pool(), &budget(), 4);
+            assert_eq!(a, b, "{} must be pure", explorer.name());
+            assert!(!a.is_empty(), "{} returned no candidates", explorer.name());
+        }
+    }
+
+    #[test]
+    fn random_explorer_seed_follows_the_budget() {
+        let other = Budget {
+            huge_2m: 65,
+            huge_1g: 0,
+        };
+        let a = RandomExplorer.candidates(pool(), &budget(), 8);
+        let b = RandomExplorer.candidates(pool(), &other, 8);
+        assert_ne!(a, b, "different budgets should draw different windows");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_empty_instead_of_panicking() {
+        let empty = Region::new(VirtAddr::new(0x2000_0000_0000), 0);
+        for explorer in default_explorers() {
+            assert!(explorer.candidates(empty, &budget(), 4).is_empty());
+            assert!(explorer.candidates(pool(), &budget(), 0).is_empty());
+        }
+        // A 2MB-free budget gives the sliding explorer nothing to slide.
+        let no_2m = Budget {
+            huge_2m: 0,
+            huge_1g: 1,
+        };
+        assert!(SlidingExplorer.candidates(pool(), &no_2m, 4).is_empty());
+    }
+
+    #[test]
+    fn sliding_window_is_budget_sized() {
+        let candidates = SlidingExplorer.candidates(pool(), &budget(), 4);
+        let first = candidates.first().unwrap();
+        // 64 pages x 2MB = 128MB window at the pool base.
+        assert_eq!(first.bytes_backed_by(PageSize::Huge2M), 128 << 20);
+        assert_eq!(first.page_size_at(pool().start()), PageSize::Huge2M);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the budget grammar, mirroring
+//! `layouts/tests/prop_spec.rs`: parsing is total on hostile input,
+//! `parse_budget ∘ render_budget` is a fixed point for admissible
+//! budgets, and pool-exceeding budgets are rejected with a typed error
+//! (capping a budget would answer a different question than asked).
+
+use proptest::prelude::*;
+use vmcore::{PageSize, Region, VirtAddr, GIB};
+
+use recommend::{enumerate_candidates, parse_budget, render_budget, Budget, BudgetError};
+
+fn pool() -> Region {
+    Region::new(VirtAddr::new(0x2000_0000_0000), 2 * GIB)
+}
+
+/// The 2GiB pool holds 1024 2MB pages and 2 1GB pages.
+const MAX_2M: u64 = 1024;
+const MAX_1G: u64 = 2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_never_panics(s in ".{0,64}") {
+        let _ = parse_budget(pool(), &s);
+    }
+
+    #[test]
+    fn parse_never_panics_on_grammar_shaped_input(
+        terms in prop::collection::vec(("[0-9xXmMgGbB+]{0,8}", any::<bool>()), 1..4)
+    ) {
+        // Near-miss inputs drawn from the grammar's own alphabet reach
+        // deeper than fully random strings; parsing must stay total.
+        let text = terms
+            .iter()
+            .map(|(t, _)| t.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let _ = parse_budget(pool(), &text);
+    }
+
+    #[test]
+    fn render_then_parse_is_a_fixed_point(huge_2m in 0..=MAX_2M, huge_1g in 0..=MAX_1G) {
+        let budget = Budget { huge_2m, huge_1g };
+        let text = render_budget(&budget);
+        prop_assert_eq!(parse_budget(pool(), &text), Ok(budget), "{}", text);
+        // Re-rendering the parsed budget reproduces the canonical text.
+        prop_assert_eq!(render_budget(&budget), text);
+    }
+
+    #[test]
+    fn pool_exceeding_budgets_are_rejected_with_a_typed_error(
+        over_2m in MAX_2M + 1..MAX_2M + 10_000,
+        over_1g in MAX_1G + 1..MAX_1G + 10_000,
+        which in any::<bool>(),
+    ) {
+        let (text, size) = if which {
+            (format!("{over_2m}x2m"), PageSize::Huge2M)
+        } else {
+            (format!("{over_1g}x1g"), PageSize::Huge1G)
+        };
+        let err = parse_budget(pool(), &text).unwrap_err();
+        let BudgetError::ExceedsPool { size: got, requested, available } = err else {
+            prop_assert!(false, "{text:?} gave {err:?}");
+            unreachable!();
+        };
+        prop_assert_eq!(got, size);
+        prop_assert_eq!(requested, if which { over_2m } else { over_1g });
+        prop_assert_eq!(available, if which { MAX_2M } else { MAX_1G });
+    }
+
+    #[test]
+    fn candidates_respect_any_admissible_budget(
+        huge_2m in 0..=MAX_2M,
+        huge_1g in 0..=MAX_1G,
+        steps in 1usize..6,
+    ) {
+        let budget = Budget { huge_2m, huge_1g };
+        let candidates = enumerate_candidates(pool(), &budget, steps);
+        prop_assert!(!candidates.is_empty(), "all-4KB is always admissible");
+        for c in &candidates {
+            prop_assert!(budget.admits(c), "{} exceeds {}", c.describe(), render_budget(&budget));
+            let spec = recommend::render_layout_spec(c);
+            let back = layouts::parse_spec(pool(), &spec);
+            prop_assert!(back.is_ok(), "rendered spec {spec:?} rejected: {:?}", back);
+            prop_assert_eq!(back.unwrap().describe(), c.describe(), "spec {}", spec);
+        }
+    }
+}

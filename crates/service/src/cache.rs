@@ -1,19 +1,21 @@
-//! Bounded, deterministic prediction cache.
+//! Bounded, deterministic FIFO caches for request results.
 //!
 //! `predict` is a pure function of `(workload, platform, layout, model)`
 //! — the simulation is deterministic and the fitted coefficients are
 //! immutable once the registry entry exists — so repeat queries for the
-//! same layout can skip the partial simulation entirely. The cache is
-//! keyed on the *canonical* layout description
-//! ([`vmcore::MemoryLayout::describe`]), so spec spellings that name the
-//! same aligned windows (`2m:0..64M`, `2mb:0..65536K`) share one entry.
+//! same layout can skip the partial simulation entirely. The same holds
+//! for `recommend` over `(workload, platform, budget, threshold)`. Both
+//! caches are instances of one generic [`FifoCache`], keyed on
+//! *canonical* request descriptions (e.g.
+//! [`vmcore::MemoryLayout::describe`]), so spellings that name the same
+//! request (`2m:0..64M`, `2mb:0..65536K`) share one entry.
 //!
 //! Determinism invariants (enforced by `mosaic audit`): the map is a
 //! `BTreeMap` and eviction is strict FIFO through a `VecDeque`, so the
 //! cache's contents and eviction order are a pure function of the
 //! request sequence — never of a per-process hasher seed. Hits return a
-//! clone of the stored [`Prediction`], which is bit-identical to the
-//! uncached answer (same `f64` bits, same rendered bytes).
+//! clone of the stored value, which is bit-identical to the uncached
+//! answer (same `f64` bits, same rendered bytes).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,7 +26,8 @@ use vmcore::MemoryLayout;
 
 use crate::protocol::Prediction;
 
-/// Cache key: `(workload, platform, canonical layout, model wire name)`.
+/// Prediction cache key:
+/// `(workload, platform, canonical layout, model wire name)`.
 pub type PredictionKey = (String, String, String, &'static str);
 
 /// Builds the canonical cache key for one prediction request. The
@@ -44,36 +47,48 @@ pub fn prediction_key(
     )
 }
 
-/// Counts of how prediction lookups were satisfied.
+/// Counts of how cache lookups were satisfied.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// Predictions served from the cache (no simulation run).
+    /// Lookups served from the cache (no simulation run).
     pub hits: u64,
-    /// Predictions that had to run the partial simulation.
+    /// Lookups that had to compute the result.
     pub misses: u64,
 }
 
 /// The FIFO map: insertion order doubles as eviction order.
-#[derive(Debug, Default)]
-struct Inner {
-    map: BTreeMap<PredictionKey, Prediction>,
-    order: VecDeque<PredictionKey>,
+#[derive(Debug)]
+struct Inner<K, V> {
+    map: BTreeMap<K, V>,
+    order: VecDeque<K>,
 }
 
-/// A bounded FIFO cache of complete [`Prediction`]s.
+impl<K, V> Default for Inner<K, V> {
+    fn default() -> Self {
+        Inner {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+/// A bounded FIFO cache of complete request results.
 #[derive(Debug)]
-pub struct PredictionCache {
+pub struct FifoCache<K, V> {
     capacity: usize,
-    inner: Mutex<Inner>,
+    inner: Mutex<Inner<K, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl PredictionCache {
-    /// Creates a cache holding at most `capacity` predictions;
+/// The predict verb's cache of complete [`Prediction`]s.
+pub type PredictionCache = FifoCache<PredictionKey, Prediction>;
+
+impl<K: Ord + Clone, V: Clone> FifoCache<K, V> {
+    /// Creates a cache holding at most `capacity` values;
     /// `capacity == 0` disables caching (every lookup is a miss).
     pub fn new(capacity: usize) -> Self {
-        PredictionCache {
+        FifoCache {
             capacity,
             inner: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
@@ -84,12 +99,12 @@ impl PredictionCache {
     /// Locks the map, recovering from poisoning: the map holds owned
     /// values with no cross-entry invariants, so a panicked writer
     /// cannot leave it in a state a reader must not see.
-    fn lock(&self) -> MutexGuard<'_, Inner> {
+    fn lock(&self) -> MutexGuard<'_, Inner<K, V>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Looks up a prediction; counts a hit or a miss.
-    pub fn get(&self, key: &PredictionKey) -> Option<Prediction> {
+    /// Looks up a value; counts a hit or a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
         let found = if self.capacity == 0 {
             None
         } else {
@@ -107,11 +122,11 @@ impl PredictionCache {
         }
     }
 
-    /// Stores a prediction, evicting the oldest entries (FIFO) beyond
-    /// the capacity. Re-inserting an existing key overwrites the value
+    /// Stores a value, evicting the oldest entries (FIFO) beyond the
+    /// capacity. Re-inserting an existing key overwrites the value
     /// without changing its eviction position — two workers racing on
-    /// the same key store the same deterministic prediction anyway.
-    pub fn insert(&self, key: PredictionKey, value: Prediction) {
+    /// the same key store the same deterministic result anyway.
+    pub fn insert(&self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -205,6 +220,19 @@ mod tests {
         assert_eq!(cache.get(&key(1)), None);
         assert!(cache.is_empty());
         assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 1 });
+    }
+
+    #[test]
+    fn generic_instances_share_the_machinery() {
+        // The recommendation cache is another instantiation of the same
+        // FIFO map; string keys and values exercise the generic path.
+        let cache: FifoCache<(String, u64), String> = FifoCache::new(2);
+        cache.insert(("w".into(), 1), "a".into());
+        cache.insert(("w".into(), 2), "b".into());
+        cache.insert(("w".into(), 3), "c".into()); // evicts ("w", 1)
+        assert_eq!(cache.get(&("w".into(), 1)), None);
+        assert_eq!(cache.get(&("w".into(), 3)), Some("c".into()));
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -8,7 +8,11 @@ use mosmodel::ModelKind;
 
 use crate::metrics::StatsSnapshot;
 use crate::prom::{parse_metrics, MetricsReport};
-use crate::protocol::{parse_prediction, parse_trace_header, parse_warm, Prediction};
+use crate::protocol::{
+    parse_pair, parse_pairs_header, parse_prediction, parse_recommend, parse_trace_header,
+    parse_warm, Prediction, RecommendReply,
+};
+use crate::registry::PairInfo;
 
 /// Why a client call failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -151,6 +155,59 @@ impl Client {
         parse_warm(&line).map_err(ClientError::Protocol)
     }
 
+    /// Asks the server to recommend a layout for a hugepage budget
+    /// (`64x2m+1x1g` grammar); `threshold` overrides the server's
+    /// default confidence threshold on the pair's CV error. The reply is
+    /// either a confident layout recommendation or — when the models
+    /// cannot be trusted for the pair — the most informative layout to
+    /// measure next.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`], plus
+    /// [`ClientError::Server`] for malformed or pool-exceeding budgets.
+    pub fn recommend(
+        &mut self,
+        workload: &str,
+        platform: &str,
+        budget: &str,
+        threshold: Option<f64>,
+    ) -> Result<RecommendReply, ClientError> {
+        validate_arg("workload", workload)?;
+        validate_arg("platform", platform)?;
+        validate_arg("budget", budget)?;
+        let mut request = format!("recommend {workload} {platform} {budget}");
+        if let Some(t) = threshold {
+            if !t.is_finite() {
+                return Err(ClientError::InvalidArgument(format!(
+                    "threshold {t} is not finite"
+                )));
+            }
+            request.push(' ');
+            request.push_str(&t.to_string());
+        }
+        let line = self.roundtrip(&request)?;
+        parse_recommend(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Lists every `(workload, platform)` pair the server's registry
+    /// knows — fitted or mid-fit — with model counts and memoized CV
+    /// errors (`NaN` until the pair's first `recommend`).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Client::predict`].
+    pub fn pairs(&mut self) -> Result<Vec<PairInfo>, ClientError> {
+        let header = self.roundtrip("pairs")?;
+        let count = parse_pairs_header(&header).map_err(ClientError::Protocol)?;
+        let mut pairs = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let line = self.read_line()?;
+            pairs.push(parse_pair(&line).map_err(ClientError::Protocol)?);
+        }
+        Ok(pairs)
+    }
+
     /// Fetches the server's metrics snapshot.
     ///
     /// # Errors
@@ -256,5 +313,14 @@ mod tests {
         }
         let err = client.warm("gups/8GB", "sandy\nbridge").unwrap_err();
         assert!(matches!(err, ClientError::InvalidArgument(_)), "{err:?}");
+        for (w, p, b, t) in [
+            ("gups/8GB", "sandybridge", "8x2m\nstats", None),
+            ("gups/8GB", "sandybridge", "64x2m + 1x1g", None),
+            ("gups/8GB", "sandybridge", "8x2m", Some(f64::NAN)),
+            ("gups/8GB", "sandybridge", "8x2m", Some(f64::INFINITY)),
+        ] {
+            let err = client.recommend(w, p, b, t).unwrap_err();
+            assert!(matches!(err, ClientError::InvalidArgument(_)), "{err:?}");
+        }
     }
 }

@@ -21,11 +21,13 @@
 //! | `stats` | `stats requests=… … p50_us=… buckets=…` |
 //! | `metrics` | Prometheus text exposition, multi-line, ends with `# EOF` |
 //! | `trace [n]` | `traces count=… dropped=…` then one `trace …` line per trace |
+//! | `recommend <workload> <platform> <budget> [threshold]` | `rec action=layout layout=… pred=…` or `rec action=measure layout=… gain=…` |
+//! | `pairs` | `pairs count=…` then one `pair …` line per (workload, platform) |
 //! | anything else | `err <reason>` |
 //!
-//! `metrics` and `trace` are the only multi-line responses; both are
-//! self-framing (the `# EOF` terminator and the `count=` header), so
-//! clients never guess where a response ends. Request handling is traced
+//! `metrics`, `trace`, and `pairs` are the only multi-line responses;
+//! all are self-framing (the `# EOF` terminator and the `count=`
+//! headers), so clients never guess where a response ends. Request handling is traced
 //! end-to-end into fixed-capacity ring buffers ([`obs`]): wall-domain
 //! spans (µs) for the request path, sim-domain spans (simulated cycles,
 //! byte-identical across identical runs) for the partial simulation.
@@ -36,6 +38,16 @@
 //! one cold fit never blocks predictions for other pairs, and repeat
 //! predictions for the same `(workload, platform, layout, model)` are
 //! answered bit-identically from a bounded deterministic cache.
+//!
+//! `recommend` turns the service into a decision engine: given a
+//! hugepage budget in the [`recommend`] crate's grammar (`64x2m+1x1g`),
+//! the server enumerates admissible candidate layouts with the paper's
+//! exploration heuristics, scores each with the pair's fitted Mosmodel,
+//! and returns the cheapest — unless the pair's K-fold CV error exceeds
+//! the confidence threshold, in which case it returns the layout whose
+//! measurement would be most informative (`action=measure`, active
+//! learning). Recommendations are deterministic and served from their
+//! own bounded FIFO cache keyed on the canonical budget.
 //!
 //! A connection arriving while the admission queue is full is answered
 //! `busy` and closed — explicit backpressure instead of unbounded
@@ -90,6 +102,8 @@ pub enum ServiceError {
     UnknownPlatform(String),
     /// The layout spec did not parse or build.
     BadSpec(String),
+    /// The hugepage budget did not parse or exceeds the pool.
+    BadBudget(String),
     /// The requested model is not available for the pair (e.g. a
     /// degenerate anchor made its fit impossible).
     ModelUnavailable(String),
@@ -104,6 +118,7 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
             ServiceError::UnknownPlatform(p) => write!(f, "unknown platform {p:?}"),
             ServiceError::BadSpec(s) => write!(f, "{s}"),
+            ServiceError::BadBudget(b) => write!(f, "{b}"),
             ServiceError::ModelUnavailable(m) => write!(f, "model {m:?} unavailable for this pair"),
             ServiceError::FitFailed(why) => write!(f, "model fitting failed: {why}"),
         }

@@ -36,6 +36,7 @@ pub const BUCKET_BOUNDS_US: [u64; 12] = [
 pub struct Metrics {
     requests: AtomicU64,
     predicts: AtomicU64,
+    recommends: AtomicU64,
     errors: AtomicU64,
     busy: AtomicU64,
     queue_depth: AtomicU64,
@@ -66,6 +67,11 @@ impl Metrics {
         }
     }
 
+    /// Records one `recommend` request (served or errored).
+    pub fn record_recommend(&self) {
+        self.recommends.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one connection rejected with `busy`.
     pub fn record_busy(&self) {
         self.busy.fetch_add(1, Ordering::Relaxed);
@@ -76,8 +82,16 @@ impl Metrics {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
-    /// Takes a point-in-time snapshot.
-    pub fn snapshot(&self, registry: RegistryCounters, cache: CacheCounters) -> StatsSnapshot {
+    /// Takes a point-in-time snapshot. The caller supplies the registry
+    /// and cache counters plus the prediction cache's current length
+    /// (a gauge the cache itself owns).
+    pub fn snapshot(
+        &self,
+        registry: RegistryCounters,
+        cache: CacheCounters,
+        rec_cache: CacheCounters,
+        pred_cache_len: u64,
+    ) -> StatsSnapshot {
         let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
@@ -85,11 +99,14 @@ impl Metrics {
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             predicts: self.predicts.load(Ordering::Relaxed),
+            recommends: self.recommends.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             busy: self.busy.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             registry,
             cache,
+            rec_cache,
+            pred_cache_len,
             buckets,
         }
     }
@@ -102,6 +119,8 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Requests that were `predict` commands.
     pub predicts: u64,
+    /// Requests that were `recommend` commands.
+    pub recommends: u64,
     /// Requests answered with `err`.
     pub errors: u64,
     /// Connections rejected with `busy`.
@@ -112,6 +131,10 @@ pub struct StatsSnapshot {
     pub registry: RegistryCounters,
     /// Prediction-cache lookup counters.
     pub cache: CacheCounters,
+    /// Recommendation-cache lookup counters.
+    pub rec_cache: CacheCounters,
+    /// Entries held by the prediction cache at snapshot time.
+    pub pred_cache_len: u64,
     /// Latency histogram counts, aligned with [`BUCKET_BOUNDS_US`].
     pub buckets: [u64; BUCKET_BOUNDS_US.len()],
 }
@@ -148,12 +171,14 @@ impl StatsSnapshot {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "stats requests={} predicts={} errors={} busy={} queue_depth={} \
+            "stats requests={} predicts={} recommends={} errors={} busy={} queue_depth={} \
              registry_hits={} registry_misses={} registry_disk_loads={} \
              registry_fitting={} pred_cache_hits={} pred_cache_misses={} \
+             pred_cache_len={} rec_cache_hits={} rec_cache_misses={} \
              p50_us={} p90_us={} p99_us={} buckets={}",
             self.requests,
             self.predicts,
+            self.recommends,
             self.errors,
             self.busy,
             self.queue_depth,
@@ -163,6 +188,9 @@ impl StatsSnapshot {
             self.registry.fitting,
             self.cache.hits,
             self.cache.misses,
+            self.pred_cache_len,
+            self.rec_cache.hits,
+            self.rec_cache.misses,
             self.percentile_us(50),
             self.percentile_us(90),
             self.percentile_us(99),
@@ -193,6 +221,7 @@ impl StatsSnapshot {
         };
         let requests = num(take("requests")?, "requests")?;
         let predicts = num(take("predicts")?, "predicts")?;
+        let recommends = num(take("recommends")?, "recommends")?;
         let errors = num(take("errors")?, "errors")?;
         let busy = num(take("busy")?, "busy")?;
         let queue_depth = num(take("queue_depth")?, "queue_depth")?;
@@ -202,6 +231,9 @@ impl StatsSnapshot {
         let fitting = num(take("registry_fitting")?, "registry_fitting")?;
         let cache_hits = num(take("pred_cache_hits")?, "pred_cache_hits")?;
         let cache_misses = num(take("pred_cache_misses")?, "pred_cache_misses")?;
+        let pred_cache_len = num(take("pred_cache_len")?, "pred_cache_len")?;
+        let rec_cache_hits = num(take("rec_cache_hits")?, "rec_cache_hits")?;
+        let rec_cache_misses = num(take("rec_cache_misses")?, "rec_cache_misses")?;
         take("p50_us")?;
         take("p90_us")?;
         take("p99_us")?;
@@ -221,6 +253,7 @@ impl StatsSnapshot {
         Ok(StatsSnapshot {
             requests,
             predicts,
+            recommends,
             errors,
             busy,
             queue_depth,
@@ -234,6 +267,11 @@ impl StatsSnapshot {
                 hits: cache_hits,
                 misses: cache_misses,
             },
+            rec_cache: CacheCounters {
+                hits: rec_cache_hits,
+                misses: rec_cache_misses,
+            },
+            pred_cache_len,
             buckets,
         })
     }
@@ -248,11 +286,14 @@ mod tests {
         let mut snap = StatsSnapshot {
             requests: 0,
             predicts: 0,
+            recommends: 0,
             errors: 0,
             busy: 0,
             queue_depth: 0,
             registry: RegistryCounters::default(),
             cache: CacheCounters::default(),
+            rec_cache: CacheCounters::default(),
+            pred_cache_len: 0,
             buckets: [0; BUCKET_BOUNDS_US.len()],
         };
         assert_eq!(snap.percentile_us(50), 0, "empty histogram reports 0");
@@ -276,11 +317,14 @@ mod tests {
         let mut snap = StatsSnapshot {
             requests: 0,
             predicts: 0,
+            recommends: 0,
             errors: 0,
             busy: 0,
             queue_depth: 0,
             registry: RegistryCounters::default(),
             cache: CacheCounters::default(),
+            rec_cache: CacheCounters::default(),
+            pred_cache_len: 0,
             buckets: [0; BUCKET_BOUNDS_US.len()],
         };
         // Exactly at the old overflow boundary: total * 100 > u64::MAX.
@@ -300,11 +344,18 @@ mod tests {
         m.record_request(10, true, false);
         m.record_request(300, true, false);
         m.record_request(700_000, false, true);
+        m.record_recommend();
         m.record_busy();
         m.set_queue_depth(3);
-        let snap = m.snapshot(RegistryCounters::default(), CacheCounters::default());
+        let snap = m.snapshot(
+            RegistryCounters::default(),
+            CacheCounters::default(),
+            CacheCounters::default(),
+            0,
+        );
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.predicts, 2);
+        assert_eq!(snap.recommends, 1);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.busy, 1);
         assert_eq!(snap.queue_depth, 3);
@@ -321,6 +372,8 @@ mod tests {
         }
         m.record_busy();
         m.set_queue_depth(7);
+        m.record_recommend();
+        m.record_recommend();
         let snap = m.snapshot(
             RegistryCounters {
                 hits: 5,
@@ -332,11 +385,17 @@ mod tests {
                 hits: 40,
                 misses: 9,
             },
+            CacheCounters { hits: 3, misses: 2 },
+            6,
         );
         let line = snap.render();
         assert!(line.contains("registry_fitting=1"), "{line}");
         assert!(line.contains("pred_cache_hits=40"), "{line}");
         assert!(line.contains("pred_cache_misses=9"), "{line}");
+        assert!(line.contains("recommends=2"), "{line}");
+        assert!(line.contains("pred_cache_len=6"), "{line}");
+        assert!(line.contains("rec_cache_hits=3"), "{line}");
+        assert!(line.contains("rec_cache_misses=2"), "{line}");
         assert_eq!(StatsSnapshot::parse(&line), Ok(snap));
         assert!(StatsSnapshot::parse("stats requests=1").is_err());
         assert!(StatsSnapshot::parse("nope").is_err());

@@ -181,6 +181,42 @@ pub fn render_metrics(report: &MetricsReport) -> String {
         "mosaicd_prediction_cache_misses_total",
         s.cache.misses,
     );
+    push_metric(
+        &mut out,
+        "mosaicd_prediction_cache_len",
+        "gauge",
+        "Entries held by the prediction cache at scrape time.",
+    );
+    push_sample(&mut out, "mosaicd_prediction_cache_len", s.pred_cache_len);
+    push_metric(
+        &mut out,
+        "mosaicd_recommends_total",
+        "counter",
+        "Requests that were recommend commands.",
+    );
+    push_sample(&mut out, "mosaicd_recommends_total", s.recommends);
+    push_metric(
+        &mut out,
+        "mosaicd_recommend_cache_hits_total",
+        "counter",
+        "Recommendations answered from the bounded cache.",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_recommend_cache_hits_total",
+        s.rec_cache.hits,
+    );
+    push_metric(
+        &mut out,
+        "mosaicd_recommend_cache_misses_total",
+        "counter",
+        "Recommendations that ran candidate exploration and scoring.",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_recommend_cache_misses_total",
+        s.rec_cache.misses,
+    );
 
     push_metric(
         &mut out,
@@ -387,6 +423,12 @@ pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
         hits: next_plain(&mut iter, "mosaicd_prediction_cache_hits_total")?,
         misses: next_plain(&mut iter, "mosaicd_prediction_cache_misses_total")?,
     };
+    let pred_cache_len = next_plain(&mut iter, "mosaicd_prediction_cache_len")?;
+    let recommends = next_plain(&mut iter, "mosaicd_recommends_total")?;
+    let rec_cache = CacheCounters {
+        hits: next_plain(&mut iter, "mosaicd_recommend_cache_hits_total")?,
+        misses: next_plain(&mut iter, "mosaicd_recommend_cache_misses_total")?,
+    };
 
     let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
     let mut previous: u64 = 0;
@@ -476,11 +518,14 @@ pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
         stats: StatsSnapshot {
             requests,
             predicts,
+            recommends,
             errors,
             busy,
             queue_depth,
             registry,
             cache,
+            rec_cache,
+            pred_cache_len,
             buckets,
         },
         wall_stages,
@@ -504,6 +549,7 @@ mod tests {
             stats: StatsSnapshot {
                 requests: 8,
                 predicts: 6,
+                recommends: 3,
                 errors: 1,
                 busy: 2,
                 queue_depth: 3,
@@ -514,6 +560,8 @@ mod tests {
                     fitting: 1,
                 },
                 cache: CacheCounters { hits: 4, misses: 2 },
+                rec_cache: CacheCounters { hits: 2, misses: 1 },
+                pred_cache_len: 9,
                 buckets,
             },
             wall_stages: vec![
@@ -565,6 +613,10 @@ mod tests {
             "mosaicd_registry_fitting 1",
             "mosaicd_prediction_cache_hits_total 4",
             "mosaicd_prediction_cache_misses_total 2",
+            "mosaicd_prediction_cache_len 9",
+            "mosaicd_recommends_total 3",
+            "mosaicd_recommend_cache_hits_total 2",
+            "mosaicd_recommend_cache_misses_total 1",
             "mosaicd_request_latency_us_bucket{le=\"50\"} 5",
             "mosaicd_request_latency_us_bucket{le=\"+Inf\"} 8",
             "mosaicd_request_latency_us_count 8",

@@ -10,8 +10,11 @@
 
 use mosmodel::ModelKind;
 
+use crate::registry::PairInfo;
+
 /// A parsed request line.
-#[derive(Clone, Debug, PartialEq, Eq)]
+// Not `Eq`: the recommend threshold is an `f64`.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// `predict <workload> <platform> <layout-spec> [model]`
     Predict {
@@ -44,6 +47,27 @@ pub enum Request {
         /// How many traces to return (capped by the ring's contents).
         n: usize,
     },
+    /// `recommend <workload> <platform> <budget> [threshold]` — pick
+    /// the best admissible layout for a hugepage budget (the
+    /// [`recommend`] crate's grammar, e.g. `64x2m+1x1g`), or — when the
+    /// pair's CV error exceeds the confidence threshold — the most
+    /// informative next layout to measure.
+    Recommend {
+        /// Workload name, paper spelling (e.g. `gups/8GB`).
+        workload: String,
+        /// Platform name, case-insensitive (e.g. `sandybridge`).
+        platform: String,
+        /// Budget token in the [`recommend::budget`] grammar.
+        budget: String,
+        /// Confidence threshold on the pair's K-fold CV error; `None`
+        /// means [`recommend::DEFAULT_CV_THRESHOLD`].
+        threshold: Option<f64>,
+    },
+    /// `pairs` — list fitted/fitting (workload, platform) pairs with
+    /// their CV error, so operators can see what `recommend`/`warm`
+    /// can serve; the response is a `pairs count=…` header followed by
+    /// that many `pair …` lines.
+    Pairs,
 }
 
 /// How many traces `trace` returns when no count is given.
@@ -118,6 +142,39 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Trace { n })
         }
+        Some("recommend") => {
+            let workload = words
+                .next()
+                .ok_or("recommend needs <workload>")?
+                .to_string();
+            let platform = words
+                .next()
+                .ok_or("recommend needs <platform>")?
+                .to_string();
+            let budget = words.next().ok_or("recommend needs <budget>")?.to_string();
+            let threshold = match words.next() {
+                None => None,
+                Some(text) => Some(
+                    text.parse::<f64>()
+                        .map_err(|_| format!("threshold must be a number, got {text:?}"))?,
+                ),
+            };
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected trailing argument {extra:?}"));
+            }
+            Ok(Request::Recommend {
+                workload,
+                platform,
+                budget,
+                threshold,
+            })
+        }
+        Some("pairs") => {
+            if words.next().is_some() {
+                return Err("pairs takes no arguments".to_string());
+            }
+            Ok(Request::Pairs)
+        }
         Some(verb) => Err(format!("unknown command {verb:?}")),
         None => Err("empty request".to_string()),
     }
@@ -182,6 +239,160 @@ pub fn parse_warm(line: &str) -> Result<u64, String> {
     models
         .parse::<u64>()
         .map_err(|e| format!("bad models: {e}"))
+}
+
+/// What a recommendation tells the operator to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecommendAction {
+    /// Confident: run the named layout.
+    Layout,
+    /// Not confident: measure the named layout next (active learning).
+    Measure,
+}
+
+/// A complete `recommend` answer as carried on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecommendReply {
+    /// Run it, or measure it first.
+    pub action: RecommendAction,
+    /// The layout, as a [`layouts::spec`] token ready to feed back into
+    /// `predict` (or a mosalloc configuration).
+    pub spec: String,
+    /// For [`RecommendAction::Layout`]: the predicted runtime cycles.
+    /// For [`RecommendAction::Measure`]: the models' relative
+    /// disagreement on the candidate (the expected information gain).
+    pub value: f64,
+    /// The pair's K-fold CV error the decision was based on.
+    pub cv_err: f64,
+    /// The confidence threshold the request resolved to.
+    pub threshold: f64,
+}
+
+/// Renders a recommendation as the `rec ...` response line (no
+/// newline). The value field is named by the action (`pred=` vs
+/// `gain=`), so a reader cannot mistake a measurement suggestion for a
+/// confident prediction.
+pub fn render_recommend(r: &RecommendReply) -> String {
+    match r.action {
+        RecommendAction::Layout => format!(
+            "rec action=layout layout={} pred={} cv_err={} threshold={}",
+            r.spec, r.value, r.cv_err, r.threshold,
+        ),
+        RecommendAction::Measure => format!(
+            "rec action=measure layout={} gain={} cv_err={} threshold={}",
+            r.spec, r.value, r.cv_err, r.threshold,
+        ),
+    }
+}
+
+/// Parses a `rec ...` response line. `parse_recommend` of
+/// [`render_recommend`]'s output is the identity, bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_recommend(line: &str) -> Result<RecommendReply, String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("rec") {
+        return Err(format!("expected rec response, got {line:?}"));
+    }
+    let parse_f64 = |s: &str, key: &str| s.parse::<f64>().map_err(|e| format!("bad {key}: {e}"));
+    let action = match field(&mut words, "action")? {
+        "layout" => RecommendAction::Layout,
+        "measure" => RecommendAction::Measure,
+        other => return Err(format!("bad action {other:?}")),
+    };
+    let spec = field(&mut words, "layout")?.to_string();
+    let value_key = match action {
+        RecommendAction::Layout => "pred",
+        RecommendAction::Measure => "gain",
+    };
+    let value = parse_f64(field(&mut words, value_key)?, value_key)?;
+    let cv_err = parse_f64(field(&mut words, "cv_err")?, "cv_err")?;
+    let threshold = parse_f64(field(&mut words, "threshold")?, "threshold")?;
+    if words.next().is_some() {
+        return Err("unexpected trailing tokens on rec response".to_string());
+    }
+    Ok(RecommendReply {
+        action,
+        spec,
+        value,
+        cv_err,
+        threshold,
+    })
+}
+
+/// Renders the `pairs …` response header (no newline): how many `pair`
+/// lines follow.
+pub fn render_pairs_header(count: usize) -> String {
+    format!("pairs count={count}")
+}
+
+/// Parses a `pairs …` response header; returns the pair count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_pairs_header(line: &str) -> Result<usize, String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("pairs") {
+        return Err(format!("expected pairs response, got {line:?}"));
+    }
+    let count = field(&mut words, "count")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad count: {e}"))?;
+    if words.next().is_some() {
+        return Err("unexpected trailing tokens on pairs header".to_string());
+    }
+    Ok(count)
+}
+
+/// Renders one registry pair as a `pair ...` line (no newline). A pair
+/// whose CV error has not been computed yet renders `cv_err=NaN`.
+pub fn render_pair(info: &PairInfo) -> String {
+    format!(
+        "pair workload={} platform={} state={} models={} cv_err={}",
+        info.workload,
+        info.platform,
+        if info.ready { "ready" } else { "fitting" },
+        info.models,
+        info.cv_err,
+    )
+}
+
+/// Parses a `pair ...` line back into a [`PairInfo`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_pair(line: &str) -> Result<PairInfo, String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("pair") {
+        return Err(format!("expected pair line, got {line:?}"));
+    }
+    let workload = field(&mut words, "workload")?.to_string();
+    let platform = field(&mut words, "platform")?.to_string();
+    let ready = match field(&mut words, "state")? {
+        "ready" => true,
+        "fitting" => false,
+        other => return Err(format!("bad state {other:?}")),
+    };
+    let models = field(&mut words, "models")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad models: {e}"))?;
+    let cv_err = field(&mut words, "cv_err")?
+        .parse::<f64>()
+        .map_err(|e| format!("bad cv_err: {e}"))?;
+    if words.next().is_some() {
+        return Err("unexpected trailing tokens on pair line".to_string());
+    }
+    Ok(PairInfo {
+        workload,
+        platform,
+        ready,
+        models,
+        cv_err,
+    })
 }
 
 /// Renders the `traces …` response header (no newline): how many trace
@@ -293,6 +504,25 @@ mod tests {
             })
         );
         assert_eq!(parse_request("trace 3"), Ok(Request::Trace { n: 3 }));
+        assert_eq!(
+            parse_request("recommend gups/8GB sandybridge 64x2m+1x1g"),
+            Ok(Request::Recommend {
+                workload: "gups/8GB".into(),
+                platform: "sandybridge".into(),
+                budget: "64x2m+1x1g".into(),
+                threshold: None,
+            })
+        );
+        assert_eq!(
+            parse_request("recommend gups/8GB sandybridge 8x2m 0.25"),
+            Ok(Request::Recommend {
+                workload: "gups/8GB".into(),
+                platform: "sandybridge".into(),
+                budget: "8x2m".into(),
+                threshold: Some(0.25),
+            })
+        );
+        assert_eq!(parse_request("pairs"), Ok(Request::Pairs));
         for bad in [
             "",
             "predict",
@@ -308,6 +538,12 @@ mod tests {
             "trace x",
             "trace -1",
             "trace 3 4",
+            "recommend",
+            "recommend a",
+            "recommend a b",
+            "recommend a b 8x2m nope",
+            "recommend a b 8x2m 0.1 extra",
+            "pairs now",
             "frobnicate",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
@@ -372,6 +608,100 @@ mod tests {
         assert_eq!(parse_warm(&line), Ok(9));
         for bad in ["", "warm", "warm workload=w platform=p models=x", "ok r=1"] {
             assert!(parse_warm(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn recommend_roundtrips_bit_for_bit() {
+        let layout = RecommendReply {
+            action: RecommendAction::Layout,
+            spec: "2m:0..67108864+1g:1073741824..2147483648".into(),
+            value: 1.234_567_890_123_4e8,
+            cv_err: 0.071_234_567_89,
+            threshold: 0.1,
+        };
+        let line = render_recommend(&layout);
+        assert!(line.starts_with("rec action=layout "));
+        assert!(line.contains(" pred="));
+        let parsed = parse_recommend(&line).unwrap();
+        assert_eq!(parsed.value.to_bits(), layout.value.to_bits());
+        assert_eq!(parsed, layout);
+
+        let measure = RecommendReply {
+            action: RecommendAction::Measure,
+            spec: "4k".into(),
+            value: 0.42,
+            cv_err: f64::INFINITY,
+            threshold: 0.1,
+        };
+        let line = render_recommend(&measure);
+        assert!(line.contains(" gain="));
+        assert_eq!(parse_recommend(&line), Ok(measure));
+
+        for bad in [
+            "",
+            "rec",
+            "rec action=panic layout=4k pred=1 cv_err=1 threshold=1",
+            // The value key must match the action.
+            "rec action=layout layout=4k gain=1 cv_err=1 threshold=1",
+            "rec action=measure layout=4k pred=1 cv_err=1 threshold=1",
+            "rec action=layout layout=4k pred=x cv_err=1 threshold=1",
+            "rec action=layout layout=4k pred=1 cv_err=1 threshold=1 x",
+            "ok r=1",
+        ] {
+            assert!(parse_recommend(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn pairs_lines_roundtrip_including_nan_cv() {
+        assert_eq!(render_pairs_header(3), "pairs count=3");
+        assert_eq!(parse_pairs_header("pairs count=3"), Ok(3));
+        for bad in ["", "pairs", "pairs count=x", "pairs count=1 x", "ok r=1"] {
+            assert!(
+                parse_pairs_header(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+
+        let ready = PairInfo {
+            workload: "gups/8GB".into(),
+            platform: "SandyBridge".into(),
+            ready: true,
+            models: 9,
+            cv_err: 0.034_567_89,
+        };
+        let line = render_pair(&ready);
+        assert_eq!(
+            line,
+            "pair workload=gups/8GB platform=SandyBridge state=ready models=9 cv_err=0.03456789"
+        );
+        assert_eq!(parse_pair(&line), Ok(ready));
+
+        // A pair whose CV has not been computed yet carries NaN; NaN is
+        // never `==` so compare fields (and bits) directly.
+        let fresh = PairInfo {
+            workload: "w".into(),
+            platform: "p".into(),
+            ready: false,
+            models: 0,
+            cv_err: f64::NAN,
+        };
+        let line = render_pair(&fresh);
+        assert!(line.contains("state=fitting"));
+        assert!(line.ends_with("cv_err=NaN"));
+        let parsed = parse_pair(&line).unwrap();
+        assert!(parsed.cv_err.is_nan());
+        assert_eq!((parsed.workload, parsed.models), ("w".into(), 0));
+
+        for bad in [
+            "",
+            "pair",
+            "pair workload=w platform=p state=limbo models=1 cv_err=1",
+            "pair workload=w platform=p state=ready models=x cv_err=1",
+            "pair workload=w platform=p state=ready models=1 cv_err=1 x",
+        ] {
+            assert!(parse_pair(bad).is_err(), "{bad:?} should be rejected");
         }
     }
 

@@ -37,16 +37,34 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use harness::{Grid, MeasureContext};
 use machine::Platform;
+use mosmodel::cv::k_fold;
 use mosmodel::metrics::{geo_mean_err, max_err};
 use mosmodel::persist::{decode_bundle, encode_bundle, ModelBundle, PersistedModel};
 use mosmodel::ModelKind;
 use parking_lot::RwLock;
 
-use crate::cache::PredictionCache;
+use crate::cache::{FifoCache, PredictionCache};
+use crate::protocol::RecommendReply;
 use crate::ServiceError;
 
 /// Default bound on the prediction cache (see [`PredictionCache`]).
 pub const DEFAULT_PREDICTION_CACHE: usize = 1024;
+
+/// Default bound on the recommendation cache: recommendations are
+/// bulkier to compute (one simulation per candidate) but requests vary
+/// over far fewer keys (budgets, not layouts), so a smaller cache holds
+/// the working set.
+pub const DEFAULT_RECOMMEND_CACHE: usize = 256;
+
+/// Folds used for the per-pair cross-validation report (paper Table 6).
+const CV_FOLDS: usize = 6;
+
+/// Recommendation cache key:
+/// `(workload, platform, canonical budget, threshold bits)`. The budget
+/// component is the canonical [`recommend::render_budget`] string, so
+/// spellings like `8x2m+8x2m` and `16x2m` share one entry; the
+/// threshold enters as raw `f64` bits, keeping the key `Ord` and exact.
+pub type RecommendKey = (String, String, String, u64);
 
 /// Everything the server needs to answer queries for one pair: the
 /// fitted models (with error bounds) and the measurement geometry for
@@ -136,6 +154,23 @@ enum Claim {
     Fit(Arc<FitLatch>),
 }
 
+/// One `(workload, platform)` pair as reported by the `pairs` verb.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairInfo {
+    /// Workload name.
+    pub workload: String,
+    /// Platform name.
+    pub platform: String,
+    /// `true` once the pair's models are fitted and servable; `false`
+    /// while a fit is still in flight.
+    pub ready: bool,
+    /// Fitted models available for the pair (0 while fitting).
+    pub models: usize,
+    /// The pair's K-fold CV error, or `NaN` if not yet computed (the
+    /// memo fills on the first `recommend` for the pair).
+    pub cv_err: f64,
+}
+
 /// Fits, persists, and memoizes models per `(workload, platform)`.
 #[derive(Debug)]
 pub struct ModelRegistry {
@@ -145,6 +180,11 @@ pub struct ModelRegistry {
     // its iteration order must not depend on a per-process hasher seed.
     entries: RwLock<BTreeMap<(String, String), Slot>>,
     cache: PredictionCache,
+    rec_cache: FifoCache<RecommendKey, RecommendReply>,
+    // K-fold CV error per fitted pair, memoized because one report costs
+    // CV_FOLDS refits. BTreeMap for the same determinism reason as
+    // `entries`.
+    cv_errors: RwLock<BTreeMap<(String, String), f64>>,
     hits: AtomicU64,
     disk_loads: AtomicU64,
     misses: AtomicU64,
@@ -171,6 +211,8 @@ impl ModelRegistry {
             store_dir,
             entries: RwLock::new(BTreeMap::new()),
             cache: PredictionCache::new(cache_capacity),
+            rec_cache: FifoCache::new(DEFAULT_RECOMMEND_CACHE),
+            cv_errors: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -203,6 +245,63 @@ impl ModelRegistry {
     /// The bounded prediction cache in front of the simulation path.
     pub fn prediction_cache(&self) -> &PredictionCache {
         &self.cache
+    }
+
+    /// The bounded recommendation cache in front of the candidate
+    /// exploration + scoring path.
+    pub fn recommend_cache(&self) -> &FifoCache<RecommendKey, RecommendReply> {
+        &self.rec_cache
+    }
+
+    /// The pair's maximal K-fold cross-validation error (paper Table 6),
+    /// memoized: the first call pays `CV_FOLDS` Mosmodel refits over the
+    /// pair's battery dataset. Returns `f64::INFINITY` when CV cannot be
+    /// run (too few samples, or every fold fails to fit) — the honest
+    /// "no confidence" answer, which routes `recommend` to its
+    /// active-learning branch.
+    pub fn cv_error(&self, workload: &str, platform: &'static Platform) -> f64 {
+        let key = (workload.to_string(), platform.name.to_string());
+        if let Some(&err) = self.cv_errors.read().get(&key) {
+            return err;
+        }
+        let dataset = self.grid.entry(workload, platform).dataset();
+        let folds = CV_FOLDS.min(dataset.len());
+        let err = if folds < 2 {
+            f64::INFINITY
+        } else {
+            k_fold(ModelKind::Mosmodel, &dataset, folds)
+                .map_or(f64::INFINITY, |report| report.max_err)
+        };
+        self.cv_errors.write().insert(key, err);
+        err
+    }
+
+    /// Every pair the registry currently knows, ready or mid-fit, in
+    /// deterministic key order. CV errors come from the memo only (a
+    /// listing must never trigger refits); pairs whose `recommend` has
+    /// not run yet report `NaN`.
+    pub fn pairs(&self) -> Vec<PairInfo> {
+        let cv = self.cv_errors.read();
+        self.entries
+            .read()
+            .iter()
+            .map(|((workload, platform), slot)| {
+                let (ready, models) = match slot {
+                    Slot::Ready(entry) => (true, entry.bundle.models.len()),
+                    Slot::Pending(_) => (false, 0),
+                };
+                PairInfo {
+                    workload: workload.clone(),
+                    platform: platform.clone(),
+                    ready,
+                    models,
+                    cv_err: cv
+                        .get(&(workload.clone(), platform.clone()))
+                        .copied()
+                        .unwrap_or(f64::NAN),
+                }
+            })
+            .collect()
     }
 
     /// Returns (fitting if needed) the entry for a pair.
@@ -417,6 +516,25 @@ fn encode_store_component(raw: &str) -> String {
     out
 }
 
+/// Inverse of [`encode_store_component`]: decodes `%XX` escapes back to
+/// their bytes, so tooling can recover the pair a store file serves
+/// from its name. Returns `None` for text no encoder output could have
+/// produced (truncated or non-hex escapes, non-UTF-8 decoded bytes).
+pub fn decode_store_component(encoded: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(encoded.len());
+    let mut bytes = encoded.bytes();
+    while let Some(byte) = bytes.next() {
+        if byte == b'%' {
+            let hex = [bytes.next()?, bytes.next()?];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            out.push(byte);
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
 /// Best-effort text of a panic payload (what `panic!` was given).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -597,5 +715,64 @@ mod tests {
         assert_eq!(encode_store_component("a b"), "a%20b");
         assert_eq!(encode_store_component("Broadwell-1.2"), "Broadwell-1.2");
         assert_eq!(encode_store_component("100%"), "100%25");
+    }
+
+    #[test]
+    fn store_component_encoding_round_trips() {
+        for raw in [
+            "gups/8GB",
+            "a_b",
+            "a b",
+            "100%",
+            "Broadwell-1.2",
+            "",
+            "snake_case/with spaces/and%percent",
+            "ünïcode/π",
+        ] {
+            let encoded = encode_store_component(raw);
+            assert_eq!(
+                decode_store_component(&encoded).as_deref(),
+                Some(raw),
+                "{raw:?} -> {encoded:?} failed to decode back"
+            );
+        }
+        // Text no encoder could have produced decodes to None, not junk.
+        assert_eq!(decode_store_component("%"), None);
+        assert_eq!(decode_store_component("%2"), None);
+        assert_eq!(decode_store_component("%zz"), None);
+        assert_eq!(decode_store_component("%FF"), None); // not UTF-8
+    }
+
+    #[test]
+    fn cv_error_is_memoized_and_finite_for_healthy_pairs() {
+        let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), None);
+        let platform = &Platform::SANDY_BRIDGE;
+        registry.entry("gups/8GB", platform).unwrap();
+        let first = registry.cv_error("gups/8GB", platform);
+        assert!(first.is_finite(), "cv error {first}");
+        assert!(first >= 0.0);
+        // Memoized: the second call returns the same bits.
+        let second = registry.cv_error("gups/8GB", platform);
+        assert_eq!(first.to_bits(), second.to_bits());
+    }
+
+    #[test]
+    fn pairs_lists_fitted_pairs_with_memoized_cv() {
+        let registry = ModelRegistry::new(Grid::in_memory(tiny_speed()), None);
+        let platform = &Platform::SANDY_BRIDGE;
+        assert!(registry.pairs().is_empty());
+        registry.entry("gups/8GB", platform).unwrap();
+        let pairs = registry.pairs();
+        assert_eq!(pairs.len(), 1);
+        let info = &pairs[0];
+        assert_eq!(info.workload, "gups/8GB");
+        assert_eq!(info.platform, "SandyBridge");
+        assert!(info.ready);
+        assert_eq!(info.models, ModelKind::ALL.len());
+        assert!(info.cv_err.is_nan(), "cv memo must not fill on listing");
+        // After a cv_error call the listing reports the memoized value.
+        let cv = registry.cv_error("gups/8GB", platform);
+        let info = registry.pairs().remove(0);
+        assert_eq!(info.cv_err.to_bits(), cv.to_bits());
     }
 }

@@ -26,16 +26,23 @@ use std::time::{Duration, Instant};
 use harness::{measure_layout_traced, MachineVariant, SIM_STAGES};
 use layouts::parse_spec;
 use machine::Platform;
+use mosmodel::dataset::{LayoutKind, Sample};
 use mosmodel::{ModelKind, RuntimeModel};
-use obs::{render_trace, ClockDomain, StageSums, TraceRing};
+use obs::{render_trace, ClockDomain, SpanRecorder, StageSums, TraceRing};
+use recommend::{
+    enumerate_candidates, parse_budget, recommend_over, render_budget, render_layout_spec,
+    Recommendation, Score, Scorer, DEFAULT_CV_THRESHOLD, DEFAULT_EXPLORE_STEPS,
+};
+use vmcore::MemoryLayout;
 
 use crate::cache::prediction_key;
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::prom::{render_metrics, MetricsReport, StageEntry};
 use crate::protocol::{
-    parse_request, render_prediction, render_trace_header, render_warm, Prediction, Request,
+    parse_request, render_pair, render_pairs_header, render_prediction, render_recommend,
+    render_trace_header, render_warm, Prediction, RecommendAction, RecommendReply, Request,
 };
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, RecommendKey, RegistryEntry};
 use crate::trace::RequestTrace;
 use crate::ServiceError;
 
@@ -52,7 +59,18 @@ pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
 pub const TRACE_SPAN_CAPACITY: usize = 16;
 
 /// Wall-domain stage names the request path records, in pipeline order.
-pub const WALL_STAGES: [&str; 6] = ["read", "parse", "fit", "cache_lookup", "simulate", "render"];
+/// `explore` (candidate enumeration) and `score` (per-candidate
+/// prediction + decision) are recorded only by the `recommend` verb.
+pub const WALL_STAGES: [&str; 8] = [
+    "read",
+    "parse",
+    "fit",
+    "cache_lookup",
+    "explore",
+    "score",
+    "simulate",
+    "render",
+];
 
 /// How a [`Server`] listens and schedules work.
 #[derive(Clone, Debug)]
@@ -159,10 +177,7 @@ impl Server {
     /// A point-in-time metrics snapshot (same data as the `stats`
     /// command).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.metrics.snapshot(
-            self.shared.registry.counters(),
-            self.shared.registry.prediction_cache().counters(),
-        )
+        snapshot_stats(&self.shared)
     }
 
     /// The registry backing the server.
@@ -429,12 +444,20 @@ fn finish_trace(shared: &Shared, verb: &'static str, tracer: RequestTrace) {
     }
 }
 
-/// Assembles the `metrics` report from the live server state.
-fn metrics_report(shared: &Shared) -> MetricsReport {
-    let stats = shared.metrics.snapshot(
+/// Takes the stats snapshot all three exposure paths (`stats`,
+/// `metrics`, [`Server::stats`]) share.
+fn snapshot_stats(shared: &Shared) -> StatsSnapshot {
+    shared.metrics.snapshot(
         shared.registry.counters(),
         shared.registry.prediction_cache().counters(),
-    );
+        shared.registry.recommend_cache().counters(),
+        shared.registry.prediction_cache().len() as u64,
+    )
+}
+
+/// Assembles the `metrics` report from the live server state.
+fn metrics_report(shared: &Shared) -> MetricsReport {
+    let stats = snapshot_stats(shared);
     let entries = |sums: &StageSums| -> Vec<StageEntry> {
         sums.snapshot()
             .into_iter()
@@ -500,10 +523,7 @@ fn handle_line(
     tracer.record("parse", parse_start);
     match parsed {
         Ok(Request::Stats) => {
-            let snap = shared.metrics.snapshot(
-                shared.registry.counters(),
-                shared.registry.prediction_cache().counters(),
-            );
+            let snap = snapshot_stats(shared);
             let render_start = tracer.now_us();
             let text = snap.render();
             tracer.record("render", render_start);
@@ -558,6 +578,41 @@ fn handle_line(
             }
             tracer.record("render", render_start);
             (text, "trace", false, false)
+        }
+        Ok(Request::Recommend {
+            workload,
+            platform,
+            budget,
+            threshold,
+        }) => {
+            shared.metrics.record_recommend();
+            match recommend_traced(
+                &shared.registry,
+                &workload,
+                &platform,
+                &budget,
+                threshold,
+                tracer,
+            ) {
+                Ok(reply) => {
+                    let render_start = tracer.now_us();
+                    let text = render_recommend(&reply);
+                    tracer.record("render", render_start);
+                    (text, "recommend", false, false)
+                }
+                Err(e) => (format!("err {e}"), "recommend", false, true),
+            }
+        }
+        Ok(Request::Pairs) => {
+            let pairs = shared.registry.pairs();
+            let render_start = tracer.now_us();
+            let mut text = render_pairs_header(pairs.len());
+            for info in &pairs {
+                text.push('\n');
+                text.push_str(&render_pair(info));
+            }
+            tracer.record("render", render_start);
+            (text, "pairs", false, false)
         }
         Err(reason) => (format!("err {reason}"), "error", false, true),
     }
@@ -631,7 +686,9 @@ pub(crate) fn predict_traced(
     let layout =
         parse_spec(entry.ctx.pool(), spec).map_err(|e| ServiceError::BadSpec(e.to_string()))?;
     let kind = model.unwrap_or(ModelKind::Mosmodel);
-    let persisted = entry
+    // Check model availability before the cache: a request for a model
+    // the pair cannot serve must error whether or not the key is cached.
+    entry
         .model(kind)
         .ok_or_else(|| ServiceError::ModelUnavailable(kind.name().to_string()))?;
 
@@ -646,15 +703,29 @@ pub(crate) fn predict_traced(
     }
 
     let sim_start = tracer.now_us();
-    let record = measure_layout_traced(
-        &entry.ctx,
-        &MachineVariant::real(platform),
-        &layout,
-        Some(&mut tracer.sim),
-    );
-    let predicted = persisted.model.predict(&record.sample());
+    let prediction = simulate_prediction(&entry, platform, &layout, kind, Some(&mut tracer.sim))?;
     tracer.record("simulate", sim_start);
-    let prediction = Prediction {
+    registry.prediction_cache().insert(key, prediction.clone());
+    Ok(prediction)
+}
+
+/// Runs the partial simulation for one layout and applies the fitted
+/// model of `kind`. Shared by the `predict` path and the `recommend`
+/// scorer, so both produce bit-identical [`Prediction`]s for the same
+/// layout.
+fn simulate_prediction(
+    entry: &RegistryEntry,
+    platform: &'static Platform,
+    layout: &MemoryLayout,
+    kind: ModelKind,
+    sim: Option<&mut SpanRecorder>,
+) -> Result<Prediction, ServiceError> {
+    let persisted = entry
+        .model(kind)
+        .ok_or_else(|| ServiceError::ModelUnavailable(kind.name().to_string()))?;
+    let record = measure_layout_traced(&entry.ctx, &MachineVariant::real(platform), layout, sim);
+    let predicted = persisted.model.predict(&record.sample());
+    Ok(Prediction {
         runtime_cycles: record.counters.runtime_cycles,
         stlb_hits: record.counters.stlb_hits,
         stlb_misses: record.counters.stlb_misses,
@@ -663,9 +734,168 @@ pub(crate) fn predict_traced(
         predicted,
         max_err: persisted.max_err,
         geo_mean_err: persisted.geo_mean_err,
+    })
+}
+
+/// Scores candidate layouts for `recommend` with the pair's fitted
+/// models. The `predicted` component comes from the default model
+/// through the same cached simulation path the `predict` verb uses, so
+/// a recommendation's prediction is bit-comparable with a later
+/// `predict` for the recommended layout (and candidate scoring warms
+/// the prediction cache). The `disagreement` component is the relative
+/// spread of *every* fitted model's prediction on the candidate's
+/// measured sample — query-by-committee: the candidate the committee
+/// disagrees about most is the most informative one to measure next.
+struct RegistryScorer<'a> {
+    registry: &'a ModelRegistry,
+    workload: &'a str,
+    platform: &'static Platform,
+    entry: &'a RegistryEntry,
+}
+
+impl Scorer for RegistryScorer<'_> {
+    fn score(&self, layout: &MemoryLayout) -> Option<Score> {
+        let kind = ModelKind::Mosmodel;
+        let key = prediction_key(self.workload, self.platform.name, layout, kind);
+        let prediction = match self.registry.prediction_cache().get(&key) {
+            Some(hit) => hit,
+            None => {
+                // Candidate simulations run untraced: their spans must
+                // not pollute the recommend request's trace or the sim
+                // stage sums (which meter the predict path).
+                let p = simulate_prediction(self.entry, self.platform, layout, kind, None).ok()?;
+                self.registry.prediction_cache().insert(key, p.clone());
+                p
+            }
+        };
+        // Rebuild the measured sample from the prediction's counters
+        // (models only read H/M/C/R; the layout kind matters to fitting
+        // alone) and poll the committee.
+        let sample = Sample {
+            r: prediction.runtime_cycles as f64,
+            h: prediction.stlb_hits as f64,
+            m: prediction.stlb_misses as f64,
+            c: prediction.walk_cycles as f64,
+            kind: LayoutKind::Mixed,
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for model in &self.entry.bundle.models {
+            let p = model.model.predict(&sample);
+            if p.is_finite() {
+                min = min.min(p);
+                max = max.max(p);
+            }
+        }
+        let disagreement = if max >= min && prediction.predicted != 0.0 {
+            (max - min) / prediction.predicted.abs()
+        } else {
+            0.0
+        };
+        Some(Score {
+            predicted: prediction.predicted,
+            disagreement,
+        })
+    }
+}
+
+/// The in-process recommendation path: parse and canonicalize the
+/// budget, enumerate the deterministic candidate set, score each
+/// candidate with the pair's fitted models, and decide between the
+/// confident answer (lowest predicted runtime) and the active-learning
+/// fallback (most informative layout to measure). Public so the
+/// integration tests can compare the server's answers against a direct
+/// call.
+pub fn recommend(
+    registry: &ModelRegistry,
+    workload: &str,
+    platform: &str,
+    budget: &str,
+    threshold: Option<f64>,
+) -> Result<RecommendReply, ServiceError> {
+    recommend_traced(
+        registry,
+        workload,
+        platform,
+        budget,
+        threshold,
+        &mut RequestTrace::disabled(),
+    )
+}
+
+/// [`recommend`] with stage tracing: `fit` for the registry entry,
+/// `cache_lookup` for the recommendation cache, `explore` for candidate
+/// enumeration, `score` for the per-candidate predictions + decision.
+pub(crate) fn recommend_traced(
+    registry: &ModelRegistry,
+    workload: &str,
+    platform: &str,
+    budget_text: &str,
+    threshold: Option<f64>,
+    tracer: &mut RequestTrace,
+) -> Result<RecommendReply, ServiceError> {
+    let platform = Platform::by_name(platform)
+        .ok_or_else(|| ServiceError::UnknownPlatform(platform.to_string()))?;
+    let threshold = threshold.unwrap_or(DEFAULT_CV_THRESHOLD);
+    let fit_start = tracer.now_us();
+    let entry = registry.entry(workload, platform)?;
+    tracer.record("fit", fit_start);
+    let pool = entry.ctx.pool();
+    let budget =
+        parse_budget(pool, budget_text).map_err(|e| ServiceError::BadBudget(e.to_string()))?;
+
+    // The cache key carries the *canonical* budget, so spellings naming
+    // the same inventory (`8x2m+8x2m`, `16x2m`) share one entry; the
+    // threshold enters as raw bits to keep the key exact.
+    let lookup_start = tracer.now_us();
+    let key: RecommendKey = (
+        workload.to_string(),
+        platform.name.to_string(),
+        render_budget(&budget),
+        threshold.to_bits(),
+    );
+    let cached = registry.recommend_cache().get(&key);
+    tracer.record("cache_lookup", lookup_start);
+    if let Some(cached) = cached {
+        return Ok(cached);
+    }
+
+    let explore_start = tracer.now_us();
+    let candidates = enumerate_candidates(pool, &budget, DEFAULT_EXPLORE_STEPS);
+    tracer.record("explore", explore_start);
+
+    let score_start = tracer.now_us();
+    let cv_err = registry.cv_error(workload, platform);
+    let scorer = RegistryScorer {
+        registry,
+        workload,
+        platform,
+        entry: &entry,
     };
-    registry.prediction_cache().insert(key, prediction.clone());
-    Ok(prediction)
+    let decision = recommend_over(&candidates, &scorer, cv_err, threshold)
+        // Candidates exist for every budget (all-4KB at minimum), so an
+        // empty scored set means the default model is unavailable.
+        .map_err(|_| ServiceError::ModelUnavailable(ModelKind::Mosmodel.name().to_string()));
+    tracer.record("score", score_start);
+
+    let reply = match decision? {
+        Recommendation::Layout { layout, predicted } => RecommendReply {
+            action: RecommendAction::Layout,
+            spec: render_layout_spec(&layout),
+            value: predicted,
+            cv_err,
+            threshold,
+        },
+        Recommendation::Measure { layout, gain } => RecommendReply {
+            action: RecommendAction::Measure,
+            spec: render_layout_spec(&layout),
+            value: gain,
+            cv_err,
+            threshold,
+        },
+    };
+    registry.recommend_cache().insert(key, reply.clone());
+    Ok(reply)
 }
 
 #[cfg(test)]

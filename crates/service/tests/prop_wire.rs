@@ -30,13 +30,15 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
         ),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
         prop::collection::vec(0u64..1_000_000, BUCKET_BOUNDS_US.len()),
     )
-        .prop_map(|(core, reg, cache, bucket_vec)| {
-            let (requests, predicts, errors, busy, queue_depth) = core;
+        .prop_map(|(core, reg, cache, rec, bucket_vec)| {
+            let (requests, predicts, recommends, errors, busy, queue_depth) = core;
             let (hits, misses, disk_loads, fitting) = reg;
             let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
             for (out, v) in buckets.iter_mut().zip(bucket_vec) {
@@ -45,6 +47,7 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
             StatsSnapshot {
                 requests,
                 predicts,
+                recommends,
                 errors,
                 busy,
                 queue_depth,
@@ -58,6 +61,11 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
                     hits: cache.0,
                     misses: cache.1,
                 },
+                rec_cache: CacheCounters {
+                    hits: rec.0,
+                    misses: rec.1,
+                },
+                pred_cache_len: rec.2,
                 buckets,
             }
         })

@@ -5,9 +5,11 @@
 //! mosaic run <workload> <platform>     # fit all nine models on one pair
 //! mosaic figure <fig2..fig11|tab6..tab8|casestudy|all>
 //! mosaic sensitivity <platform>        # TLB sensitivity of every workload
-//! mosaic serve [addr] [--warm <workload>:<platform>]...  # start mosaicd (optionally pre-fitting pairs)
+//! mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>]  # start mosaicd
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
+//! mosaic query <addr> pairs            # list the server's fitted pairs
+//! mosaic recommend <addr> <workload> <platform> <budget> [threshold]  # ask for a layout
 //! mosaic metrics <addr>                # Prometheus text exposition scrape
 //! mosaic trace <addr> [n]              # dump the last n request traces
 //! mosaic audit [--json] [--deny]       # workspace static analysis (CI gate)
@@ -33,13 +35,14 @@ fn main() {
         Some("describe") => cmd_describe(args.get(1), args.get(2), args.get(3)),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("recommend") => cmd_recommend(&args[1..]),
         Some("metrics") => cmd_metrics(args.get(1)),
         Some("trace") => cmd_trace(args.get(1), args.get(2)),
         Some("audit") => cmd_audit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... | query <addr> ... | metrics <addr> | trace <addr> [n] | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | metrics <addr> | trace <addr> [n] | audit [--json] [--deny] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -337,13 +340,27 @@ fn cmd_sensitivity(platform: Option<&String>) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]...";
+    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>]";
     let mut addr = "127.0.0.1:7070".to_string();
     let mut positional_seen = false;
     let mut warm_pairs: Vec<(String, String)> = Vec::new();
+    let mut cache_cap = service::registry::DEFAULT_PREDICTION_CACHE;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--cache-cap" => {
+                let Some(text) = it.next() else {
+                    eprintln!("{usage} (--cache-cap needs a number)");
+                    return 2;
+                };
+                match text.parse::<usize>() {
+                    Ok(n) => cache_cap = n,
+                    Err(_) => {
+                        eprintln!("{usage} (--cache-cap wants a number, got {text:?})");
+                        return 2;
+                    }
+                }
+            }
             "--warm" => {
                 let Some(pair) = it.next() else {
                     eprintln!("{usage} (--warm needs <workload>:<platform>)");
@@ -381,7 +398,11 @@ fn cmd_serve(args: &[String]) -> i32 {
     }
     let speed = Speed::from_env();
     let store_dir = service::registry::ModelRegistry::default_store_dir();
-    let registry = service::registry::ModelRegistry::new(Grid::new(speed), Some(store_dir.clone()));
+    let registry = service::registry::ModelRegistry::with_cache_capacity(
+        Grid::new(speed),
+        Some(store_dir.clone()),
+        cache_cap,
+    );
     let config = service::server::ServerConfig {
         addr: addr.clone(),
         ..Default::default()
@@ -424,7 +445,7 @@ fn cmd_serve(args: &[String]) -> i32 {
 }
 
 fn cmd_query(args: &[String]) -> i32 {
-    let usage = "usage: mosaic query <addr> <workload> <platform> <layout-spec> [model] | mosaic query <addr> stats";
+    let usage = "usage: mosaic query <addr> <workload> <platform> <layout-spec> [model] | mosaic query <addr> <stats | pairs>";
     let Some(addr) = args.first() else {
         eprintln!("{usage}");
         return 2;
@@ -440,6 +461,31 @@ fn cmd_query(args: &[String]) -> i32 {
         [word] if word == "stats" => match client.stats() {
             Ok(snap) => {
                 println!("{}", snap.render());
+                0
+            }
+            Err(e) => {
+                eprintln!("mosaic query: {e}");
+                1
+            }
+        },
+        [word] if word == "pairs" => match client.pairs() {
+            Ok(pairs) => {
+                println!("{} pair(s) in the registry:", pairs.len());
+                for p in &pairs {
+                    let cv = if p.cv_err.is_finite() {
+                        pct(p.cv_err)
+                    } else {
+                        "n/a".to_string()
+                    };
+                    println!(
+                        "  {}:{} {} ({} models, CV error {})",
+                        p.workload,
+                        p.platform,
+                        if p.ready { "ready" } else { "fitting" },
+                        p.models,
+                        cv,
+                    );
+                }
                 0
             }
             Err(e) => {
@@ -485,6 +531,76 @@ fn cmd_query(args: &[String]) -> i32 {
         _ => {
             eprintln!("{usage}");
             2
+        }
+    }
+}
+
+/// Asks a running mosaicd for a layout recommendation under a hugepage
+/// budget (`64x2m+1x1g` grammar). Prints either the recommended layout
+/// spec (ready to feed back into `mosaic query`) or, when the pair's CV
+/// error exceeds the confidence threshold, the most informative layout
+/// to measure next.
+fn cmd_recommend(args: &[String]) -> i32 {
+    let usage = "usage: mosaic recommend <addr> <workload> <platform> <budget> [threshold]";
+    let [addr, workload, platform, budget, rest @ ..] = args else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let threshold = match rest {
+        [] => None,
+        [text] => match text.parse::<f64>() {
+            Ok(t) => Some(t),
+            Err(_) => {
+                eprintln!("{usage} (threshold must be a number, got {text:?})");
+                return 2;
+            }
+        },
+        _ => {
+            eprintln!("{usage}");
+            return 2;
+        }
+    };
+    let mut client = match service::client::Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mosaic recommend: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.recommend(workload, platform, budget, threshold) {
+        Ok(reply) => {
+            match reply.action {
+                service::protocol::RecommendAction::Layout => {
+                    println!(
+                        "recommend {} (predicted {:.0} cycles; CV error {} <= threshold {})",
+                        reply.spec,
+                        reply.value,
+                        pct(reply.cv_err),
+                        pct(reply.threshold),
+                    );
+                    println!(
+                        "run it:   mosaic query {addr} {workload} {platform} {}",
+                        reply.spec
+                    );
+                }
+                service::protocol::RecommendAction::Measure => {
+                    println!(
+                        "models not confident for {workload}:{platform} (CV error {} > threshold {})",
+                        pct(reply.cv_err),
+                        pct(reply.threshold),
+                    );
+                    println!(
+                        "measure next: {} (model committee disagreement {})",
+                        reply.spec,
+                        pct(reply.value),
+                    );
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("mosaic recommend: {e}");
+            1
         }
     }
 }
@@ -672,6 +788,10 @@ fn cmd_bench(args: &[String]) -> i32 {
     println!(
         "mosaicd:      cold request stages (us): {}",
         report.service.cold_stages,
+    );
+    println!(
+        "recommend:    cold {:.0}us (enumerate + score + CV) vs {} cached mean {:.1}us",
+        report.recommend.rec_cold_us, report.recommend.rec_requests, report.recommend.rec_mean_us,
     );
     if json {
         let path = format!("BENCH_{}.json", report.date);

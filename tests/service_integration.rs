@@ -8,7 +8,7 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use harness::{Grid, Speed};
+use harness::{Grid, MeasureContext, Speed};
 use service::client::{Client, ClientError};
 use service::registry::ModelRegistry;
 use service::server::{predict, Server, ServerConfig};
@@ -601,6 +601,8 @@ fn metrics_exposition_covers_stats_and_roundtrips() {
     assert_eq!(report.stats.errors, snap.errors);
     assert_eq!(report.stats.registry, snap.registry);
     assert_eq!(report.stats.cache, snap.cache);
+    assert_eq!(report.stats.rec_cache, snap.rec_cache);
+    assert_eq!(report.stats.pred_cache_len, snap.pred_cache_len);
     assert!(report.traces_buffered > 0, "requests were traced");
     assert_eq!(report.trace_capacity, 256, "default ring capacity");
 
@@ -639,6 +641,10 @@ fn metrics_exposition_covers_stats_and_roundtrips() {
         "mosaicd_registry_fitting ",
         "mosaicd_prediction_cache_hits_total ",
         "mosaicd_prediction_cache_misses_total ",
+        "mosaicd_prediction_cache_len ",
+        "mosaicd_recommends_total ",
+        "mosaicd_recommend_cache_hits_total ",
+        "mosaicd_recommend_cache_misses_total ",
         "mosaicd_request_latency_us_bucket{le=\"50\"}",
         "mosaicd_request_latency_us_bucket{le=\"+Inf\"}",
         "mosaicd_request_latency_us_count ",
@@ -657,6 +663,171 @@ fn metrics_exposition_covers_stats_and_roundtrips() {
         text,
         "scraped exposition is not a parse∘render fixed point"
     );
+    server.shutdown();
+}
+
+/// The recommendation tentpole's determinism half: two independent
+/// servers, fitted from scratch, answer the same `recommend` with
+/// byte-identical wire lines. Candidate order is a pure function of
+/// `(pool, budget, steps)`, scoring reuses the bit-exact simulate path,
+/// and the K-fold CV error uses deterministic folds — so nothing about
+/// the answer may depend on which process computed it.
+#[test]
+fn recommendations_are_byte_identical_across_independent_servers() {
+    let wire_line = |tag: &str| -> String {
+        let server = Server::start(
+            ServerConfig::default(),
+            ModelRegistry::new(Grid::in_memory(TINY), None),
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client.recommend(WORKLOAD, PLATFORM, "8x2m", None).unwrap();
+        server.shutdown();
+        // parse∘render is bit-exact, so re-rendering the parsed reply
+        // reproduces the bytes the server put on the wire.
+        let line = service::protocol::render_recommend(&reply);
+        assert!(!line.is_empty(), "{tag}: empty recommend line");
+        line
+    };
+    assert_eq!(
+        wire_line("first server"),
+        wire_line("second server"),
+        "identical recommend requests must render byte-identical replies"
+    );
+}
+
+/// The recommendation tentpole's grounding half plus both confidence
+/// branches, the recommendation cache, and the `pairs` verb — all on
+/// one server so the TINY battery is fitted once.
+#[test]
+fn recommendation_is_grounded_and_both_confidence_branches_fire() {
+    const BUDGET: &str = "8x2m";
+
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Before any recommend, `pairs` reports the warmed pair as ready
+    // with its CV error still unmeasured (NaN).
+    client.warm(WORKLOAD, PLATFORM).unwrap();
+    let pairs = client.pairs().unwrap();
+    assert_eq!(pairs.len(), 1);
+    assert_eq!(pairs[0].workload, WORKLOAD);
+    assert!(pairs[0].ready, "warmed pair must be ready");
+    assert!(pairs[0].models >= 1);
+    assert!(
+        pairs[0].cv_err.is_nan(),
+        "CV error must be unmeasured before the first recommend, got {}",
+        pairs[0].cv_err
+    );
+
+    // Confident branch: a huge threshold forces `action=layout` as long
+    // as the CV error is finite, and the recommendation must be
+    // *grounded* — its predicted runtime is the minimum over the whole
+    // deterministic candidate set, bit-for-bit against the same predict
+    // path a client could query directly.
+    let confident = client
+        .recommend(WORKLOAD, PLATFORM, BUDGET, Some(1e9))
+        .unwrap();
+    assert_eq!(
+        confident.action,
+        service::protocol::RecommendAction::Layout,
+        "threshold 1e9 must take the confident branch"
+    );
+    assert!(confident.cv_err.is_finite());
+    assert_eq!(confident.threshold.to_bits(), 1e9f64.to_bits());
+
+    let pool = MeasureContext::new(TINY, WORKLOAD).unwrap().pool();
+    let budget = recommend::parse_budget(pool, BUDGET).unwrap();
+    let candidates =
+        recommend::enumerate_candidates(pool, &budget, recommend::DEFAULT_EXPLORE_STEPS);
+    assert!(!candidates.is_empty());
+    let mut best = f64::INFINITY;
+    for layout in &candidates {
+        let spec = recommend::render_layout_spec(layout);
+        let p = predict(server.registry(), WORKLOAD, PLATFORM, &spec, None).unwrap();
+        assert!(
+            confident.value <= p.predicted,
+            "recommended layout ({}, {}) is beaten by candidate {spec} ({})",
+            confident.spec,
+            confident.value,
+            p.predicted
+        );
+        best = best.min(p.predicted);
+    }
+    assert_eq!(
+        confident.value.to_bits(),
+        best.to_bits(),
+        "recommended prediction must be the candidate minimum, bit-for-bit"
+    );
+    let replayed = predict(server.registry(), WORKLOAD, PLATFORM, &confident.spec, None).unwrap();
+    assert_eq!(
+        replayed.predicted.to_bits(),
+        confident.value.to_bits(),
+        "the recommended spec must re-predict to the reply's value"
+    );
+
+    // Active-learning branch: an unsatisfiable threshold means the
+    // models may not be trusted, so the server returns the candidate
+    // the committee disagrees about most instead of a layout to run.
+    let measure = client
+        .recommend(WORKLOAD, PLATFORM, BUDGET, Some(-1.0))
+        .unwrap();
+    assert_eq!(
+        measure.action,
+        service::protocol::RecommendAction::Measure,
+        "threshold -1.0 must take the measure branch"
+    );
+    assert!(measure.value.is_finite() && measure.value >= 0.0);
+    assert!(
+        candidates
+            .iter()
+            .any(|l| recommend::render_layout_spec(l) == measure.spec),
+        "measure target {} is not a candidate",
+        measure.spec
+    );
+
+    // The recommendation cache: an exact repeat hits, and so does an
+    // aliased spelling of the same inventory (the key carries the
+    // canonical budget).
+    let repeat = client
+        .recommend(WORKLOAD, PLATFORM, BUDGET, Some(1e9))
+        .unwrap();
+    assert_eq!(repeat, confident, "cached reply diverged");
+    let aliased = client
+        .recommend(WORKLOAD, PLATFORM, "4x2m+4x2m", Some(1e9))
+        .unwrap();
+    assert_eq!(aliased, confident, "aliased budget must share the entry");
+
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.recommends, 4, "every recommend request counted");
+    assert_eq!(snap.rec_cache.misses, 2, "two distinct keys computed");
+    assert_eq!(snap.rec_cache.hits, 2, "repeat and alias must both hit");
+    assert!(
+        snap.pred_cache_len > 0,
+        "candidate scoring must warm the prediction cache"
+    );
+
+    // A malformed and a pool-exceeding budget are protocol errors, not
+    // worker deaths.
+    for bad in ["8z2m", "1000000x1g"] {
+        match client.recommend(WORKLOAD, PLATFORM, bad, None) {
+            Err(ClientError::Server(_)) => {}
+            other => panic!("budget {bad:?}: expected a server error, got {other:?}"),
+        }
+    }
+
+    // After recommending, the pair's memoized CV error is visible.
+    let pairs = client.pairs().unwrap();
+    assert_eq!(pairs.len(), 1);
+    assert!(
+        pairs[0].cv_err.is_finite(),
+        "CV error must be memoized after a recommend"
+    );
+    assert_eq!(pairs[0].cv_err.to_bits(), confident.cv_err.to_bits());
     server.shutdown();
 }
 
