@@ -1,0 +1,362 @@
+//! A lightweight block-structure parser layered on the token stream.
+//!
+//! This is deliberately **not** a Rust grammar. It recovers just enough
+//! structure for semantic lint rules: a tree of `{}`/`()`/`[]` delimiter
+//! groups over the production tokens, with brace blocks attributed to
+//! the item that introduces them (`fn name`, `impl`, `mod name`,
+//! `trait name`) by a bounded backward scan. Everything else — match
+//! arms, closures, struct literals — is an anonymous block.
+//!
+//! Like the lexer, the builder is total: arbitrary bytes (and therefore
+//! arbitrary token soup) must never panic it. Unbalanced delimiters are
+//! recorded in [`BlockTree::unbalanced`] so a rule can turn them into a
+//! diagnostic instead of a crash; the tree that *was* recoverable stays
+//! usable so the semantic rules degrade gracefully rather than going
+//! blind. A proptest in the fixture suite holds it to that contract and
+//! checks that every delimiter token ends up accounted for exactly once
+//! (as an open, a close, or an unbalanced entry).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Which delimiter pair a [`Block`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelimKind {
+    /// `{ ... }`
+    Brace,
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+}
+
+/// What item introduces a brace block (best-effort attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Owner {
+    /// A `fn` body; the name token index is in [`Block::owner_name`].
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// A `mod` body.
+    Mod,
+    /// A `trait` body.
+    Trait,
+    /// Anything else: match arms, closures, struct literals, plain
+    /// blocks, and all paren/bracket groups.
+    Other,
+}
+
+/// One delimiter group. Positions (`open`, `close`, `owner_name`) are
+/// indices into the *code-position list* the tree was built from (the
+/// same indexing `FileView::code` uses), not raw token indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Delimiter pair.
+    pub kind: DelimKind,
+    /// Item attribution (brace blocks only; delimiters are `Other`).
+    pub owner: Owner,
+    /// Code position of the `fn`/`mod`/`trait` name identifier, if any.
+    pub owner_name: Option<usize>,
+    /// Code position of the opening delimiter.
+    pub open: usize,
+    /// Code position of the matching closer; `None` if unterminated.
+    pub close: Option<usize>,
+    /// Index (into [`BlockTree::blocks`]) of the enclosing block.
+    pub parent: Option<usize>,
+}
+
+/// The block structure of one file's production token stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockTree {
+    /// All blocks in opening order (preorder).
+    pub blocks: Vec<Block>,
+    /// `enclosing[p]` — the innermost block containing code position
+    /// `p` (openers belong to their parent; closers to the block they
+    /// close).
+    pub enclosing: Vec<Option<usize>>,
+    /// Code positions of unmatched delimiters: stray closers, and the
+    /// openers of blocks that never close. Sorted ascending.
+    pub unbalanced: Vec<usize>,
+}
+
+/// How far backwards the owner scan looks before giving up; bounds the
+/// cost on adversarial input. Real signatures fit comfortably.
+const OWNER_SCAN_WINDOW: usize = 128;
+
+impl BlockTree {
+    /// Builds the tree over `code` (indices into `tokens`, comments and
+    /// test code already filtered out). Total: never panics, whatever
+    /// the input.
+    pub fn build(tokens: &[Token<'_>], code: &[usize]) -> BlockTree {
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut enclosing = vec![None; code.len()];
+        let mut unbalanced = Vec::new();
+        for (p, &idx) in code.iter().enumerate() {
+            enclosing[p] = stack.last().copied();
+            let t = &tokens[idx];
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            let open_kind = match t.text {
+                "{" => Some(DelimKind::Brace),
+                "(" => Some(DelimKind::Paren),
+                "[" => Some(DelimKind::Bracket),
+                _ => None,
+            };
+            if let Some(kind) = open_kind {
+                let (owner, owner_name) = if kind == DelimKind::Brace {
+                    scan_owner(tokens, code, p)
+                } else {
+                    (Owner::Other, None)
+                };
+                blocks.push(Block {
+                    kind,
+                    owner,
+                    owner_name,
+                    open: p,
+                    close: None,
+                    parent: stack.last().copied(),
+                });
+                stack.push(blocks.len() - 1);
+                continue;
+            }
+            let close_kind = match t.text {
+                "}" => Some(DelimKind::Brace),
+                ")" => Some(DelimKind::Paren),
+                "]" => Some(DelimKind::Bracket),
+                _ => None,
+            };
+            if let Some(kind) = close_kind {
+                // Close the nearest open block of the same kind,
+                // declaring anything stacked above it unterminated —
+                // `fn f( {` recovers instead of corrupting the rest.
+                match stack.iter().rposition(|&b| blocks[b].kind == kind) {
+                    Some(pos) => {
+                        for &orphan in &stack[pos + 1..] {
+                            unbalanced.push(blocks[orphan].open);
+                        }
+                        stack.truncate(pos + 1);
+                        if let Some(b) = stack.pop() {
+                            blocks[b].close = Some(p);
+                        }
+                    }
+                    None => unbalanced.push(p),
+                }
+            }
+        }
+        for &b in &stack {
+            unbalanced.push(blocks[b].open);
+        }
+        unbalanced.sort_unstable();
+        unbalanced.dedup();
+        BlockTree {
+            blocks,
+            enclosing,
+            unbalanced,
+        }
+    }
+
+    /// The innermost *brace* block containing code position `p`.
+    pub fn enclosing_brace(&self, p: usize) -> Option<usize> {
+        let mut b = self.enclosing.get(p).copied().flatten();
+        while let Some(i) = b {
+            if self.blocks[i].kind == DelimKind::Brace {
+                return Some(i);
+            }
+            b = self.blocks[i].parent;
+        }
+        None
+    }
+
+    /// The innermost enclosing `fn`-body block for code position `p`.
+    pub fn fn_scope(&self, p: usize) -> Option<usize> {
+        let mut b = self.enclosing.get(p).copied().flatten();
+        while let Some(i) = b {
+            let block = &self.blocks[i];
+            if block.kind == DelimKind::Brace && block.owner == Owner::Fn {
+                return Some(i);
+            }
+            b = block.parent;
+        }
+        None
+    }
+
+    /// Exclusive end position of block `b`: its closer, or `code_len`
+    /// when the block never closes (unbalanced input).
+    pub fn block_end(&self, b: usize, code_len: usize) -> usize {
+        self.blocks
+            .get(b)
+            .and_then(|bl| bl.close)
+            .unwrap_or(code_len)
+    }
+}
+
+/// Attributes the brace opening at code position `open_p` to its item
+/// by scanning backwards to the previous statement/block boundary.
+fn scan_owner(tokens: &[Token<'_>], code: &[usize], open_p: usize) -> (Owner, Option<usize>) {
+    let ident_at = |k: usize| -> Option<usize> {
+        code.get(k)
+            .filter(|&&i| tokens[i].kind == TokenKind::Ident)
+            .map(|_| k)
+    };
+    let lo = open_p.saturating_sub(OWNER_SCAN_WINDOW);
+    let mut j = open_p;
+    while j > lo {
+        j -= 1;
+        let t = &tokens[code[j]];
+        if t.kind == TokenKind::Punct && matches!(t.text, ";" | "{" | "}") {
+            break;
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text {
+            // A `fn` immediately followed by a name is the item header;
+            // a bare `fn` is the function-pointer *type* (`fn(u64) ->
+            // u64`) — keep scanning past it for the real header.
+            "fn" => {
+                if let Some(name) = ident_at(j + 1) {
+                    return (Owner::Fn, Some(name));
+                }
+            }
+            "mod" => {
+                if let Some(name) = ident_at(j + 1) {
+                    return (Owner::Mod, Some(name));
+                }
+            }
+            "trait" => {
+                if let Some(name) = ident_at(j + 1) {
+                    return (Owner::Trait, Some(name));
+                }
+            }
+            "impl" => return (Owner::Impl, None),
+            _ => {}
+        }
+    }
+    (Owner::Other, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<usize>, BlockTree) {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let t = BlockTree::build(&tokens, &code);
+        (code, t)
+    }
+
+    #[test]
+    fn fn_impl_mod_owners_are_attributed() {
+        let src =
+            "mod api {\n    impl Registry {\n        pub fn entry(&self) -> u64 { 1 }\n    }\n}\n";
+        let (_, t) = tree(src);
+        assert!(t.unbalanced.is_empty());
+        let owners: Vec<Owner> = t
+            .blocks
+            .iter()
+            .filter(|b| b.kind == DelimKind::Brace)
+            .map(|b| b.owner)
+            .collect();
+        assert_eq!(owners, vec![Owner::Mod, Owner::Impl, Owner::Fn]);
+    }
+
+    #[test]
+    fn match_arms_and_struct_literals_are_anonymous() {
+        let src = "fn f(x: u8) -> P {\n    match x {\n        0 => { zero() }\n        _ => P { v: x },\n    }\n}\n";
+        let (_, t) = tree(src);
+        assert!(t.unbalanced.is_empty());
+        let braces: Vec<Owner> = t
+            .blocks
+            .iter()
+            .filter(|b| b.kind == DelimKind::Brace)
+            .map(|b| b.owner)
+            .collect();
+        assert_eq!(
+            braces,
+            vec![Owner::Fn, Owner::Other, Owner::Other, Owner::Other]
+        );
+    }
+
+    #[test]
+    fn fn_pointer_types_do_not_steal_ownership() {
+        let src = "pub fn apply(f: fn(u64) -> u64, x: u64) -> u64 { f(x) }\n";
+        let (code, t) = tree(src);
+        let body = t
+            .blocks
+            .iter()
+            .find(|b| b.kind == DelimKind::Brace)
+            .expect("body");
+        assert_eq!(body.owner, Owner::Fn);
+        let name = body.owner_name.expect("name");
+        let tokens = lex(src);
+        assert_eq!(tokens[code[name]].text, "apply");
+        let _ = tokens;
+    }
+
+    #[test]
+    fn fn_scope_walks_out_of_nested_blocks() {
+        let src = "fn outer() {\n    if x {\n        inner();\n    }\n}\n";
+        let (code, t) = tree(src);
+        let tokens = lex(src);
+        let inner_pos = (0..code.len())
+            .find(|&p| tokens[code[p]].text == "inner")
+            .expect("inner");
+        let scope = t.fn_scope(inner_pos).expect("fn scope");
+        assert_eq!(t.blocks[scope].owner, Owner::Fn);
+        assert_eq!(
+            t.blocks[scope].owner_name.map(|n| tokens[code[n]].text),
+            Some("outer")
+        );
+    }
+
+    #[test]
+    fn unbalanced_input_is_recorded_not_fatal() {
+        let (_, t) = tree("fn f() { let x = 1;\n"); // unterminated brace
+        assert_eq!(t.unbalanced.len(), 1);
+        let (_, t) = tree("}\n"); // stray closer
+        assert_eq!(t.unbalanced.len(), 1);
+        // Mismatched nesting recovers: the paren never closes, the
+        // brace still matches.
+        let (_, t) = tree("fn f( { }\n");
+        assert_eq!(t.unbalanced.len(), 1);
+        assert!(t
+            .blocks
+            .iter()
+            .any(|b| b.kind == DelimKind::Brace && b.close.is_some()));
+    }
+
+    #[test]
+    fn every_delimiter_is_accounted_for_exactly_once() {
+        let src = "fn f() { g([1, 2], (3)); }\nimpl T { }\n} (\n";
+        let (code, t) = tree(src);
+        let tokens = lex(src);
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &t.blocks {
+            assert!(seen.insert(b.open));
+            if let Some(c) = b.close {
+                assert!(seen.insert(c));
+            }
+        }
+        // Every unbalanced entry is either an unterminated opener
+        // (already a block's `open`) or a stray closer (new position).
+        for &u in &t.unbalanced {
+            let is_unterminated_open = t.blocks.iter().any(|b| b.open == u && b.close.is_none());
+            assert!(seen.insert(u) != is_unterminated_open);
+        }
+        let delims: Vec<usize> = (0..code.len())
+            .filter(|&p| {
+                tokens[code[p]].kind == TokenKind::Punct
+                    && matches!(tokens[code[p]].text, "{" | "}" | "(" | ")" | "[" | "]")
+            })
+            .collect();
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), delims);
+    }
+}

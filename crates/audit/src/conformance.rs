@@ -1,0 +1,252 @@
+//! Rule 7 — wire conformance, the one cross-file rule.
+//!
+//! The wire protocol's source of truth is `service/src/protocol.rs`:
+//! every request verb is a `Some("<verb>") => ...` arm inside
+//! `parse_request`. A verb is only *shipped* when four more cells
+//! exist: a dispatch/render arm in `service/src/server.rs`, a
+//! `Client::` method in `service/src/client.rs`, a CLI frontend in
+//! `src/main.rs`, and a README mention. Any missing cell is a finding
+//! anchored at the verb's literal in `parse_request`, so verbs cannot
+//! silently drift out of the client, the CLI, or the docs (deleting
+//! `Client::warm` fails the audit — a test proves it).
+//!
+//! "Mentioned" means the verb appears as an identifier or as a
+//! whole word inside a string literal, in production (non-test) code —
+//! a comment does not count as a client method. The rule runs at the
+//! workspace level ([`crate::workspace::audit_files`]) because it needs
+//! several files at once; findings honor `audit:allow(wire-conformance)`
+//! suppressions in `protocol.rs` like any other rule.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::fn_body_named;
+use crate::source::FileView;
+
+/// The rule id this module emits.
+pub const RULE: &str = "wire-conformance";
+
+/// Extracts the protocol's verb table: `(verb, token index of the
+/// string literal)` for every `Some("<verb>") =>` arm inside
+/// `fn parse_request`, in source order, first occurrence wins.
+pub fn parse_request_verbs(view: &FileView<'_>) -> Vec<(String, usize)> {
+    let Some((start, end)) = fn_body_named(view, "parse_request") else {
+        return Vec::new();
+    };
+    let text = |p: usize| view.tokens[view.code[p]].text;
+    let mut verbs: Vec<(String, usize)> = Vec::new();
+    for p in start..end.saturating_sub(5) {
+        if text(p) != "Some" || text(p + 1) != "(" {
+            continue;
+        }
+        let lit = &view.tokens[view.code[p + 2]];
+        if lit.kind != TokenKind::Str
+            || text(p + 3) != ")"
+            || text(p + 4) != "="
+            || text(p + 5) != ">"
+        {
+            continue;
+        }
+        let verb = lit.text.trim_matches('"');
+        if verb.is_empty()
+            || !verb
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            continue;
+        }
+        if !verbs.iter().any(|(v, _)| v == verb) {
+            verbs.push((verb.to_string(), view.code[p + 2]));
+        }
+    }
+    verbs
+}
+
+/// Does `text` contain `word` delimited by non-word characters
+/// (`_` counts as a word character, so `warm_pairs` is not a mention
+/// of `warm`)?
+fn word_in(text: &str, word: &str) -> bool {
+    text.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+        .any(|w| w == word)
+}
+
+/// Does the file mention `verb` in production code — as an identifier
+/// (`Client::warm`, `cmd_recommend` does not count; the bare ident
+/// `warm` does) or as a whole word inside a string literal
+/// (`"warm {workload}"`)?
+fn mentions_verb(view: &FileView<'_>, verb: &str) -> bool {
+    view.code.iter().any(|&idx| {
+        let t = &view.tokens[idx];
+        match t.kind {
+            TokenKind::Ident => t.text == verb,
+            TokenKind::Str => word_in(t.text, verb),
+            _ => false,
+        }
+    })
+}
+
+/// Runs the conformance matrix over one workspace's views (plus the
+/// README text, which is not a Rust file). Returns findings anchored in
+/// `protocol.rs`, already filtered through its suppressions.
+pub fn check_conformance(views: &[FileView<'_>], readme: Option<&str>) -> Vec<Diagnostic> {
+    let Some(proto) = views
+        .iter()
+        .find(|v| v.path.ends_with("service/src/protocol.rs"))
+    else {
+        return Vec::new();
+    };
+    let verbs = parse_request_verbs(proto);
+    if verbs.is_empty() {
+        return Vec::new();
+    }
+    let file = |suffix: &str| views.iter().find(|v| v.path.ends_with(suffix));
+    let server = file("service/src/server.rs");
+    let client = file("service/src/client.rs");
+    let cli = views.iter().find(|v| v.path == "src/main.rs");
+
+    let mut out = Vec::new();
+    for (verb, idx) in &verbs {
+        let cells: [(Option<&FileView<'_>>, &str); 3] = [
+            (server, "a dispatch/render arm in service/src/server.rs"),
+            (client, "a `Client::` method in service/src/client.rs"),
+            (cli, "a CLI frontend in src/main.rs"),
+        ];
+        let mut missing: Vec<&str> = cells
+            .iter()
+            .filter(|(view, _)| !view.is_some_and(|v| mentions_verb(v, verb)))
+            .map(|&(_, what)| what)
+            .collect();
+        if !readme.is_some_and(|text| word_in(text, verb)) {
+            missing.push("a README.md mention");
+        }
+        for what in missing {
+            out.push(proto.diag_at(
+                RULE,
+                *idx,
+                format!(
+                    "wire verb `{verb}` has a parser arm but is missing {what}; a verb \
+                     ships with all five cells (parser, server arm, client method, CLI, \
+                     docs) or not at all"
+                ),
+            ));
+        }
+    }
+    out.retain(|d| !proto.is_suppressed(d));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_IDS;
+
+    const PROTO: &str = "//! codec\n\
+        pub fn parse_request(line: &str) -> Result<u32, String> {\n\
+            let mut words = line.split_ascii_whitespace();\n\
+            match words.next() {\n\
+                Some(\"predict\") => Ok(1),\n\
+                Some(\"frob\") => Ok(2),\n\
+                _ => Err(\"unknown\".to_string()),\n\
+            }\n\
+        }\n";
+
+    fn views<'a>(files: &'a [(&'a str, &'a str)]) -> Vec<FileView<'a>> {
+        files
+            .iter()
+            .map(|(p, t)| FileView::new(p, t, &RULE_IDS))
+            .collect()
+    }
+
+    #[test]
+    fn verbs_are_extracted_from_parse_request_only() {
+        let src = "fn parse_warm(l: &str) -> bool { l.split(' ').next() != Some(\"warm\") }\n\
+                   pub fn parse_request(l: &str) -> u32 {\n\
+                       match l.split(' ').next() {\n\
+                           Some(\"predict\") => 1,\n\
+                           Some(\"predict\") => 1,\n\
+                           Some(\"pairs\") => 2,\n\
+                           None => 0,\n\
+                           _ => 0,\n\
+                       }\n\
+                   }\n";
+        let v = FileView::new("crates/service/src/protocol.rs", src, &RULE_IDS);
+        let verbs: Vec<String> = parse_request_verbs(&v)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(verbs, vec!["predict".to_string(), "pairs".to_string()]);
+    }
+
+    #[test]
+    fn a_fully_wired_verb_is_clean_and_each_missing_cell_is_one_finding() {
+        let full = [
+            ("crates/service/src/protocol.rs", PROTO),
+            (
+                "crates/service/src/server.rs",
+                "fn dispatch(v: &str) -> u32 { u32::from(v == \"predict\" || v == \"frob\") }\n",
+            ),
+            (
+                "crates/service/src/client.rs",
+                "impl Client { fn predict(&self) {} fn frob(&self) {} }\n",
+            ),
+            ("src/main.rs", "fn main() { run(\"predict or frob\"); }\n"),
+        ];
+        let clean = check_conformance(&views(&full), Some("docs: predict, frob"));
+        assert_eq!(clean, vec![]);
+
+        // Drop `frob` from the client: exactly one finding, at the
+        // verb's literal in protocol.rs.
+        let mut drifted = full;
+        drifted[2].1 = "impl Client { fn predict(&self) {} }\n";
+        let diags = check_conformance(&views(&drifted), Some("docs: predict, frob"));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "wire-conformance");
+        assert_eq!(diags[0].path, "crates/service/src/protocol.rs");
+        assert!(diags[0].message.contains("`frob`"));
+        assert!(diags[0].message.contains("Client"));
+
+        // Drop the README mention too: a second finding for the verb.
+        let diags = check_conformance(&views(&drifted), Some("docs: predict only"));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn comments_and_compound_identifiers_are_not_mentions() {
+        let files = [
+            ("crates/service/src/protocol.rs", PROTO),
+            (
+                "crates/service/src/server.rs",
+                "// the frob verb is handled elsewhere, honest\n\
+                 fn dispatch(v: &str) -> bool { v == \"predict\" || frob_helper() }\n",
+            ),
+            (
+                "crates/service/src/client.rs",
+                "impl Client { fn predict(&self) {} fn frob(&self) {} }\n",
+            ),
+            ("src/main.rs", "fn main() { run(\"predict frob\"); }\n"),
+        ];
+        let diags = check_conformance(&views(&files), Some("predict and frob"));
+        // `frob_helper` is not a mention of `frob`; the comment is not
+        // either — the server cell is missing.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("server.rs"));
+    }
+
+    #[test]
+    fn suppressions_in_protocol_rs_are_honored() {
+        let proto = "pub fn parse_request(l: &str) -> u32 {\n\
+                     match l.split(' ').next() {\n\
+                         // audit:allow(wire-conformance) internal debug verb, deliberately undocumented\n\
+                         Some(\"frob\") => 2,\n\
+                         _ => 0,\n\
+                     }\n\
+                 }\n";
+        let files = [("crates/service/src/protocol.rs", proto)];
+        assert_eq!(check_conformance(&views(&files), None), vec![]);
+    }
+
+    #[test]
+    fn no_protocol_file_means_no_findings() {
+        let files = [("crates/service/src/server.rs", "fn x() {}\n")];
+        assert_eq!(check_conformance(&views(&files), None), vec![]);
+    }
+}

@@ -1,5 +1,5 @@
-//! Diagnostics: rustc-style text rendering and a hand-rolled (std-only)
-//! JSON output mode for machine consumption in CI.
+//! Diagnostics: rustc-style text rendering and hand-rolled (std-only)
+//! JSON and SARIF 2.1.0 output modes for machine consumption in CI.
 
 use std::fmt;
 
@@ -54,6 +54,55 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Renders the report as a SARIF 2.1.0 document (one run, tool
+/// `mosaic-audit`), the interchange format CI dashboards ingest. The
+/// output is deterministic — same diagnostics, byte-identical document —
+/// so it can be diffed and archived as a build artifact. `rules` is the
+/// full rule table to advertise in `tool.driver.rules` (findings may
+/// reference a subset).
+pub fn render_sarif(diags: &[Diagnostic], rules: &[&str]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mosaic-audit\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/mosaic/mosaic\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n            {{\"id\": {}}}", json_string(rule)));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": {},\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": {}}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}\n          ]\n        }}",
+            json_string(d.rule),
+            json_string(&d.message),
+            json_string(&d.path),
+            d.line,
+            d.col,
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
 /// Escapes a string as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -91,6 +140,44 @@ mod tests {
             "crates/memsim/src/tlb.rs:12:9: error[determinism]: \
              HashMap iteration order is nondeterministic"
         );
+    }
+
+    #[test]
+    fn sarif_is_valid_deterministic_and_complete() {
+        let diags = vec![
+            Diagnostic {
+                rule: "lock-discipline",
+                path: "crates/service/src/registry.rs".into(),
+                line: 7,
+                col: 13,
+                message: "guard held across fit".into(),
+            },
+            Diagnostic {
+                rule: "arith-safety",
+                path: "crates/service/src/metrics.rs".into(),
+                line: 3,
+                col: 9,
+                message: "unchecked `*` can overflow".into(),
+            },
+        ];
+        let sarif = render_sarif(&diags, &["lock-discipline", "arith-safety"]);
+        assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"mosaic-audit\""));
+        assert!(sarif.contains("{\"id\": \"lock-discipline\"}"));
+        assert!(sarif.contains("\"ruleId\": \"lock-discipline\""));
+        assert!(sarif.contains("\"startLine\": 7, \"startColumn\": 13"));
+        assert!(sarif.contains("\"uri\": \"crates/service/src/registry.rs\""));
+        // Deterministic: a second render is byte-identical.
+        assert_eq!(
+            sarif,
+            render_sarif(&diags, &["lock-discipline", "arith-safety"])
+        );
+        // Empty report still carries the rule table and an empty results
+        // array.
+        let empty = render_sarif(&[], &["determinism"]);
+        assert!(empty.contains("\"results\": []"));
+        assert!(empty.contains("{\"id\": \"determinism\"}"));
     }
 
     #[test]

@@ -41,10 +41,26 @@ pub struct Token<'a> {
     pub col: usize,
 }
 
+thread_local! {
+    /// How many times [`lex`] has run on this thread. The whole engine
+    /// is budgeted at exactly one lex per file per audit — the block
+    /// parser and every rule (including the cross-file wire-conformance
+    /// pass) share the one token stream — and a workspace test counts
+    /// invocations against this to pin that. Thread-local so parallel
+    /// test threads cannot race the count.
+    static LEX_INVOCATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// This thread's lifetime count of [`lex`] calls.
+pub fn lex_invocations() -> u64 {
+    LEX_INVOCATIONS.with(std::cell::Cell::get)
+}
+
 /// Tokenizes `source`. Never panics; malformed input degrades to
 /// best-effort tokens (an unterminated string becomes one `Str` token
 /// running to end of input).
 pub fn lex(source: &str) -> Vec<Token<'_>> {
+    LEX_INVOCATIONS.with(|c| c.set(c.get().wrapping_add(1)));
     Lexer {
         source,
         rest: source.char_indices().peekable(),

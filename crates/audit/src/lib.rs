@@ -11,15 +11,29 @@
 //! compiles, passes most tests, and surfaces weeks later as mysterious
 //! grid drift. This crate closes that gap mechanically.
 //!
+//! Beyond the lexical rules, two shipped bug classes motivated semantic
+//! analysis: a lock guard held across a model fit serialized every
+//! request on one mutex (PR 4), and an unchecked `total * q` overflowed
+//! u64 in the percentile rank (PR 3). Neither is visible to a flat
+//! token scan — both need to know where blocks begin and end.
+//!
 //! # How it works
 //!
 //! A lightweight [lexer](lexer) tokenizes each source file (no rustc
 //! dependency, no syn — std only, and it must never panic on arbitrary
-//! input). A [rule set](rules) scoped by path runs over the production
-//! tokens (test code is exempt) and emits rustc-style
-//! `file:line:col: error[rule]: message` diagnostics, with a JSON mode
-//! for machine consumption and a nonzero exit for CI gating via
-//! `mosaic audit --deny`.
+//! input); each file is lexed **exactly once** per audit. A [block
+//! parser](block) builds a brace/paren/bracket tree with `fn`/`impl`/
+//! `mod` scope attribution over the same token stream — not a Rust
+//! grammar, just enough structure for guard-liveness and scope
+//! reasoning, and like the lexer it is total on arbitrary bytes. A
+//! [rule set](rules) scoped by path runs over the production tokens
+//! (test code is exempt), a [cross-file conformance pass](conformance)
+//! proves every wire verb is fully shipped, and everything emits
+//! rustc-style `file:line:col: error[rule]: message` diagnostics, with
+//! JSON and SARIF 2.1.0 modes for machine consumption and a nonzero
+//! exit for CI gating via `mosaic audit --deny` (which also enforces
+//! the per-rule suppression budgets in
+//! [`rules::SUPPRESSION_BUDGET`]).
 //!
 //! # Suppressions
 //!
@@ -39,12 +53,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
+pub mod conformance;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod source;
 pub mod workspace;
 
-pub use diag::{render_json, Diagnostic};
-pub use rules::RULE_IDS;
-pub use workspace::{audit_file, audit_workspace};
+pub use diag::{render_json, render_sarif, Diagnostic};
+pub use rules::{LOCK_ORDER, RULE_IDS, SUPPRESSION_BUDGET};
+pub use workspace::{audit_file, audit_files, audit_workspace, AuditReport};

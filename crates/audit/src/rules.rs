@@ -13,23 +13,58 @@
 //! | `panic-surface` | mosaicd request path + `obs` + `recommend` | `.unwrap()`, `.expect()`, `panic!`-family, direct slice indexing |
 //! | `bit-exactness` | on-disk codec modules | lossy float format specs; floats without a bit-exact codec |
 //! | `version-header` | on-disk codec modules | writers/parsers without a `# mosaic-... vN` header constant |
+//! | `lock-discipline` | `service` + `obs` | guards live across fit/simulate/blocking I/O, lock-order inversions, re-acquisition |
+//! | `arith-safety` | `service` + request path + codecs | truncating `as` casts; unchecked `*`/`+` on counter-named values |
+//! | `wire-conformance` | cross-file (see [`crate::conformance`]) | protocol verbs missing a server arm, client method, CLI frontend, or README mention |
+//! | `block-structure` | any scoped file | unbalanced delimiters the semantic rules cannot see past |
 //!
 //! The motivation is the paper's methodology: Mosmodel's error bounds
 //! (§6) are only meaningful if `(R, H, M, C)` samples are bit-exact
 //! across runs, and the persisted model store only serves identical
 //! predictions if every `f64` survives its text round-trip exactly.
+//! The semantic rules guard the two worst shipped bug classes: a lock
+//! held across a model fit (PR 4) and a u64 overflow in the percentile
+//! rank computation (PR 3) — both invisible to a flat token scan.
 
+use crate::block::{DelimKind, Owner};
 use crate::diag::Diagnostic;
 use crate::lexer::TokenKind;
 use crate::source::FileView;
 
 /// Stable ids of all scoped rules, in reporting order. (`suppression`,
 /// the meta-rule for malformed `audit:allow` comments, is implicit.)
-pub const RULE_IDS: [&str; 4] = [
+pub const RULE_IDS: [&str; 8] = [
     "determinism",
     "panic-surface",
     "bit-exactness",
     "version-header",
+    "lock-discipline",
+    "arith-safety",
+    "wire-conformance",
+    "block-structure",
+];
+
+/// The canonical lock acquisition order for the serving plane, by the
+/// field name the guard is taken from. Holding a later lock while
+/// acquiring an earlier one is an inversion finding. The order encodes
+/// the code as audited: `pairs()` takes the CV memo before the slot
+/// map; the admission `queue`, the cache `inner` mutexes, and the
+/// per-fit latch `state` are leaves acquired with nothing else held.
+pub const LOCK_ORDER: [&str; 5] = ["cv_errors", "entries", "queue", "inner", "state"];
+
+/// Ceilings on *honored* `audit:allow` waivers per rule across one
+/// workspace audit — the suppression-debt budget. `--deny` fails when a
+/// rule's waiver count exceeds its ceiling, so debt cannot accrete
+/// silently: raising a ceiling is a reviewed diff to this table.
+pub const SUPPRESSION_BUDGET: [(&str, usize); 8] = [
+    ("determinism", 4),
+    ("panic-surface", 6),
+    ("bit-exactness", 2),
+    ("version-header", 2),
+    ("lock-discipline", 3),
+    ("arith-safety", 3),
+    ("wire-conformance", 2),
+    ("block-structure", 1),
 ];
 
 /// Crates whose `src/` trees form the deterministic simulation core.
@@ -106,6 +141,27 @@ fn on_request_path(path: &str) -> bool {
         || path.contains("crates/recommend/src/")
 }
 
+/// Where the serving plane's locks live: every guard in the workspace
+/// is taken somewhere under `service` or `obs`.
+fn in_lock_scope(path: &str) -> bool {
+    path.contains("crates/service/src/") || path.contains("crates/obs/src/")
+}
+
+/// Integer math that request handling or a codec depends on: all of
+/// `service` (including `metrics.rs`, home of the PR-3 overflow), the
+/// request path (`obs`, `recommend`), and every on-disk codec.
+fn in_arith_scope(path: &str) -> bool {
+    path.contains("crates/service/src/") || on_request_path(path) || is_codec(path)
+}
+
+fn in_any_scope(path: &str) -> bool {
+    in_sim_crate(path)
+        || is_persistence(path)
+        || on_request_path(path)
+        || in_lock_scope(path)
+        || in_arith_scope(path)
+}
+
 /// Runs every applicable rule over `view`, honors suppressions, and
 /// appends suppression-misuse diagnostics.
 pub fn check_file(view: &FileView<'_>) -> Vec<Diagnostic> {
@@ -119,6 +175,15 @@ pub fn check_file(view: &FileView<'_>) -> Vec<Diagnostic> {
     if is_codec(&view.path) {
         bit_exactness(view, &mut diags);
         version_header(view, &mut diags);
+    }
+    if in_lock_scope(&view.path) {
+        lock_discipline(view, &mut diags);
+    }
+    if in_arith_scope(&view.path) {
+        arith_safety(view, &mut diags);
+    }
+    if in_any_scope(&view.path) {
+        block_structure(view, &mut diags);
     }
     diags.retain(|d| !view.is_suppressed(d));
     diags.extend(view.suppression_errors.iter().cloned());
@@ -391,6 +456,351 @@ fn version_header(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
              (readers must reject versions they were not written for)"
         ),
     });
+}
+
+/// Calls that block or burn unbounded CPU while a guard is live:
+/// blocking I/O method names (identifiers starting with `fit_` or
+/// `simulate_` are matched by prefix instead).
+const BLOCKING_CALLS: [&str; 9] = [
+    "read_to_string",
+    "write_all",
+    "read_line",
+    "read_exact",
+    "fill_buf",
+    "flush",
+    "accept",
+    "connect",
+    "sleep",
+];
+
+/// One live guard, as approximated from the token stream.
+struct Guard<'v> {
+    /// The field the lock was taken from (`entries` in
+    /// `self.entries.read()`), or `None` when the receiver is not a
+    /// plain identifier.
+    recv: Option<&'v str>,
+    /// Code position of the acquiring method identifier.
+    acq: usize,
+    /// Exclusive end of the guard's live range.
+    end: usize,
+}
+
+/// Rule 5 — lock discipline on the serving plane. The PR-4 outage
+/// class: a guard held across a model fit serializes every request on
+/// that lock. Liveness is approximated by scope nesting: a `let`-bound
+/// guard lives to the end of its enclosing brace block (or an explicit
+/// `drop(guard)`); an unbound temporary lives to the end of its
+/// statement. Guards returned by helper functions are invisible — see
+/// DESIGN §12 for what this rule cannot see.
+fn lock_discipline(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "lock-discipline";
+    let n = view.code.len();
+    let tok = |p: usize| &view.tokens[view.code[p]];
+    let text = |p: usize| view.tokens[view.code[p]].text;
+    let is_kind = |p: usize, k: TokenKind| tok(p).kind == k;
+
+    // `<recv>.lock()` / `.read()` / `.write()` with an *empty* argument
+    // list — `reader.read(&mut buf)` takes arguments and is I/O, not a
+    // guard acquisition.
+    let acquisition = |p: usize| -> Option<Option<&str>> {
+        if !is_kind(p, TokenKind::Ident) || !matches!(text(p), "lock" | "read" | "write") {
+            return None;
+        }
+        if p < 1 || text(p - 1) != "." {
+            return None;
+        }
+        if p + 2 >= n || text(p + 1) != "(" || text(p + 2) != ")" {
+            return None;
+        }
+        let recv = (p >= 2 && is_kind(p - 2, TokenKind::Ident)).then(|| text(p - 2));
+        Some(recv)
+    };
+
+    // Is the acquisition at `p` bound by a plain `let <name> =` in its
+    // statement? Destructuring patterns (`if let Some(x) = ...`) keep
+    // the guard a temporary of the scrutinee.
+    let let_binding = |p: usize| -> Option<&str> {
+        let lo = p.saturating_sub(64);
+        let mut j = p;
+        while j > lo {
+            j -= 1;
+            let t = tok(j);
+            if t.kind == TokenKind::Punct && matches!(t.text, ";" | "{" | "}") {
+                return None;
+            }
+            if t.kind == TokenKind::Ident && t.text == "let" {
+                let mut k = j + 1;
+                if k < n && text(k) == "mut" {
+                    k += 1;
+                }
+                if k + 1 < n && is_kind(k, TokenKind::Ident) && text(k + 1) == "=" {
+                    return Some(text(k));
+                }
+                return None;
+            }
+        }
+        None
+    };
+
+    let mut guards: Vec<Guard<'_>> = Vec::new();
+    for p in 0..n {
+        let Some(recv) = acquisition(p) else { continue };
+        let brace_end = view
+            .blocks
+            .enclosing_brace(p)
+            .map_or(n, |b| view.blocks.block_end(b, n));
+        let end = match let_binding(p) {
+            Some(name) => {
+                // Live to the end of the enclosing block, unless
+                // explicitly dropped first.
+                let dropped = (p + 3..brace_end).find(|&q| {
+                    text(q) == "drop"
+                        && q + 3 < n
+                        && text(q + 1) == "("
+                        && text(q + 2) == name
+                        && text(q + 3) == ")"
+                });
+                dropped.unwrap_or(brace_end)
+            }
+            // A temporary guard dies with its statement (approximated
+            // as the next `;`; an `if let` scrutinee's temporary really
+            // does live through the consequent block).
+            None => (p + 3..brace_end)
+                .find(|&q| text(q) == ";")
+                .unwrap_or(brace_end),
+        };
+        guards.push(Guard { recv, acq: p, end });
+    }
+
+    let order_of = |recv: Option<&str>| recv.and_then(|r| LOCK_ORDER.iter().position(|&o| o == r));
+    for g in &guards {
+        let held = g.recv.unwrap_or("_");
+        for q in g.acq + 3..g.end {
+            if is_kind(q, TokenKind::Ident)
+                && q + 1 < n
+                && text(q + 1) == "("
+                && (q == 0 || text(q - 1) != "fn")
+                && (text(q).starts_with("fit_")
+                    || text(q).starts_with("simulate_")
+                    || BLOCKING_CALLS.contains(&text(q)))
+            {
+                out.push(view.diag_at(
+                    RULE,
+                    view.code[q],
+                    format!(
+                        "`{}()` runs while the `{held}` guard (acquired line {}) is live; \
+                         fits, simulations and blocking I/O must not run under a lock — \
+                         scope the guard or `drop` it first",
+                        text(q),
+                        tok(g.acq).line,
+                    ),
+                ));
+            }
+            if let Some(other) = acquisition(q) {
+                if other.is_some() && other == g.recv {
+                    out.push(view.diag_at(
+                        RULE,
+                        view.code[q],
+                        format!(
+                            "re-acquiring lock `{held}` while its guard (line {}) is still \
+                             live self-deadlocks a std mutex; drop the first guard before \
+                             taking the lock again",
+                            tok(g.acq).line,
+                        ),
+                    ));
+                } else if let (Some(h), Some(a)) = (order_of(g.recv), order_of(other)) {
+                    if a < h {
+                        out.push(view.diag_at(
+                            RULE,
+                            view.code[q],
+                            format!(
+                                "acquiring lock `{}` while `{held}` (line {}) is held inverts \
+                                 the canonical order [{}]; release `{held}` first or reorder \
+                                 the acquisitions",
+                                other.unwrap_or("_"),
+                                tok(g.acq).line,
+                                LOCK_ORDER.join(" < "),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Narrowing integer cast targets: casting *to* one of these silently
+/// truncates.
+const NARROW_INT_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Does this identifier name a counter-, length-, byte- or
+/// microsecond-like quantity (the values whose overflow actually
+/// corrupts measurements — the PR-3 bug class)?
+fn counter_like(name: &str) -> bool {
+    name.split('_').any(|w| {
+        matches!(
+            w,
+            "count"
+                | "counts"
+                | "counter"
+                | "counters"
+                | "len"
+                | "bytes"
+                | "us"
+                | "micros"
+                | "cycles"
+                | "total"
+                | "totals"
+                | "hits"
+                | "misses"
+                | "depth"
+                | "rank"
+                | "requests"
+                | "drops"
+                | "dropped"
+                | "seen"
+                | "sum"
+                | "sums"
+        )
+    })
+}
+
+/// Does the statement around code position `p` widen or check its
+/// arithmetic (`u128::from`, `checked_mul`, floats, ...)?
+fn stmt_has_arith_escape(view: &FileView<'_>, p: usize) -> bool {
+    let n = view.code.len();
+    let text = |q: usize| view.tokens[view.code[q]].text;
+    let is_boundary = |q: usize| {
+        view.tokens[view.code[q]].kind == TokenKind::Punct && { matches!(text(q), ";" | "{" | "}") }
+    };
+    let escape = |q: usize| {
+        let t = text(q);
+        matches!(t, "u128" | "i128" | "f64" | "f32" | "from" | "try_from")
+            || t.starts_with("checked_")
+            || t.starts_with("saturating_")
+            || t.starts_with("wrapping_")
+    };
+    let lo = p.saturating_sub(64);
+    let mut j = p;
+    while j > lo && !is_boundary(j - 1) {
+        j -= 1;
+        if escape(j) {
+            return true;
+        }
+    }
+    let hi = (p + 64).min(n);
+    let mut k = p;
+    while k + 1 < hi && !is_boundary(k + 1) {
+        k += 1;
+        if escape(k) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 6 — arithmetic safety on the request path and in codecs. The
+/// PR-3 bug class: `total * q` overflowed u64 once the histogram had
+/// seen enough samples. Flags narrowing `as` casts and unchecked
+/// `*`/`+` where an operand is counter-named, unless the statement
+/// widens (`u128::from`) or checks (`checked_`/`saturating_`) the math.
+fn arith_safety(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "arith-safety";
+    let n = view.code.len();
+    let tok = |p: usize| &view.tokens[view.code[p]];
+    let text = |p: usize| view.tokens[view.code[p]].text;
+    for p in 0..n {
+        let t = tok(p);
+        // `<expr> as u32` — a silent truncation.
+        if t.kind == TokenKind::Ident && t.text == "as" && p > 0 && p + 1 < n {
+            let prev = tok(p - 1);
+            let casts_value = match prev.kind {
+                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text),
+                TokenKind::Number => true,
+                TokenKind::Punct => matches!(prev.text, ")" | "]"),
+                _ => false,
+            };
+            if casts_value && NARROW_INT_TARGETS.contains(&text(p + 1)) {
+                out.push(view.diag_at(
+                    RULE,
+                    view.code[p],
+                    format!(
+                        "`as {}` silently truncates; use `{}::try_from(..)` and handle the \
+                         error, or keep the wide type",
+                        text(p + 1),
+                        text(p + 1),
+                    ),
+                ));
+            }
+        }
+        // `counter * x` / `x + counter` without widening or checking.
+        if t.kind == TokenKind::Punct && matches!(t.text, "*" | "+") && p > 0 && p + 1 < n {
+            let prev = tok(p - 1);
+            let next = tok(p + 1);
+            let binary = matches!(prev.kind, TokenKind::Ident | TokenKind::Number)
+                && !NON_INDEX_KEYWORDS.contains(&prev.text)
+                || (prev.kind == TokenKind::Punct && matches!(prev.text, ")" | "]"));
+            let has_operand = matches!(next.kind, TokenKind::Ident | TokenKind::Number)
+                || (next.kind == TokenKind::Punct && next.text == "(");
+            if !(binary && has_operand) {
+                continue;
+            }
+            let named = (prev.kind == TokenKind::Ident && counter_like(prev.text))
+                || (next.kind == TokenKind::Ident && counter_like(next.text));
+            if named && !stmt_has_arith_escape(view, p) {
+                out.push(view.diag_at(
+                    RULE,
+                    view.code[p],
+                    format!(
+                        "unchecked `{}` on a counter-like value can overflow (the percentile \
+                         rank did, at u64::MAX/100 samples); widen via `u128::from(..)` or use \
+                         `checked_{}`/`saturating_{}`",
+                        t.text,
+                        if t.text == "*" { "mul" } else { "add" },
+                        if t.text == "*" { "mul" } else { "add" },
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 8 — unbalanced delimiters in a scoped file. The semantic rules
+/// approximate liveness by scope nesting; past an unmatched delimiter
+/// that approximation is meaningless, so the imbalance itself is the
+/// finding (and arbitrary bytes stay a diagnostic, never a crash).
+fn block_structure(view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "block-structure";
+    for &p in &view.blocks.unbalanced {
+        if let Some(&idx) = view.code.get(p) {
+            out.push(
+                view.diag_at(
+                    RULE,
+                    idx,
+                    "unmatched delimiter: block structure is unresolved from here, so the \
+                 semantic rules (lock-discipline, arith-safety, wire-conformance) cannot \
+                 see past it"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Re-exported so the conformance pass can anchor findings: is `p` the
+/// body block of `fn <name>`? Used by [`crate::conformance`].
+pub(crate) fn fn_body_named(view: &FileView<'_>, name: &str) -> Option<(usize, usize)> {
+    let n = view.code.len();
+    for (i, b) in view.blocks.blocks.iter().enumerate() {
+        if b.kind != DelimKind::Brace || b.owner != Owner::Fn {
+            continue;
+        }
+        let Some(name_p) = b.owner_name else { continue };
+        if view.tokens[view.code[name_p]].text == name {
+            return Some((b.open + 1, view.blocks.block_end(i, n)));
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! shipped simulation and persistence code, not about assertions inside
 //! tests.
 
+use crate::block::BlockTree;
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -38,6 +39,9 @@ pub struct FileView<'a> {
     /// Diagnostics for malformed suppressions (missing reason, unknown
     /// rule id). These are not themselves suppressible.
     pub suppression_errors: Vec<Diagnostic>,
+    /// Block structure over `code` (shared by every semantic rule; the
+    /// file is lexed and parsed exactly once).
+    pub blocks: BlockTree,
 }
 
 impl<'a> FileView<'a> {
@@ -54,6 +58,7 @@ impl<'a> FileView<'a> {
             })
             .map(|(i, _)| i)
             .collect();
+        let blocks = BlockTree::build(&tokens, &code);
         let mut view = FileView {
             path: path.replace('\\', "/"),
             tokens,
@@ -61,6 +66,7 @@ impl<'a> FileView<'a> {
             code,
             suppressions: Vec::new(),
             suppression_errors: Vec::new(),
+            blocks,
         };
         view.collect_suppressions(known_rules);
         view

@@ -1,4 +1,6 @@
-//! Workspace traversal: find the `.rs` sources the audit governs.
+//! Workspace traversal: find the `.rs` sources the audit governs, lex
+//! each exactly once, and run the per-file rules plus the cross-file
+//! wire-conformance pass over the shared [`FileView`]s.
 //!
 //! The walk is deterministic (paths sorted at every level — an audit of
 //! determinism had better not report findings in random order) and
@@ -7,10 +9,12 @@
 //! internals, and the audit crate's own fixture tree (those files are
 //! *deliberately* full of violations).
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::conformance::check_conformance;
 use crate::diag::Diagnostic;
 use crate::rules::{check_file, RULE_IDS};
 use crate::source::FileView;
@@ -21,28 +25,73 @@ const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "node_modules"];
 /// Path suffixes (workspace-relative) never descended into.
 const SKIP_SUFFIXES: [&str; 1] = ["crates/audit/tests/fixtures"];
 
+/// The outcome of one full audit: the findings plus the bookkeeping the
+/// `--summary` footer and the suppression-budget gate need.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// All findings, sorted by `(path, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files the audit examined.
+    pub files_scanned: usize,
+    /// Honored `audit:allow` waivers per rule id, across every scanned
+    /// file (a comment allowing two rules counts once for each).
+    pub suppressions: BTreeMap<String, usize>,
+}
+
 /// Audits one file's text as if it lived at `rel_path` (workspace
-/// relative, `/`-separated). This is the engine's core entry point; the
-/// fixture tests call it directly.
+/// relative, `/`-separated). Runs the per-file rules only — the
+/// cross-file wire-conformance pass needs a whole workspace, so it
+/// lives in [`audit_files`]. The fixture tests call this directly.
 pub fn audit_file(rel_path: &str, text: &str) -> Vec<Diagnostic> {
     let view = FileView::new(rel_path, text, &RULE_IDS);
     check_file(&view)
 }
 
-/// Walks the workspace under `root` and audits every governed source.
-/// Diagnostics come back sorted by `(path, line, col)`.
+/// Audits a set of `(rel_path, text)` sources as one workspace: each
+/// file is lexed and block-parsed exactly once into a [`FileView`], the
+/// per-file rules and the cross-file wire-conformance pass all share
+/// those views, and `readme` (the workspace `README.md`, when present)
+/// feeds the conformance matrix's docs column. Diagnostics come back
+/// sorted by `(path, line, col, rule)`.
+pub fn audit_files(files: &[(String, String)], readme: Option<&str>) -> AuditReport {
+    let views: Vec<FileView<'_>> = files
+        .iter()
+        .map(|(path, text)| FileView::new(path, text, &RULE_IDS))
+        .collect();
+    let mut diags = Vec::new();
+    let mut suppressions: BTreeMap<String, usize> = BTreeMap::new();
+    for view in &views {
+        diags.extend(check_file(view));
+        for s in &view.suppressions {
+            for rule in &s.rules {
+                *suppressions.entry(rule.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    diags.extend(check_conformance(&views, readme));
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    diags.dedup();
+    AuditReport {
+        diagnostics: diags,
+        files_scanned: views.len(),
+        suppressions,
+    }
+}
+
+/// Walks the workspace under `root` and audits every governed source
+/// (plus `root/README.md` for the wire-conformance docs column).
 ///
 /// # Errors
 ///
 /// Propagates directory-read failures on the root itself; unreadable
 /// files below it are skipped (the audit must not be DoS-able by a
 /// dangling symlink).
-pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut paths = Vec::new();
+    collect_sources(root, root, &mut paths)?;
+    paths.sort();
     let mut files = Vec::new();
-    collect_sources(root, root, &mut files)?;
-    files.sort();
-    let mut diags = Vec::new();
-    for rel in files {
+    for rel in paths {
         let Ok(text) = fs::read_to_string(root.join(&rel)) else {
             continue;
         };
@@ -51,10 +100,10 @@ pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        diags.extend(audit_file(&rel_str, &text));
+        files.push((rel_str, text));
     }
-    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    Ok(diags)
+    let readme = fs::read_to_string(root.join("README.md")).ok();
+    Ok(audit_files(&files, readme.as_deref()))
 }
 
 fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -89,6 +138,7 @@ fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex_invocations;
 
     #[test]
     fn skips_vendor_target_and_fixtures() {
@@ -108,9 +158,70 @@ mod tests {
         fs::write(dir.join("target/debug/gen.rs"), bad).unwrap();
         fs::write(dir.join("crates/audit/tests/fixtures/bad/x.rs"), bad).unwrap();
 
-        let diags = audit_workspace(&dir).unwrap();
-        assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].path, "crates/memsim/src/lib.rs");
+        let report = audit_workspace(&dir).unwrap();
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].path, "crates/memsim/src/lib.rs");
+        assert_eq!(report.files_scanned, 1);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn each_file_is_lexed_exactly_once_per_audit() {
+        // A workspace whose files all participate in the cross-file
+        // wire-conformance pass — if that pass re-read or re-lexed
+        // anything, the invocation count would exceed the file count.
+        let files: Vec<(String, String)> = [
+            (
+                "crates/service/src/protocol.rs",
+                "pub fn parse_request(l: &str) -> u32 {\n\
+                     match l.split(' ').next() { Some(\"predict\") => 1, _ => 0 }\n\
+                 }\n",
+            ),
+            (
+                "crates/service/src/server.rs",
+                "fn dispatch(v: &str) -> bool { v == \"predict\" }\n",
+            ),
+            (
+                "crates/service/src/client.rs",
+                "impl Client { fn predict(&self) {} }\n",
+            ),
+            ("src/main.rs", "fn main() { run(\"predict\"); }\n"),
+        ]
+        .into_iter()
+        .map(|(p, t)| (p.to_string(), t.to_string()))
+        .collect();
+
+        let before = lex_invocations();
+        let report = audit_files(&files, Some("mosaicd speaks `predict` over TCP"));
+        let lexed = lex_invocations() - before;
+        assert_eq!(
+            lexed,
+            files.len() as u64,
+            "one lex per file, shared by all rules"
+        );
+        assert_eq!(report.diagnostics, vec![], "workspace should be clean");
+        assert_eq!(report.files_scanned, files.len());
+    }
+
+    #[test]
+    fn report_counts_honored_suppressions_per_rule() {
+        let files = vec![
+            (
+                "crates/memsim/src/tlb.rs".to_string(),
+                "// audit:allow(determinism) memo map is sorted before serialization\n\
+                 use std::collections::HashMap;\n"
+                    .to_string(),
+            ),
+            (
+                "crates/service/src/cache.rs".to_string(),
+                "// audit:allow(determinism, arith-safety) cold-path stats, bounded inputs\n\
+                 fn touch() {}\n"
+                    .to_string(),
+            ),
+        ];
+        let report = audit_files(&files, None);
+        assert_eq!(report.diagnostics, vec![], "{:?}", report.diagnostics);
+        assert_eq!(report.suppressions.get("determinism"), Some(&2));
+        assert_eq!(report.suppressions.get("arith-safety"), Some(&1));
     }
 }

@@ -1,0 +1,8 @@
+//! Fixture: an unterminated block the semantic rules cannot see past.
+
+pub fn simulate(steps: u64) -> u64 {
+    let mut total = 0;
+    for _ in 0..steps {
+        total = total.saturating_add(1);
+    total
+}

@@ -1,0 +1,7 @@
+//! Fixture: unchecked counter math and truncating casts.
+
+pub fn percentile(total_count: u64, q: u64, latency_us: u64) -> u32 {
+    let rank = total_count * q / 100;
+    let trimmed = latency_us as u32;
+    trimmed + rank as u32
+}

@@ -1,0 +1,10 @@
+//! Fixture: a parser arm whose verb never shipped.
+
+pub fn parse_request(line: &str) -> Result<Req, String> {
+    let mut words = line.split_ascii_whitespace();
+    match words.next() {
+        Some("predict") => Ok(Req::Predict),
+        Some("frob") => Ok(Req::Frob),
+        _ => Err("err unknown verb".to_string()),
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: guards live across a model fit and an inverted acquisition.
+
+pub fn refit(reg: &Registry, key: &str) -> f64 {
+    let entries = reg.entries.write();
+    let model = fit_mosmodel(key);
+    let memo = reg.cv_errors.read();
+    entries.score(model) + memo.size()
+}
+
+pub fn double_lock(reg: &Registry) -> u64 {
+    let a = reg.state.lock();
+    let b = reg.state.lock();
+    a.value() + b.value()
+}

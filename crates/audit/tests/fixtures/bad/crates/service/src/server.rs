@@ -5,3 +5,7 @@ pub fn handle(line: &str, parts: &[&str]) -> String {
     if line.is_empty() { panic!("empty") }
     parts[1].to_string()
 }
+
+pub fn dispatch(req: &str) -> bool {
+    req == "predict"
+}

@@ -1,0 +1,5 @@
+//! Fixture: the CLI fronts only the shipped verb.
+
+fn main() {
+    let _ = run("predict");
+}

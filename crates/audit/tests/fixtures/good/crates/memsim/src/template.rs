@@ -1,0 +1,4 @@
+//! Fixture: an unclosed scope kept as a generator template, waived.
+
+// audit:allow(block-structure) template fragment; the matching brace is emitted by the generator
+pub fn open_scope() {

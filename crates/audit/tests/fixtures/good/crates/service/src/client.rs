@@ -1,0 +1,7 @@
+//! Fixture: the client half of the shipped verb.
+
+impl Client {
+    pub fn predict(&mut self) -> Result<String, String> {
+        self.send("predict")
+    }
+}

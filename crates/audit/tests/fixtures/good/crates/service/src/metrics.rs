@@ -1,0 +1,11 @@
+//! Fixture: widened counter math, with one justified narrow exception.
+
+pub fn rank(total_count: u64, q: u64) -> u64 {
+    let wide = u128::from(total_count) * u128::from(q);
+    (wide / 100) as u64
+}
+
+pub fn fast_rank(total_count: u32, q: u32) -> u32 {
+    // audit:allow(arith-safety) callers bound total_count below 2^16, so the product fits u32
+    total_count * q / 100
+}

@@ -1,0 +1,10 @@
+//! Fixture: one shipped verb, one justified debug-only verb.
+
+pub fn parse_request(line: &str) -> Result<u32, String> {
+    match line.split_ascii_whitespace().next() {
+        Some("predict") => Ok(1),
+        // audit:allow(wire-conformance) `selftest` is a localhost-only debug verb; intentionally absent from the client, CLI and docs
+        Some("selftest") => Ok(2),
+        _ => Err("err unknown verb".to_string()),
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a justified guard held across a fit.
+
+pub fn refit_locked(reg: &Registry, key: &str) -> f64 {
+    let entries = reg.entries.write();
+    // audit:allow(lock-discipline) startup-only warm path; no concurrent requests exist yet
+    let model = fit_mosmodel(key);
+    entries.score(model)
+}
+
+pub fn scoped(reg: &Registry, key: &str) -> f64 {
+    let prior = {
+        let entries = reg.entries.read();
+        entries.prior(key)
+    };
+    let model = fit_mosmodel(key);
+    prior + model.score()
+}

@@ -9,3 +9,7 @@ pub fn reply(parts: &[&str]) -> String {
         None => "err empty".to_string(),
     }
 }
+
+pub fn dispatch(req: &str) -> bool {
+    req == "predict"
+}

@@ -1,0 +1,5 @@
+//! Fixture: the CLI frontend of the shipped verb.
+
+fn main() {
+    let _ = run("predict");
+}
