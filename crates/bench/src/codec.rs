@@ -21,10 +21,14 @@ use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 /// `recommend` leg (`rec_requests` / `rec_cold_us` / `rec_mean_us`),
 /// timing the budget-to-layout recommendation verb cold (candidate
 /// enumeration, scoring, and the K-fold CV pass) and warm (served from
-/// the recommendation cache).
-pub const BENCH_VERSION: u32 = 4;
+/// the recommendation cache). v5 added the `conns` leg (`conns_1_qps` /
+/// `conns_16_qps` / `conns_256_qps`), warm-path predict throughput at
+/// 1, 16, and 256 concurrent connections — the scaling figure for the
+/// event-driven serving plane, where idle connections cost a poll slot
+/// instead of a worker thread.
+pub const BENCH_VERSION: u32 = 5;
 
-/// Version-header prefix; the full header is `# mosaic-bench v4`.
+/// Version-header prefix; the full header is `# mosaic-bench v5`.
 const BENCH_MAGIC: &str = "# mosaic-bench v";
 
 /// Wall-clock results of the grid-battery throughput benchmark.
@@ -86,6 +90,24 @@ pub struct RecommendBench {
     pub rec_mean_us: f64,
 }
 
+/// Warm-path predict throughput at increasing connection counts, all
+/// against one server whose caches are already hot. Field names carry a
+/// `conns_` prefix because this codec's extractor matches keys globally
+/// across the document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnsBench {
+    /// Requests per second with a single connection issuing sequential
+    /// warm predicts — the latency-bound baseline.
+    pub conns_1_qps: f64,
+    /// Requests per second across 16 concurrent connections.
+    pub conns_16_qps: f64,
+    /// Requests per second across 256 concurrent connections — far more
+    /// connections than workers, so this figure only scales if the
+    /// serving plane multiplexes instead of parking a thread per
+    /// connection.
+    pub conns_256_qps: f64,
+}
+
 /// One complete `mosaic bench` report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -103,6 +125,8 @@ pub struct BenchReport {
     pub service: ServiceBench,
     /// mosaicd recommendation-verb latency results.
     pub recommend: RecommendBench,
+    /// mosaicd concurrent-connection throughput results.
+    pub conns: ConnsBench,
 }
 
 impl BenchReport {
@@ -176,6 +200,23 @@ pub fn render_report(report: &BenchReport) -> String {
         out,
         "    \"rec_mean_us\": {}",
         fmt_f64_shortest(report.recommend.rec_mean_us)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"conns\": {{");
+    let _ = writeln!(
+        out,
+        "    \"conns_1_qps\": {},",
+        fmt_f64_shortest(report.conns.conns_1_qps)
+    );
+    let _ = writeln!(
+        out,
+        "    \"conns_16_qps\": {},",
+        fmt_f64_shortest(report.conns.conns_16_qps)
+    );
+    let _ = writeln!(
+        out,
+        "    \"conns_256_qps\": {}",
+        fmt_f64_shortest(report.conns.conns_256_qps)
     );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
@@ -253,6 +294,11 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
             rec_cold_us: f64_field(text, "rec_cold_us")?,
             rec_mean_us: f64_field(text, "rec_mean_us")?,
         },
+        conns: ConnsBench {
+            conns_1_qps: f64_field(text, "conns_1_qps")?,
+            conns_16_qps: f64_field(text, "conns_16_qps")?,
+            conns_256_qps: f64_field(text, "conns_256_qps")?,
+        },
     })
 }
 
@@ -287,6 +333,11 @@ mod tests {
                 rec_cold_us: 148_212.75,
                 rec_mean_us: 183.062_5,
             },
+            conns: ConnsBench {
+                conns_1_qps: 9_841.275_310_2,
+                conns_16_qps: 61_204.883_1,
+                conns_256_qps: 88_930.017_4,
+            },
         }
     }
 
@@ -294,7 +345,7 @@ mod tests {
     fn report_roundtrips_bit_exactly() {
         let report = sample();
         let text = render_report(&report);
-        assert!(text.contains("\"format\": \"# mosaic-bench v4\""));
+        assert!(text.contains("\"format\": \"# mosaic-bench v5\""));
         let back = parse_report(&text).expect("own output parses");
         assert_eq!(back, report);
         assert_eq!(
@@ -326,11 +377,19 @@ mod tests {
             back.recommend.rec_mean_us.to_bits(),
             report.recommend.rec_mean_us.to_bits()
         );
+        assert_eq!(
+            back.conns.conns_1_qps.to_bits(),
+            report.conns.conns_1_qps.to_bits()
+        );
+        assert_eq!(
+            back.conns.conns_256_qps.to_bits(),
+            report.conns.conns_256_qps.to_bits()
+        );
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = render_report(&sample()).replace("# mosaic-bench v4", "# mosaic-bench v3");
+        let text = render_report(&sample()).replace("# mosaic-bench v5", "# mosaic-bench v4");
         let err = parse_report(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

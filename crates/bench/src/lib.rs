@@ -9,9 +9,13 @@
 //! only the first bench invocation pays for simulation; set
 //! `MOSAIC_FAST=1` for a quick low-fidelity pass.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use harness::{measure_layout, measure_layout_traced, Grid, MachineVariant, MeasureContext, Speed};
+use libc::{poll_fds, pollfd, POLLIN, POLLOUT};
 use machine::{profile_tlb_misses, Engine, Platform};
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
 use service::client::Client;
@@ -22,7 +26,7 @@ use workloads::{TraceParams, WorkloadSpec};
 
 pub mod codec;
 
-use codec::{BenchReport, GridBench, RecommendBench, ServiceBench};
+use codec::{BenchReport, ConnsBench, GridBench, RecommendBench, ServiceBench};
 
 /// Builds the benchmark grid with the standard disk cache.
 pub fn bench_grid() -> Grid {
@@ -79,6 +83,20 @@ const RECOMMEND_REQUESTS: usize = 16;
 /// admissible against the smallest pool any preset produces (48MB).
 const RECOMMEND_BUDGET: &str = "8x2m";
 
+/// Connection counts the concurrency leg sweeps. The largest is far
+/// beyond the worker count, so its throughput only holds up if the
+/// serving plane multiplexes connections instead of parking a thread
+/// on each one.
+const CONNS_LEVELS: [usize; 3] = [1, 16, 256];
+
+/// Total warm predicts issued per concurrency level, split evenly
+/// across the level's connections so every level does the same work.
+const CONNS_TOTAL_REQUESTS: usize = 2048;
+
+/// Layout specs the service and concurrency legs rotate through; all
+/// windows fit the smallest pool any preset produces (48MB).
+const LAYOUT_SPECS: [&str; 6] = ["4k", "2m", "1g", "2m:0..8M", "2m:8M..24M", "2m:0..32M"];
+
 /// Runs the end-to-end benchmark suite: the grid battery (throughput)
 /// and the mosaicd request path (latency), both for one
 /// `(workload, platform)` pair at the given fidelity.
@@ -120,13 +138,18 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
     };
 
     // The service leg reuses the grid (and its cached entry), so the
-    // first predict pays only the model fit, not a second battery.
+    // first predict pays only the model fit, not a second battery. The
+    // admission bound is raised above the concurrency leg's largest
+    // sweep so none of its connections are turned away `busy`.
     let registry = ModelRegistry::new(grid, None);
-    let server = Server::start(ServerConfig::default(), registry).expect("bind loopback");
+    let config = ServerConfig {
+        queue_bound: 1024,
+        ..Default::default()
+    };
+    let server = Server::start(config, registry).expect("bind loopback");
     let mut client = Client::connect(server.addr()).expect("connect to own server");
 
-    // All windows fit the smallest pool any preset produces (48MB).
-    let layout_specs = ["4k", "2m", "1g", "2m:0..8M", "2m:8M..24M", "2m:0..32M"];
+    let layout_specs = LAYOUT_SPECS;
 
     // The first request through the server is deliberately cold: it
     // blocks on the registry's singleflight model fit, so its latency
@@ -206,6 +229,18 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         rec_cold_us,
         rec_mean_us: rec_total.as_micros() as f64 / RECOMMEND_REQUESTS as f64,
     };
+
+    // The concurrency leg sweeps warm-path throughput at 1, 16, and
+    // 256 connections against the same (fully warmed) server. Every
+    // layout below was already predicted, so each request is a
+    // prediction-cache hit and the sweep isolates the serving plane.
+    let [one, sixteen, two_fifty_six] =
+        CONNS_LEVELS.map(|conns| conns_qps(server.addr(), workload, platform.name, conns));
+    let conns_bench = ConnsBench {
+        conns_1_qps: one,
+        conns_16_qps: sixteen,
+        conns_256_qps: two_fifty_six,
+    };
     server.shutdown();
 
     BenchReport {
@@ -216,7 +251,118 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         grid: grid_bench,
         service: service_bench,
         recommend: recommend_bench,
+        conns: conns_bench,
     }
+}
+
+/// One load-generator connection: a nonblocking socket with exactly one
+/// request in flight at a time.
+struct LoadConn {
+    stream: TcpStream,
+    /// Unsent bytes of the current request; empty while awaiting a reply.
+    to_write: Vec<u8>,
+    /// Reply bytes accumulated so far (at most one line, since only one
+    /// request is ever in flight).
+    reply: Vec<u8>,
+    /// Requests fully written so far — rotates the layout spec.
+    sent: usize,
+    /// Replies still expected before this connection is finished.
+    remaining: usize,
+}
+
+/// Warm-path predict throughput with `conns` concurrent connections,
+/// each keeping exactly one request in flight. A single thread drives
+/// every connection through one `poll(2)` loop, so the figure measures
+/// the serving plane's scalability rather than client-side thread
+/// scheduling: at 1 connection the exchange is a strict ping-pong
+/// (bounded by per-request wakeups on both sides), while at 256 the
+/// server sees hundreds of in-flight requests per readiness wakeup and
+/// can batch its reads, dispatches, and reply writes.
+fn conns_qps(addr: SocketAddr, workload: &str, platform: &str, conns: usize) -> f64 {
+    let per_conn = (CONNS_TOTAL_REQUESTS / conns).max(1);
+    let request = |i: usize| {
+        let layout = LAYOUT_SPECS[i % LAYOUT_SPECS.len()];
+        format!("predict {workload} {platform} {layout}\n").into_bytes()
+    };
+    let mut loaders: Vec<LoadConn> = (0..conns)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("connect load connection");
+            stream
+                .set_nodelay(true)
+                .expect("nodelay on load connection");
+            stream
+                .set_nonblocking(true)
+                .expect("nonblocking load connection");
+            LoadConn {
+                stream,
+                to_write: request(0),
+                reply: Vec::new(),
+                sent: 0,
+                remaining: per_conn,
+            }
+        })
+        .collect();
+    let total = per_conn * conns;
+    let mut done = 0usize;
+    let started = Instant::now();
+    while done < total {
+        let mut fds: Vec<pollfd> = loaders
+            .iter()
+            .map(|conn| pollfd {
+                fd: conn.stream.as_raw_fd(),
+                events: if conn.remaining == 0 {
+                    0
+                } else if conn.to_write.is_empty() {
+                    POLLIN
+                } else {
+                    POLLOUT
+                },
+                revents: 0,
+            })
+            .collect();
+        poll_fds(&mut fds, 1000).expect("poll load connections");
+        for (conn, fd) in loaders.iter_mut().zip(&fds) {
+            if fd.revents == 0 || conn.remaining == 0 {
+                continue;
+            }
+            if !conn.to_write.is_empty() {
+                match conn.stream.write(&conn.to_write) {
+                    Ok(n) => {
+                        conn.to_write.drain(..n);
+                        if conn.to_write.is_empty() {
+                            conn.sent += 1;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("load-connection write failed: {e}"),
+                }
+                continue;
+            }
+            let mut chunk = [0u8; 512];
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => panic!("server closed a load connection"),
+                Ok(n) => {
+                    conn.reply.extend_from_slice(&chunk[..n]);
+                    while let Some(nl) = conn.reply.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = conn.reply.drain(..=nl).collect();
+                        assert!(
+                            line.starts_with(b"ok "),
+                            "load predict failed: {}",
+                            String::from_utf8_lossy(&line)
+                        );
+                        done += 1;
+                        conn.remaining -= 1;
+                        if conn.remaining > 0 {
+                            conn.to_write = request(conn.sent);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("load-connection read failed: {e}"),
+            }
+        }
+    }
+    total as f64 / started.elapsed().as_secs_f64()
 }
 
 /// Renders wall-domain spans as space-separated `stage:start..end`

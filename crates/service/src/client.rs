@@ -9,8 +9,8 @@ use mosmodel::ModelKind;
 use crate::metrics::StatsSnapshot;
 use crate::prom::{parse_metrics, MetricsReport};
 use crate::protocol::{
-    parse_pair, parse_pairs_header, parse_prediction, parse_recommend, parse_trace_header,
-    parse_warm, Prediction, RecommendReply,
+    parse_batch_header, parse_pair, parse_pairs_header, parse_prediction, parse_recommend,
+    parse_trace_header, parse_warm, Prediction, RecommendReply,
 };
 use crate::registry::PairInfo;
 
@@ -218,6 +218,48 @@ impl Client {
         StatsSnapshot::parse(&line).map_err(ClientError::Protocol)
     }
 
+    /// Sends several sub-requests as one `batch` line and returns the
+    /// raw reply line for each, in order. A sub-request that fails
+    /// server-side comes back as its `err …` line rather than failing
+    /// the whole call, so a partially successful batch is observable.
+    ///
+    /// Sub-requests must be single-line-reply verbs (`predict`, `warm`,
+    /// `stats`, `recommend`); the server rejects `metrics`, `trace`,
+    /// `pairs`, and nested `batch` lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::InvalidArgument`] for an empty batch or a
+    /// sub-request that would corrupt the framing (`;`, newline, or
+    /// control characters); otherwise the same failure modes as
+    /// [`Client::predict`].
+    pub fn batch(&mut self, requests: &[&str]) -> Result<Vec<String>, ClientError> {
+        if requests.is_empty() {
+            return Err(ClientError::InvalidArgument(
+                "batch needs at least one sub-request".to_string(),
+            ));
+        }
+        for request in requests {
+            if request.trim().is_empty() {
+                return Err(ClientError::InvalidArgument(
+                    "batch sub-request must not be empty".to_string(),
+                ));
+            }
+            if request.chars().any(|c| c == ';' || c.is_control()) {
+                return Err(ClientError::InvalidArgument(format!(
+                    "batch sub-request {request:?} contains ';' or control characters"
+                )));
+            }
+        }
+        let header = self.roundtrip(&format!("batch {}", requests.join(";")))?;
+        let count = parse_batch_header(&header).map_err(ClientError::Protocol)?;
+        let mut replies = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            replies.push(self.read_line()?);
+        }
+        Ok(replies)
+    }
+
     /// Reads one response line (without sending anything); used by the
     /// multi-line verbs after the first line has been read.
     fn read_line(&mut self) -> Result<String, ClientError> {
@@ -313,6 +355,16 @@ mod tests {
         }
         let err = client.warm("gups/8GB", "sandy\nbridge").unwrap_err();
         assert!(matches!(err, ClientError::InvalidArgument(_)), "{err:?}");
+        for bad in [
+            &[] as &[&str],
+            &[""],
+            &["   "],
+            &["stats;stats"],
+            &["stats\nstats"],
+        ] {
+            let err = client.batch(bad).unwrap_err();
+            assert!(matches!(err, ClientError::InvalidArgument(_)), "{err:?}");
+        }
         for (w, p, b, t) in [
             ("gups/8GB", "sandybridge", "8x2m\nstats", None),
             ("gups/8GB", "sandybridge", "64x2m + 1x1g", None),

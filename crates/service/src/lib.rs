@@ -5,9 +5,11 @@
 //! reloads) the nine runtime models per `(workload, platform)` pair and
 //! persists the coefficients in the versioned [`mosmodel::persist`]
 //! format; a [`server::Server`] exposes them over a line-delimited TCP
-//! protocol with a fixed worker pool, a bounded admission queue with
-//! explicit backpressure, and an embedded metrics endpoint; a blocking
-//! [`client::Client`] speaks the protocol for the CLI and tests.
+//! protocol with an event-driven worker plane (a fixed pool of shards,
+//! each multiplexing its connections through one `poll(2)` readiness
+//! loop), bounded admission with explicit backpressure, and an embedded
+//! metrics endpoint; a blocking [`client::Client`] speaks the protocol
+//! for the CLI and tests.
 //!
 //! # Wire protocol
 //!
@@ -23,11 +25,16 @@
 //! | `trace [n]` | `traces count=… dropped=…` then one `trace …` line per trace |
 //! | `recommend <workload> <platform> <budget> [threshold]` | `rec action=layout layout=… pred=…` or `rec action=measure layout=… gain=…` |
 //! | `pairs` | `pairs count=…` then one `pair …` line per (workload, platform) |
+//! | `batch <req>[; <req>]…` | `batch count=…` then one reply line per sub-request |
 //! | anything else | `err <reason>` |
 //!
-//! `metrics`, `trace`, and `pairs` are the only multi-line responses;
-//! all are self-framing (the `# EOF` terminator and the `count=`
-//! headers), so clients never guess where a response ends. Request handling is traced
+//! `metrics`, `trace`, `pairs`, and `batch` are the only multi-line
+//! responses; all are self-framing (the `# EOF` terminator and the
+//! `count=` headers), so clients never guess where a response ends.
+//! `batch` runs `;`-separated single-line-reply sub-requests (`predict`,
+//! `warm`, `stats`, `recommend`) from one wire line, amortizing a round
+//! trip across N requests; each sub-reply is byte-identical to what the
+//! standalone request would have answered. Request handling is traced
 //! end-to-end into fixed-capacity ring buffers ([`obs`]): wall-domain
 //! spans (µs) for the request path, sim-domain spans (simulated cycles,
 //! byte-identical across identical runs) for the partial simulation.
@@ -49,9 +56,11 @@
 //! learning). Recommendations are deterministic and served from their
 //! own bounded FIFO cache keyed on the canonical budget.
 //!
-//! A connection arriving while the admission queue is full is answered
-//! `busy` and closed — explicit backpressure instead of unbounded
-//! buffering. Layout specs use the [`layouts::spec`] grammar (`4k`,
+//! A connection arriving while the plane's backlog is at its bound is
+//! answered `busy` and closed — explicit backpressure instead of
+//! unbounded buffering. Admitted connections are nonblocking and
+//! multiplexed, so an idle persistent connection costs a poll slot, not
+//! a worker thread. Layout specs use the [`layouts::spec`] grammar (`4k`,
 //! `2m`, `1g`, `2m:0..64M+1g:1G..2G`); floating-point fields are printed
 //! with Rust's shortest-roundtrip formatting, so parsing them back
 //! yields bit-identical values.

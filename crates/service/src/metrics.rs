@@ -38,8 +38,10 @@ pub struct Metrics {
     predicts: AtomicU64,
     recommends: AtomicU64,
     errors: AtomicU64,
+    too_long: AtomicU64,
     busy: AtomicU64,
     queue_depth: AtomicU64,
+    connections: AtomicU64,
     buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
 }
 
@@ -72,6 +74,17 @@ impl Metrics {
         self.recommends.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one over-long request line. Counted as a request and an
+    /// error — but in its own `too_long` register, *not* the latency
+    /// histogram: the overflow is detected mid-read with no meaningful
+    /// handling latency, and the old `record_request(0, ..)` call
+    /// injected fake 0µs samples that dragged p50/p99 down.
+    pub fn record_too_long(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.too_long.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one connection rejected with `busy`.
     pub fn record_busy(&self) {
         self.busy.fetch_add(1, Ordering::Relaxed);
@@ -80,6 +93,12 @@ impl Metrics {
     /// Updates the admission-queue depth gauge.
     pub fn set_queue_depth(&self, depth: u64) {
         self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Updates the open-connections gauge (connections currently
+    /// multiplexed by the readiness loop).
+    pub fn set_connections(&self, open: u64) {
+        self.connections.store(open, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time snapshot. The caller supplies the registry
@@ -101,8 +120,10 @@ impl Metrics {
             predicts: self.predicts.load(Ordering::Relaxed),
             recommends: self.recommends.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            too_long: self.too_long.load(Ordering::Relaxed),
             busy: self.busy.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
             registry,
             cache,
             rec_cache,
@@ -123,10 +144,15 @@ pub struct StatsSnapshot {
     pub recommends: u64,
     /// Requests answered with `err`.
     pub errors: u64,
+    /// Over-long request lines refused (a subset of `errors`; excluded
+    /// from the latency histogram so they cannot skew percentiles).
+    pub too_long: u64,
     /// Connections rejected with `busy`.
     pub busy: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: u64,
+    /// Connections currently open on the readiness loop.
+    pub connections: u64,
     /// Registry lookup counters (including the in-flight fitting gauge).
     pub registry: RegistryCounters,
     /// Prediction-cache lookup counters.
@@ -171,7 +197,8 @@ impl StatsSnapshot {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "stats requests={} predicts={} recommends={} errors={} busy={} queue_depth={} \
+            "stats requests={} predicts={} recommends={} errors={} too_long={} busy={} \
+             queue_depth={} connections={} \
              registry_hits={} registry_misses={} registry_disk_loads={} \
              registry_fitting={} pred_cache_hits={} pred_cache_misses={} \
              pred_cache_len={} rec_cache_hits={} rec_cache_misses={} \
@@ -180,8 +207,10 @@ impl StatsSnapshot {
             self.predicts,
             self.recommends,
             self.errors,
+            self.too_long,
             self.busy,
             self.queue_depth,
+            self.connections,
             self.registry.hits,
             self.registry.misses,
             self.registry.disk_loads,
@@ -223,8 +252,10 @@ impl StatsSnapshot {
         let predicts = num(take("predicts")?, "predicts")?;
         let recommends = num(take("recommends")?, "recommends")?;
         let errors = num(take("errors")?, "errors")?;
+        let too_long = num(take("too_long")?, "too_long")?;
         let busy = num(take("busy")?, "busy")?;
         let queue_depth = num(take("queue_depth")?, "queue_depth")?;
+        let connections = num(take("connections")?, "connections")?;
         let hits = num(take("registry_hits")?, "registry_hits")?;
         let misses = num(take("registry_misses")?, "registry_misses")?;
         let disk_loads = num(take("registry_disk_loads")?, "registry_disk_loads")?;
@@ -255,8 +286,10 @@ impl StatsSnapshot {
             predicts,
             recommends,
             errors,
+            too_long,
             busy,
             queue_depth,
+            connections,
             registry: RegistryCounters {
                 hits,
                 misses,
@@ -288,8 +321,10 @@ mod tests {
             predicts: 0,
             recommends: 0,
             errors: 0,
+            too_long: 0,
             busy: 0,
             queue_depth: 0,
+            connections: 0,
             registry: RegistryCounters::default(),
             cache: CacheCounters::default(),
             rec_cache: CacheCounters::default(),
@@ -319,8 +354,10 @@ mod tests {
             predicts: 0,
             recommends: 0,
             errors: 0,
+            too_long: 0,
             busy: 0,
             queue_depth: 0,
+            connections: 0,
             registry: RegistryCounters::default(),
             cache: CacheCounters::default(),
             rec_cache: CacheCounters::default(),
@@ -347,6 +384,7 @@ mod tests {
         m.record_recommend();
         m.record_busy();
         m.set_queue_depth(3);
+        m.set_connections(5);
         let snap = m.snapshot(
             RegistryCounters::default(),
             CacheCounters::default(),
@@ -359,9 +397,37 @@ mod tests {
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.busy, 1);
         assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.connections, 5);
         assert_eq!(snap.buckets[0], 1);
         assert_eq!(snap.buckets[3], 1, "300µs lands in the ≤500µs bucket");
         assert_eq!(snap.buckets[BUCKET_BOUNDS_US.len() - 1], 1);
+    }
+
+    #[test]
+    fn too_long_counts_as_error_but_skips_the_histogram() {
+        let m = Metrics::new();
+        m.record_request(40, false, false);
+        m.record_too_long();
+        m.record_too_long();
+        let snap = m.snapshot(
+            RegistryCounters::default(),
+            CacheCounters::default(),
+            CacheCounters::default(),
+            0,
+        );
+        assert_eq!(snap.requests, 3, "over-long lines are still requests");
+        assert_eq!(snap.errors, 2, "over-long lines are still errors");
+        assert_eq!(snap.too_long, 2);
+        assert_eq!(
+            snap.buckets.iter().sum::<u64>(),
+            1,
+            "over-long lines must not inject fake latency samples"
+        );
+        assert_eq!(
+            snap.percentile_us(50),
+            50,
+            "the one real 40µs sample owns the median"
+        );
     }
 
     #[test]
@@ -372,8 +438,10 @@ mod tests {
         }
         m.record_busy();
         m.set_queue_depth(7);
+        m.set_connections(11);
         m.record_recommend();
         m.record_recommend();
+        m.record_too_long();
         let snap = m.snapshot(
             RegistryCounters {
                 hits: 5,
@@ -389,6 +457,8 @@ mod tests {
             6,
         );
         let line = snap.render();
+        assert!(line.contains("too_long=1"), "{line}");
+        assert!(line.contains("connections=11"), "{line}");
         assert!(line.contains("registry_fitting=1"), "{line}");
         assert!(line.contains("pred_cache_hits=40"), "{line}");
         assert!(line.contains("pred_cache_misses=9"), "{line}");

@@ -30,6 +30,9 @@ pub struct StageEntry {
 pub struct MetricsReport {
     /// The same snapshot the `stats` verb serves.
     pub stats: StatsSnapshot,
+    /// Per-shard occupancy of the prediction cache, in shard-index
+    /// order (the `mosaicd_prediction_cache_shard_len` series).
+    pub pred_cache_shard_lens: Vec<u64>,
     /// Wall-domain stage totals (request-path stages, µs).
     pub wall_stages: Vec<StageEntry>,
     /// Sim-domain stage totals (partial-simulation stages, cycles).
@@ -115,6 +118,13 @@ pub fn render_metrics(report: &MetricsReport) -> String {
     push_sample(&mut out, "mosaicd_errors_total", s.errors);
     push_metric(
         &mut out,
+        "mosaicd_too_long_total",
+        "counter",
+        "Over-long request lines refused (excluded from the latency histogram).",
+    );
+    push_sample(&mut out, "mosaicd_too_long_total", s.too_long);
+    push_metric(
+        &mut out,
         "mosaicd_busy_total",
         "counter",
         "Connections rejected with busy (admission queue full).",
@@ -127,6 +137,13 @@ pub fn render_metrics(report: &MetricsReport) -> String {
         "Admission-queue depth at scrape time.",
     );
     push_sample(&mut out, "mosaicd_queue_depth", s.queue_depth);
+    push_metric(
+        &mut out,
+        "mosaicd_connections",
+        "gauge",
+        "Connections currently multiplexed by the readiness loop.",
+    );
+    push_sample(&mut out, "mosaicd_connections", s.connections);
     push_metric(
         &mut out,
         "mosaicd_registry_hits_total",
@@ -188,6 +205,17 @@ pub fn render_metrics(report: &MetricsReport) -> String {
         "Entries held by the prediction cache at scrape time.",
     );
     push_sample(&mut out, "mosaicd_prediction_cache_len", s.pred_cache_len);
+    push_metric(
+        &mut out,
+        "mosaicd_prediction_cache_shard_len",
+        "gauge",
+        "Entries per prediction-cache shard at scrape time.",
+    );
+    for (i, len) in report.pred_cache_shard_lens.iter().enumerate() {
+        out.push_str(&format!(
+            "mosaicd_prediction_cache_shard_len{{shard=\"{i}\"}} {len}\n"
+        ));
+    }
     push_metric(
         &mut out,
         "mosaicd_recommends_total",
@@ -411,8 +439,10 @@ pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
     let requests = next_plain(&mut iter, "mosaicd_requests_total")?;
     let predicts = next_plain(&mut iter, "mosaicd_predicts_total")?;
     let errors = next_plain(&mut iter, "mosaicd_errors_total")?;
+    let too_long = next_plain(&mut iter, "mosaicd_too_long_total")?;
     let busy = next_plain(&mut iter, "mosaicd_busy_total")?;
     let queue_depth = next_plain(&mut iter, "mosaicd_queue_depth")?;
+    let connections = next_plain(&mut iter, "mosaicd_connections")?;
     let registry = RegistryCounters {
         hits: next_plain(&mut iter, "mosaicd_registry_hits_total")?,
         misses: next_plain(&mut iter, "mosaicd_registry_misses_total")?,
@@ -424,6 +454,29 @@ pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
         misses: next_plain(&mut iter, "mosaicd_prediction_cache_misses_total")?,
     };
     let pred_cache_len = next_plain(&mut iter, "mosaicd_prediction_cache_len")?;
+    // The per-shard run is labelled, so its length is data-dependent:
+    // consume while the name matches, requiring shard="<index>" labels
+    // in order.
+    let mut pred_cache_shard_lens: Vec<u64> = Vec::new();
+    while iter
+        .peek()
+        .is_some_and(|s| s.name == "mosaicd_prediction_cache_shard_len")
+    {
+        let sample = iter
+            .next()
+            .ok_or_else(|| "peeked sample vanished".to_string())?;
+        let labels = parse_labels(sample.labels.unwrap_or_default())?;
+        let expected = pred_cache_shard_lens.len().to_string();
+        match labels.as_slice() {
+            [(key, idx)] if key == "shard" && *idx == expected => {}
+            _ => {
+                return Err(format!(
+                    "cache shard label mismatch (want shard=\"{expected}\")"
+                ))
+            }
+        }
+        pred_cache_shard_lens.push(sample.value);
+    }
     let recommends = next_plain(&mut iter, "mosaicd_recommends_total")?;
     let rec_cache = CacheCounters {
         hits: next_plain(&mut iter, "mosaicd_recommend_cache_hits_total")?,
@@ -520,14 +573,17 @@ pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
             predicts,
             recommends,
             errors,
+            too_long,
             busy,
             queue_depth,
+            connections,
             registry,
             cache,
             rec_cache,
             pred_cache_len,
             buckets,
         },
+        pred_cache_shard_lens,
         wall_stages,
         sim_stages,
         traces_buffered,
@@ -551,8 +607,10 @@ mod tests {
                 predicts: 6,
                 recommends: 3,
                 errors: 1,
+                too_long: 1,
                 busy: 2,
                 queue_depth: 3,
+                connections: 4,
                 registry: RegistryCounters {
                     hits: 5,
                     misses: 1,
@@ -564,6 +622,7 @@ mod tests {
                 pred_cache_len: 9,
                 buckets,
             },
+            pred_cache_shard_lens: vec![4, 0, 5, 0],
             wall_stages: vec![
                 StageEntry {
                     stage: "read".to_string(),
@@ -605,8 +664,10 @@ mod tests {
             "mosaicd_requests_total 8",
             "mosaicd_predicts_total 6",
             "mosaicd_errors_total 1",
+            "mosaicd_too_long_total 1",
             "mosaicd_busy_total 2",
             "mosaicd_queue_depth 3",
+            "mosaicd_connections 4",
             "mosaicd_registry_hits_total 5",
             "mosaicd_registry_misses_total 1",
             "mosaicd_registry_disk_loads_total 1",
@@ -614,6 +675,8 @@ mod tests {
             "mosaicd_prediction_cache_hits_total 4",
             "mosaicd_prediction_cache_misses_total 2",
             "mosaicd_prediction_cache_len 9",
+            "mosaicd_prediction_cache_shard_len{shard=\"0\"} 4",
+            "mosaicd_prediction_cache_shard_len{shard=\"2\"} 5",
             "mosaicd_recommends_total 3",
             "mosaicd_recommend_cache_hits_total 2",
             "mosaicd_recommend_cache_misses_total 1",
@@ -661,6 +724,7 @@ mod tests {
                 "mosaicd_request_latency_us_count 9",
             ),
             good.replace("domain=\"sim\"", "domain=\"cpu\""),
+            good.replace("shard=\"2\"", "shard=\"7\""),
             format!("{good}mosaicd_requests_total 1\n"),
         ] {
             assert!(parse_metrics(&bad).is_err(), "accepted:\n{bad}");

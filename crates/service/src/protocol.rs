@@ -68,6 +68,12 @@ pub enum Request {
     /// can serve; the response is a `pairs count=…` header followed by
     /// that many `pair …` lines.
     Pairs,
+    /// `batch <req>[; <req>]…` — run several sub-requests from one
+    /// line; the reply is a `batch count=…` header followed by exactly
+    /// one reply line per sub-request, in order. Only single-line-reply
+    /// verbs may appear inside a batch (no `metrics`, `trace`, `pairs`,
+    /// or nested `batch`), so the framing is always `1 + count` lines.
+    Batch(Vec<Request>),
 }
 
 /// How many traces `trace` returns when no count is given.
@@ -175,9 +181,70 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Pairs)
         }
+        Some("batch") => {
+            // Sub-requests are ';'-separated, so recover the raw tail
+            // after the verb rather than consuming the word iterator.
+            let tail = line.trim_start().strip_prefix("batch").unwrap_or_default();
+            parse_batch(tail)
+        }
         Some(verb) => Err(format!("unknown command {verb:?}")),
         None => Err("empty request".to_string()),
     }
+}
+
+/// Parses the tail of a `batch` line into its sub-requests.
+///
+/// Nested batches are rejected *before* recursing into
+/// [`parse_request`], so a hostile `batch batch batch …` line cannot
+/// drive parser recursion depth with its length.
+fn parse_batch(tail: &str) -> Result<Request, String> {
+    let mut subs = Vec::new();
+    for part in tail.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err("batch sub-requests must be non-empty".to_string());
+        }
+        if part.split_ascii_whitespace().next() == Some("batch") {
+            return Err("batch cannot nest".to_string());
+        }
+        let sub = parse_request(part).map_err(|e| format!("in batch: {e}"))?;
+        if matches!(
+            sub,
+            Request::Metrics | Request::Trace { .. } | Request::Pairs
+        ) {
+            return Err("batch only accepts single-line-reply verbs".to_string());
+        }
+        subs.push(sub);
+    }
+    if subs.is_empty() {
+        return Err("batch needs at least one sub-request".to_string());
+    }
+    Ok(Request::Batch(subs))
+}
+
+/// Renders the `batch …` response header (no newline): how many reply
+/// lines follow, one per sub-request.
+pub fn render_batch_header(count: usize) -> String {
+    format!("batch count={count}")
+}
+
+/// Parses a `batch …` response header; returns the reply-line count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.
+pub fn parse_batch_header(line: &str) -> Result<usize, String> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("batch") {
+        return Err(format!("expected batch response, got {line:?}"));
+    }
+    let count = field(&mut words, "count")?
+        .parse::<usize>()
+        .map_err(|e| format!("bad count: {e}"))?;
+    if words.next().is_some() {
+        return Err("unexpected trailing tokens on batch header".to_string());
+    }
+    Ok(count)
 }
 
 /// A successful prediction: measured counters, the chosen model's
@@ -523,6 +590,26 @@ mod tests {
             })
         );
         assert_eq!(parse_request("pairs"), Ok(Request::Pairs));
+        assert_eq!(
+            parse_request("batch stats; warm gups/8GB sandybridge ;predict x y 4k"),
+            Ok(Request::Batch(vec![
+                Request::Stats,
+                Request::Warm {
+                    workload: "gups/8GB".into(),
+                    platform: "sandybridge".into(),
+                },
+                Request::Predict {
+                    workload: "x".into(),
+                    platform: "y".into(),
+                    spec: "4k".into(),
+                    model: None,
+                },
+            ]))
+        );
+        assert_eq!(
+            parse_request("batch stats"),
+            Ok(Request::Batch(vec![Request::Stats]))
+        );
         for bad in [
             "",
             "predict",
@@ -545,8 +632,29 @@ mod tests {
             "recommend a b 8x2m 0.1 extra",
             "pairs now",
             "frobnicate",
+            "batch",
+            "batch ",
+            "batch stats;",
+            "batch ;stats",
+            "batch stats; batch stats",
+            "batch metrics",
+            "batch trace 3",
+            "batch pairs",
+            "batch frobnicate",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn batch_header_roundtrips() {
+        assert_eq!(render_batch_header(3), "batch count=3");
+        assert_eq!(parse_batch_header("batch count=3"), Ok(3));
+        for bad in ["", "batch", "batch count=x", "batch count=1 x", "ok r=1"] {
+            assert!(
+                parse_batch_header(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 

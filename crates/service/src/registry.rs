@@ -43,11 +43,12 @@ use mosmodel::persist::{decode_bundle, encode_bundle, ModelBundle, PersistedMode
 use mosmodel::ModelKind;
 use parking_lot::RwLock;
 
-use crate::cache::{FifoCache, PredictionCache};
+use crate::cache::{pair_shard, FifoCache, ShardedPredictionCache, CACHE_SHARDS};
 use crate::protocol::RecommendReply;
 use crate::ServiceError;
 
-/// Default bound on the prediction cache (see [`PredictionCache`]).
+/// Default bound on the prediction cache (see
+/// [`ShardedPredictionCache`]).
 pub const DEFAULT_PREDICTION_CACHE: usize = 1024;
 
 /// Default bound on the recommendation cache: recommendations are
@@ -171,15 +172,25 @@ pub struct PairInfo {
     pub cv_err: f64,
 }
 
+/// One shard of the entries map. BTreeMap, not HashMap: the memo is on
+/// the persistence path and its iteration order must not depend on a
+/// per-process hasher seed.
+type EntryShard = RwLock<BTreeMap<(String, String), Slot>>;
+
 /// Fits, persists, and memoizes models per `(workload, platform)`.
+///
+/// The entries map is sharded per `(workload, platform)` (FNV-1a via
+/// [`pair_shard`], the same selector the prediction cache uses), so
+/// warm lookups for distinct pairs read distinct locks instead of
+/// contending on one global map. Shard membership is a pure function of
+/// the pair, and cross-shard listings merge through a `BTreeMap`, so
+/// sharding never perturbs determinism.
 #[derive(Debug)]
 pub struct ModelRegistry {
     grid: Grid,
     store_dir: Option<PathBuf>,
-    // BTreeMap, not HashMap: the memo is on the persistence path and
-    // its iteration order must not depend on a per-process hasher seed.
-    entries: RwLock<BTreeMap<(String, String), Slot>>,
-    cache: PredictionCache,
+    entries: Vec<EntryShard>,
+    cache: ShardedPredictionCache,
     rec_cache: FifoCache<RecommendKey, RecommendReply>,
     // K-fold CV error per fitted pair, memoized because one report costs
     // CV_FOLDS refits. BTreeMap for the same determinism reason as
@@ -209,8 +220,10 @@ impl ModelRegistry {
         ModelRegistry {
             grid,
             store_dir,
-            entries: RwLock::new(BTreeMap::new()),
-            cache: PredictionCache::new(cache_capacity),
+            entries: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+            cache: ShardedPredictionCache::new(cache_capacity),
             rec_cache: FifoCache::new(DEFAULT_RECOMMEND_CACHE),
             cv_errors: RwLock::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
@@ -242,9 +255,30 @@ impl ModelRegistry {
         &self.grid
     }
 
-    /// The bounded prediction cache in front of the simulation path.
-    pub fn prediction_cache(&self) -> &PredictionCache {
+    /// The bounded, sharded prediction cache in front of the simulation
+    /// path.
+    pub fn prediction_cache(&self) -> &ShardedPredictionCache {
         &self.cache
+    }
+
+    /// The shard of the entries map that owns `key`. The selector
+    /// reduces mod the shard count, so the lookup is total for the
+    /// nonempty shard vector the constructor builds; the static empty
+    /// shard is unreachable insurance, not a code path.
+    fn entries_shard(&self, key: &(String, String)) -> &EntryShard {
+        static FALLBACK: EntryShard = RwLock::new(BTreeMap::new());
+        self.entries
+            .get(pair_shard(&key.0, &key.1, self.entries.len()))
+            .unwrap_or(&FALLBACK)
+    }
+
+    /// Pairs resident per entries shard, in shard-index order — the
+    /// `mosaicd_registry_shard_pairs` gauge series.
+    pub fn entry_shard_lens(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .map(|shard| shard.read().len())
+            .collect()
     }
 
     /// The bounded recommendation cache in front of the candidate
@@ -282,23 +316,32 @@ impl ModelRegistry {
     /// not run yet report `NaN`.
     pub fn pairs(&self) -> Vec<PairInfo> {
         let cv = self.cv_errors.read();
-        self.entries
-            .read()
-            .iter()
-            .map(|((workload, platform), slot)| {
+        // Merge the shards through a BTreeMap so the listing stays in
+        // deterministic key order regardless of shard assignment.
+        let mut merged: BTreeMap<(String, String), (bool, usize)> = BTreeMap::new();
+        for shard in &self.entries {
+            let slots = shard.read();
+            for ((workload, platform), slot) in slots.iter() {
                 let (ready, models) = match slot {
                     Slot::Ready(entry) => (true, entry.bundle.models.len()),
                     Slot::Pending(_) => (false, 0),
                 };
+                merged.insert((workload.clone(), platform.clone()), (ready, models));
+            }
+        }
+        merged
+            .into_iter()
+            .map(|((workload, platform), (ready, models))| {
+                let cv_err = cv
+                    .get(&(workload.clone(), platform.clone()))
+                    .copied()
+                    .unwrap_or(f64::NAN);
                 PairInfo {
-                    workload: workload.clone(),
-                    platform: platform.clone(),
+                    workload,
+                    platform,
                     ready,
                     models,
-                    cv_err: cv
-                        .get(&(workload.clone(), platform.clone()))
-                        .copied()
-                        .unwrap_or(f64::NAN),
+                    cv_err,
                 }
             })
             .collect()
@@ -322,27 +365,28 @@ impl ModelRegistry {
     ) -> Result<Arc<RegistryEntry>, ServiceError> {
         let key = (workload.to_string(), platform.name.to_string());
 
-        // Fast path: a read lock resolves warm pairs and in-flight fits.
+        // Fast path: a read lock on the pair's shard resolves warm
+        // pairs and in-flight fits; other shards are untouched.
         let claim = {
-            let entries = self.entries.read();
-            match entries.get(&key) {
+            let slots = self.entries_shard(&key).read();
+            match slots.get(&key) {
                 Some(Slot::Ready(entry)) => Some(Claim::Hit(Arc::clone(entry))),
                 Some(Slot::Pending(latch)) => Some(Claim::Wait(Arc::clone(latch))),
                 None => None,
             }
         };
-        // Cold pair: claim the key under the write lock (still cheap —
-        // the fit itself runs after the lock is dropped).
+        // Cold pair: claim the key under the shard's write lock (still
+        // cheap — the fit itself runs after the lock is dropped).
         let claim = match claim {
             Some(claim) => claim,
             None => {
-                let mut entries = self.entries.write();
-                match entries.get(&key) {
+                let mut slots = self.entries_shard(&key).write();
+                match slots.get(&key) {
                     Some(Slot::Ready(entry)) => Claim::Hit(Arc::clone(entry)),
                     Some(Slot::Pending(latch)) => Claim::Wait(Arc::clone(latch)),
                     None => {
                         let latch = Arc::new(FitLatch::new());
-                        entries.insert(key.clone(), Slot::Pending(Arc::clone(&latch)));
+                        slots.insert(key.clone(), Slot::Pending(Arc::clone(&latch)));
                         Claim::Fit(latch)
                     }
                 }
@@ -384,13 +428,13 @@ impl ModelRegistry {
             Err(payload) => Err(ServiceError::FitFailed(panic_message(payload.as_ref()))),
         };
         {
-            let mut entries = self.entries.write();
+            let mut slots = self.entries_shard(key).write();
             match &result {
                 Ok(entry) => {
-                    entries.insert(key.clone(), Slot::Ready(Arc::clone(entry)));
+                    slots.insert(key.clone(), Slot::Ready(Arc::clone(entry)));
                 }
                 Err(_) => {
-                    entries.remove(key);
+                    slots.remove(key);
                 }
             }
         }
@@ -585,6 +629,11 @@ mod tests {
         let b = registry.entry("gups/8GB", platform).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(registry.counters().hits, 1);
+
+        // The pair lives in exactly one of the entry shards.
+        let shard_lens = registry.entry_shard_lens();
+        assert_eq!(shard_lens.len(), CACHE_SHARDS);
+        assert_eq!(shard_lens.iter().sum::<usize>(), 1);
 
         // Every anchor-complete battery admits all nine models.
         assert_eq!(a.bundle.models.len(), ModelKind::ALL.len());

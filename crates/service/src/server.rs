@@ -1,27 +1,42 @@
-//! The mosaicd TCP server: acceptor, bounded admission queue, worker
-//! pool.
+//! The mosaicd TCP server: acceptor plus an event-driven, sharded
+//! serving plane.
 //!
-//! One acceptor thread owns the listener. Accepted connections go into a
-//! bounded queue; when the queue is full the connection is answered
-//! `busy` and closed immediately — explicit backpressure instead of
-//! unbounded buffering or silent drops. A fixed pool of worker threads
-//! pops connections and serves them line-by-line; connections are
-//! persistent, so one client can issue many requests.
+//! One acceptor thread owns the listener and decides admission: when
+//! the plane is at capacity the connection is answered `busy` and
+//! closed immediately — explicit backpressure instead of unbounded
+//! buffering or silent drops. Admitted connections are switched to
+//! nonblocking mode and handed round-robin to a fixed pool of worker
+//! shards. Each worker multiplexes *all* of its connections through one
+//! `poll(2)` readiness loop: a connection consumes the worker only
+//! while a complete request line is being handled, so idle persistent
+//! connections are free and can no longer starve the pool (the
+//! thread-per-connection plane parked a whole worker on every idle
+//! client). A per-shard self-pipe doorbell sits in every poll set, so
+//! the acceptor's deal interrupts a sleeping shard immediately — even
+//! one whose poll set already holds idle connections.
+//!
+//! Replies are buffered per connection and flushed as the socket
+//! accepts them; while a reply is in flight the connection is polled
+//! for writability only, so a slow reader throttles itself instead of
+//! the plane.
 //!
 //! Shutdown is graceful: the flag flips, the acceptor stops admitting,
-//! and workers finish the request they are executing, then drain the
-//! admission queue before exiting. Workers poll the flag between
-//! requests via a read timeout, so an idle persistent connection cannot
-//! hold shutdown hostage.
+//! and each worker makes a final drain pass — reading whatever its
+//! connections already pipelined, answering the complete requests, and
+//! flushing the replies — before exiting. Shutdown rings every
+//! doorbell, so workers observe the flag immediately and an idle
+//! persistent connection cannot hold shutdown hostage.
 
-use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use libc::{poll_fds, pollfd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 
 use harness::{measure_layout_traced, MachineVariant, SIM_STAGES};
 use layouts::parse_spec;
@@ -39,8 +54,9 @@ use crate::cache::prediction_key;
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::prom::{render_metrics, MetricsReport, StageEntry};
 use crate::protocol::{
-    parse_request, render_pair, render_pairs_header, render_prediction, render_recommend,
-    render_trace_header, render_warm, Prediction, RecommendAction, RecommendReply, Request,
+    parse_request, render_batch_header, render_pair, render_pairs_header, render_prediction,
+    render_recommend, render_trace_header, render_warm, Prediction, RecommendAction,
+    RecommendReply, Request,
 };
 use crate::registry::{ModelRegistry, RecommendKey, RegistryEntry};
 use crate::trace::RequestTrace;
@@ -72,6 +88,16 @@ pub const WALL_STAGES: [&str; 8] = [
     "render",
 ];
 
+/// The readiness-loop timeout: the longest a worker sleeps in
+/// `poll(2)` before re-checking the shutdown flag and its inbox, so
+/// both are observed promptly even on a fully idle plane.
+const POLL_WINDOW_MS: i32 = 100;
+
+/// Most bytes the acceptor drains from a rejected (`busy`) connection
+/// before closing it — enough pipelined requests for a clean FIN,
+/// bounded so a hostile firehose cannot pin the acceptor.
+const BUSY_DRAIN_CAP: usize = 4096;
+
 /// How a [`Server`] listens and schedules work.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -79,7 +105,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads serving connections.
     pub workers: usize,
-    /// Admission-queue bound; connections beyond it are answered `busy`.
+    /// Backlog bound: connections past `workers` count toward the
+    /// backlog gauge, and once it reaches this bound new connections
+    /// are answered `busy`.
     pub queue_bound: usize,
     /// How many finished request traces the server retains for the
     /// `trace` verb; older traces are evicted (and counted as dropped)
@@ -98,14 +126,42 @@ impl Default for ServerConfig {
     }
 }
 
+/// One worker shard's handoff slot: the acceptor pushes freshly
+/// admitted (already nonblocking) streams and rings the shard's
+/// doorbell — a self-pipe whose read end sits in the worker's poll set,
+/// so a deal interrupts the poll immediately instead of waiting out the
+/// poll window. (An earlier design rang a condvar instead, but a shard
+/// holding even one idle connection sleeps in `poll(2)`, not on the
+/// condvar, so fresh connections stalled up to [`POLL_WINDOW_MS`]
+/// before their first byte was seen.)
+struct Inbox {
+    fresh: Mutex<Vec<TcpStream>>,
+    /// Read end of the doorbell pipe; polled by the worker.
+    doorbell_rx: libc::c_int,
+    /// Write end of the doorbell pipe; written by the acceptor on every
+    /// deal and by shutdown.
+    doorbell_tx: libc::c_int,
+}
+
+impl Drop for Inbox {
+    fn drop(&mut self) {
+        libc::close_fd(self.doorbell_rx);
+        libc::close_fd(self.doorbell_tx);
+    }
+}
+
 /// State shared between the acceptor, the workers, and the handle.
 struct Shared {
     registry: ModelRegistry,
     metrics: Metrics,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    /// One inbox per worker shard; the acceptor deals round-robin.
+    inboxes: Vec<Inbox>,
     shutdown: AtomicBool,
     queue_bound: usize,
+    /// Worker-shard count, for the backlog gauge (`open - workers`).
+    workers: usize,
+    /// Currently admitted (open) connections across all shards.
+    open_connections: AtomicU64,
     /// Wall-domain per-stage tick totals (µs), exposed by `metrics`.
     wall_stages: StageSums,
     /// Sim-domain per-stage tick totals (simulated cycles).
@@ -130,17 +186,31 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind error (address in use, permission, ...).
+    /// Propagates the bind error (address in use, permission, ...) and
+    /// doorbell-pipe creation failure (fd exhaustion).
     pub fn start(config: ServerConfig, registry: ModelRegistry) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let worker_shards = config.workers.max(1);
+        let inboxes = (0..worker_shards)
+            .map(|_| {
+                let (doorbell_rx, doorbell_tx) =
+                    libc::doorbell_pair().map_err(io::Error::from_raw_os_error)?;
+                Ok(Inbox {
+                    fresh: Mutex::new(Vec::new()),
+                    doorbell_rx,
+                    doorbell_tx,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
             registry,
             metrics: Metrics::new(),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            inboxes,
             shutdown: AtomicBool::new(false),
             queue_bound: config.queue_bound.max(1),
+            workers: worker_shards,
+            open_connections: AtomicU64::new(0),
             wall_stages: StageSums::new(&WALL_STAGES),
             sim_stages: StageSums::new(&SIM_STAGES),
             traces: TraceRing::new(config.trace_capacity),
@@ -152,12 +222,12 @@ impl Server {
                 .name("mosaicd-accept".to_string())
                 .spawn(move || accept_loop(&listener, &shared))?
         };
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_shards)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("mosaicd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
             })
             .collect::<io::Result<Vec<_>>>()?;
 
@@ -190,11 +260,14 @@ impl Server {
         metrics_report(&self.shared)
     }
 
-    /// Gracefully shuts down: stop admitting, finish in-flight requests,
-    /// drain the admission queue, join all threads.
+    /// Gracefully shuts down: stop admitting, let every worker make its
+    /// drain pass (pipelined requests already readable are answered and
+    /// flushed), join all threads.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        for inbox in &self.shared.inboxes {
+            libc::doorbell_ring(inbox.doorbell_tx);
+        }
         // accept() has no timeout; a loopback connection unblocks it so
         // the acceptor can observe the flag.
         let _ = TcpStream::connect(self.addr);
@@ -207,12 +280,12 @@ impl Server {
     }
 }
 
-/// Locks the admission queue, recovering from poisoning. The queue
-/// holds plain `TcpStream`s with no invariants a half-completed
-/// operation could break, so a panic elsewhere must not take the whole
-/// pool down with `PoisonError` panics.
-fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<TcpStream>> {
-    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+/// Locks a worker inbox, recovering from poisoning. The inbox holds
+/// plain `TcpStream`s with no invariants a half-completed operation
+/// could break, so a panic elsewhere must not take the shard down with
+/// `PoisonError` panics.
+fn lock_inbox(inbox: &Inbox) -> MutexGuard<'_, Vec<TcpStream>> {
+    inbox.fresh.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// What the acceptor should do after `accept()` returns an error.
@@ -242,6 +315,7 @@ fn on_accept_error(shutdown_requested: bool, consecutive_errors: u32) -> AcceptE
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     let mut consecutive_errors: u32 = 0;
+    let mut next_shard: usize = 0;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(conn) => {
@@ -262,169 +336,351 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let mut queue = lock_queue(shared);
-        if queue.len() >= shared.queue_bound {
-            drop(queue);
-            shared.metrics.record_busy();
-            let mut stream = stream;
-            let _ = stream.write_all(b"busy\n");
-            // Drain anything the client already pipelined so the close is
-            // a clean FIN; closing with unread data can turn into an RST
-            // that discards the busy reply on the way out.
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
-            let _ = io::Read::read(&mut stream, &mut [0u8; 256]);
-        } else {
-            queue.push_back(stream);
-            shared.metrics.set_queue_depth(queue.len() as u64);
-            drop(queue);
-            shared.available.notify_one();
+        // Admission: `workers` connections ride free; everything past
+        // them counts toward the backlog, and at the bound the plane
+        // answers `busy` instead of admitting without limit.
+        let open = shared.open_connections.load(Ordering::SeqCst);
+        if open.saturating_sub(shared.workers as u64) >= shared.queue_bound as u64 {
+            reject_busy(stream, shared);
+            continue;
+        }
+        // The readiness loop owns this socket from here on, so it must
+        // never block the shard; a stream that cannot go nonblocking is
+        // dropped (the client sees a clean close and retries). Nagle is
+        // disabled because pipelined clients (the `batch` verb, load
+        // generators) make the plane emit several sub-MSS reply writes
+        // back to back — with Nagle on, every write after the first
+        // stalls behind the peer's delayed ACK (~40ms), collapsing
+        // pipelined throughput by an order of magnitude.
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let slot = next_shard.checked_rem(shared.inboxes.len()).unwrap_or(0);
+        next_shard = next_shard.wrapping_add(1);
+        if let Some(inbox) = shared.inboxes.get(slot) {
+            let open = shared
+                .open_connections
+                .fetch_add(1, Ordering::SeqCst)
+                .saturating_add(1);
+            publish_connection_gauges(shared, open);
+            lock_inbox(inbox).push(stream);
+            libc::doorbell_ring(inbox.doorbell_tx);
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let conn = {
-            let mut queue = lock_queue(shared);
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    shared.metrics.set_queue_depth(queue.len() as u64);
-                    break Some(conn);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        match conn {
-            Some(conn) => serve_connection(conn, shared),
-            None => return,
+/// Answers `busy` and closes. The bounded drain loop eats whatever the
+/// client already pipelined so the close is a clean FIN; closing with
+/// unread data can turn into an RST that discards the busy reply on
+/// the way out. (The old plane read a single 256-byte window, which a
+/// client pipelining more than that could still trip into an RST.)
+fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.record_busy();
+    let _ = stream.write_all(b"busy\n");
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let mut scratch = [0u8; 256];
+    let mut drained: usize = 0;
+    while drained < BUSY_DRAIN_CAP {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained = drained.saturating_add(n),
         }
     }
 }
 
-/// Serves one persistent connection until EOF, an I/O error, or a
-/// shutdown observed *between* requests (in-flight requests always
-/// complete and their response is written).
-///
-/// Request lines are accumulated manually (via `fill_buf`/`consume`)
-/// rather than with `read_line`, for two reasons: a partial line must
-/// survive the 100ms shutdown-poll read timeouts untouched (a slow
-/// writer's request would otherwise be truncated), and the buffer must
-/// be *bounded* — a line past [`MAX_REQUEST_BYTES`] is answered
-/// `err request too long` once, then discarded up to the next newline
-/// so the connection resyncs at a request boundary.
-fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line: Vec<u8> = Vec::new();
-    // True while skipping the remainder of an over-long request.
-    let mut discarding = false;
-    // When the current request's first bytes arrived — the wall epoch of
-    // its trace, so the `read` span covers the whole line accumulation.
-    let mut request_started: Option<Instant> = None;
+/// Publishes both connection gauges from one open-connection count:
+/// the raw count, and the backlog beyond the worker-shard budget
+/// (which is what the `busy` admission decision keys on).
+fn publish_connection_gauges(shared: &Shared, open: u64) {
+    shared.metrics.set_connections(open);
+    shared
+        .metrics
+        .set_queue_depth(open.saturating_sub(shared.workers as u64));
+}
+
+/// Drops `closed` connections out of the gauges after a shard reaps
+/// them from its poll set.
+fn forget_connections(shared: &Shared, closed: u64) {
+    if closed == 0 {
+        return;
+    }
+    let open = shared
+        .open_connections
+        .fetch_sub(closed, Ordering::SeqCst)
+        .saturating_sub(closed);
+    publish_connection_gauges(shared, open);
+}
+
+/// One multiplexed connection's state between readiness events.
+struct Conn {
+    stream: TcpStream,
+    /// The partial request line accumulated so far (bounded by
+    /// [`MAX_REQUEST_BYTES`] plus one read chunk).
+    line: Vec<u8>,
+    /// True while skipping the remainder of an over-long request; the
+    /// connection resyncs at the next newline.
+    discarding: bool,
+    /// When the current request's first bytes arrived — the wall epoch
+    /// of its trace, so the `read` span covers line accumulation.
+    request_started: Option<Instant>,
+    /// Reply bytes accepted by the handler but not yet by the socket.
+    /// While non-empty the connection is polled for writability only,
+    /// so a slow reader backpressures itself instead of the shard.
+    pending: Vec<u8>,
+    /// Set on EOF or a fatal I/O error; the shard reaps it after the
+    /// service pass.
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            line: Vec::new(),
+            discarding: false,
+            request_started: None,
+            pending: Vec::new(),
+            closed: false,
+        }
+    }
+}
+
+/// One worker shard: a `poll(2)` readiness loop over every connection
+/// the acceptor has dealt to it, plus the shard's doorbell as entry
+/// zero. The doorbell makes every external event — a freshly dealt
+/// connection, shutdown — interrupt the poll immediately; the
+/// [`POLL_WINDOW_MS`] timeout remains only as a belt-and-braces
+/// re-check of the shutdown flag.
+fn worker_loop(shared: &Shared, shard: usize) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<pollfd> = Vec::new();
     loop {
-        let mut complete = false;
-        let consumed = match reader.fill_buf() {
-            Ok([]) => return,
-            Ok(buf) => {
-                if request_started.is_none() {
-                    request_started = Some(Instant::now());
-                }
-                match buf.iter().position(|&b| b == b'\n') {
-                    Some(nl) => {
-                        if !discarding {
-                            line.extend_from_slice(buf.get(..nl).unwrap_or_default());
-                        }
-                        complete = true;
-                        nl + 1
-                    }
-                    None => {
-                        if !discarding {
-                            line.extend_from_slice(buf);
-                        }
-                        buf.len()
-                    }
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // The timeout exists only to poll the shutdown flag; any
-                // partial line stays in `line` for the next window.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        };
-        reader.consume(consumed);
-
-        if discarding {
-            // The over-long request's tail is being thrown away; a
-            // newline means the connection is back at a boundary.
-            discarding = !complete;
-            if complete {
-                request_started = None;
-            }
-            continue;
-        }
-        if line.len() > MAX_REQUEST_BYTES {
-            shared.metrics.record_request(0, false, true);
-            line.clear();
-            // If the newline already arrived we are at a boundary;
-            // otherwise keep discarding until it does.
-            discarding = !complete;
-            if complete {
-                request_started = None;
-            }
-            if writer
-                .write_all(b"err request too long (max 65536 bytes)\n")
-                .is_err()
-            {
-                return;
-            }
-            continue;
-        }
-        if !complete {
-            continue;
-        }
-
-        let started = Instant::now();
-        let epoch = request_started.take().unwrap_or(started);
-        let mut tracer = RequestTrace::new(TRACE_SPAN_CAPACITY, epoch);
-        // The read span: from the request's first byte to the complete
-        // line (handling latency, recorded below, starts here).
-        let read_end = tracer.now_us();
-        tracer.wall.record("read", 0, read_end);
-        let (response, verb, was_predict, was_error) = match std::str::from_utf8(&line) {
-            Ok(text) => handle_line_shielded(text, shared, &mut tracer),
-            // Raw non-UTF-8 bytes cannot carry a valid request; close,
-            // matching the old `read_line` behaviour.
-            Err(_) => return,
-        };
-        let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        shared
-            .metrics
-            .record_request(latency_us, was_predict, was_error);
-        finish_trace(shared, verb, tracer);
-        line.clear();
-        if writer.write_all(response.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            drain_on_shutdown(&mut conns, shared);
             return;
         }
+        // poll(2) ignores negative fds, so the sentinel is safe in the
+        // (unreachable) case the shard index misses the inbox table.
+        let mut doorbell: libc::c_int = -1;
+        if let Some(inbox) = shared.inboxes.get(shard) {
+            doorbell = inbox.doorbell_rx;
+            conns.extend(lock_inbox(inbox).drain(..).map(Conn::new));
+        }
+        fds.clear();
+        fds.push(pollfd {
+            fd: doorbell,
+            events: POLLIN,
+            revents: 0,
+        });
+        for conn in &conns {
+            // Flow control: while a reply is queued, only writability
+            // matters; the socket's receive buffer holds any pipelined
+            // requests until the client drains its side.
+            let events = if conn.pending.is_empty() {
+                POLLIN
+            } else {
+                POLLOUT
+            };
+            fds.push(pollfd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        match poll_fds(&mut fds, POLL_WINDOW_MS) {
+            Ok(0) | Err(_) => continue, // timeout or EINTR: re-check flags
+            Ok(_) => {}
+        }
+        if fds.first().is_some_and(|bell| bell.revents & POLLIN != 0) {
+            // Drain so the level-triggered doorbell goes quiet; the
+            // loop top collects whatever the ring announced.
+            libc::doorbell_drain(doorbell);
+        }
+        for (conn, pfd) in conns.iter_mut().zip(fds.iter().skip(1)) {
+            let revents = pfd.revents;
+            if revents == 0 {
+                continue;
+            }
+            if revents & (POLLERR | POLLNVAL) != 0 {
+                conn.closed = true;
+                continue;
+            }
+            if revents & POLLOUT != 0 {
+                flush_pending(conn);
+            }
+            // POLLHUP still allows reading buffered bytes; EOF (read 0)
+            // is what actually closes the connection.
+            if !conn.closed && conn.pending.is_empty() && revents & (POLLIN | POLLHUP) != 0 {
+                service_readable(conn, shared);
+            }
+        }
+        reap_closed(&mut conns, shared);
     }
+}
+
+/// Removes reaped connections from the shard and the gauges.
+fn reap_closed(conns: &mut Vec<Conn>, shared: &Shared) {
+    let before = conns.len();
+    conns.retain(|c| !c.closed);
+    forget_connections(shared, before.saturating_sub(conns.len()) as u64);
+}
+
+/// Writes as much queued reply as the socket accepts right now.
+fn flush_pending(conn: &mut Conn) {
+    while !conn.pending.is_empty() {
+        match conn.stream.write(&conn.pending) {
+            Ok(0) => {
+                conn.closed = true;
+                return;
+            }
+            Ok(n) => {
+                conn.pending.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closed = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Reads everything currently available on a readable connection,
+/// dispatching each complete request line as it forms. Stops early when
+/// a reply backs up (flow control) so one connection cannot pin the
+/// shard with an endless pipelined stream.
+fn service_readable(conn: &mut Conn, shared: &Shared) {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.closed = true;
+                return;
+            }
+            Ok(n) => {
+                ingest_bytes(conn, chunk.get(..n).unwrap_or_default(), shared);
+                if conn.closed {
+                    return;
+                }
+                flush_pending(conn);
+                if !conn.pending.is_empty() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closed = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Folds one read chunk into the connection's line state: accumulate
+/// partial lines, enforce the [`MAX_REQUEST_BYTES`] bound (answer
+/// `err request too long` once, then discard to the next newline), and
+/// dispatch every complete request in the chunk.
+fn ingest_bytes(conn: &mut Conn, mut bytes: &[u8], shared: &Shared) {
+    while !bytes.is_empty() {
+        if conn.request_started.is_none() && !conn.discarding {
+            conn.request_started = Some(Instant::now());
+        }
+        match bytes.iter().position(|&b| b == b'\n') {
+            None => {
+                if !conn.discarding {
+                    conn.line.extend_from_slice(bytes);
+                    if conn.line.len() > MAX_REQUEST_BYTES {
+                        reject_overlong(conn, shared);
+                        conn.discarding = true;
+                    }
+                }
+                return;
+            }
+            Some(nl) => {
+                let (head, tail) = bytes.split_at(nl);
+                bytes = tail.get(1..).unwrap_or_default();
+                if conn.discarding {
+                    // Newline reached: the over-long request's tail is
+                    // gone and the connection is back at a boundary.
+                    conn.discarding = false;
+                    continue;
+                }
+                conn.line.extend_from_slice(head);
+                if conn.line.len() > MAX_REQUEST_BYTES {
+                    reject_overlong(conn, shared);
+                } else {
+                    dispatch_line(conn, shared);
+                }
+                conn.line.clear();
+                conn.request_started = None;
+            }
+        }
+    }
+}
+
+/// Answers an over-long request. These are counted in the dedicated
+/// `too_long` counter (and as errors), *not* in the latency histogram:
+/// the old plane recorded them as 0µs requests, which dragged p50/p99
+/// toward zero under a flood of garbage.
+fn reject_overlong(conn: &mut Conn, shared: &Shared) {
+    shared.metrics.record_too_long();
+    conn.line.clear();
+    conn.request_started = None;
+    conn.pending
+        .extend_from_slice(b"err request too long (max 65536 bytes)\n");
+}
+
+/// Dispatches one complete request line: trace, handle, record, queue
+/// the reply.
+fn dispatch_line(conn: &mut Conn, shared: &Shared) {
+    let started = Instant::now();
+    let epoch = conn.request_started.take().unwrap_or(started);
+    let mut tracer = RequestTrace::new(TRACE_SPAN_CAPACITY, epoch);
+    // The read span: from the request's first byte to the complete
+    // line (handling latency, recorded below, starts here).
+    let read_end = tracer.now_us();
+    tracer.wall.record("read", 0, read_end);
+    let (response, verb, was_predict, was_error) = match std::str::from_utf8(&conn.line) {
+        Ok(text) => handle_line_shielded(text, shared, &mut tracer),
+        // A raw non-UTF-8 byte used to close the whole persistent
+        // connection; the newline boundary already resyncs the stream,
+        // so answer like any other malformed request instead.
+        Err(_) => ("err invalid utf-8".to_string(), "error", false, true),
+    };
+    let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .record_request(latency_us, was_predict, was_error);
+    finish_trace(shared, verb, tracer);
+    conn.pending.extend_from_slice(response.as_bytes());
+    conn.pending.push(b'\n');
+}
+
+/// The shutdown drain pass: answer whatever each connection already
+/// pipelined, then flush its replies with a bounded blocking window so
+/// in-flight work is delivered, not dropped.
+fn drain_on_shutdown(conns: &mut Vec<Conn>, shared: &Shared) {
+    let mut chunk = [0u8; 4096];
+    for conn in conns.iter_mut() {
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => ingest_bytes(conn, chunk.get(..n).unwrap_or_default(), shared),
+            }
+        }
+        if !conn.pending.is_empty() {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = conn.stream.write_all(&conn.pending);
+        }
+    }
+    forget_connections(shared, conns.len() as u64);
+    conns.clear();
 }
 
 /// Folds a finished request's spans into the stage sums and pushes its
@@ -470,6 +726,13 @@ fn metrics_report(shared: &Shared) -> MetricsReport {
     };
     MetricsReport {
         stats,
+        pred_cache_shard_lens: shared
+            .registry
+            .prediction_cache()
+            .shard_lens()
+            .into_iter()
+            .map(|len| len as u64)
+            .collect(),
         wall_stages: entries(&shared.wall_stages),
         sim_stages: entries(&shared.sim_stages),
         traces_buffered: shared.traces.len() as u64,
@@ -522,19 +785,34 @@ fn handle_line(
     let parsed = parse_request(line);
     tracer.record("parse", parse_start);
     match parsed {
-        Ok(Request::Stats) => {
+        Ok(request) => handle_request(request, shared, tracer),
+        Err(reason) => (format!("err {reason}"), "error", false, true),
+    }
+}
+
+/// Handles one parsed request; returns `(response, verb, was_predict,
+/// was_error)`. Factored out of [`handle_line`] so the `batch` verb can
+/// run its sub-requests through the identical dispatch (nested batches
+/// are rejected at parse time, so the recursion is one level deep).
+fn handle_request(
+    request: Request,
+    shared: &Shared,
+    tracer: &mut RequestTrace,
+) -> (String, &'static str, bool, bool) {
+    match request {
+        Request::Stats => {
             let snap = snapshot_stats(shared);
             let render_start = tracer.now_us();
             let text = snap.render();
             tracer.record("render", render_start);
             (text, "stats", false, false)
         }
-        Ok(Request::Predict {
+        Request::Predict {
             workload,
             platform,
             spec,
             model,
-        }) => match predict_traced(&shared.registry, &workload, &platform, &spec, model, tracer) {
+        } => match predict_traced(&shared.registry, &workload, &platform, &spec, model, tracer) {
             Ok(prediction) => {
                 let render_start = tracer.now_us();
                 let text = render_prediction(&prediction);
@@ -543,7 +821,7 @@ fn handle_line(
             }
             Err(e) => (format!("err {e}"), "predict", true, true),
         },
-        Ok(Request::Warm { workload, platform }) => {
+        Request::Warm { workload, platform } => {
             match warm(&shared.registry, &workload, &platform) {
                 Ok(models) => (
                     render_warm(&workload, &platform, models),
@@ -554,7 +832,7 @@ fn handle_line(
                 Err(e) => (format!("err {e}"), "warm", false, true),
             }
         }
-        Ok(Request::Metrics) => {
+        Request::Metrics => {
             let report = metrics_report(shared);
             let render_start = tracer.now_us();
             let text = render_metrics(&report);
@@ -568,7 +846,7 @@ fn handle_line(
                 false,
             )
         }
-        Ok(Request::Trace { n }) => {
+        Request::Trace { n } => {
             let traces = shared.traces.last(n);
             let render_start = tracer.now_us();
             let mut text = render_trace_header(traces.len(), shared.traces.dropped());
@@ -579,12 +857,12 @@ fn handle_line(
             tracer.record("render", render_start);
             (text, "trace", false, false)
         }
-        Ok(Request::Recommend {
+        Request::Recommend {
             workload,
             platform,
             budget,
             threshold,
-        }) => {
+        } => {
             shared.metrics.record_recommend();
             match recommend_traced(
                 &shared.registry,
@@ -603,7 +881,7 @@ fn handle_line(
                 Err(e) => (format!("err {e}"), "recommend", false, true),
             }
         }
-        Ok(Request::Pairs) => {
+        Request::Pairs => {
             let pairs = shared.registry.pairs();
             let render_start = tracer.now_us();
             let mut text = render_pairs_header(pairs.len());
@@ -614,7 +892,23 @@ fn handle_line(
             tracer.record("render", render_start);
             (text, "pairs", false, false)
         }
-        Err(reason) => (format!("err {reason}"), "error", false, true),
+        Request::Batch(subs) => {
+            // One framed reply: a `batch count=N` header, then exactly
+            // one line per sub-request, each produced by the same
+            // dispatch a standalone request would take (so a batch of
+            // predicts is byte-identical to N sequential predicts).
+            let mut text = render_batch_header(subs.len());
+            let mut any_predict = false;
+            let mut any_error = false;
+            for sub in subs {
+                let (reply, _verb, was_predict, was_error) = handle_request(sub, shared, tracer);
+                any_predict |= was_predict;
+                any_error |= was_error;
+                text.push('\n');
+                text.push_str(&reply);
+            }
+            (text, "batch", any_predict, any_error)
+        }
     }
 }
 

@@ -32,13 +32,15 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
             any::<u64>(),
             any::<u64>(),
         ),
+        (any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         prop::collection::vec(0u64..1_000_000, BUCKET_BOUNDS_US.len()),
     )
-        .prop_map(|(core, reg, cache, rec, bucket_vec)| {
+        .prop_map(|(core, gauges, reg, cache, rec, bucket_vec)| {
             let (requests, predicts, recommends, errors, busy, queue_depth) = core;
+            let (too_long, connections) = gauges;
             let (hits, misses, disk_loads, fitting) = reg;
             let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
             for (out, v) in buckets.iter_mut().zip(bucket_vec) {
@@ -49,8 +51,10 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
                 predicts,
                 recommends,
                 errors,
+                too_long,
                 busy,
                 queue_depth,
+                connections,
                 registry: RegistryCounters {
                     hits,
                     misses,
@@ -87,18 +91,22 @@ fn stage_entries_strategy() -> impl Strategy<Value = Vec<StageEntry>> {
 fn report_strategy() -> impl Strategy<Value = MetricsReport> {
     (
         snapshot_strategy(),
+        prop::collection::vec(any::<u64>(), 0..10),
         stage_entries_strategy(),
         stage_entries_strategy(),
         (any::<u64>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|(stats, wall_stages, sim_stages, ring)| MetricsReport {
-            stats,
-            wall_stages,
-            sim_stages,
-            traces_buffered: ring.0,
-            trace_capacity: ring.1,
-            traces_dropped: ring.2,
-        })
+        .prop_map(
+            |(stats, pred_cache_shard_lens, wall_stages, sim_stages, ring)| MetricsReport {
+                stats,
+                pred_cache_shard_lens,
+                wall_stages,
+                sim_stages,
+                traces_buffered: ring.0,
+                trace_capacity: ring.1,
+                traces_dropped: ring.2,
+            },
+        )
 }
 
 fn trace_strategy() -> impl Strategy<Value = Trace> {

@@ -10,6 +10,7 @@
 //! mosaic query <addr> stats            # fetch server metrics
 //! mosaic query <addr> pairs            # list the server's fitted pairs
 //! mosaic recommend <addr> <workload> <platform> <budget> [threshold]  # ask for a layout
+//! mosaic batch <addr> <request>...     # several requests on one wire line
 //! mosaic metrics <addr>                # Prometheus text exposition scrape
 //! mosaic trace <addr> [n]              # dump the last n request traces
 //! mosaic audit [--json | --sarif] [--summary] [--deny] [--root <path>]  # static analysis (CI gate)
@@ -36,13 +37,14 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("recommend") => cmd_recommend(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("metrics") => cmd_metrics(args.get(1)),
         Some("trace") => cmd_trace(args.get(1), args.get(2)),
         Some("audit") => cmd_audit(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | metrics <addr> | trace <addr> [n] | audit [--json | --sarif] [--summary] [--deny] [--root <path>] | bench [--json] [workload] [platform]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | batch <addr> <request>... | metrics <addr> | trace <addr> [n] | audit [--json | --sarif] [--summary] [--deny] [--root <path>] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -605,6 +607,44 @@ fn cmd_recommend(args: &[String]) -> i32 {
     }
 }
 
+/// Sends several sub-requests as one `batch` wire line — one network
+/// round trip instead of N — and prints each reply line in order. Quote
+/// each sub-request so the shell passes it as one argument:
+/// `mosaic batch 127.0.0.1:7070 'predict gups/8GB sandybridge 4k' stats`.
+fn cmd_batch(args: &[String]) -> i32 {
+    let usage = "usage: mosaic batch <addr> <request>...";
+    let [addr, requests @ ..] = args else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    if requests.is_empty() {
+        eprintln!("{usage} (batch needs at least one request)");
+        return 2;
+    }
+    let mut client = match service::client::Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mosaic batch: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    let subs: Vec<&str> = requests.iter().map(String::as_str).collect();
+    match client.batch(&subs) {
+        Ok(replies) => {
+            let mut failed = false;
+            for (request, reply) in subs.iter().zip(&replies) {
+                failed |= reply.starts_with("err ");
+                println!("{request} -> {reply}");
+            }
+            i32::from(failed)
+        }
+        Err(e) => {
+            eprintln!("mosaic batch: {e}");
+            1
+        }
+    }
+}
+
 /// Scrapes the server's Prometheus exposition and prints it verbatim,
 /// so `mosaic metrics <addr> > scrape.prom` matches what an HTTP
 /// exporter bridge would serve.
@@ -854,6 +894,10 @@ fn cmd_bench(args: &[String]) -> i32 {
     println!(
         "recommend:    cold {:.0}us (enumerate + score + CV) vs {} cached mean {:.1}us",
         report.recommend.rec_cold_us, report.recommend.rec_requests, report.recommend.rec_mean_us,
+    );
+    println!(
+        "conns:        warm predict throughput {:.0} qps @1 / {:.0} qps @16 / {:.0} qps @256 connections",
+        report.conns.conns_1_qps, report.conns.conns_16_qps, report.conns.conns_256_qps,
     );
     if json {
         let path = format!("BENCH_{}.json", report.date);

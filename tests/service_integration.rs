@@ -184,11 +184,32 @@ fn hostile_requests_cannot_kill_the_worker_pool() {
         );
     }
 
-    // Raw binary garbage is not even valid UTF-8; the server may close
-    // that connection, but the worker itself must survive.
+    // Raw binary garbage is not even valid UTF-8. The old plane closed
+    // the whole persistent connection on the first such byte; now it is
+    // answered like any other malformed request and the connection keeps
+    // serving (the newline boundary already resyncs the stream).
     {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(&[0xff, 0xfe, 0x80, 0x00, b'\n']).unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&[0xff, 0xfe, 0x80, 0x00, b'\n']).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(
+            reply.trim_end(),
+            "err invalid utf-8",
+            "binary garbage must be answered, not dropped"
+        );
+        writer.write_all(b"stats\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("stats "),
+            "connection did not survive binary garbage: {reply:?}"
+        );
     }
 
     // A genuine panic inside request handling (debug-only fault
@@ -213,9 +234,11 @@ fn hostile_requests_cannot_kill_the_worker_pool() {
         .unwrap();
     assert!(p.predicted.is_finite());
     let snap = client.stats().unwrap();
+    // Every hostile line, the binary-garbage line, and the injected
+    // panic each counted exactly one error.
     assert_eq!(
         snap.errors,
-        hostile.len() as u64 + 1,
+        hostile.len() as u64 + 2,
         "every hostile line counted"
     );
     server.shutdown();
@@ -444,10 +467,19 @@ fn oversized_request_line_is_rejected_and_resyncs() {
     reader.read_line(&mut reply).unwrap();
     assert!(reply.starts_with("stats "), "{reply:?}");
 
-    // Exactly two oversized-line errors were counted, nothing more.
+    // Exactly two oversized-line errors were counted, nothing more —
+    // in the dedicated `too_long` counter, and *not* in the latency
+    // histogram (the old plane logged them as fake 0µs requests, which
+    // dragged p50/p99 toward zero under a flood of garbage).
     let mut client = Client::connect(addr).unwrap();
     let snap = client.stats().unwrap();
     assert_eq!(snap.errors, 2, "overflow tails were parsed as requests");
+    assert_eq!(snap.too_long, 2, "oversized lines must hit the counter");
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        snap.requests - snap.too_long,
+        "oversized lines must stay out of the latency histogram"
+    );
     server.shutdown();
 }
 
@@ -599,10 +631,20 @@ fn metrics_exposition_covers_stats_and_roundtrips() {
     assert_eq!(report.stats.requests, snap.requests + 1);
     assert_eq!(report.stats.predicts, snap.predicts);
     assert_eq!(report.stats.errors, snap.errors);
+    assert_eq!(report.stats.too_long, snap.too_long);
     assert_eq!(report.stats.registry, snap.registry);
     assert_eq!(report.stats.cache, snap.cache);
     assert_eq!(report.stats.rec_cache, snap.rec_cache);
     assert_eq!(report.stats.pred_cache_len, snap.pred_cache_len);
+    assert_eq!(
+        report.stats.connections, 1,
+        "exactly this client's connection is open"
+    );
+    assert_eq!(
+        report.pred_cache_shard_lens.iter().sum::<u64>(),
+        report.stats.pred_cache_len,
+        "shard lengths must sum to the cache length"
+    );
     assert!(report.traces_buffered > 0, "requests were traced");
     assert_eq!(report.trace_capacity, 256, "default ring capacity");
 
@@ -633,8 +675,11 @@ fn metrics_exposition_covers_stats_and_roundtrips() {
         "mosaicd_requests_total ",
         "mosaicd_predicts_total ",
         "mosaicd_errors_total ",
+        "mosaicd_too_long_total ",
         "mosaicd_busy_total ",
         "mosaicd_queue_depth ",
+        "mosaicd_connections ",
+        "mosaicd_prediction_cache_shard_len{shard=\"0\"}",
         "mosaicd_registry_hits_total ",
         "mosaicd_registry_misses_total ",
         "mosaicd_registry_disk_loads_total ",
@@ -894,4 +939,123 @@ fn full_queue_rejects_with_busy_and_shutdown_drains() {
             "queued request was dropped during shutdown: {line:?}"
         );
     }
+}
+
+/// The starvation regression test for the event-driven plane: open as
+/// many idle persistent connections as there are workers, then prove a
+/// fresh client is still served promptly. Under the old
+/// thread-per-connection plane every worker was parked in a blocking
+/// read on an idle connection, so the fresh predict below hung until an
+/// idler disconnected — this test fails (times out) on that code.
+#[test]
+fn idle_persistent_connections_do_not_starve_fresh_clients() {
+    const WORKERS: usize = 2;
+
+    let config = ServerConfig {
+        workers: WORKERS,
+        queue_bound: 64,
+        ..Default::default()
+    };
+    let server = Server::start(config, ModelRegistry::new(Grid::in_memory(TINY), None)).unwrap();
+    let addr = server.addr();
+
+    // Warm the pair through the first idler so the fresh predict below
+    // is a pure cache hit, then leave every idler connected and silent.
+    // Each idler proves it is admitted and serviced with one roundtrip.
+    let mut idlers: Vec<Client> = (0..WORKERS)
+        .map(|_| Client::connect(addr).unwrap())
+        .collect();
+    idlers[0]
+        .predict(WORKLOAD, PLATFORM, "2m:0..8M", None)
+        .unwrap();
+    for idler in &mut idlers {
+        idler.stats().unwrap();
+    }
+
+    // With every worker's attention nominally claimed by an idle
+    // connection, a brand-new client must still complete a warm predict
+    // before the read timeout.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"predict gups/8GB sandybridge 2m:0..8M\n")
+        .unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("ok "),
+        "fresh client starved behind idle connections: {reply:?}"
+    );
+
+    // The idlers are still live afterwards — multiplexing, not eviction.
+    for idler in &mut idlers {
+        idler.stats().unwrap();
+    }
+    server.shutdown();
+}
+
+/// The `batch` verb must be framing-exact and byte-for-byte identical
+/// to issuing its sub-requests one at a time: the header's count frames
+/// exactly one reply line per sub-request, and each sub-reply equals the
+/// bytes the standalone request would have put on the wire.
+#[test]
+fn batch_replies_match_sequential_requests_byte_for_byte() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::new(Grid::in_memory(TINY), None),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let specs = ["2m:0..8M", "2m:0..16M", "4k"];
+
+    // Ground truth: sequential predicts on their own connection. The
+    // reply codec is a parse∘render fixed point, so re-rendering the
+    // parsed prediction reproduces the wire line exactly.
+    let mut sequential = Client::connect(addr).unwrap();
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let p = sequential.predict(WORKLOAD, PLATFORM, spec, None).unwrap();
+            service::protocol::render_prediction(&p)
+        })
+        .collect();
+
+    // The same requests as one pipelined batch line on a second
+    // connection.
+    let mut client = Client::connect(addr).unwrap();
+    let requests: Vec<String> = specs
+        .iter()
+        .map(|spec| format!("predict {WORKLOAD} {PLATFORM} {spec}"))
+        .collect();
+    let request_refs: Vec<&str> = requests.iter().map(String::as_str).collect();
+    let replies = client.batch(&request_refs).unwrap();
+    assert_eq!(replies.len(), specs.len(), "batch under- or over-framed");
+    for ((spec, want), got) in specs.iter().zip(&expected).zip(&replies) {
+        assert_eq!(
+            got, want,
+            "batch sub-reply for {spec} diverged from the sequential reply"
+        );
+    }
+
+    // An erroneous sub-request is answered in place without aborting the
+    // rest of the batch, and the framing stays exact.
+    let replies = client
+        .batch(&["stats", "predict no-such-workload sandybridge 2m", "stats"])
+        .unwrap();
+    assert_eq!(replies.len(), 3);
+    assert!(replies[0].starts_with("stats "), "{:?}", replies[0]);
+    assert!(replies[1].starts_with("err "), "{:?}", replies[1]);
+    assert!(replies[2].starts_with("stats "), "{:?}", replies[2]);
+
+    // The connection keeps serving single requests after a batch.
+    client
+        .predict(WORKLOAD, PLATFORM, "2m:0..8M", None)
+        .unwrap();
+    server.shutdown();
 }

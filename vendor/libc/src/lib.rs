@@ -50,6 +50,39 @@ pub const M_ARENA_MAX: c_int = -8;
 pub const SYS_mmap: c_long = 9;
 pub const SYS_munmap: c_long = 11;
 
+/// C `short`.
+pub type c_short = i16;
+/// `nfds_t` (x86_64 Linux: unsigned long).
+pub type nfds_t = u64;
+
+// poll(2) event bits (asm-generic).
+pub const POLLIN: c_short = 0x001;
+pub const POLLOUT: c_short = 0x004;
+pub const POLLERR: c_short = 0x008;
+pub const POLLHUP: c_short = 0x010;
+pub const POLLNVAL: c_short = 0x020;
+
+/// One `poll(2)` registration: a file descriptor, the events of
+/// interest, and the events the kernel reported back.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: c_short,
+    pub revents: c_short,
+}
+
+// open(2)/pipe2(2) flag bits (x86_64 Linux).
+pub const O_NONBLOCK: c_int = 0x800;
+pub const O_CLOEXEC: c_int = 0x8_0000;
+
+// errno values the doorbell wrappers treat as benign.
+pub const EAGAIN: c_int = 11;
+pub const EINTR: c_int = 4;
+
+/// C `ssize_t` (x86_64 Linux).
+pub type ssize_t = i64;
+
 extern "C" {
     /// Raw variadic syscall entry point.
     pub fn syscall(num: c_long, ...) -> c_long;
@@ -57,4 +90,87 @@ extern "C" {
     pub fn mallopt(param: c_int, value: c_int) -> c_int;
     /// Address of the thread-local `errno`.
     pub fn __errno_location() -> *mut c_int;
+    /// Wait for readiness on a set of file descriptors.
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    /// Create a pipe with the given `O_*` flags on both ends.
+    pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    /// Read from a raw file descriptor.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Write to a raw file descriptor.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Close a raw file descriptor.
+    pub fn close(fd: c_int) -> c_int;
+}
+
+/// Safe wrapper over [`poll`] for callers that forbid `unsafe` (the
+/// mosaicd serving plane): waits up to `timeout_ms` for readiness on
+/// `fds`, filling each entry's `revents`. Returns the number of
+/// descriptors with nonzero `revents`, `0` on timeout, or `Err(errno)`.
+///
+/// # Errors
+///
+/// Returns the raw `errno` value when the underlying call fails
+/// (`EINTR` is the one callers commonly retry on).
+pub fn poll_fds(fds: &mut [pollfd], timeout_ms: c_int) -> Result<usize, c_int> {
+    // An empty set is a pure sleep; glibc accepts nfds == 0.
+    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms) };
+    if n < 0 {
+        Err(unsafe { *__errno_location() })
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Creates a nonblocking close-on-exec pipe — the self-pipe doorbell a
+/// readiness loop keeps in its `poll` set so other threads can wake it.
+/// Returns `(read_end, write_end)` or the raw `errno` on failure.
+///
+/// # Errors
+///
+/// Returns the raw `errno` value when `pipe2(2)` fails (fd exhaustion
+/// being the realistic cause).
+pub fn doorbell_pair() -> Result<(c_int, c_int), c_int> {
+    let mut fds: [c_int; 2] = [-1, -1];
+    if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+        Err(unsafe { *__errno_location() })
+    } else {
+        Ok((fds[0], fds[1]))
+    }
+}
+
+/// Rings a doorbell: writes one byte to the pipe's write end. Best
+/// effort by design — a full pipe (`EAGAIN`) means a wakeup is already
+/// pending, which is exactly the state the caller wanted.
+pub fn doorbell_ring(write_end: c_int) {
+    let byte = [1u8];
+    // EINTR before any byte is transferred is the only retryable case.
+    loop {
+        let n = unsafe { write(write_end, byte.as_ptr().cast::<c_void>(), 1) };
+        if n >= 0 || unsafe { *__errno_location() } != EINTR {
+            return;
+        }
+    }
+}
+
+/// Drains a doorbell: reads the pipe's read end until it is empty, so
+/// a level-triggered `poll` stops reporting it readable. The fd must be
+/// nonblocking (as [`doorbell_pair`] guarantees).
+pub fn doorbell_drain(read_end: c_int) {
+    let mut buf = [0u8; 64];
+    loop {
+        let n = unsafe { read(read_end, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+        if n < 0 && unsafe { *__errno_location() } == EINTR {
+            continue;
+        }
+        // Empty (EAGAIN), error, or a short read: all mean "drained
+        // enough" — poll will re-report anything that remains.
+        if n < buf.len() as ssize_t {
+            return;
+        }
+    }
+}
+
+/// Closes a raw file descriptor (a doorbell end once its loop exits).
+pub fn close_fd(fd: c_int) {
+    let _ = unsafe { close(fd) };
 }
