@@ -86,10 +86,14 @@ const SIM_CRATES: [&str; 6] = [
 
 /// Modules that write or memoize on-disk or in-memory state whose
 /// iteration/eviction order must be deterministic (store/cache files,
-/// the prediction cache).
-const PERSIST_MODULES: [&str; 4] = [
+/// the prediction cache). The battery fan-out (`parallel.rs`) belongs
+/// here: its reduction order decides the byte order of the grid cache
+/// TSV, so a nondeterministic collection or clock read inside it would
+/// smear thread scheduling into persisted files.
+const PERSIST_MODULES: [&str; 5] = [
     "crates/mosmodel/src/persist.rs",
     "crates/harness/src/experiment.rs",
+    "crates/harness/src/parallel.rs",
     "crates/service/src/registry.rs",
     "crates/service/src/cache.rs",
 ];
@@ -104,13 +108,18 @@ const CODEC_MODULES: [&str; 2] = [
 /// reach. A panic here kills a worker thread. The tracer and the
 /// exposition renderer run inside every request, so they are on the
 /// path too (the whole `obs` crate is included via [`on_request_path`]).
-const REQUEST_PATH: [&str; 6] = [
+/// The battery fan-out (`parallel.rs`) is included because a cold fit —
+/// reachable from any predict/warm request — runs it on the worker's
+/// thread: an unwrap inside the pool would turn a measurement hiccup
+/// into a dead worker.
+const REQUEST_PATH: [&str; 7] = [
     "crates/service/src/server.rs",
     "crates/service/src/protocol.rs",
     "crates/service/src/registry.rs",
     "crates/service/src/cache.rs",
     "crates/service/src/trace.rs",
     "crates/service/src/prom.rs",
+    "crates/harness/src/parallel.rs",
 ];
 
 fn file_name(path: &str) -> &str {
@@ -916,6 +925,28 @@ mod tests {
         // Neither rule leaks to an out-of-scope crate.
         assert_eq!(run("crates/layouts/src/lib.rs", clocky), vec![]);
         assert_eq!(run("crates/layouts/src/lib.rs", panicky), vec![]);
+    }
+
+    #[test]
+    fn battery_fan_out_is_in_both_determinism_and_panic_surface_scope() {
+        // The fan-out's reduction order decides the grid cache's byte
+        // order, so nondeterministic collections are persistence bugs
+        // there...
+        let hashy = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_hit(&run("crates/harness/src/parallel.rs", hashy)),
+            vec!["determinism"]
+        );
+        // ...and cold fits run it on mosaicd worker threads, so an
+        // unwrap inside the pool kills a worker.
+        let panicky = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        assert_eq!(
+            rules_hit(&run("crates/harness/src/parallel.rs", panicky)),
+            vec!["panic-surface"]
+        );
+        // Neither scope leaks to the rest of the harness crate.
+        assert_eq!(run("crates/harness/src/report.rs", hashy), vec![]);
+        assert_eq!(run("crates/harness/src/report.rs", panicky), vec![]);
     }
 
     #[test]

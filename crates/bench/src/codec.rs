@@ -25,10 +25,14 @@ use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 /// `conns_16_qps` / `conns_256_qps`), warm-path predict throughput at
 /// 1, 16, and 256 concurrent connections — the scaling figure for the
 /// event-driven serving plane, where idle connections cost a poll slot
-/// instead of a worker thread.
-pub const BENCH_VERSION: u32 = 5;
+/// instead of a worker thread. v6 added the `grid_par` leg (`par_jobs` /
+/// `par_1_wall_seconds` / `par_n_wall_seconds` / `par_speedup`), the
+/// same cold battery built serially and with the parallel fan-out — the
+/// speedup claim for deterministic-parallel grid builds is measured
+/// here, not asserted.
+pub const BENCH_VERSION: u32 = 6;
 
-/// Version-header prefix; the full header is `# mosaic-bench v5`.
+/// Version-header prefix; the full header is `# mosaic-bench v6`.
 const BENCH_MAGIC: &str = "# mosaic-bench v";
 
 /// Wall-clock results of the grid-battery throughput benchmark.
@@ -108,6 +112,24 @@ pub struct ConnsBench {
     pub conns_256_qps: f64,
 }
 
+/// Wall-clock results of the parallel-battery speedup benchmark: the
+/// identical cold battery built twice on fresh in-memory grids, once
+/// serially and once with the full worker fan-out. Field names carry a
+/// `par_` prefix because this codec's extractor matches keys globally
+/// across the document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridParBench {
+    /// Worker threads used for the parallel build (the resolved
+    /// `--jobs`/`MOSAIC_JOBS`/`available_parallelism` value).
+    pub par_jobs: u64,
+    /// Wall-clock seconds for the serial (jobs=1) battery.
+    pub par_1_wall_seconds: f64,
+    /// Wall-clock seconds for the parallel (jobs=N) battery.
+    pub par_n_wall_seconds: f64,
+    /// `par_1_wall_seconds / par_n_wall_seconds` — the headline speedup.
+    pub par_speedup: f64,
+}
+
 /// One complete `mosaic bench` report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -121,6 +143,8 @@ pub struct BenchReport {
     pub platform: String,
     /// Grid-battery throughput results.
     pub grid: GridBench,
+    /// Parallel-battery speedup results.
+    pub grid_par: GridParBench,
     /// mosaicd latency results.
     pub service: ServiceBench,
     /// mosaicd recommendation-verb latency results.
@@ -162,6 +186,24 @@ pub fn render_report(report: &BenchReport) -> String {
         out,
         "    \"trace_overhead_pct\": {}",
         fmt_f64_shortest(report.grid.trace_overhead_pct)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"grid_par\": {{");
+    let _ = writeln!(out, "    \"par_jobs\": {},", report.grid_par.par_jobs);
+    let _ = writeln!(
+        out,
+        "    \"par_1_wall_seconds\": {},",
+        fmt_f64_shortest(report.grid_par.par_1_wall_seconds)
+    );
+    let _ = writeln!(
+        out,
+        "    \"par_n_wall_seconds\": {},",
+        fmt_f64_shortest(report.grid_par.par_n_wall_seconds)
+    );
+    let _ = writeln!(
+        out,
+        "    \"par_speedup\": {}",
+        fmt_f64_shortest(report.grid_par.par_speedup)
     );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"service\": {{");
@@ -280,6 +322,12 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
             accesses_per_sec: f64_field(text, "accesses_per_sec")?,
             trace_overhead_pct: f64_field(text, "trace_overhead_pct")?,
         },
+        grid_par: GridParBench {
+            par_jobs: u64_field(text, "par_jobs")?,
+            par_1_wall_seconds: f64_field(text, "par_1_wall_seconds")?,
+            par_n_wall_seconds: f64_field(text, "par_n_wall_seconds")?,
+            par_speedup: f64_field(text, "par_speedup")?,
+        },
         service: ServiceBench {
             requests: u64_field(text, "requests")?,
             cold_us: f64_field(text, "cold_us")?,
@@ -319,6 +367,12 @@ mod tests {
                 accesses_per_sec: 6_297_613.847_210_31,
                 trace_overhead_pct: 0.412_907_3,
             },
+            grid_par: GridParBench {
+                par_jobs: 8,
+                par_1_wall_seconds: 5.602_113_9,
+                par_n_wall_seconds: 0.913_446_2,
+                par_speedup: 6.132_931_407_2,
+            },
             service: ServiceBench {
                 requests: 32,
                 cold_us: 2_731_009.25,
@@ -345,7 +399,7 @@ mod tests {
     fn report_roundtrips_bit_exactly() {
         let report = sample();
         let text = render_report(&report);
-        assert!(text.contains("\"format\": \"# mosaic-bench v5\""));
+        assert!(text.contains("\"format\": \"# mosaic-bench v6\""));
         let back = parse_report(&text).expect("own output parses");
         assert_eq!(back, report);
         assert_eq!(
@@ -385,11 +439,20 @@ mod tests {
             back.conns.conns_256_qps.to_bits(),
             report.conns.conns_256_qps.to_bits()
         );
+        assert_eq!(back.grid_par.par_jobs, report.grid_par.par_jobs);
+        assert_eq!(
+            back.grid_par.par_1_wall_seconds.to_bits(),
+            report.grid_par.par_1_wall_seconds.to_bits()
+        );
+        assert_eq!(
+            back.grid_par.par_speedup.to_bits(),
+            report.grid_par.par_speedup.to_bits()
+        );
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = render_report(&sample()).replace("# mosaic-bench v5", "# mosaic-bench v4");
+        let text = render_report(&sample()).replace("# mosaic-bench v6", "# mosaic-bench v5");
         let err = parse_report(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

@@ -26,7 +26,7 @@ use workloads::{TraceParams, WorkloadSpec};
 
 pub mod codec;
 
-use codec::{BenchReport, ConnsBench, GridBench, RecommendBench, ServiceBench};
+use codec::{BenchReport, ConnsBench, GridBench, GridParBench, RecommendBench, ServiceBench};
 
 /// Builds the benchmark grid with the standard disk cache.
 pub fn bench_grid() -> Grid {
@@ -136,6 +136,8 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         accesses_per_sec: accesses as f64 / wall_seconds,
         trace_overhead_pct: trace_overhead_pct(speed, workload, platform),
     };
+
+    let grid_par_bench = grid_par_bench(speed, workload, platform, &entry);
 
     // The service leg reuses the grid (and its cached entry), so the
     // first predict pays only the model fit, not a second battery. The
@@ -249,9 +251,53 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         workload: workload.to_string(),
         platform: platform.name.to_string(),
         grid: grid_bench,
+        grid_par: grid_par_bench,
         service: service_bench,
         recommend: recommend_bench,
         conns: conns_bench,
+    }
+}
+
+/// Times the identical cold battery twice on fresh in-memory grids —
+/// serially (`jobs=1`) and with the resolved worker fan-out — and
+/// reports the measured speedup. Both rebuilt entries are checked
+/// against the reference entry the main grid leg produced: the speedup
+/// only counts if the parallel build is answer-identical.
+fn grid_par_bench(
+    speed: Speed,
+    workload: &str,
+    platform: &'static Platform,
+    reference: &harness::GridEntry,
+) -> GridParBench {
+    let jobs = harness::resolve_jobs(None).max(2);
+
+    let serial_grid = Grid::in_memory(speed).with_jobs(1);
+    let t1 = Instant::now();
+    let serial = serial_grid.entry(workload, platform);
+    let par_1_wall_seconds = t1.elapsed().as_secs_f64();
+
+    let parallel_grid = Grid::in_memory(speed).with_jobs(jobs);
+    let tn = Instant::now();
+    let parallel = parallel_grid.entry(workload, platform);
+    let par_n_wall_seconds = tn.elapsed().as_secs_f64();
+
+    assert_eq!(
+        *serial, *reference,
+        "serial rebuild diverged from the reference battery"
+    );
+    assert_eq!(
+        *parallel, *reference,
+        "parallel rebuild diverged from the reference battery"
+    );
+    GridParBench {
+        par_jobs: jobs as u64,
+        par_1_wall_seconds,
+        par_n_wall_seconds,
+        par_speedup: if par_n_wall_seconds > 0.0 {
+            par_1_wall_seconds / par_n_wall_seconds
+        } else {
+            0.0
+        },
     }
 }
 

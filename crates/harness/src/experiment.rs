@@ -2,19 +2,20 @@
 
 use std::collections::BTreeMap;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as SyncMutex, PoisonError};
 
 use machine::{profile_tlb_misses, Engine, EngineConfig, Platform};
 use mosalloc::{Mosalloc, MosallocConfig, PoolSpec};
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
-use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
+use mosmodel::persist::{encode_component, fmt_f64_shortest, parse_f64_shortest};
 use parking_lot::Mutex;
 use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
 use workloads::{TraceParams, WorkloadSpec};
 
-use crate::Speed;
+use crate::{parallel, Speed};
 
 /// One measured run: a layout and its counters.
 #[derive(Clone, Debug, PartialEq)]
@@ -85,6 +86,21 @@ impl GridEntry {
     pub fn max_cv(&self) -> f64 {
         self.records.iter().map(|r| r.cv_r).fold(0.0, f64::max)
     }
+
+    /// Serializes the entry as its on-disk TSV cache document — the
+    /// exact bytes [`Grid`] persists, so tests and tooling can compare
+    /// independently measured entries byte-for-byte.
+    pub fn to_tsv(&self) -> String {
+        render_entry(self)
+    }
+
+    /// Parses a document written by [`GridEntry::to_tsv`]. Returns
+    /// `None` for any other version, a truncated document, or a record
+    /// that fails to parse — the caller re-measures instead of serving
+    /// corrupt data.
+    pub fn from_tsv(workload: &str, platform: &str, text: &str) -> Option<GridEntry> {
+        parse_entry(workload, platform, text)
+    }
 }
 
 /// A named machine variant: a platform (possibly hypothetical) plus an
@@ -130,7 +146,72 @@ impl MachineVariant {
     }
 }
 
+/// A once-latch other requests for the same pair park on while one
+/// request runs the battery (the PR-4 registry pattern). `state` stays
+/// `None` until the battery completes either way; `complete` publishes
+/// exactly once and wakes every waiter. A failed battery publishes the
+/// panic message so waiters re-raise it instead of hanging.
+#[derive(Debug)]
+struct BatteryLatch {
+    state: SyncMutex<Option<Result<Arc<GridEntry>, String>>>,
+    done: Condvar,
+}
+
+impl BatteryLatch {
+    fn new() -> Self {
+        BatteryLatch {
+            state: SyncMutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the battery completes and returns its outcome.
+    /// Poisoning is recovered: the state is a plain `Option` a panicked
+    /// measurer cannot half-write (it publishes via
+    /// [`BatteryLatch::complete`] *after* its panic shield).
+    fn wait(&self) -> Result<Arc<GridEntry>, String> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn complete(&self, result: &Result<Arc<GridEntry>, String>) {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = Some(result.clone());
+        self.done.notify_all();
+    }
+}
+
+/// One pair's slot in the grid memo.
+#[derive(Debug)]
+enum Slot {
+    /// A battery (or disk load) is in flight; park on the latch.
+    Pending(Arc<BatteryLatch>),
+    /// The measured entry, served lock-free forever after.
+    Ready(Arc<GridEntry>),
+}
+
+/// How an [`Grid::entry_variant`] call was resolved against the memo.
+enum Claim {
+    Hit(Arc<GridEntry>),
+    Wait(Arc<BatteryLatch>),
+    Measure(Arc<BatteryLatch>),
+}
+
 /// Lazily evaluated, memoized (in memory and on disk) measurement grid.
+///
+/// Concurrent requests for one cold pair coalesce onto a single
+/// battery via per-pair singleflight latches (the memo lock is held
+/// only to claim or publish a slot, never across a measurement), and
+/// each battery fans its layouts out over [`Grid::jobs`] worker
+/// threads with a fixed reduction order, so the persisted TSV bytes
+/// are identical for every worker count.
 ///
 /// # Example
 ///
@@ -145,15 +226,22 @@ impl MachineVariant {
 #[derive(Debug)]
 pub struct Grid {
     speed: Speed,
+    /// Battery worker threads per [`compute_entry`] fan-out.
+    jobs: usize,
     // BTreeMap, not HashMap: the memo feeds the on-disk cache, and
     // nothing on a persistence path may depend on a per-process hasher.
-    memo: Mutex<BTreeMap<(String, String), Arc<GridEntry>>>,
+    memo: Mutex<BTreeMap<(String, String), Slot>>,
     disk_dir: Option<PathBuf>,
+    /// Batteries actually simulated (not memo hits or disk loads) —
+    /// the singleflight tests pin this to exactly one per cold pair.
+    computed: AtomicU64,
 }
 
 impl Grid {
     /// Creates a grid with the default on-disk cache
-    /// (`target/mosaic-cache`, disable with `MOSAIC_NO_DISK_CACHE=1`).
+    /// (`target/mosaic-cache`, disable with `MOSAIC_NO_DISK_CACHE=1`)
+    /// and the default worker count ([`parallel::resolve_jobs`]:
+    /// `MOSAIC_JOBS`, else available parallelism).
     pub fn new(speed: Speed) -> Self {
         let disk = match std::env::var("MOSAIC_NO_DISK_CACHE") {
             Ok(v) if v == "1" => None,
@@ -165,8 +253,10 @@ impl Grid {
         };
         Grid {
             speed,
+            jobs: parallel::resolve_jobs(None),
             memo: Mutex::new(BTreeMap::new()),
             disk_dir: disk,
+            computed: AtomicU64::new(0),
         }
     }
 
@@ -174,9 +264,31 @@ impl Grid {
     pub fn in_memory(speed: Speed) -> Self {
         Grid {
             speed,
+            jobs: parallel::resolve_jobs(None),
             memo: Mutex::new(BTreeMap::new()),
             disk_dir: None,
+            computed: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the battery worker count (clamped to at least one).
+    /// `jobs = 1` is the serial baseline the determinism pins compare
+    /// parallel builds against.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The battery worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Batteries this grid has actually simulated — memo hits, coalesced
+    /// waiters, and disk loads do not count.
+    pub fn batteries_computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
     }
 
     /// The active speed preset.
@@ -202,18 +314,70 @@ impl Grid {
     /// Panics if the workload name is unknown.
     pub fn entry_variant(&self, workload: &str, variant: &MachineVariant) -> Arc<GridEntry> {
         let key = (workload.to_string(), variant.name.clone());
-        if let Some(hit) = self.memo.lock().get(&key) {
-            return Arc::clone(hit);
+        // Claim under a single lock acquisition: the old check-then-compute
+        // sequence dropped the lock between the miss and the insert, so two
+        // threads could both see a miss and both run the battery.
+        let claim = {
+            let mut memo = self.memo.lock();
+            match memo.get(&key) {
+                Some(Slot::Ready(entry)) => Claim::Hit(Arc::clone(entry)),
+                Some(Slot::Pending(latch)) => Claim::Wait(Arc::clone(latch)),
+                None => {
+                    let latch = Arc::new(BatteryLatch::new());
+                    memo.insert(key.clone(), Slot::Pending(Arc::clone(&latch)));
+                    Claim::Measure(latch)
+                }
+            }
+        };
+        match claim {
+            Claim::Hit(entry) => entry,
+            Claim::Wait(latch) => match latch.wait() {
+                Ok(entry) => entry,
+                Err(msg) => panic!(
+                    "battery for ({workload}, {variant}) failed in a concurrent \
+                     request: {msg}",
+                    variant = variant.name
+                ),
+            },
+            Claim::Measure(latch) => self.measure_and_publish(&key, workload, variant, &latch),
         }
-        if let Some(entry) = self.load_disk(workload, &variant.name) {
-            let entry = Arc::new(entry);
-            self.memo.lock().insert(key, Arc::clone(&entry));
-            return entry;
+    }
+
+    /// Runs the disk-or-battery slow path for a pair this thread claimed,
+    /// publishes the outcome to the memo and the latch, and re-raises any
+    /// battery panic after waking the waiters (so they don't hang on a
+    /// latch nobody will ever complete).
+    fn measure_and_publish(
+        &self,
+        key: &(String, String),
+        workload: &str,
+        variant: &MachineVariant,
+        latch: &Arc<BatteryLatch>,
+    ) -> Arc<GridEntry> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(entry) = self.load_disk(workload, &variant.name) {
+                return Arc::new(entry);
+            }
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            let entry = Arc::new(compute_entry(self.speed, self.jobs, workload, variant));
+            self.store_disk(&entry);
+            entry
+        }));
+        match outcome {
+            Ok(entry) => {
+                self.memo
+                    .lock()
+                    .insert(key.clone(), Slot::Ready(Arc::clone(&entry)));
+                latch.complete(&Ok(Arc::clone(&entry)));
+                entry
+            }
+            Err(payload) => {
+                // Remove the slot so a later request can retry the pair.
+                self.memo.lock().remove(key);
+                latch.complete(&Err(panic_message(payload.as_ref())));
+                std::panic::resume_unwind(payload)
+            }
         }
-        let entry = Arc::new(compute_entry(self.speed, workload, variant));
-        self.store_disk(&entry);
-        self.memo.lock().insert(key, Arc::clone(&entry));
-        entry
     }
 
     /// Convenience: the 54-sample model-fitting dataset for a pair.
@@ -233,8 +397,16 @@ impl Grid {
 
     fn cache_path(&self, workload: &str, platform: &str) -> Option<PathBuf> {
         let dir = self.disk_dir.as_ref()?;
-        let safe = workload.replace(['/', ' '], "_");
-        Some(dir.join(format!("{}_{}_{}.tsv", self.speed.name, safe, platform)))
+        // Percent-encode each component (the registry-store codec): the
+        // old `replace(['/', ' '], "_")` mapped distinct workloads like
+        // "a/b", "a b", and "a_b" onto one cache file, silently serving
+        // one pair's counters for another.
+        Some(dir.join(format!(
+            "{}_{}_{}.tsv",
+            encode_component(self.speed.name),
+            encode_component(workload),
+            encode_component(platform),
+        )))
     }
 
     fn load_disk(&self, workload: &str, variant: &str) -> Option<GridEntry> {
@@ -253,24 +425,95 @@ impl Grid {
                 return;
             }
         }
+        // Write-then-rename: a concurrent reader either sees the old
+        // complete file or the new complete file, never a torn prefix.
+        // The pid suffix keeps two processes from clobbering each
+        // other's temporaries; rename itself is atomic on POSIX.
+        let tmp = path.with_extension(format!("tsv.tmp.{}", std::process::id()));
         // A failed write only costs re-measurement next run, but silence
         // would hide a misconfigured MOSAIC_CACHE_DIR forever.
-        if let Err(e) = fs::write(&path, render_entry(entry)) {
+        if let Err(e) = fs::write(&tmp, render_entry(entry)) {
             eprintln!(
                 "mosaic: cache write to {} failed (ignored): {e}",
+                tmp.display()
+            );
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if let Err(e) = fs::rename(&tmp, &path) {
+            eprintln!(
+                "mosaic: cache publish to {} failed (ignored): {e}",
                 path.display()
             );
+            let _ = fs::remove_file(&tmp);
         }
+    }
+}
+
+/// Renders a panic payload for latch waiters (mirrors the registry's
+/// helper): panics carry `&str` or `String` messages in practice.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "battery panicked".to_string()
     }
 }
 
 /// Cache format version; bump whenever the TSV schema changes so stale
 /// files are re-measured instead of mis-parsed.
-const CACHE_VERSION: u32 = 2;
+///
+/// History: v2 squashed description tabs/newlines to spaces (lossy) and
+/// had no end-of-document marker; v3 escapes the description instead and
+/// appends a `# records N` footer so a file truncated at a line boundary
+/// is detected rather than parsed as a shorter battery.
+const CACHE_VERSION: u32 = 3;
+
+/// Escapes a description for its single TSV column: backslash, tab,
+/// newline, and carriage return become two-character escapes, so the
+/// column never spills into the field or line structure and
+/// [`unescape_field`] restores the original bytes exactly.
+fn escape_field(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_field`]; `None` on a dangling backslash or an
+/// unknown escape (corrupt or hand-edited cache file).
+fn unescape_field(encoded: &str) -> Option<String> {
+    let mut out = String::with_capacity(encoded.len());
+    let mut chars = encoded.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
 
 /// Serializes an entry as a TSV document (stable, human-inspectable).
-/// The first line is a version header; [`parse_entry`] rejects files
-/// written by any other version.
+/// The first line is a version header and the last a record-count
+/// footer; [`parse_entry`] rejects files written by any other version
+/// and files whose body does not match the footer (truncated writes).
 fn render_entry(entry: &GridEntry) -> String {
     let mut out = format!("# mosaic-cache v{CACHE_VERSION}\n");
     out.push_str("kind\tR\tH\tM\tC\tinst\tpl1d\tpl2\tpl3\twl1d\twl2\twl3\tcvR\tdescription\n");
@@ -293,14 +536,24 @@ fn render_entry(entry: &GridEntry) -> String {
             // Shortest-roundtrip codec: human-readable, yet the parsed
             // value reproduces the measured cv bit-for-bit.
             fmt_f64_shortest(r.cv_r),
-            r.description.replace(['\t', '\n'], " "),
+            escape_field(&r.description),
         ));
     }
+    out.push_str(&format!("# records {}\n", entry.records.len()));
     out
 }
 
 fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> {
-    let mut lines = text.lines();
+    let mut lines: Vec<&str> = text.lines().collect();
+    // The footer must be the document's last line; a file cut anywhere
+    // before it — even exactly at a record boundary — has no footer (or
+    // a record line in its place) and is rejected as truncated.
+    let expected_records = lines
+        .pop()?
+        .strip_prefix("# records ")?
+        .parse::<usize>()
+        .ok()?;
+    let mut lines = lines.into_iter();
     let header = lines.next()?;
     let version = header.strip_prefix("# mosaic-cache v")?;
     if version.trim().parse::<u32>() != Ok(CACHE_VERSION) {
@@ -336,10 +589,10 @@ fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> 
                 walker_l3_loads: num(11)?,
             },
             cv_r: parse_f64_shortest(cols[12])?,
-            description: cols[13].to_string(),
+            description: unescape_field(cols[13])?,
         });
     }
-    if records.is_empty() {
+    if records.is_empty() || records.len() != expected_records {
         return None;
     }
     Some(GridEntry {
@@ -506,8 +759,13 @@ pub fn measure_layout_traced(
     }
 }
 
-/// Runs the whole battery for one (workload, machine-variant) pair.
-fn compute_entry(speed: Speed, workload: &str, variant: &MachineVariant) -> GridEntry {
+/// Runs the whole battery for one (workload, machine-variant) pair,
+/// fanning the layouts out over at most `jobs` worker threads. The
+/// result is a pure function of `(speed, workload, variant)` — never of
+/// `jobs` — because each layout is measured by an independent engine
+/// with a layout-indexed salt schedule and the records are reduced in
+/// battery order (see [`parallel::parallel_map`]).
+fn compute_entry(speed: Speed, jobs: usize, workload: &str, variant: &MachineVariant) -> GridEntry {
     let ctx = MeasureContext::new(speed, workload)
         .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
     let pool = ctx.pool;
@@ -527,26 +785,13 @@ fn compute_entry(speed: Speed, workload: &str, variant: &MachineVariant) -> Grid
         .collect();
     layouts.push(MemoryLayout::uniform(pool, PageSize::Huge1G));
 
-    // Measure every layout; independent runs execute in parallel.
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunRecord>>> = layouts.iter().map(|_| Mutex::new(None)).collect();
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(layouts.len());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(layout) = layouts.get(i) else { break };
-                *results[i].lock() = Some(measure_layout(&ctx, variant, layout));
-            });
-        }
-    });
-
-    let records: Vec<RunRecord> = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("all runs completed"))
-        .collect();
+    // Measure every layout; independent runs execute in parallel, and
+    // the fixed reduction order keeps the records in battery order no
+    // matter how many workers ran or how they were scheduled.
+    let records: Vec<RunRecord> = parallel::parallel_map(&layouts, jobs, |_, layout| {
+        measure_layout(&ctx, variant, layout)
+    })
+    .unwrap_or_else(|| panic!("battery worker exited without completing its layout"));
     GridEntry {
         workload: workload.to_string(),
         platform: variant.name.clone(),
@@ -755,14 +1000,138 @@ mod tests {
         let grid = Grid::in_memory(tiny_speed());
         let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
         let text = render_entry(&entry);
-        assert!(text.starts_with("# mosaic-cache v2\n"), "{}", &text[..40]);
+        assert!(text.starts_with("# mosaic-cache v3\n"), "{}", &text[..40]);
 
         // A v1-era file (no header at all) and a future version must both
         // be treated as cache misses, not mis-parsed.
         let headerless = text.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert!(parse_entry("gups/8GB", "SandyBridge", &headerless).is_none());
-        let future = text.replacen("v2", "v3", 1);
+        let future = text.replacen("v3", "v4", 1);
         assert!(parse_entry("gups/8GB", "SandyBridge", &future).is_none());
+    }
+
+    #[test]
+    fn truncated_cache_documents_are_rejected() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        let text = render_entry(&entry);
+        assert!(parse_entry("gups/8GB", "SandyBridge", &text).is_some());
+
+        // Torn mid-line: the last record line has the wrong column count.
+        let mid_line = &text[..text.len() - 10];
+        assert!(
+            parse_entry("gups/8GB", "SandyBridge", mid_line).is_none(),
+            "a mid-line truncation must not parse"
+        );
+
+        // Torn exactly at a line boundary: every surviving line is
+        // well-formed, so only the `# records` footer catches it. This
+        // is the dangerous case — a pre-footer parser would silently
+        // serve a shorter battery.
+        let boundary: String = text
+            .lines()
+            .take(2 + entry.records.len() / 2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(
+            parse_entry("gups/8GB", "SandyBridge", &boundary).is_none(),
+            "a line-boundary truncation must not parse"
+        );
+
+        // Footer present but disagreeing with the body: also rejected.
+        let miscounted = text.replace(
+            &format!("# records {}\n", entry.records.len()),
+            "# records 54\n",
+        );
+        assert!(parse_entry("gups/8GB", "SandyBridge", &miscounted).is_none());
+    }
+
+    #[test]
+    fn cache_paths_do_not_collide_for_confusable_workloads() {
+        // The old sanitizer (`replace(['/', ' '], "_")`) mapped all three
+        // of these onto one cache file.
+        let grid = Grid {
+            speed: tiny_speed(),
+            jobs: 1,
+            memo: Mutex::new(BTreeMap::new()),
+            disk_dir: Some(PathBuf::from("/cache")),
+            computed: AtomicU64::new(0),
+        };
+        let paths: Vec<PathBuf> = ["a/b", "a b", "a_b"]
+            .iter()
+            .filter_map(|w| grid.cache_path(w, "SandyBridge"))
+            .collect();
+        assert_eq!(paths.len(), 3);
+        assert_ne!(paths[0], paths[1]);
+        assert_ne!(paths[0], paths[2]);
+        assert_ne!(paths[1], paths[2]);
+
+        // And the encoding is invertible: the workload is recoverable
+        // from the filename, so a cache directory can be audited.
+        use mosmodel::persist::decode_component;
+        let name = paths[0].file_name().unwrap().to_str().unwrap();
+        let encoded_workload = name
+            .strip_prefix("tiny_")
+            .unwrap()
+            .strip_suffix("_SandyBridge.tsv")
+            .unwrap();
+        assert_eq!(decode_component(encoded_workload).as_deref(), Some("a/b"));
+    }
+
+    #[test]
+    fn hostile_descriptions_round_trip_exactly() {
+        // v2 squashed tabs and newlines to spaces, so render∘parse was
+        // not a fixed point. v3 escapes them instead.
+        let hostile = RunRecord {
+            description: "tab\there\nnewline\r\\backslash \\t literal".to_string(),
+            kind: LayoutKind::Mixed,
+            counters: PmuCounters::default(),
+            cv_r: 0.0,
+        };
+        let entry = GridEntry {
+            workload: "w".to_string(),
+            platform: "P".to_string(),
+            records: vec![hostile],
+        };
+        let parsed = parse_entry("w", "P", &render_entry(&entry)).unwrap();
+        assert_eq!(entry, parsed);
+        // Corrupt escapes are rejected, not guessed at.
+        assert_eq!(unescape_field("dangling\\"), None);
+        assert_eq!(unescape_field("bad\\q"), None);
+    }
+
+    #[test]
+    fn concurrent_cold_requests_run_exactly_one_battery() {
+        // N threads race for the same cold pair: the singleflight latch
+        // must coalesce them onto one battery. Fails on the old
+        // check-then-compute race (each racer saw a miss and computed).
+        let grid = Grid::in_memory(tiny_speed());
+        let entries: Vec<Arc<GridEntry>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| grid.entry("gups/8GB", &Platform::SANDY_BRIDGE)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            grid.batteries_computed(),
+            1,
+            "concurrent requests for one pair must coalesce onto one battery"
+        );
+        for e in &entries[1..] {
+            assert!(
+                Arc::ptr_eq(&entries[0], e),
+                "all racers must receive the same Arc"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_each_compute_once() {
+        let grid = Grid::in_memory(tiny_speed());
+        grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        grid.entry("gups/8GB", &Platform::BROADWELL);
+        grid.entry("gups/8GB", &Platform::SANDY_BRIDGE); // memo hit
+        assert_eq!(grid.batteries_computed(), 2);
     }
 
     #[test]
@@ -800,7 +1169,10 @@ mod tests {
             counters_strategy(),
             0usize..4,
             0.0f64..0.05,
-            "[a-z 0-9]{0,24}",
+            // Hostile descriptions on purpose: tabs, newlines, carriage
+            // returns, backslashes, and non-ASCII must all survive the
+            // TSV round-trip via the escape codec (v2 squashed them).
+            "[a-z 0-9\t\n\r\\\\é]{0,24}",
         )
             .prop_map(|(counters, kind, cv_r, description)| RunRecord {
                 description,

@@ -33,6 +33,7 @@ pub mod casestudy;
 pub mod experiment;
 pub mod figures;
 pub mod methodology;
+pub mod parallel;
 pub mod report;
 mod speed;
 pub mod tables;
@@ -41,6 +42,7 @@ pub use experiment::{
     measure_layout, measure_layout_traced, Grid, GridEntry, MachineVariant, MeasureContext,
     RunRecord, SIM_STAGES,
 };
+pub use parallel::resolve_jobs;
 pub use speed::Speed;
 
 /// The fast preset (shrunken footprints and short traces) for tests.

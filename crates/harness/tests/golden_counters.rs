@@ -9,7 +9,7 @@
 //! suite. Update these numbers only for a deliberate, documented model
 //! change, never for an "optimization".
 
-use harness::{measure_layout, MachineVariant, MeasureContext, Speed};
+use harness::{measure_layout, Grid, MachineVariant, MeasureContext, Speed};
 use machine::{EngineConfig, Platform};
 use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
 
@@ -123,5 +123,56 @@ fn full_preset_counters_are_byte_identical_to_golden() {
         cv_r.to_bits(),
         2.767_564_893_552_441e-5f64.to_bits(),
         "FULL cross-repetition variance drifted from golden"
+    );
+}
+
+#[test]
+fn battery_is_bit_identical_across_job_counts() {
+    // The parallel battery must be counter-invisible: jobs=1 (the serial
+    // baseline) and jobs=8 measure every layout with the same engines,
+    // salt schedules, and reduction order, so the records — down to the
+    // cv bit pattern — and the rendered cache TSV agree byte-for-byte.
+    // Two repetitions make the cv nonzero, so this also proves the rep
+    // loop's early-stop logic is unaffected by which worker runs it.
+    let speed = Speed {
+        name: "tiny2",
+        footprint_div: 2048,
+        min_footprint: 48 << 20,
+        accesses: 8_000,
+        max_reps: 2,
+    };
+    let serial = Grid::in_memory(speed).with_jobs(1);
+    let parallel = Grid::in_memory(speed).with_jobs(8);
+    assert_eq!(serial.jobs(), 1);
+    assert_eq!(parallel.jobs(), 8);
+
+    let a = serial.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+    let b = parallel.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+
+    assert_eq!(a.records.len(), b.records.len());
+    for (i, (ra, rb)) in a.records.iter().zip(b.records.iter()).enumerate() {
+        assert_eq!(
+            ra.counters, rb.counters,
+            "record {i} counters differ between jobs=1 and jobs=8"
+        );
+        assert_eq!(
+            ra.cv_r.to_bits(),
+            rb.cv_r.to_bits(),
+            "record {i} cv bits differ between jobs=1 and jobs=8"
+        );
+        assert_eq!(ra.description, rb.description);
+        assert_eq!(ra.kind, rb.kind);
+    }
+    assert!(
+        a.records.iter().any(|r| r.cv_r > 0.0),
+        "two reps must produce nonzero cv somewhere, or the cv pin is vacuous"
+    );
+    // The strongest form of the claim: the exact bytes the disk cache
+    // would receive are identical, so a cache written by a parallel
+    // build is indistinguishable from a serial one.
+    assert_eq!(
+        a.to_tsv(),
+        b.to_tsv(),
+        "grid TSV bytes differ between jobs=1 and jobs=8"
     );
 }

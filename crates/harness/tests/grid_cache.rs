@@ -75,4 +75,38 @@ fn disk_cache_roundtrip_and_corruption_recovery() {
     let _ = grid4.entry("gups/8GB", &Platform::SANDY_BRIDGE);
     let count = std::fs::read_dir(&scratch.dir).unwrap().count();
     assert_eq!(count, 2, "presets get distinct cache files");
+
+    // 5. Truncate the cache file at a line boundary — every surviving
+    //    line is individually well-formed, simulating a torn write from
+    //    a crashed process. The next grid must reject it (the `# records`
+    //    footer is gone) and re-measure rather than serve a short battery.
+    let full_text = std::fs::read_to_string(&path).unwrap();
+    let truncated: String = full_text
+        .lines()
+        .take(full_text.lines().count() / 2)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&path, &truncated).unwrap();
+    let grid5 = Grid::new(tiny());
+    let remeasured = grid5.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+    assert_eq!(
+        grid5.batteries_computed(),
+        1,
+        "a truncated cache file must be re-measured, not accepted"
+    );
+    assert_eq!(*original, *remeasured, "re-measurement restores the entry");
+    // The re-measurement also repaired the file on disk (atomically).
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        full_text,
+        "store_disk must rewrite the repaired cache file"
+    );
+    // No temporary files leak from the write-then-rename protocol.
+    let leftovers: Vec<String> = std::fs::read_dir(&scratch.dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked temporaries: {leftovers:?}");
 }

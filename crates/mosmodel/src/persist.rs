@@ -110,6 +110,48 @@ pub fn parse_f64_shortest(s: &str) -> Option<f64> {
     s.parse().ok()
 }
 
+/// Injective file-name encoding for on-disk store/cache path
+/// components. ASCII alphanumerics, `-` and `.` pass through; every
+/// other byte (including `_`, `/`, space and `%` itself) becomes
+/// `%XX`, so distinct names can never share a file. Both the model
+/// store (`crates/service/src/registry.rs`) and the grid cache
+/// (`crates/harness/src/experiment.rs`) name their files with this —
+/// the old `replace(['/', ' '], "_")` sanitization mapped `a/b`,
+/// `a b` and `a_b` to one path, and colliding pairs then silently
+/// overwrote each other's file.
+pub fn encode_component(raw: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(raw.len());
+    for byte in raw.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' => out.push(byte as char),
+            _ => {
+                let _ = write!(out, "%{byte:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_component`]: decodes `%XX` escapes back to their
+/// bytes, so tooling can recover the pair a store or cache file serves
+/// from its name. Returns `None` for text no encoder output could have
+/// produced (truncated or non-hex escapes, non-UTF-8 decoded bytes).
+pub fn decode_component(encoded: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(encoded.len());
+    let mut bytes = encoded.bytes();
+    while let Some(byte) = bytes.next() {
+        if byte == b'%' {
+            let hex = [bytes.next()?, bytes.next()?];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            out.push(byte);
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
 fn parse_f64_hex(line_no: usize, field: &str) -> Result<f64, PersistError> {
     u64::from_str_radix(field, 16)
         .map(f64::from_bits)
@@ -360,6 +402,48 @@ mod tests {
             let y = b.model.predict(&probe);
             assert_eq!(x.to_bits(), y.to_bits(), "{} drifted", a.model.kind());
         }
+    }
+
+    #[test]
+    fn component_encoding_is_injective_and_round_trips() {
+        // The collision class the old `replace(['/', ' '], "_")`
+        // sanitization created: all three mapped to `a_b`.
+        let colliding = ["a/b", "a b", "a_b"];
+        for (i, a) in colliding.iter().enumerate() {
+            for b in colliding.iter().skip(i + 1) {
+                assert_ne!(
+                    encode_component(a),
+                    encode_component(b),
+                    "{a:?} and {b:?} must not share a file name"
+                );
+            }
+        }
+        for raw in [
+            "gups/8GB",
+            "a_b",
+            "a b",
+            "100%",
+            "Broadwell-1.2",
+            "",
+            "snake_case/with spaces/and%percent",
+            "ünïcode/π",
+        ] {
+            let encoded = encode_component(raw);
+            assert!(
+                !encoded.contains('/') && !encoded.contains(' '),
+                "{encoded:?} is not filesystem-safe"
+            );
+            assert_eq!(
+                decode_component(&encoded).as_deref(),
+                Some(raw),
+                "{raw:?} -> {encoded:?} failed to decode back"
+            );
+        }
+        // Text no encoder could have produced decodes to None, not junk.
+        assert_eq!(decode_component("%"), None);
+        assert_eq!(decode_component("%2"), None);
+        assert_eq!(decode_component("%zz"), None);
+        assert_eq!(decode_component("%FF"), None); // not UTF-8
     }
 
     #[test]

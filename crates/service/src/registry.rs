@@ -28,7 +28,6 @@
 //! flight right now).
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -547,17 +546,12 @@ impl ModelRegistry {
 /// `a/b`, `a b` and `a_b` to the same path, and colliding pairs then
 /// failed the identity check in `load_store` and refit every start
 /// while overwriting each other's store.
+///
+/// The implementation lives in [`mosmodel::persist::encode_component`]
+/// so the grid cache (which had the same collision bug) shares one
+/// codec with the registry store.
 fn encode_store_component(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    for byte in raw.bytes() {
-        match byte {
-            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'.' => out.push(byte as char),
-            _ => {
-                let _ = write!(out, "%{byte:02X}");
-            }
-        }
-    }
-    out
+    mosmodel::persist::encode_component(raw)
 }
 
 /// Inverse of [`encode_store_component`]: decodes `%XX` escapes back to
@@ -565,18 +559,7 @@ fn encode_store_component(raw: &str) -> String {
 /// from its name. Returns `None` for text no encoder output could have
 /// produced (truncated or non-hex escapes, non-UTF-8 decoded bytes).
 pub fn decode_store_component(encoded: &str) -> Option<String> {
-    let mut out = Vec::with_capacity(encoded.len());
-    let mut bytes = encoded.bytes();
-    while let Some(byte) = bytes.next() {
-        if byte == b'%' {
-            let hex = [bytes.next()?, bytes.next()?];
-            let hex = std::str::from_utf8(&hex).ok()?;
-            out.push(u8::from_str_radix(hex, 16).ok()?);
-        } else {
-            out.push(byte);
-        }
-    }
-    String::from_utf8(out).ok()
+    mosmodel::persist::decode_component(encoded)
 }
 
 /// Best-effort text of a panic payload (what `panic!` was given).

@@ -5,7 +5,7 @@
 //! mosaic run <workload> <platform>     # fit all nine models on one pair
 //! mosaic figure <fig2..fig11|tab6..tab8|casestudy|all>
 //! mosaic sensitivity <platform>        # TLB sensitivity of every workload
-//! mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>]  # start mosaicd
+//! mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>]  # start mosaicd
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
 //! mosaic query <addr> pairs            # list the server's fitted pairs
@@ -17,7 +17,9 @@
 //! mosaic bench [--json] [workload] [platform]  # hot-path throughput + serving latency
 //! ```
 //!
-//! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere.
+//! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere;
+//! `MOSAIC_JOBS=<n>` caps the grid battery's worker threads (an explicit
+//! `--jobs` wins, the default is the machine's available parallelism).
 
 use harness::report::{pct, TextTable};
 use harness::{casestudy, figures, tables, Grid, Speed};
@@ -44,7 +46,7 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | batch <addr> <request>... | metrics <addr> | trace <addr> [n] | audit [--json | --sarif] [--summary] [--deny] [--root <path>] | bench [--json] [workload] [platform]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | batch <addr> <request>... | metrics <addr> | trace <addr> [n] | audit [--json | --sarif] [--summary] [--deny] [--root <path>] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -342,11 +344,12 @@ fn cmd_sensitivity(platform: Option<&String>) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>]";
+    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>]";
     let mut addr = "127.0.0.1:7070".to_string();
     let mut positional_seen = false;
     let mut warm_pairs: Vec<(String, String)> = Vec::new();
     let mut cache_cap = service::registry::DEFAULT_PREDICTION_CACHE;
+    let mut jobs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -359,6 +362,19 @@ fn cmd_serve(args: &[String]) -> i32 {
                     Ok(n) => cache_cap = n,
                     Err(_) => {
                         eprintln!("{usage} (--cache-cap wants a number, got {text:?})");
+                        return 2;
+                    }
+                }
+            }
+            "--jobs" => {
+                let Some(text) = it.next() else {
+                    eprintln!("{usage} (--jobs needs a number)");
+                    return 2;
+                };
+                match text.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("{usage} (--jobs wants a positive number, got {text:?})");
                         return 2;
                     }
                 }
@@ -400,8 +416,12 @@ fn cmd_serve(args: &[String]) -> i32 {
     }
     let speed = Speed::from_env();
     let store_dir = service::registry::ModelRegistry::default_store_dir();
+    // `--jobs` (or MOSAIC_JOBS, or available parallelism) sets the grid's
+    // battery fan-out, so every cold fit — including the `--warm` pre-fits
+    // below — measures its layouts on that many worker threads.
+    let resolved_jobs = harness::resolve_jobs(jobs);
     let registry = service::registry::ModelRegistry::with_cache_capacity(
-        Grid::new(speed),
+        Grid::new(speed).with_jobs(resolved_jobs),
         Some(store_dir.clone()),
         cache_cap,
     );
@@ -417,9 +437,10 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     };
     println!(
-        "mosaicd listening on {} ({} preset, model store {})",
+        "mosaicd listening on {} ({} preset, {} battery jobs, model store {})",
         server.addr(),
         speed.name,
+        resolved_jobs,
         store_dir.display(),
     );
     // Pre-fit the requested pairs in the background, one `warm` request
@@ -859,6 +880,13 @@ fn cmd_bench(args: &[String]) -> i32 {
         report.grid.accesses,
         report.grid.wall_seconds,
         report.grid.accesses_per_sec,
+    );
+    println!(
+        "grid-par:     battery jobs=1 {:.3}s vs jobs={} {:.3}s -> {:.2}x speedup (byte-identical records)",
+        report.grid_par.par_1_wall_seconds,
+        report.grid_par.par_jobs,
+        report.grid_par.par_n_wall_seconds,
+        report.grid_par.par_speedup,
     );
     // The tracing gate: span recording must be cheap enough that an
     // instrumented run is the same run. Unlike the throughput figures
