@@ -90,10 +90,11 @@ const SIM_CRATES: [&str; 6] = [
 /// here: its reduction order decides the byte order of the grid cache
 /// TSV, so a nondeterministic collection or clock read inside it would
 /// smear thread scheduling into persisted files.
-const PERSIST_MODULES: [&str; 5] = [
+const PERSIST_MODULES: [&str; 6] = [
     "crates/mosmodel/src/persist.rs",
     "crates/harness/src/experiment.rs",
     "crates/harness/src/parallel.rs",
+    "crates/harness/src/sampled.rs",
     "crates/service/src/registry.rs",
     "crates/service/src/cache.rs",
 ];
@@ -111,8 +112,10 @@ const CODEC_MODULES: [&str; 2] = [
 /// The battery fan-out (`parallel.rs`) is included because a cold fit —
 /// reachable from any predict/warm request — runs it on the worker's
 /// thread: an unwrap inside the pool would turn a measurement hiccup
-/// into a dead worker.
-const REQUEST_PATH: [&str; 7] = [
+/// into a dead worker. The sampling gate (`sampled.rs`) is on the path
+/// for the same reason: a sampled grid evaluates it during any cold
+/// battery build a warm/predict request triggers.
+const REQUEST_PATH: [&str; 8] = [
     "crates/service/src/server.rs",
     "crates/service/src/protocol.rs",
     "crates/service/src/registry.rs",
@@ -120,6 +123,7 @@ const REQUEST_PATH: [&str; 7] = [
     "crates/service/src/trace.rs",
     "crates/service/src/prom.rs",
     "crates/harness/src/parallel.rs",
+    "crates/harness/src/sampled.rs",
 ];
 
 fn file_name(path: &str) -> &str {
@@ -947,6 +951,26 @@ mod tests {
         // Neither scope leaks to the rest of the harness crate.
         assert_eq!(run("crates/harness/src/report.rs", hashy), vec![]);
         assert_eq!(run("crates/harness/src/report.rs", panicky), vec![]);
+    }
+
+    #[test]
+    fn sampling_gate_is_in_both_determinism_and_panic_surface_scope() {
+        // Gate verdicts are persisted in the grid cache's v4 header, so
+        // nondeterministic iteration inside the gate would smear into
+        // cache bytes...
+        let hashy = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_hit(&run("crates/harness/src/sampled.rs", hashy)),
+            vec!["determinism"]
+        );
+        // ...and a sampled grid evaluates the gate during any cold
+        // battery build a warm/predict request triggers, so an unwrap
+        // there kills a worker.
+        let panicky = "fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n";
+        assert_eq!(
+            rules_hit(&run("crates/harness/src/sampled.rs", panicky)),
+            vec!["panic-surface"]
+        );
     }
 
     #[test]

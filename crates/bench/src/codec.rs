@@ -29,10 +29,17 @@ use mosmodel::persist::{fmt_f64_shortest, parse_f64_shortest};
 /// `par_1_wall_seconds` / `par_n_wall_seconds` / `par_speedup`), the
 /// same cold battery built serially and with the parallel fan-out — the
 /// speedup claim for deterministic-parallel grid builds is measured
-/// here, not asserted.
-pub const BENCH_VERSION: u32 = 6;
+/// here, not asserted. v7 added the `grid_sampled` leg
+/// (`sampled_window` / `sampled_period` / `sampled_bound` /
+/// `sampled_anchor_err` / `sampled_wall_seconds` /
+/// `sampled_full_wall_seconds` / `sampled_speedup`), the cold battery
+/// built once with validated interval sampling and once full — both
+/// the speedup *and* the cross-validation gate's measured anchor error
+/// are reported, so the claim "cheaper and still within bound" is
+/// evidence, not assertion.
+pub const BENCH_VERSION: u32 = 7;
 
-/// Version-header prefix; the full header is `# mosaic-bench v6`.
+/// Version-header prefix; the full header is `# mosaic-bench v7`.
 const BENCH_MAGIC: &str = "# mosaic-bench v";
 
 /// Wall-clock results of the grid-battery throughput benchmark.
@@ -130,6 +137,35 @@ pub struct GridParBench {
     pub par_speedup: f64,
 }
 
+/// Wall-clock results of the validated-sampling speedup benchmark: the
+/// identical cold battery built twice on fresh in-memory grids, once
+/// with interval sampling (gated by the sampled-vs-full anchor
+/// cross-validation) and once full. Field names carry a `sampled_`
+/// prefix because this codec's extractor matches keys globally across
+/// the document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridSampledBench {
+    /// Accesses kept at the start of each sampling period.
+    pub sampled_window: u64,
+    /// Length of each sampling period.
+    pub sampled_period: u64,
+    /// Gate bound the anchor error was held to.
+    pub sampled_bound: f64,
+    /// The gate's measured worst anchor error (sampled vs full, all
+    /// PMU counters); the battery only counts as sampled if this is
+    /// within `sampled_bound`.
+    pub sampled_anchor_err: f64,
+    /// Wall-clock seconds for the gated sampled battery (anchor
+    /// cross-validation included — the gate's cost is part of the
+    /// price).
+    pub sampled_wall_seconds: f64,
+    /// Wall-clock seconds for the full battery.
+    pub sampled_full_wall_seconds: f64,
+    /// `sampled_full_wall_seconds / sampled_wall_seconds` — the
+    /// headline speedup.
+    pub sampled_speedup: f64,
+}
+
 /// One complete `mosaic bench` report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -145,6 +181,8 @@ pub struct BenchReport {
     pub grid: GridBench,
     /// Parallel-battery speedup results.
     pub grid_par: GridParBench,
+    /// Validated-sampling speedup results.
+    pub grid_sampled: GridSampledBench,
     /// mosaicd latency results.
     pub service: ServiceBench,
     /// mosaicd recommendation-verb latency results.
@@ -204,6 +242,43 @@ pub fn render_report(report: &BenchReport) -> String {
         out,
         "    \"par_speedup\": {}",
         fmt_f64_shortest(report.grid_par.par_speedup)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"grid_sampled\": {{");
+    let _ = writeln!(
+        out,
+        "    \"sampled_window\": {},",
+        report.grid_sampled.sampled_window
+    );
+    let _ = writeln!(
+        out,
+        "    \"sampled_period\": {},",
+        report.grid_sampled.sampled_period
+    );
+    let _ = writeln!(
+        out,
+        "    \"sampled_bound\": {},",
+        fmt_f64_shortest(report.grid_sampled.sampled_bound)
+    );
+    let _ = writeln!(
+        out,
+        "    \"sampled_anchor_err\": {},",
+        fmt_f64_shortest(report.grid_sampled.sampled_anchor_err)
+    );
+    let _ = writeln!(
+        out,
+        "    \"sampled_wall_seconds\": {},",
+        fmt_f64_shortest(report.grid_sampled.sampled_wall_seconds)
+    );
+    let _ = writeln!(
+        out,
+        "    \"sampled_full_wall_seconds\": {},",
+        fmt_f64_shortest(report.grid_sampled.sampled_full_wall_seconds)
+    );
+    let _ = writeln!(
+        out,
+        "    \"sampled_speedup\": {}",
+        fmt_f64_shortest(report.grid_sampled.sampled_speedup)
     );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"service\": {{");
@@ -328,6 +403,15 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
             par_n_wall_seconds: f64_field(text, "par_n_wall_seconds")?,
             par_speedup: f64_field(text, "par_speedup")?,
         },
+        grid_sampled: GridSampledBench {
+            sampled_window: u64_field(text, "sampled_window")?,
+            sampled_period: u64_field(text, "sampled_period")?,
+            sampled_bound: f64_field(text, "sampled_bound")?,
+            sampled_anchor_err: f64_field(text, "sampled_anchor_err")?,
+            sampled_wall_seconds: f64_field(text, "sampled_wall_seconds")?,
+            sampled_full_wall_seconds: f64_field(text, "sampled_full_wall_seconds")?,
+            sampled_speedup: f64_field(text, "sampled_speedup")?,
+        },
         service: ServiceBench {
             requests: u64_field(text, "requests")?,
             cold_us: f64_field(text, "cold_us")?,
@@ -373,6 +457,15 @@ mod tests {
                 par_n_wall_seconds: 0.913_446_2,
                 par_speedup: 6.132_931_407_2,
             },
+            grid_sampled: GridSampledBench {
+                sampled_window: 1_000,
+                sampled_period: 5_000,
+                sampled_bound: 0.05,
+                sampled_anchor_err: 0.042_913_7,
+                sampled_wall_seconds: 4.301_226_8,
+                sampled_full_wall_seconds: 16.204_119_5,
+                sampled_speedup: 3.767_325_991_3,
+            },
             service: ServiceBench {
                 requests: 32,
                 cold_us: 2_731_009.25,
@@ -399,7 +492,7 @@ mod tests {
     fn report_roundtrips_bit_exactly() {
         let report = sample();
         let text = render_report(&report);
-        assert!(text.contains("\"format\": \"# mosaic-bench v6\""));
+        assert!(text.contains("\"format\": \"# mosaic-bench v7\""));
         let back = parse_report(&text).expect("own output parses");
         assert_eq!(back, report);
         assert_eq!(
@@ -448,11 +541,21 @@ mod tests {
             back.grid_par.par_speedup.to_bits(),
             report.grid_par.par_speedup.to_bits()
         );
+        assert_eq!(back.grid_sampled.sampled_window, 1_000);
+        assert_eq!(back.grid_sampled.sampled_period, 5_000);
+        assert_eq!(
+            back.grid_sampled.sampled_anchor_err.to_bits(),
+            report.grid_sampled.sampled_anchor_err.to_bits()
+        );
+        assert_eq!(
+            back.grid_sampled.sampled_speedup.to_bits(),
+            report.grid_sampled.sampled_speedup.to_bits()
+        );
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = render_report(&sample()).replace("# mosaic-bench v6", "# mosaic-bench v5");
+        let text = render_report(&sample()).replace("# mosaic-bench v7", "# mosaic-bench v6");
         let err = parse_report(&text).unwrap_err();
         assert!(err.contains("unsupported"), "{err}");
     }

@@ -14,7 +14,10 @@ use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use harness::{measure_layout, measure_layout_traced, Grid, MachineVariant, MeasureContext, Speed};
+use harness::{
+    measure_layout, measure_layout_traced, Grid, MachineVariant, MeasureContext, SampledConfig,
+    Speed,
+};
 use libc::{poll_fds, pollfd, POLLIN, POLLOUT};
 use machine::{profile_tlb_misses, Engine, Platform};
 use mosmodel::dataset::{Dataset, LayoutKind, Sample};
@@ -26,7 +29,10 @@ use workloads::{TraceParams, WorkloadSpec};
 
 pub mod codec;
 
-use codec::{BenchReport, ConnsBench, GridBench, GridParBench, RecommendBench, ServiceBench};
+use codec::{
+    BenchReport, ConnsBench, GridBench, GridParBench, GridSampledBench, RecommendBench,
+    ServiceBench,
+};
 
 /// Builds the benchmark grid with the standard disk cache.
 pub fn bench_grid() -> Grid {
@@ -138,6 +144,7 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
     };
 
     let grid_par_bench = grid_par_bench(speed, workload, platform, &entry);
+    let grid_sampled_bench = grid_sampled_bench(platform);
 
     // The service leg reuses the grid (and its cached entry), so the
     // first predict pays only the model fit, not a second battery. The
@@ -252,6 +259,7 @@ pub fn run_bench(speed: Speed, workload: &str, platform: &'static Platform) -> B
         platform: platform.name.to_string(),
         grid: grid_bench,
         grid_par: grid_par_bench,
+        grid_sampled: grid_sampled_bench,
         service: service_bench,
         recommend: recommend_bench,
         conns: conns_bench,
@@ -295,6 +303,79 @@ fn grid_par_bench(
         par_n_wall_seconds,
         par_speedup: if par_n_wall_seconds > 0.0 {
             par_1_wall_seconds / par_n_wall_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The sampled leg's fixed preset: a trace long enough for the
+/// cold-split extrapolation to amortize the pool's compulsory fills,
+/// so the honest 5% gate genuinely accepts (probed max anchor error
+/// ≈ 4.3%, deterministic). Independent of the session's speed preset —
+/// the leg benchmarks the sampling pipeline itself, and gate acceptance
+/// is a property of (workload, trace length, window, period), not of
+/// the caller's fidelity choice.
+const SAMPLED_BENCH_SPEED: Speed = Speed {
+    name: "sampled-bench",
+    footprint_div: 1 << 30,
+    min_footprint: 2 << 20,
+    accesses: 2_000_000,
+    max_reps: 1,
+};
+
+/// The sampled leg's configuration: keep 1k of every 5k accesses (20%)
+/// under the default 5% gate bound.
+const SAMPLED_BENCH_CFG: SampledConfig = SampledConfig {
+    window: 1_000,
+    period: 5_000,
+    bound: 0.05,
+};
+
+/// Workload the sampled leg measures; uniform-random gups is the
+/// calibrated pairing for [`SAMPLED_BENCH_SPEED`].
+const SAMPLED_BENCH_WORKLOAD: &str = "gups/8GB";
+
+/// Times the identical cold battery twice on fresh in-memory grids —
+/// once with validated interval sampling and once full — and reports
+/// the measured speedup plus the gate's measured anchor error. The leg
+/// panics if the gate rejects: a rejected battery silently falls back
+/// to full measurement, which would make the reported "speedup" a
+/// comparison of two full builds.
+fn grid_sampled_bench(platform: &'static Platform) -> GridSampledBench {
+    let cfg = SAMPLED_BENCH_CFG;
+    let sampled_grid = Grid::in_memory(SAMPLED_BENCH_SPEED).with_sampled(cfg);
+    let t0 = Instant::now();
+    let sampled = sampled_grid.entry(SAMPLED_BENCH_WORKLOAD, platform);
+    let sampled_wall_seconds = t0.elapsed().as_secs_f64();
+    let gate = sampled
+        .gate
+        .expect("sampled grids always carry a gate verdict");
+    assert!(
+        gate.accepted,
+        "the sampled bench gate must accept its calibrated config: max_rel_err {}",
+        gate.max_rel_err
+    );
+
+    let full_grid = Grid::in_memory(SAMPLED_BENCH_SPEED);
+    let t1 = Instant::now();
+    let full = full_grid.entry(SAMPLED_BENCH_WORKLOAD, platform);
+    let sampled_full_wall_seconds = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        sampled.records.len(),
+        full.records.len(),
+        "sampled and full batteries must measure the same layout list"
+    );
+
+    GridSampledBench {
+        sampled_window: cfg.window,
+        sampled_period: cfg.period,
+        sampled_bound: cfg.bound,
+        sampled_anchor_err: gate.max_rel_err,
+        sampled_wall_seconds,
+        sampled_full_wall_seconds,
+        sampled_speedup: if sampled_wall_seconds > 0.0 {
+            sampled_full_wall_seconds / sampled_wall_seconds
         } else {
             0.0
         },

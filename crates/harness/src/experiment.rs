@@ -13,8 +13,9 @@ use mosmodel::dataset::{Dataset, LayoutKind, Sample};
 use mosmodel::persist::{encode_component, fmt_f64_shortest, parse_f64_shortest};
 use parking_lot::Mutex;
 use vmcore::{MemoryLayout, PageSize, PmuCounters, Region};
-use workloads::{TraceParams, WorkloadSpec};
+use workloads::{sampling, TraceParams, WorkloadSpec};
 
+use crate::sampled::{self, BatteryMode, GateReport, SampledConfig};
 use crate::{parallel, Speed};
 
 /// One measured run: a layout and its counters.
@@ -50,6 +51,15 @@ pub struct GridEntry {
     pub platform: String,
     /// All runs, battery order first, the all-1GB run last.
     pub records: Vec<RunRecord>,
+    /// How the records were measured: full traces, or periodic windows
+    /// extrapolated to full scale. Persisted in the cache header so a
+    /// sampled entry can never be mistaken for a full one.
+    pub mode: BatteryMode,
+    /// The cross-validation gate's verdict, when a sampled build was
+    /// attempted: `accepted` evidence for a sampled entry, or the
+    /// recorded rejection on a full entry a failed gate fell back to.
+    /// `None` for plain full batteries that never involved the gate.
+    pub gate: Option<GateReport>,
 }
 
 impl GridEntry {
@@ -235,6 +245,11 @@ pub struct Grid {
     /// Batteries actually simulated (not memo hits or disk loads) —
     /// the singleflight tests pin this to exactly one per cold pair.
     computed: AtomicU64,
+    /// Interval-sampling configuration; `None` measures full traces.
+    sampled: Option<SampledConfig>,
+    /// Sampled batteries whose anchor cross-validation exceeded the
+    /// bound and fell back to full measurement.
+    rejections: AtomicU64,
 }
 
 impl Grid {
@@ -257,10 +272,15 @@ impl Grid {
             memo: Mutex::new(BTreeMap::new()),
             disk_dir: disk,
             computed: AtomicU64::new(0),
+            sampled: SampledConfig::from_env(),
+            rejections: AtomicU64::new(0),
         }
     }
 
-    /// Creates a grid without the on-disk cache (hermetic tests).
+    /// Creates a grid without the on-disk cache (hermetic tests). The
+    /// environment's `MOSAIC_SAMPLED` is deliberately ignored too —
+    /// hermetic grids measure full traces unless [`Grid::with_sampled`]
+    /// opts in explicitly.
     pub fn in_memory(speed: Speed) -> Self {
         Grid {
             speed,
@@ -268,6 +288,8 @@ impl Grid {
             memo: Mutex::new(BTreeMap::new()),
             disk_dir: None,
             computed: AtomicU64::new(0),
+            sampled: None,
+            rejections: AtomicU64::new(0),
         }
     }
 
@@ -283,6 +305,28 @@ impl Grid {
     /// The battery worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Enables validated interval sampling: batteries replay periodic
+    /// trace windows and extrapolate, but only after the anchor
+    /// cross-validation gate accepts the configuration for the pair —
+    /// otherwise the grid falls back to a full battery and records the
+    /// rejection (see [`Grid::sampled_rejections`]).
+    #[must_use]
+    pub fn with_sampled(mut self, cfg: SampledConfig) -> Self {
+        self.sampled = Some(cfg);
+        self
+    }
+
+    /// The active sampling configuration, if any.
+    pub fn sampled(&self) -> Option<SampledConfig> {
+        self.sampled
+    }
+
+    /// Sampled batteries this grid refused: the gate measured an anchor
+    /// error above the bound and fell back to full measurement.
+    pub fn sampled_rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
     }
 
     /// Batteries this grid has actually simulated — memo hits, coalesced
@@ -359,7 +403,18 @@ impl Grid {
                 return Arc::new(entry);
             }
             self.computed.fetch_add(1, Ordering::Relaxed);
-            let entry = Arc::new(compute_entry(self.speed, self.jobs, workload, variant));
+            let entry = match self.sampled {
+                Some(cfg) => {
+                    let entry =
+                        compute_entry_sampled(self.speed, self.jobs, workload, variant, cfg);
+                    if entry.gate.as_ref().is_some_and(|g| !g.accepted) {
+                        self.rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    entry
+                }
+                None => compute_entry(self.speed, self.jobs, workload, variant),
+            };
+            let entry = Arc::new(entry);
             self.store_disk(&entry);
             entry
         }));
@@ -400,19 +455,61 @@ impl Grid {
         // Percent-encode each component (the registry-store codec): the
         // old `replace(['/', ' '], "_")` mapped distinct workloads like
         // "a/b", "a b", and "a_b" onto one cache file, silently serving
-        // one pair's counters for another.
+        // one pair's counters for another. A sampled grid's files carry
+        // the full (window, period, bound) configuration as a suffix so
+        // they can never collide with full-battery files or with a
+        // differently-configured sampled grid's.
+        let mode_tag = match self.sampled {
+            None => String::new(),
+            Some(cfg) => format!(
+                "_s{}-{}-{}",
+                cfg.window,
+                cfg.period,
+                encode_component(&fmt_f64_shortest(cfg.bound)),
+            ),
+        };
         Some(dir.join(format!(
-            "{}_{}_{}.tsv",
+            "{}_{}_{}{}.tsv",
             encode_component(self.speed.name),
             encode_component(workload),
             encode_component(platform),
+            mode_tag,
         )))
     }
 
     fn load_disk(&self, workload: &str, variant: &str) -> Option<GridEntry> {
         let path = self.cache_path(workload, variant)?;
         let text = fs::read_to_string(path).ok()?;
-        parse_entry(workload, variant, &text)
+        let entry = parse_entry(workload, variant, &text)?;
+        // Belt and suspenders on top of the path suffix: a cached entry
+        // is served only if its persisted mode/gate metadata matches
+        // this grid's configuration exactly (bound compared by bits).
+        self.entry_matches_mode(&entry).then_some(entry)
+    }
+
+    /// Does a cached entry belong to this grid's battery mode? A full
+    /// grid serves only full, ungated entries. A sampled grid serves
+    /// entries stamped with its exact configuration: an accepted sampled
+    /// battery, or the recorded full fallback of a rejected gate.
+    fn entry_matches_mode(&self, entry: &GridEntry) -> bool {
+        match self.sampled {
+            None => entry.mode == BatteryMode::Full && entry.gate.is_none(),
+            Some(cfg) => match (entry.mode, &entry.gate) {
+                (BatteryMode::Sampled { window, period }, Some(g)) => {
+                    g.accepted
+                        && window == cfg.window
+                        && period == cfg.period
+                        && g.bound.to_bits() == cfg.bound.to_bits()
+                }
+                (BatteryMode::Full, Some(g)) => {
+                    !g.accepted
+                        && g.window == cfg.window
+                        && g.period == cfg.period
+                        && g.bound.to_bits() == cfg.bound.to_bits()
+                }
+                _ => false,
+            },
+        }
     }
 
     fn store_disk(&self, entry: &GridEntry) {
@@ -468,8 +565,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// History: v2 squashed description tabs/newlines to spaces (lossy) and
 /// had no end-of-document marker; v3 escapes the description instead and
 /// appends a `# records N` footer so a file truncated at a line boundary
-/// is detected rather than parsed as a shorter battery.
-const CACHE_VERSION: u32 = 3;
+/// is detected rather than parsed as a shorter battery; v4 adds `# mode`
+/// and `# gate` header lines so interval-sampled entries carry their
+/// provenance (and can never be mistaken for full measurements).
+const CACHE_VERSION: u32 = 4;
+
+/// Still-loadable previous version. Every v3 file is by construction a
+/// full, ungated battery, so upgrading it to the v4 model is lossless —
+/// rejecting the whole fleet's caches on upgrade would force a
+/// re-measurement stampede for entries whose bytes are still exact.
+const LEGACY_CACHE_VERSION: u32 = 3;
 
 /// Escapes a description for its single TSV column: backslash, tab,
 /// newline, and carriage return become two-character escapes, so the
@@ -516,6 +621,26 @@ fn unescape_field(encoded: &str) -> Option<String> {
 /// and files whose body does not match the footer (truncated writes).
 fn render_entry(entry: &GridEntry) -> String {
     let mut out = format!("# mosaic-cache v{CACHE_VERSION}\n");
+    match entry.mode {
+        BatteryMode::Full => out.push_str("# mode full\n"),
+        BatteryMode::Sampled { window, period } => {
+            out.push_str(&format!("# mode sampled {window} {period}\n"));
+        }
+    }
+    match &entry.gate {
+        None => out.push_str("# gate none\n"),
+        Some(g) => out.push_str(&format!(
+            "# gate {} {} {} {} {} {}\n",
+            if g.accepted { "accepted" } else { "rejected" },
+            g.window,
+            g.period,
+            // Shortest-roundtrip floats: the reloaded gate compares
+            // bit-equal to the one that was evaluated.
+            fmt_f64_shortest(g.bound),
+            fmt_f64_shortest(g.max_rel_err),
+            g.anchors,
+        )),
+    }
     out.push_str("kind\tR\tH\tM\tC\tinst\tpl1d\tpl2\tpl3\twl1d\twl2\twl3\tcvR\tdescription\n");
     for r in &entry.records {
         let c = &r.counters;
@@ -555,12 +680,34 @@ fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> 
         .ok()?;
     let mut lines = lines.into_iter();
     let header = lines.next()?;
-    let version = header.strip_prefix("# mosaic-cache v")?;
-    if version.trim().parse::<u32>() != Ok(CACHE_VERSION) {
-        return None;
+    let version = header
+        .strip_prefix("# mosaic-cache v")?
+        .trim()
+        .parse::<u32>()
+        .ok()?;
+    let (mode, gate) = match version {
+        CACHE_VERSION => {
+            let mode = parse_mode_line(lines.next()?)?;
+            let gate = parse_gate_line(lines.next()?)?;
+            (mode, gate)
+        }
+        // v3 predates sampling: every legacy file is a full, ungated
+        // battery, so the upgrade is lossless.
+        LEGACY_CACHE_VERSION => (BatteryMode::Full, None),
+        _ => return None,
+    };
+    // A sampled entry must carry the accepting gate evidence for its own
+    // configuration; anything else would let an unvalidated (or
+    // differently-validated) sampled grid masquerade as trustworthy.
+    match (mode, &gate) {
+        (BatteryMode::Sampled { window, period }, Some(g))
+            if g.accepted && g.window == window && g.period == period => {}
+        (BatteryMode::Sampled { .. }, _) => return None,
+        (BatteryMode::Full, _) => {}
     }
+    let _column_header = lines.next()?;
     let mut records = Vec::new();
-    for line in lines.skip(1) {
+    for line in lines {
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() != 14 {
             return None;
@@ -599,7 +746,57 @@ fn parse_entry(workload: &str, platform: &str, text: &str) -> Option<GridEntry> 
         workload: workload.to_string(),
         platform: platform.to_string(),
         records,
+        mode,
+        gate,
     })
+}
+
+/// Parses a v4 `# mode ...` header line.
+fn parse_mode_line(line: &str) -> Option<BatteryMode> {
+    let rest = line.strip_prefix("# mode ")?;
+    if rest == "full" {
+        return Some(BatteryMode::Full);
+    }
+    let mut parts = rest.split(' ');
+    if parts.next()? != "sampled" {
+        return None;
+    }
+    let window = parts.next()?.parse().ok()?;
+    let period = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(BatteryMode::Sampled { window, period })
+}
+
+/// Parses a v4 `# gate ...` header line (`none`, or a full verdict).
+fn parse_gate_line(line: &str) -> Option<Option<GateReport>> {
+    let rest = line.strip_prefix("# gate ")?;
+    if rest == "none" {
+        return Some(None);
+    }
+    let mut parts = rest.split(' ');
+    let accepted = match parts.next()? {
+        "accepted" => true,
+        "rejected" => false,
+        _ => return None,
+    };
+    let window = parts.next()?.parse().ok()?;
+    let period = parts.next()?.parse().ok()?;
+    let bound = parse_f64_shortest(parts.next()?)?;
+    let max_rel_err = parse_f64_shortest(parts.next()?)?;
+    let anchors = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Some(GateReport {
+        window,
+        period,
+        bound,
+        max_rel_err,
+        anchors,
+        accepted,
+    }))
 }
 
 /// Classifies a layout into its anchor kind.
@@ -759,6 +956,121 @@ pub fn measure_layout_traced(
     }
 }
 
+/// [`measure_layout`] over periodic trace windows: replays only
+/// `window` of every `period` accesses (`workloads::sampling::windows`)
+/// and extrapolates each PMU counter to full-trace scale with a
+/// **cold-split**: the first half of the kept accesses is the warmup
+/// segment, charged verbatim, and only the steady-state suffix rate is
+/// scaled to cover the unreplayed remainder. Pure linear scaling
+/// multiplies the run's one-time costs — the compulsory TLB and
+/// cache-line fills every run pays exactly once regardless of trace
+/// length — by `total / kept`, inflating the estimate by
+/// `(scale - 1) x` that transient. Splitting makes both regimes exact
+/// by construction: absolute costs land in the warmup prefix and are
+/// *not* scaled, while per-access rates are measured on the warmed
+/// suffix and scaled by the exact rational
+/// `(total - warmup) / (kept - warmup)` via integer math
+/// ([`sampling::extrapolate`]) — no f64 accumulation, so sampled
+/// records are byte-identical across runs and job counts just like
+/// full ones. The repetition loop (placement-salted reruns until the
+/// runtime CV falls below 5%) is the grid's standard §VI-A
+/// methodology, evaluated on the extrapolated runtimes.
+///
+/// # Panics
+///
+/// Panics if `layout` is not a valid pool configuration for the
+/// context's pool region, or on an invalid `window`/`period`
+/// (`window == 0` or `window > period`).
+pub fn measure_layout_sampled(
+    ctx: &MeasureContext,
+    variant: &MachineVariant,
+    layout: &MemoryLayout,
+    window: u64,
+    period: u64,
+) -> RunRecord {
+    let mosalloc = Mosalloc::new(config_for_layout(ctx.pool, layout))
+        .expect("layout must be a valid pool spec");
+    let total = ctx.params.accesses;
+    let kept = sampling::kept_count(total, window, period);
+    let warmup = kept / 2;
+    let mut runs: Vec<PmuCounters> = Vec::new();
+    for rep in 0..ctx.speed.max_reps.max(1) {
+        let config = EngineConfig {
+            salt: variant.config.salt ^ (u64::from(rep) << 56),
+            ..variant.config
+        };
+        let mut engine = Engine::with_config(&variant.platform, config);
+        let page_size = |va| mosalloc.page_size_at(va);
+        let mut at_warmup = PmuCounters::default();
+        let mut seen: u64 = 0;
+        let windowed = sampling::windows(
+            ctx.spec.trace(&ctx.params),
+            window as usize,
+            period as usize,
+        );
+        for access in windowed {
+            engine.step(&access, &page_size);
+            seen = seen.saturating_add(1);
+            if seen == warmup {
+                at_warmup = engine.counters();
+            }
+        }
+        runs.push(extrapolate_counters(
+            &at_warmup,
+            &engine.counters(),
+            warmup,
+            kept,
+            total,
+        ));
+        if runs.len() >= 2 && runtime_cv(&runs) < 0.05 {
+            break;
+        }
+    }
+    RunRecord {
+        description: layout.describe(),
+        kind: classify(layout),
+        counters: mean_counters(&runs),
+        cv_r: runtime_cv(&runs),
+    }
+}
+
+/// Field-wise cold-split extrapolation of a sampled readout to
+/// full-trace scale: the warmup prefix (`warm`, the readout after the
+/// first `warmup` kept accesses) is charged as-is, and the steady
+/// suffix `end - warm` is scaled by the exact rational
+/// `(total - warmup) / (kept - warmup)`. With `kept == total` this is
+/// the identity; with `warmup == 0` it degenerates to pure linear
+/// scaling.
+fn extrapolate_counters(
+    warm: &PmuCounters,
+    end: &PmuCounters,
+    warmup: u64,
+    kept: u64,
+    total: u64,
+) -> PmuCounters {
+    let scale = |w: u64, e: u64| {
+        let steady = sampling::extrapolate(
+            e.saturating_sub(w),
+            kept.saturating_sub(warmup),
+            total.saturating_sub(warmup),
+        );
+        w.saturating_add(steady)
+    };
+    PmuCounters {
+        runtime_cycles: scale(warm.runtime_cycles, end.runtime_cycles),
+        stlb_hits: scale(warm.stlb_hits, end.stlb_hits),
+        stlb_misses: scale(warm.stlb_misses, end.stlb_misses),
+        walk_cycles: scale(warm.walk_cycles, end.walk_cycles),
+        instructions: scale(warm.instructions, end.instructions),
+        program_l1d_loads: scale(warm.program_l1d_loads, end.program_l1d_loads),
+        program_l2_loads: scale(warm.program_l2_loads, end.program_l2_loads),
+        program_l3_loads: scale(warm.program_l3_loads, end.program_l3_loads),
+        walker_l1d_loads: scale(warm.walker_l1d_loads, end.walker_l1d_loads),
+        walker_l2_loads: scale(warm.walker_l2_loads, end.walker_l2_loads),
+        walker_l3_loads: scale(warm.walker_l3_loads, end.walker_l3_loads),
+    }
+}
+
 /// Runs the whole battery for one (workload, machine-variant) pair,
 /// fanning the layouts out over at most `jobs` worker threads. The
 /// result is a pure function of `(speed, workload, variant)` — never of
@@ -768,22 +1080,7 @@ pub fn measure_layout_traced(
 fn compute_entry(speed: Speed, jobs: usize, workload: &str, variant: &MachineVariant) -> GridEntry {
     let ctx = MeasureContext::new(speed, workload)
         .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
-    let pool = ctx.pool;
-
-    // PEBS-like profiling run for the Sliding Window heuristic.
-    let profile = profile_tlb_misses(
-        &variant.platform,
-        ctx.spec.trace(&ctx.params),
-        pool,
-        2 << 20,
-    );
-
-    // The 54-layout battery plus the all-1GB hold-out.
-    let mut layouts: Vec<MemoryLayout> = layouts::standard_battery(pool, |x| profile.hot_region(x))
-        .into_iter()
-        .map(|p| p.layout)
-        .collect();
-    layouts.push(MemoryLayout::uniform(pool, PageSize::Huge1G));
+    let layouts = battery_layouts(&ctx, variant);
 
     // Measure every layout; independent runs execute in parallel, and
     // the fixed reduction order keeps the records in battery order no
@@ -796,6 +1093,91 @@ fn compute_entry(speed: Speed, jobs: usize, workload: &str, variant: &MachineVar
         workload: workload.to_string(),
         platform: variant.name.clone(),
         records,
+        mode: BatteryMode::Full,
+        gate: None,
+    }
+}
+
+/// The battery's layout list for one pair: the 54-layout standard
+/// battery (seeded by a full-trace PEBS-like profiling pass) plus the
+/// all-1GB hold-out. Shared verbatim by the full and sampled paths —
+/// identical layout lists are what make a sampled grid comparable,
+/// record for record, with the full grid it stands in for. The
+/// profiling pass always sees the *full* trace even in sampled mode:
+/// it is one cheap pass, and hot-region selection from a thinned trace
+/// would silently change which layouts get measured.
+fn battery_layouts(ctx: &MeasureContext, variant: &MachineVariant) -> Vec<MemoryLayout> {
+    let profile = profile_tlb_misses(
+        &variant.platform,
+        ctx.spec.trace(&ctx.params),
+        ctx.pool,
+        2 << 20,
+    );
+    let mut layouts: Vec<MemoryLayout> =
+        layouts::standard_battery(ctx.pool, |x| profile.hot_region(x))
+            .into_iter()
+            .map(|p| p.layout)
+            .collect();
+    layouts.push(MemoryLayout::uniform(ctx.pool, PageSize::Huge1G));
+    layouts
+}
+
+/// Sampled battery with the cross-validation gate (ROADMAP item (b),
+/// paper §II-C): measure the anchor layouts both full and sampled,
+/// admit the sampled battery only if every anchor's every counter is
+/// within `cfg.bound` relative error, and otherwise fall back to the
+/// full battery with the rejection recorded in the entry's gate. Like
+/// [`compute_entry`], the result is a pure function of
+/// `(speed, workload, variant, cfg)` — never of `jobs`.
+fn compute_entry_sampled(
+    speed: Speed,
+    jobs: usize,
+    workload: &str,
+    variant: &MachineVariant,
+    cfg: SampledConfig,
+) -> GridEntry {
+    let ctx = MeasureContext::new(speed, workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let layouts = battery_layouts(&ctx, variant);
+
+    // The gate's anchors: the first all-4KB, first all-2MB, and the
+    // all-1GB layout — the battery's extreme points, where a sampling
+    // scheme that misrepresents TLB behavior has nowhere to hide.
+    let anchors: Vec<MemoryLayout> = [LayoutKind::All4K, LayoutKind::All2M, LayoutKind::All1G]
+        .iter()
+        .filter_map(|kind| layouts.iter().find(|l| classify(l) == *kind))
+        .cloned()
+        .collect();
+    let pairs: Vec<(PmuCounters, PmuCounters)> =
+        parallel::parallel_map(&anchors, jobs, |_, layout| {
+            let full = measure_layout(&ctx, variant, layout);
+            let sampled = measure_layout_sampled(&ctx, variant, layout, cfg.window, cfg.period);
+            (full.counters, sampled.counters)
+        })
+        .unwrap_or_else(|| panic!("gate worker exited without completing its anchor"));
+    let gate = sampled::evaluate_gate(&pairs, cfg);
+
+    let records: Vec<RunRecord> = if gate.accepted {
+        parallel::parallel_map(&layouts, jobs, |_, layout| {
+            measure_layout_sampled(&ctx, variant, layout, cfg.window, cfg.period)
+        })
+        .unwrap_or_else(|| panic!("sampled battery worker exited without completing its layout"))
+    } else {
+        parallel::parallel_map(&layouts, jobs, |_, layout| {
+            measure_layout(&ctx, variant, layout)
+        })
+        .unwrap_or_else(|| panic!("battery worker exited without completing its layout"))
+    };
+    GridEntry {
+        workload: workload.to_string(),
+        platform: variant.name.clone(),
+        records,
+        mode: if gate.accepted {
+            cfg.mode()
+        } else {
+            BatteryMode::Full
+        },
+        gate: Some(gate),
     }
 }
 
@@ -1000,14 +1382,86 @@ mod tests {
         let grid = Grid::in_memory(tiny_speed());
         let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
         let text = render_entry(&entry);
-        assert!(text.starts_with("# mosaic-cache v3\n"), "{}", &text[..40]);
+        assert!(
+            text.starts_with("# mosaic-cache v4\n# mode full\n# gate none\n"),
+            "{}",
+            &text[..60]
+        );
 
         // A v1-era file (no header at all) and a future version must both
         // be treated as cache misses, not mis-parsed.
         let headerless = text.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert!(parse_entry("gups/8GB", "SandyBridge", &headerless).is_none());
-        let future = text.replacen("v3", "v4", 1);
+        let future = text.replacen("v4", "v5", 1);
         assert!(parse_entry("gups/8GB", "SandyBridge", &future).is_none());
+    }
+
+    #[test]
+    fn legacy_v3_documents_still_load_as_full_ungated() {
+        let grid = Grid::in_memory(tiny_speed());
+        let entry = grid.entry("gups/8GB", &Platform::SANDY_BRIDGE);
+        // A v3 file is the v4 document minus the mode/gate lines with the
+        // old version stamp — exactly what PR-9-era grids wrote.
+        let v3: String = render_entry(&entry)
+            .replacen("v4", "v3", 1)
+            .lines()
+            .filter(|l| !l.starts_with("# mode ") && !l.starts_with("# gate "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = parse_entry("gups/8GB", "SandyBridge", &v3).unwrap();
+        assert_eq!(parsed.mode, BatteryMode::Full);
+        assert_eq!(parsed.gate, None);
+        assert_eq!(parsed.records, entry.records);
+
+        // ... but a v4 document without its mode/gate lines is corrupt.
+        let gutted: String = render_entry(&entry)
+            .lines()
+            .filter(|l| !l.starts_with("# mode ") && !l.starts_with("# gate "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(parse_entry("gups/8GB", "SandyBridge", &gutted).is_none());
+    }
+
+    #[test]
+    fn sampled_mode_requires_its_accepting_gate() {
+        let gate = GateReport {
+            window: 100,
+            period: 1000,
+            bound: 0.05,
+            max_rel_err: 0.01,
+            anchors: 3,
+            accepted: true,
+        };
+        let entry = GridEntry {
+            workload: "w".to_string(),
+            platform: "P".to_string(),
+            records: vec![RunRecord {
+                description: "d".to_string(),
+                kind: LayoutKind::All4K,
+                counters: PmuCounters::default(),
+                cv_r: 0.0,
+            }],
+            mode: BatteryMode::Sampled {
+                window: 100,
+                period: 1000,
+            },
+            gate: Some(gate),
+        };
+        let text = render_entry(&entry);
+        assert!(text.contains("# mode sampled 100 1000\n"));
+        assert!(text.contains("# gate accepted 100 1000 0.05 0.01 3\n"));
+        assert_eq!(parse_entry("w", "P", &text).as_ref(), Some(&entry));
+
+        // Sampled mode with no gate, a rejected gate, or a gate for a
+        // different configuration must not parse — an unvalidated
+        // sampled entry is worse than a missing one.
+        for bad in [
+            text.replace("# gate accepted 100 1000 0.05 0.01 3", "# gate none"),
+            text.replace("# gate accepted", "# gate rejected"),
+            text.replace("# gate accepted 100 1000", "# gate accepted 100 2000"),
+        ] {
+            assert!(parse_entry("w", "P", &bad).is_none(), "parsed: {bad:?}");
+        }
     }
 
     #[test]
@@ -1056,6 +1510,8 @@ mod tests {
             memo: Mutex::new(BTreeMap::new()),
             disk_dir: Some(PathBuf::from("/cache")),
             computed: AtomicU64::new(0),
+            sampled: None,
+            rejections: AtomicU64::new(0),
         };
         let paths: Vec<PathBuf> = ["a/b", "a b", "a_b"]
             .iter()
@@ -1092,6 +1548,8 @@ mod tests {
             workload: "w".to_string(),
             platform: "P".to_string(),
             records: vec![hostile],
+            mode: BatteryMode::Full,
+            gate: None,
         };
         let parsed = parse_entry("w", "P", &render_entry(&entry)).unwrap();
         assert_eq!(entry, parsed);
@@ -1187,19 +1645,48 @@ mod tests {
             })
     }
 
+    /// Every *internally consistent* (mode, gate) combination: plain
+    /// full, full fallback of a rejected gate, and accepted sampled.
+    /// (`parse_entry` rejects the inconsistent ones by design.)
+    fn mode_gate_strategy() -> impl Strategy<Value = (BatteryMode, Option<GateReport>)> {
+        (0usize..3, 1u64..1000, 0u64..1000, 0.0f64..0.2, 0.0f64..0.5).prop_map(
+            |(pick, window, extra, bound, max_rel_err)| {
+                let period = window + extra;
+                let gate = GateReport {
+                    window,
+                    period,
+                    bound,
+                    max_rel_err,
+                    anchors: 3,
+                    accepted: pick == 2,
+                };
+                match pick {
+                    0 => (BatteryMode::Full, None),
+                    1 => (BatteryMode::Full, Some(gate)),
+                    _ => (BatteryMode::Sampled { window, period }, Some(gate)),
+                }
+            },
+        )
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// Any entry — arbitrary counters, every layout kind, fractional
-        /// cv values — survives the TSV round-trip exactly.
+        /// cv values, any consistent mode/gate stamp — survives the TSV
+        /// round-trip exactly.
         #[test]
         fn tsv_roundtrip_arbitrary_entries(
             records in prop::collection::vec(record_strategy(), 1..8),
+            mode_gate in mode_gate_strategy(),
         ) {
+            let (mode, gate) = mode_gate;
             let entry = GridEntry {
                 workload: "w/1GB".to_string(),
                 platform: "P".to_string(),
                 records,
+                mode,
+                gate,
             };
             let parsed = parse_entry("w/1GB", "P", &render_entry(&entry));
             prop_assert_eq!(Some(entry), parsed);

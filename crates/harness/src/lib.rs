@@ -35,14 +35,16 @@ pub mod figures;
 pub mod methodology;
 pub mod parallel;
 pub mod report;
+pub mod sampled;
 mod speed;
 pub mod tables;
 
 pub use experiment::{
-    measure_layout, measure_layout_traced, Grid, GridEntry, MachineVariant, MeasureContext,
-    RunRecord, SIM_STAGES,
+    measure_layout, measure_layout_sampled, measure_layout_traced, Grid, GridEntry, MachineVariant,
+    MeasureContext, RunRecord, SIM_STAGES,
 };
 pub use parallel::resolve_jobs;
+pub use sampled::{BatteryMode, GateReport, SampledConfig, DEFAULT_SAMPLED};
 pub use speed::Speed;
 
 /// The fast preset (shrunken footprints and short traces) for tests.

@@ -126,6 +126,85 @@ fn full_preset_counters_are_byte_identical_to_golden() {
     );
 }
 
+/// The pinned triple measured through the sampled path: periodic
+/// windows at the default `1000:10000` sampling plus cold-split
+/// extrapolation. Sampled measurement is part of the persistence
+/// surface (sampled entries are cached), so its values are pinned
+/// bit-for-bit exactly like full ones.
+fn measure_sampled(speed: Speed) -> (PmuCounters, f64) {
+    let ctx = MeasureContext::new(speed, "gups/8GB").expect("known workload");
+    let pool = ctx.pool();
+    let half = Region::new(pool.start(), pool.len() / 2);
+    let layout = MemoryLayout::builder(pool)
+        .window(half, PageSize::Huge2M)
+        .expect("2M-aligned half-pool window")
+        .build()
+        .expect("valid layout");
+    let variant = MachineVariant {
+        name: "golden-variant".to_string(),
+        platform: Platform::SANDY_BRIDGE.clone(),
+        config: EngineConfig::default(),
+    };
+    let record = harness::measure_layout_sampled(&ctx, &variant, &layout, 1_000, 10_000);
+    (record.counters, record.cv_r)
+}
+
+#[test]
+fn fast_preset_sampled_counters_are_byte_identical_to_golden() {
+    let (counters, cv_r) = measure_sampled(Speed::FAST);
+    let golden = PmuCounters {
+        runtime_cycles: 3_789_378,
+        stlb_hits: 606,
+        stlb_misses: 18_976,
+        walk_cycles: 2_287_784,
+        instructions: 279_256,
+        program_l1d_loads: 80_000,
+        program_l2_loads: 39_999,
+        program_l3_loads: 39_920,
+        walker_l1d_loads: 19_010,
+        walker_l2_loads: 17_716,
+        walker_l3_loads: 10_834,
+    };
+    assert_eq!(
+        counters, golden,
+        "FAST sampled counters drifted from golden"
+    );
+    assert_eq!(
+        cv_r.to_bits(),
+        0.0f64.to_bits(),
+        "single-rep FAST sampled run must have exactly zero runtime variance"
+    );
+}
+
+#[test]
+fn full_preset_sampled_counters_are_byte_identical_to_golden() {
+    let (counters, cv_r) = measure_sampled(Speed::FULL);
+    let golden = PmuCounters {
+        runtime_cycles: 19_827_530,
+        stlb_hits: 602,
+        stlb_misses: 174_690,
+        walk_cycles: 12_025_415,
+        instructions: 1_401_273,
+        program_l1d_loads: 400_000,
+        program_l2_loads: 199_961,
+        program_l3_loads: 199_897,
+        walker_l1d_loads: 249_764,
+        walker_l2_loads: 98_973,
+        walker_l3_loads: 85_819,
+    };
+    assert_eq!(
+        counters, golden,
+        "FULL sampled counters drifted from golden"
+    );
+    // Extrapolated runtimes still vary across the three salted reps;
+    // even that variance is pinned to the bit.
+    assert_eq!(
+        cv_r.to_bits(),
+        1.421_256_202_865_41e-4f64.to_bits(),
+        "FULL sampled cross-repetition variance drifted from golden"
+    );
+}
+
 #[test]
 fn battery_is_bit_identical_across_job_counts() {
     // The parallel battery must be counter-invisible: jobs=1 (the serial

@@ -200,7 +200,8 @@ impl StatsSnapshot {
             "stats requests={} predicts={} recommends={} errors={} too_long={} busy={} \
              queue_depth={} connections={} \
              registry_hits={} registry_misses={} registry_disk_loads={} \
-             registry_fitting={} pred_cache_hits={} pred_cache_misses={} \
+             registry_fitting={} registry_sampled_rejections={} \
+             pred_cache_hits={} pred_cache_misses={} \
              pred_cache_len={} rec_cache_hits={} rec_cache_misses={} \
              p50_us={} p90_us={} p99_us={} buckets={}",
             self.requests,
@@ -215,6 +216,7 @@ impl StatsSnapshot {
             self.registry.misses,
             self.registry.disk_loads,
             self.registry.fitting,
+            self.registry.sampled_rejections,
             self.cache.hits,
             self.cache.misses,
             self.pred_cache_len,
@@ -260,6 +262,10 @@ impl StatsSnapshot {
         let misses = num(take("registry_misses")?, "registry_misses")?;
         let disk_loads = num(take("registry_disk_loads")?, "registry_disk_loads")?;
         let fitting = num(take("registry_fitting")?, "registry_fitting")?;
+        let sampled_rejections = num(
+            take("registry_sampled_rejections")?,
+            "registry_sampled_rejections",
+        )?;
         let cache_hits = num(take("pred_cache_hits")?, "pred_cache_hits")?;
         let cache_misses = num(take("pred_cache_misses")?, "pred_cache_misses")?;
         let pred_cache_len = num(take("pred_cache_len")?, "pred_cache_len")?;
@@ -295,6 +301,7 @@ impl StatsSnapshot {
                 misses,
                 disk_loads,
                 fitting,
+                sampled_rejections,
             },
             cache: CacheCounters {
                 hits: cache_hits,
@@ -448,6 +455,7 @@ mod tests {
                 disk_loads: 1,
                 misses: 2,
                 fitting: 1,
+                sampled_rejections: 3,
             },
             CacheCounters {
                 hits: 40,
@@ -460,6 +468,7 @@ mod tests {
         assert!(line.contains("too_long=1"), "{line}");
         assert!(line.contains("connections=11"), "{line}");
         assert!(line.contains("registry_fitting=1"), "{line}");
+        assert!(line.contains("registry_sampled_rejections=3"), "{line}");
         assert!(line.contains("pred_cache_hits=40"), "{line}");
         assert!(line.contains("pred_cache_misses=9"), "{line}");
         assert!(line.contains("recommends=2"), "{line}");

@@ -178,6 +178,17 @@ pub fn render_metrics(report: &MetricsReport) -> String {
     push_sample(&mut out, "mosaicd_registry_fitting", s.registry.fitting);
     push_metric(
         &mut out,
+        "mosaicd_registry_sampled_rejections_total",
+        "counter",
+        "Sampled batteries rejected by the validation gate (fell back to full).",
+    );
+    push_sample(
+        &mut out,
+        "mosaicd_registry_sampled_rejections_total",
+        s.registry.sampled_rejections,
+    );
+    push_metric(
+        &mut out,
         "mosaicd_prediction_cache_hits_total",
         "counter",
         "Predictions answered from the bounded cache.",
@@ -448,6 +459,7 @@ pub fn parse_metrics(text: &str) -> Result<MetricsReport, String> {
         misses: next_plain(&mut iter, "mosaicd_registry_misses_total")?,
         disk_loads: next_plain(&mut iter, "mosaicd_registry_disk_loads_total")?,
         fitting: next_plain(&mut iter, "mosaicd_registry_fitting")?,
+        sampled_rejections: next_plain(&mut iter, "mosaicd_registry_sampled_rejections_total")?,
     };
     let cache = CacheCounters {
         hits: next_plain(&mut iter, "mosaicd_prediction_cache_hits_total")?,
@@ -616,6 +628,7 @@ mod tests {
                     misses: 1,
                     disk_loads: 1,
                     fitting: 1,
+                    sampled_rejections: 2,
                 },
                 cache: CacheCounters { hits: 4, misses: 2 },
                 rec_cache: CacheCounters { hits: 2, misses: 1 },
@@ -672,6 +685,7 @@ mod tests {
             "mosaicd_registry_misses_total 1",
             "mosaicd_registry_disk_loads_total 1",
             "mosaicd_registry_fitting 1",
+            "mosaicd_registry_sampled_rejections_total 2",
             "mosaicd_prediction_cache_hits_total 4",
             "mosaicd_prediction_cache_misses_total 2",
             "mosaicd_prediction_cache_len 9",

@@ -96,6 +96,11 @@ pub struct RegistryCounters {
     pub misses: u64,
     /// Gauge: battery fits in flight right now.
     pub fitting: u64,
+    /// Sampled batteries whose validation gate rejected the sampling
+    /// plan, forcing a silent fallback to a full-trace battery. A
+    /// nonzero value on a `--sampled` server means the configured
+    /// window/period is not representative for some served pair.
+    pub sampled_rejections: u64,
 }
 
 /// A once-latch other queries for the same pair park on while one query
@@ -246,6 +251,7 @@ impl ModelRegistry {
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             fitting: self.fitting.load(Ordering::SeqCst),
+            sampled_rejections: self.grid.sampled_rejections(),
         }
     }
 
@@ -607,6 +613,7 @@ mod tests {
                 disk_loads: 0,
                 misses: 1,
                 fitting: 0,
+                sampled_rejections: 0,
             }
         );
         let b = registry.entry("gups/8GB", platform).unwrap();

@@ -33,7 +33,13 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
             any::<u64>(),
         ),
         (any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
         (any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         prop::collection::vec(0u64..1_000_000, BUCKET_BOUNDS_US.len()),
@@ -41,7 +47,7 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
         .prop_map(|(core, gauges, reg, cache, rec, bucket_vec)| {
             let (requests, predicts, recommends, errors, busy, queue_depth) = core;
             let (too_long, connections) = gauges;
-            let (hits, misses, disk_loads, fitting) = reg;
+            let (hits, misses, disk_loads, fitting, sampled_rejections) = reg;
             let mut buckets = [0u64; BUCKET_BOUNDS_US.len()];
             for (out, v) in buckets.iter_mut().zip(bucket_vec) {
                 *out = v;
@@ -60,6 +66,7 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
                     misses,
                     disk_loads,
                     fitting,
+                    sampled_rejections,
                 },
                 cache: CacheCounters {
                     hits: cache.0,

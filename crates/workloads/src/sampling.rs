@@ -56,6 +56,49 @@ where
         .map(|(_, a)| a)
 }
 
+/// Exactly how many accesses [`windows`] keeps out of a trace of length
+/// `len`. The final partial period is **not** dropped: a trace whose
+/// length is not a multiple of `period` still contributes
+/// `min(len % period, window)` tail accesses, matching the
+/// `i % period < window` filter above index for index. Extrapolation
+/// scale factors must use this count — the naive
+/// `(len / period) * window` silently forgets the tail term and skews
+/// every scaled counter for off-by-one trace lengths.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `window > period` (same contract as
+/// [`windows`]).
+pub fn kept_count(len: u64, window: u64, period: u64) -> u64 {
+    assert!(window > 0, "empty window");
+    assert!(window <= period, "window larger than its period");
+    let full_periods = len / period;
+    let tail = (len % period).min(window);
+    // Widened so `full_periods * window` cannot wrap even for
+    // adversarial u64 inputs; the result is <= len, so the narrowing
+    // back to u64 is exact.
+    (u128::from(full_periods) * u128::from(window) + u128::from(tail)) as u64
+}
+
+/// Scales a sampled counter value up to full-trace scale by the exact
+/// rational `total / kept`, computed entirely in integer arithmetic
+/// (widen to u128, multiply, floor-divide). No f64 round-trip means no
+/// drift: two runs that observe the same sampled counters extrapolate
+/// to bit-identical full-scale counters.
+///
+/// # Panics
+///
+/// Panics if `kept == 0` or `kept > total`.
+pub fn extrapolate(value: u64, kept: u64, total: u64) -> u64 {
+    assert!(kept > 0, "cannot extrapolate from an empty sample");
+    assert!(kept <= total, "sample larger than the full trace");
+    // value * total fits in u128 (both are u64); the quotient is at
+    // most value * (total / kept) <= u64::MAX only when the caller's
+    // counters are sane, so saturate rather than wrap on the way back.
+    let scaled = u128::from(value) * u128::from(total) / u128::from(kept);
+    u64::try_from(scaled).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +164,70 @@ mod tests {
     #[should_panic(expected = "window larger")]
     fn oversized_window_rejected() {
         let _ = windows(trace(10), 20, 10).count();
+    }
+
+    /// A synthetic trace whose address *is* its index, so the kept-index
+    /// set can be read straight off the sampled addresses.
+    fn indexed(n: u64) -> Vec<Access> {
+        (0..n).map(|i| Access::read(VirtAddr::new(i), 0)).collect()
+    }
+
+    fn kept_indices(len: u64, window: usize, period: usize) -> Vec<u64> {
+        windows(indexed(len), window, period)
+            .map(|a| a.addr.raw())
+            .collect()
+    }
+
+    #[test]
+    fn partial_tail_window_is_kept() {
+        // window = 3, period = 5, around len = 2 periods = 10.
+        //
+        // len = 9 (k*period - 1): the second period is partial but its
+        // window fits entirely, so nothing is lost.
+        assert_eq!(kept_indices(9, 3, 5), vec![0, 1, 2, 5, 6, 7]);
+        // len = 10 (exact multiple): two full windows.
+        assert_eq!(kept_indices(10, 3, 5), vec![0, 1, 2, 5, 6, 7]);
+        // len = 11 (k*period + 1): a third, partial window opens at
+        // index 10 and contributes its single available access.
+        assert_eq!(kept_indices(11, 3, 5), vec![0, 1, 2, 5, 6, 7, 10]);
+        // Partial window *shorter than the full window*: len = 12 keeps
+        // two of the third window's three slots.
+        assert_eq!(kept_indices(12, 3, 5), vec![0, 1, 2, 5, 6, 7, 10, 11]);
+    }
+
+    #[test]
+    fn kept_count_matches_windows_exactly() {
+        for (window, period) in [(1u64, 1u64), (1, 7), (3, 5), (4, 4), (7, 10)] {
+            for base in [0u64, 1, 2, 5] {
+                let exact = base * period;
+                let lens = [exact.checked_sub(1), Some(exact), Some(exact + 1)];
+                for len in lens.into_iter().flatten() {
+                    let counted = windows(indexed(len), window as usize, period as usize).count();
+                    assert_eq!(
+                        kept_count(len, window, period),
+                        counted as u64,
+                        "len={len} window={window} period={period}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolate_is_exact_integer_scaling() {
+        // 10% sample: scale by exactly 10, no f64 round-off.
+        assert_eq!(extrapolate(123_456, 1_000, 10_000), 1_234_560);
+        // Non-divisible ratio floors: 7 * 10 / 3 = 23.33.. -> 23.
+        assert_eq!(extrapolate(7, 3, 10), 23);
+        // Full sample is the identity.
+        assert_eq!(extrapolate(42, 5, 5), 42);
+        // Huge counters do not wrap: widen-then-divide stays exact.
+        assert_eq!(extrapolate(u64::MAX / 2, 5_000, 10_000), u64::MAX - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn extrapolate_rejects_zero_kept() {
+        let _ = extrapolate(1, 0, 10);
     }
 }

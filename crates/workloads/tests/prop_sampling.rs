@@ -1,0 +1,83 @@
+//! Property tests for trace sampling: `windows` is a genuine
+//! subsequence selector, its kept count is exactly `kept_count`
+//! (partial tail window included), and extrapolation is exact integer
+//! rational scaling with no f64 drift.
+
+use proptest::prelude::*;
+use vmcore::VirtAddr;
+use workloads::{sampling, Access};
+
+/// A trace whose address encodes its index, so subsequence checks can
+/// compare indices instead of chasing generator internals.
+fn indexed(len: usize) -> Vec<Access> {
+    (0..len as u64)
+        .map(|i| Access::read(VirtAddr::new(i), (i % 7) as u32))
+        .collect()
+}
+
+fn window_period() -> impl Strategy<Value = (usize, usize)> {
+    // window in 1..=period, derived by modulo so the pair is always valid.
+    (1usize..200, 0usize..200).prop_map(|(period, raw)| (raw % period + 1, period))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The sampled trace is a subsequence of the input: every kept
+    /// access appears in the original, in the original order.
+    #[test]
+    fn windows_is_a_subsequence(wp in window_period(), len in 0usize..2000) {
+        let (window, period) = wp;
+        let full = indexed(len);
+        let sampled: Vec<Access> = sampling::windows(full.clone(), window, period).collect();
+        let mut cursor = full.iter();
+        for kept in &sampled {
+            prop_assert!(
+                cursor.any(|a| a == kept),
+                "kept access {:?} is not a forward match in the input",
+                kept.addr,
+            );
+        }
+    }
+
+    /// Output length never exceeds the input length, and equals the
+    /// closed-form `kept_count` — including the partial final window
+    /// when `len` is not a multiple of `period`.
+    #[test]
+    fn windows_length_matches_kept_count(wp in window_period(), len in 0usize..2000) {
+        let (window, period) = wp;
+        let n = sampling::windows(indexed(len), window, period).count();
+        prop_assert!(n <= len);
+        prop_assert_eq!(n as u64, sampling::kept_count(len as u64, window as u64, period as u64));
+    }
+
+    /// Extrapolation is the exact rational `value * total / kept`
+    /// (floor): `q * kept <= value * total < (q + 1) * kept`, verified
+    /// in u128 so the property itself cannot drift. An f64 pipeline
+    /// fails this for large counters where `(v as f64 * scale) as u64`
+    /// rounds.
+    /// `value` is bounded so the exact quotient fits in u64 (beyond
+    /// that `extrapolate` saturates by contract instead of wrapping).
+    #[test]
+    fn extrapolate_is_exact_rational(
+        value in 0u64..1 << 40,
+        kept in 1u64..100_000,
+        extra in 0u64..100_000,
+    ) {
+        let total = kept + extra;
+        let q = u128::from(sampling::extrapolate(value, kept, total));
+        let lhs = u128::from(value) * u128::from(total);
+        prop_assert!(q * u128::from(kept) <= lhs);
+        prop_assert!(lhs < (q + 1) * u128::from(kept));
+    }
+
+    /// Scaling is monotone in the sampled value and the identity when
+    /// the sample is the whole trace.
+    #[test]
+    fn extrapolate_monotone_and_identity(value in 0u64..1 << 40, kept in 1u64..10_000) {
+        prop_assert_eq!(sampling::extrapolate(value, kept, kept), value);
+        let up = sampling::extrapolate(value + 1, kept, kept * 2);
+        let at = sampling::extrapolate(value, kept, kept * 2);
+        prop_assert!(up >= at);
+    }
+}

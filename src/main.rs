@@ -5,7 +5,7 @@
 //! mosaic run <workload> <platform>     # fit all nine models on one pair
 //! mosaic figure <fig2..fig11|tab6..tab8|casestudy|all>
 //! mosaic sensitivity <platform>        # TLB sensitivity of every workload
-//! mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>]  # start mosaicd
+//! mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>] [--sampled[=<w>:<p>:<b>]]  # start mosaicd
 //! mosaic query <addr> <workload> <platform> <layout-spec> [model]
 //! mosaic query <addr> stats            # fetch server metrics
 //! mosaic query <addr> pairs            # list the server's fitted pairs
@@ -19,7 +19,9 @@
 //!
 //! `MOSAIC_FAST=1` selects the low-fidelity preset everywhere;
 //! `MOSAIC_JOBS=<n>` caps the grid battery's worker threads (an explicit
-//! `--jobs` wins, the default is the machine's available parallelism).
+//! `--jobs` wins, the default is the machine's available parallelism);
+//! `MOSAIC_SAMPLED=1` (or `=<window>:<period>:<bound>`) turns on
+//! validated interval-sampled grid builds (an explicit `--sampled` wins).
 
 use harness::report::{pct, TextTable};
 use harness::{casestudy, figures, tables, Grid, Speed};
@@ -46,7 +48,7 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | batch <addr> <request>... | metrics <addr> | trace <addr> [n] | audit [--json | --sarif] [--summary] [--deny] [--root <path>] | bench [--json] [workload] [platform]>"
+                "usage: mosaic <list | run <workload> <platform> | figure <id> [--csv] | sensitivity <platform> | export <workload> <platform> | describe <workload> <platform> [model] | serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>] [--sampled[=<w>:<p>:<b>]] | query <addr> ... | recommend <addr> <workload> <platform> <budget> [threshold] | batch <addr> <request>... | metrics <addr> | trace <addr> [n] | audit [--json | --sarif] [--summary] [--deny] [--root <path>] | bench [--json] [workload] [platform]>"
             );
             2
         }
@@ -344,15 +346,29 @@ fn cmd_sensitivity(platform: Option<&String>) -> i32 {
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>]";
+    let usage = "usage: mosaic serve [addr] [--warm <workload>:<platform>]... [--cache-cap <n>] [--jobs <n>] [--sampled[=<w>:<p>:<b>]]";
     let mut addr = "127.0.0.1:7070".to_string();
     let mut positional_seen = false;
     let mut warm_pairs: Vec<(String, String)> = Vec::new();
     let mut cache_cap = service::registry::DEFAULT_PREDICTION_CACHE;
     let mut jobs: Option<usize> = None;
+    // An explicit flag wins over the environment, so a service wrapper
+    // that exports MOSAIC_SAMPLED can still be overridden per-launch.
+    let mut sampled = harness::SampledConfig::from_env();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--sampled" => sampled = Some(harness::DEFAULT_SAMPLED),
+            spec if spec.starts_with("--sampled=") => {
+                let text = &spec["--sampled=".len()..];
+                match harness::SampledConfig::parse(text) {
+                    Ok(cfg) => sampled = Some(cfg),
+                    Err(e) => {
+                        eprintln!("{usage} (--sampled: {e})");
+                        return 2;
+                    }
+                }
+            }
             "--cache-cap" => {
                 let Some(text) = it.next() else {
                     eprintln!("{usage} (--cache-cap needs a number)");
@@ -420,8 +436,12 @@ fn cmd_serve(args: &[String]) -> i32 {
     // battery fan-out, so every cold fit — including the `--warm` pre-fits
     // below — measures its layouts on that many worker threads.
     let resolved_jobs = harness::resolve_jobs(jobs);
+    let mut grid = Grid::new(speed).with_jobs(resolved_jobs);
+    if let Some(cfg) = sampled {
+        grid = grid.with_sampled(cfg);
+    }
     let registry = service::registry::ModelRegistry::with_cache_capacity(
-        Grid::new(speed).with_jobs(resolved_jobs),
+        grid,
         Some(store_dir.clone()),
         cache_cap,
     );
@@ -436,8 +456,15 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let battery = match sampled {
+        Some(cfg) => format!(
+            "sampled {}:{} batteries gated at {}",
+            cfg.window, cfg.period, cfg.bound
+        ),
+        None => "full batteries".to_string(),
+    };
     println!(
-        "mosaicd listening on {} ({} preset, {} battery jobs, model store {})",
+        "mosaicd listening on {} ({} preset, {} battery jobs, {battery}, model store {})",
         server.addr(),
         speed.name,
         resolved_jobs,
@@ -887,6 +914,16 @@ fn cmd_bench(args: &[String]) -> i32 {
         report.grid_par.par_jobs,
         report.grid_par.par_n_wall_seconds,
         report.grid_par.par_speedup,
+    );
+    println!(
+        "grid-sampled: battery full {:.3}s vs sampled {}:{} {:.3}s -> {:.2}x speedup (anchor err {:.4} <= {} gate)",
+        report.grid_sampled.sampled_full_wall_seconds,
+        report.grid_sampled.sampled_window,
+        report.grid_sampled.sampled_period,
+        report.grid_sampled.sampled_wall_seconds,
+        report.grid_sampled.sampled_speedup,
+        report.grid_sampled.sampled_anchor_err,
+        report.grid_sampled.sampled_bound,
     );
     // The tracing gate: span recording must be cheap enough that an
     // instrumented run is the same run. Unlike the throughput figures
